@@ -1,0 +1,26 @@
+//! # snn-baselines
+//!
+//! Comparison models of the prior SNN FPGA accelerators the paper evaluates
+//! against (Table III), plus a rate-encoded variant of our own accelerator
+//! used to quantify the benefit of radix encoding.
+//!
+//! * [`published`] — the operating points published by Ju et al. [12] and
+//!   Fang et al. [11] as they appear in Table III (latency, throughput,
+//!   power, resources).  These are measured numbers from the respective
+//!   papers, not simulations.
+//! * [`rate_equivalent`] — a what-if model: the same hardware architecture
+//!   driven by rate-encoded spike trains, which need `2^T - 1` time steps to
+//!   reach the resolution a radix train achieves in `T` steps.  This
+//!   isolates the contribution of the encoding scheme (the ~40% efficiency
+//!   claim of Section IV-B and the long-spike-train problem of Section I).
+//! * [`comparison`] — assembles Table III rows from published baselines and
+//!   our own design reports, and computes the improvement factors the paper
+//!   quotes (18× latency vs. Fang et al., 15× throughput vs. Ju et al.,
+//!   25% power saving).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod published;
+pub mod rate_equivalent;

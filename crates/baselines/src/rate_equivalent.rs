@@ -1,0 +1,117 @@
+//! Rate-encoding what-if model.
+//!
+//! Traditional SNN accelerators use rate encoding, where the spike count —
+//! not the spike order — carries the information.  To distinguish `2^T`
+//! activation levels a rate code needs `2^T - 1` time steps, whereas radix
+//! encoding needs only `T`.  Because the accelerator replicates almost all
+//! computation per time step, running the *same* hardware with rate codes
+//! multiplies latency and energy by that factor.  This module quantifies
+//! the gap, which is the central motivation of the paper (Section I) and of
+//! the encoding ablation in the benchmark suite.
+
+use serde::{Deserialize, Serialize};
+use snn_accel::config::AcceleratorConfig;
+use snn_accel::timing::{network_timing, TimingReport};
+use snn_accel::Result;
+use snn_model::NetworkSpec;
+
+/// Latency comparison between radix and rate encoding at equal activation
+/// resolution on the same accelerator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodingLatency {
+    /// Radix spike-train length `T`.
+    pub radix_steps: usize,
+    /// Rate spike-train length needed for the same resolution (`2^T - 1`).
+    pub rate_steps: usize,
+    /// Predicted latency with radix encoding, in cycles.
+    pub radix_cycles: u64,
+    /// Predicted latency with rate encoding, in cycles.
+    pub rate_cycles: u64,
+}
+
+impl EncodingLatency {
+    /// How many times slower the rate-encoded execution is.
+    pub fn slowdown(&self) -> f64 {
+        self.rate_cycles as f64 / self.radix_cycles.max(1) as f64
+    }
+}
+
+/// Number of rate-encoding time steps needed to match the resolution of a
+/// radix train of `radix_steps` steps.
+pub fn equivalent_rate_steps(radix_steps: usize) -> usize {
+    (1usize << radix_steps) - 1
+}
+
+/// Predicts the latency of a network under radix and under
+/// resolution-equivalent rate encoding on the same accelerator.
+///
+/// # Errors
+///
+/// Propagates mapping errors from the timing model.
+pub fn compare_encodings(
+    config: &AcceleratorConfig,
+    net: &NetworkSpec,
+    radix_steps: usize,
+) -> Result<EncodingLatency> {
+    let rate_steps = equivalent_rate_steps(radix_steps);
+    let radix: TimingReport = network_timing(config, net, radix_steps)?;
+    let rate: TimingReport = network_timing(config, net, rate_steps)?;
+    Ok(EncodingLatency {
+        radix_steps,
+        rate_steps,
+        radix_cycles: radix.total_cycles(),
+        rate_cycles: rate.total_cycles(),
+    })
+}
+
+/// The efficiency improvement attributable to the encoding alone, as the
+/// paper argues in Section IV-B: Fang et al. need about `rate_steps` time
+/// steps to reach the accuracy radix encoding reaches in `radix_steps`.
+///
+/// Returns the fractional latency reduction (e.g. `0.4` for 40%).
+pub fn encoding_efficiency_gain(radix_steps: usize, competitor_steps: usize) -> f64 {
+    1.0 - radix_steps as f64 / competitor_steps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_model::zoo;
+
+    #[test]
+    fn rate_steps_grow_exponentially() {
+        assert_eq!(equivalent_rate_steps(3), 7);
+        assert_eq!(equivalent_rate_steps(6), 63);
+        assert_eq!(equivalent_rate_steps(10), 1023);
+    }
+
+    #[test]
+    fn rate_encoding_is_many_times_slower_at_equal_resolution() {
+        let cfg = AcceleratorConfig::lenet_experiment(2);
+        let cmp = compare_encodings(&cfg, &zoo::lenet5(), 6).unwrap();
+        assert_eq!(cmp.rate_steps, 63);
+        // Latency is dominated by per-time-step work, so the slowdown should
+        // be close to 63/6 = 10.5x.
+        assert!(
+            (8.0..11.0).contains(&cmp.slowdown()),
+            "slowdown {}",
+            cmp.slowdown()
+        );
+    }
+
+    #[test]
+    fn slowdown_grows_with_resolution() {
+        let cfg = AcceleratorConfig::lenet_experiment(2);
+        let s3 = compare_encodings(&cfg, &zoo::lenet5(), 3).unwrap().slowdown();
+        let s6 = compare_encodings(&cfg, &zoo::lenet5(), 6).unwrap().slowdown();
+        assert!(s6 > s3);
+    }
+
+    #[test]
+    fn paper_claims_forty_percent_gain_over_fang() {
+        // Section IV-B: radix needs 6 steps where Fang et al. need ~10, a
+        // potential efficiency improvement of around 40%.
+        let gain = encoding_efficiency_gain(6, 10);
+        assert!((gain - 0.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the processing-unit simulators.
+//!
+//! These benches measure the *simulator's* throughput (host-side), which is
+//! what matters when sweeping design points: the cycle-accurate convolution
+//! unit versus the functional integer reference, the pooling unit and the
+//! linear unit on LeNet-5-shaped layers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snn_accel::config::{AcceleratorConfig, ArrayGeometry};
+use snn_accel::conv::ConvolutionUnit;
+use snn_accel::linear::LinearUnit;
+use snn_accel::pool::PoolingUnit;
+use snn_model::layer::PoolKind;
+use snn_tensor::{ops, Tensor};
+use std::hint::black_box;
+
+fn lenet_conv2_inputs() -> (Tensor<i64>, Tensor<i64>, Tensor<i64>) {
+    // LeNet-5 second convolution: 6 -> 16 channels, 5x5 kernel, 14x14 input.
+    let input = Tensor::from_vec(
+        vec![6, 14, 14],
+        (0..6 * 14 * 14).map(|v| (v % 8) as i64).collect(),
+    )
+    .expect("input tensor");
+    let kernel = Tensor::from_vec(
+        vec![16, 6, 5, 5],
+        (0..16 * 6 * 25).map(|v| ((v % 7) as i64) - 3).collect(),
+    )
+    .expect("kernel tensor");
+    let bias = Tensor::filled(vec![16], 0i64);
+    (input, kernel, bias)
+}
+
+fn bench_conv_unit(c: &mut Criterion) {
+    let (input, kernel, bias) = lenet_conv2_inputs();
+    let mut group = c.benchmark_group("conv_unit");
+    for &time_steps in &[3usize, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("cycle_accurate", time_steps),
+            &time_steps,
+            |b, &t| {
+                let unit = ConvolutionUnit::new(ArrayGeometry {
+                    columns: 30,
+                    rows: 5,
+                });
+                b.iter(|| {
+                    unit.run_layer(
+                        black_box(&input),
+                        black_box(&kernel),
+                        black_box(&bias),
+                        t,
+                        1,
+                        0,
+                    )
+                    .expect("conv unit run")
+                });
+            },
+        );
+    }
+    group.bench_function("functional_reference", |b| {
+        b.iter(|| {
+            ops::conv2d(black_box(&input), black_box(&kernel), Some(&bias), 1, 0)
+                .expect("reference conv")
+        });
+    });
+    group.finish();
+}
+
+fn bench_pool_unit(c: &mut Criterion) {
+    let input = Tensor::from_vec(
+        vec![6, 28, 28],
+        (0..6 * 28 * 28).map(|v| (v % 16) as i64).collect(),
+    )
+    .expect("input tensor");
+    let unit = PoolingUnit::new(ArrayGeometry {
+        columns: 14,
+        rows: 2,
+    });
+    c.bench_function("pool_unit/avg_2x2_6x28x28", |b| {
+        b.iter(|| {
+            unit.run_layer(black_box(&input), PoolKind::Average, 2, 4)
+                .expect("pool unit run")
+        });
+    });
+}
+
+fn bench_linear_unit(c: &mut Criterion) {
+    // LeNet-5 first fully-connected layer: 120 -> 120.
+    let input = Tensor::from_vec(vec![120], (0..120).map(|v| (v % 16) as i64).collect())
+        .expect("input tensor");
+    let weight = Tensor::from_vec(
+        vec![120, 120],
+        (0..120 * 120).map(|v| ((v % 7) as i64) - 3).collect(),
+    )
+    .expect("weight tensor");
+    let bias = Tensor::filled(vec![120], 0i64);
+    let config = AcceleratorConfig::default();
+    let unit = LinearUnit::new(config.linear_lanes);
+    c.bench_function("linear_unit/120x120_T4", |b| {
+        b.iter(|| {
+            unit.run_layer(black_box(&input), black_box(&weight), black_box(&bias), 4)
+                .expect("linear unit run")
+        });
+    });
+}
+
+criterion_group!(benches, bench_conv_unit, bench_pool_unit, bench_linear_unit);
+criterion_main!(benches);

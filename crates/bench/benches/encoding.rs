@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the neural-encoding schemes: radix versus rate
+//! encoding of a full feature map, and the level-domain round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snn_encoding::{radix::RadixEncoder, rate::RateEncoder, Encoder};
+use snn_tensor::Tensor;
+use std::hint::black_box;
+
+fn feature_map() -> Tensor<f32> {
+    // A 6x28x28 feature map with a smooth ramp of activations.
+    let n = 6 * 28 * 28;
+    Tensor::from_vec(
+        vec![6, 28, 28],
+        (0..n).map(|i| (i % 101) as f32 / 100.0).collect(),
+    )
+    .expect("feature map")
+}
+
+fn bench_encode_tensor(c: &mut Criterion) {
+    let fm = feature_map();
+    let mut group = c.benchmark_group("encode_feature_map");
+    for &t in &[3usize, 6] {
+        group.bench_with_input(BenchmarkId::new("radix", t), &t, |b, &t| {
+            let enc = RadixEncoder::new(t).expect("radix encoder");
+            b.iter(|| enc.encode_tensor(black_box(&fm)));
+        });
+        // Rate encoding at the *same resolution* needs 2^t - 1 steps.
+        let rate_steps = (1usize << t) - 1;
+        group.bench_with_input(
+            BenchmarkId::new("rate_equivalent_resolution", rate_steps),
+            &rate_steps,
+            |b, &steps| {
+                let enc = RateEncoder::new(steps).expect("rate encoder");
+                b.iter(|| enc.encode_tensor(black_box(&fm)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let fm = feature_map();
+    let enc = RadixEncoder::new(6).expect("radix encoder");
+    c.bench_function("radix_encode_decode_roundtrip_T6", |b| {
+        b.iter(|| {
+            let raster = enc.encode_tensor(black_box(&fm));
+            enc.decode_tensor(&raster)
+        });
+    });
+}
+
+criterion_group!(benches, bench_encode_tensor, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Design-space exploration ablation: sweeps the number of convolution
+//! units, the clock frequency and the linear-unit lanes for LeNet-5, prints
+//! every evaluated point and marks the Pareto-optimal ones — the automated
+//! version of the paper's informal "four units give one of the best
+//! latency-power-resource ratios" argument (Section IV-A).
+//!
+//! Usage: `cargo run -p snn-bench --release --bin dse`
+
+use snn_accel::config::AcceleratorConfig;
+use snn_accel::dse::{sweep, SweepSpace};
+use snn_model::zoo;
+
+fn main() {
+    let net = zoo::lenet5();
+    let space = SweepSpace {
+        conv_units: vec![1, 2, 4, 8],
+        clock_mhz: vec![100.0, 150.0, 200.0],
+        linear_lanes: vec![8, 16, 32],
+    };
+    let result = sweep(&AcceleratorConfig::default(), &space, &net, 4)
+        .expect("LeNet-5 maps onto every swept configuration");
+    let pareto: std::collections::HashSet<usize> = result.pareto_indices().into_iter().collect();
+
+    println!("design-space exploration: LeNet-5, T = 4, 3-bit weights");
+    println!(
+        "{:>6} {:>6} {:>6} {:>12} {:>8} {:>12} {:>8} {:>8}  {}",
+        "units", "MHz", "lanes", "latency[us]", "pow[W]", "energy[uJ]", "LUTs", "FFs", "pareto"
+    );
+    for (i, point) in result.points.iter().enumerate() {
+        println!(
+            "{:>6} {:>6.0} {:>6} {:>12.1} {:>8.2} {:>12.1} {:>8} {:>8}  {}",
+            point.config.conv_units,
+            point.config.clock_mhz,
+            point.config.linear_lanes,
+            point.latency_us,
+            point.power_w,
+            point.energy_uj,
+            point.luts,
+            point.flip_flops,
+            if pareto.contains(&i) { "*" } else { "" }
+        );
+    }
+    if let Some(best) = result.best_by_figure_of_merit() {
+        println!(
+            "\nbest latency x power x LUTs product: {} conv units at {:.0} MHz with {} lanes",
+            best.config.conv_units, best.config.clock_mhz, best.config.linear_lanes
+        );
+    }
+    println!("(the paper picks 4 units at 200 MHz for its LeNet-5 deployment)");
+}

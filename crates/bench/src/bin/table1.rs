@@ -1,0 +1,30 @@
+//! Regenerates Table I of the paper: classification accuracy and inference
+//! latency of LeNet-5 as a function of the spike-train length (T = 3..=6),
+//! with two convolution units at 100 MHz.
+//!
+//! The accuracy column uses the synthetic-digit stand-in for MNIST (see
+//! DESIGN.md), so absolute accuracies differ from the paper; the trends —
+//! accuracy improving then saturating with T, latency scaling linearly with
+//! T — are the reproduction targets.
+//!
+//! Usage: `cargo run -p snn-bench --release --bin table1 [--full]`
+
+use snn_bench::experiments::{format_table1, table1};
+use snn_bench::workloads::Effort;
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
+    eprintln!("training LeNet-5 on the synthetic digit dataset ({effort:?} profile)...");
+    let rows = table1(effort, 2022);
+    print!("{}", format_table1(&rows));
+    println!();
+    println!("paper reference (MNIST, Table I):");
+    println!("{:>10} {:>10} {:>12}", "time steps", "acc [%]", "latency [us]");
+    for (t, acc, lat) in [(3, 98.57, 648.0), (4, 99.09, 856.0), (5, 99.21, 1063.0), (6, 99.26, 1271.0)] {
+        println!("{t:>10} {acc:>10.2} {lat:>12.0}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table II of the paper: latency, power and resource usage of
+//! LeNet-5 (T = 3, 100 MHz) as the number of convolution units is swept
+//! over 1, 2, 4 and 8.
+//!
+//! Usage: `cargo run -p snn-bench --release --bin table2`
+
+use snn_bench::experiments::{format_table2, table2};
+
+fn main() {
+    let rows = table2();
+    print!("{}", format_table2(&rows));
+    println!();
+    println!("paper reference (Table II):");
+    println!(
+        "{:>10} {:>12} {:>8} {:>8} {:>8}",
+        "conv units", "latency [us]", "pow [W]", "LUTs", "FF"
+    );
+    for (units, lat, pow, lut, ff) in [
+        (1, 1063.0, 3.07, "11k", "10k"),
+        (2, 648.0, 3.09, "15k", "14k"),
+        (4, 450.0, 3.17, "24k", "23k"),
+        (8, 370.0, 3.28, "42k", "39k"),
+    ] {
+        println!("{units:>10} {lat:>12.0} {pow:>8.2} {lut:>8} {ff:>8}");
+    }
+}

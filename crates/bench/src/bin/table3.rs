@@ -1,0 +1,39 @@
+//! Regenerates Table III of the paper: efficiency and performance of SNN
+//! hardware accelerators — the published baselines (Ju et al., Fang et al.)
+//! next to this work's deployments of the Fang CNN, LeNet-5 and VGG-11.
+//!
+//! Pass `--with-accuracy` to also train LeNet-5 on the synthetic digits and
+//! fill in its accuracy cell (slower).
+//!
+//! Usage: `cargo run -p snn-bench --release --bin table3 [--with-accuracy]`
+
+use snn_bench::experiments::{encoding_ablation, format_encoding_ablation, table3};
+use snn_bench::workloads::{self, Effort};
+
+fn main() {
+    let lenet_accuracy = if std::env::args().any(|a| a == "--with-accuracy") {
+        eprintln!("training LeNet-5 for the accuracy column...");
+        let workload = workloads::trained_lenet5(Effort::Quick, 2022);
+        let snn = workloads::convert_workload(&workload, 4);
+        Some(workloads::snn_accuracy_pct(&snn, &workload.data.test))
+    } else {
+        None
+    };
+
+    let table = table3(lenet_accuracy);
+    println!("Table III — efficiency and performance of SNN hardware accelerators");
+    println!("(rows marked * use the synthetic stand-in datasets; see DESIGN.md)");
+    print!("{table}");
+    println!();
+    println!(
+        "improvement of this work (CNN-2) over Fang et al.: {:.1}x latency, {:.2}x power",
+        table.latency_improvement(2, 1),
+        table.power_ratio(2, 1)
+    );
+    println!(
+        "improvement of this work (CNN-2) over Ju et al.:  {:.1}x throughput",
+        table.throughput_improvement(2, 0)
+    );
+    println!();
+    print!("{}", format_encoding_ablation(&encoding_ablation()));
+}

@@ -1,0 +1,145 @@
+//! Shared workload preparation: synthetic datasets, trained ANNs and
+//! converted SNN models for the experiment harnesses.
+
+use snn_data::digits::SyntheticDigits;
+use snn_data::{Dataset, DatasetSplit};
+use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
+use snn_model::params::Parameters;
+use snn_model::snn::SnnModel;
+use snn_model::{zoo, NetworkSpec};
+use snn_train::trainer::{Trainer, TrainingConfig};
+
+/// A trained ANN ready for conversion, together with its evaluation data.
+#[derive(Debug, Clone)]
+pub struct TrainedWorkload {
+    /// The network topology.
+    pub net: NetworkSpec,
+    /// Trained floating-point parameters.
+    pub params: Parameters,
+    /// Train/test split of the synthetic dataset.
+    pub data: DatasetSplit,
+    /// Activation calibration collected on (a subset of) the training set.
+    pub calibration: CalibrationStats,
+}
+
+/// Controls how much work the experiment harness performs.  The quick
+/// profile keeps the Table I pipeline (training + per-T evaluation) to a few
+/// seconds; the full profile uses more data for smoother accuracy numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small dataset and few epochs — used by tests and CI.
+    Quick,
+    /// Larger dataset — used when regenerating the tables for the report.
+    Full,
+}
+
+impl Effort {
+    /// Unoptimised (debug) builds shrink the workloads further so that
+    /// `cargo test --workspace` stays fast; the experiment binaries are
+    /// always run with `--release`, where the full quick/full profiles
+    /// apply.
+    const DEBUG_SCALE: usize = if cfg!(debug_assertions) { 4 } else { 1 };
+
+    fn train_samples(self) -> usize {
+        match self {
+            Effort::Quick => 240 / Self::DEBUG_SCALE,
+            Effort::Full => 500 / Self::DEBUG_SCALE,
+        }
+    }
+
+    fn test_samples(self) -> usize {
+        match self {
+            Effort::Quick => 60 / Self::DEBUG_SCALE,
+            Effort::Full => 100 / Self::DEBUG_SCALE,
+        }
+    }
+
+    fn epochs(self) -> usize {
+        match self {
+            Effort::Quick => 8 / Self::DEBUG_SCALE.min(4),
+            Effort::Full => 14 / Self::DEBUG_SCALE.min(4),
+        }
+    }
+}
+
+/// Trains LeNet-5 on the synthetic digit dataset (the MNIST stand-in) and
+/// collects activation calibration, ready for ANN-to-SNN conversion.
+///
+/// # Panics
+///
+/// Panics if training fails, which only happens for internal configuration
+/// errors.
+pub fn trained_lenet5(effort: Effort, seed: u64) -> TrainedWorkload {
+    let net = zoo::lenet5();
+    let generator = SyntheticDigits::new(32).with_noise_percent(5);
+    let dataset = generator.generate(effort.train_samples() + effort.test_samples(), seed);
+    let split_fraction =
+        effort.train_samples() as f32 / (effort.train_samples() + effort.test_samples()) as f32;
+    let data = dataset.split(split_fraction);
+
+    let mut params = Parameters::he_init(&net, seed).expect("LeNet-5 parameters");
+    let config = TrainingConfig {
+        epochs: effort.epochs(),
+        learning_rate: 0.01,
+        momentum: 0.9,
+        lr_decay: 0.9,
+    };
+    Trainer::new(config)
+        .train(&net, &mut params, &data.train)
+        .expect("LeNet-5 training on the synthetic digits");
+
+    let calibration_inputs: Vec<_> = data.train.iter().take(32).map(|(img, _)| img).collect();
+    let calibration = CalibrationStats::collect(&net, &params, calibration_inputs)
+        .expect("activation calibration");
+
+    TrainedWorkload {
+        net,
+        params,
+        data,
+        calibration,
+    }
+}
+
+/// Converts a trained workload into a radix-encoded SNN with the given
+/// spike-train length (3-bit weights, as in the paper).
+///
+/// # Panics
+///
+/// Panics only on internal conversion errors.
+pub fn convert_workload(workload: &TrainedWorkload, time_steps: usize) -> SnnModel {
+    convert(
+        &workload.net,
+        &workload.params,
+        &workload.calibration,
+        ConversionConfig {
+            weight_bits: 3,
+            time_steps,
+        },
+    )
+    .expect("ANN-to-SNN conversion")
+}
+
+/// Evaluates an SNN model's classification accuracy (percent) on a dataset.
+///
+/// # Panics
+///
+/// Panics only on internal inference errors.
+pub fn snn_accuracy_pct(model: &SnnModel, dataset: &Dataset) -> f64 {
+    model.evaluate(dataset.iter()).expect("SNN evaluation") as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_lenet_pipeline_produces_a_converted_model() {
+        let workload = trained_lenet5(Effort::Quick, 3);
+        assert_eq!(workload.net.name(), "LeNet-5");
+        assert!(!workload.data.test.is_empty());
+        let snn = convert_workload(&workload, 4);
+        assert_eq!(snn.time_steps(), 4);
+        let acc = snn_accuracy_pct(&snn, &workload.data.test);
+        assert!((0.0..=100.0).contains(&acc));
+    }
+}

@@ -1,0 +1,283 @@
+//! Lowering of a converted SNN model onto the accelerator.
+//!
+//! The compiler checks that every layer of the network can be mapped onto
+//! the configured processing units (kernel rows fit the adder array,
+//! supported layer types only), decides how the output channels of each
+//! convolution layer are divided across the convolution units, and
+//! pre-computes the per-layer timing.  The result is a lightweight,
+//! serializable [`Program`]; the actual weights stay in the
+//! [`snn_model::snn::SnnModel`] and are read by the simulator at run time —
+//! exactly like the hardware, where the controller only holds descriptors
+//! and the parameters stay in the weight memory.
+
+use crate::config::{AcceleratorConfig, MemoryOption};
+use crate::memory::{ActivationBufferPlan, DramModel, WeightMemoryPlan};
+use crate::timing::{self, LayerTiming, StageKind};
+use crate::{AccelError, Result};
+use serde::{Deserialize, Serialize};
+use snn_model::layer::PoolKind;
+use snn_model::snn::SnnModel;
+use snn_model::LayerSpec;
+
+/// Scheduling descriptor of one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProgram {
+    /// Layer index in the network.
+    pub index: usize,
+    /// Human-readable layer notation (`6C5`, `P2`, ...).
+    pub notation: String,
+    /// Which stage executes the layer.
+    pub kind: StageKind,
+    /// Input activation shape.
+    pub in_shape: Vec<usize>,
+    /// Output activation shape.
+    pub out_shape: Vec<usize>,
+    /// Convolution layers: how many output channels share one unit.
+    pub channels_per_unit: usize,
+    /// Convolution layers: number of sequential output-channel groups.
+    pub channel_groups: usize,
+    /// Parameter storage for this layer in bits.
+    pub weight_bits: u64,
+    /// Predicted timing.
+    pub timing: LayerTiming,
+    /// Pooling layers: the pooling flavour.
+    pub pool_kind: Option<PoolKind>,
+}
+
+/// A compiled schedule for one network on one accelerator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Per-layer schedule, in execution order.
+    pub steps: Vec<LayerProgram>,
+    /// Activation-buffer sizing.
+    pub activation_plan: ActivationBufferPlan,
+    /// Weight-memory sizing.
+    pub weight_plan: WeightMemoryPlan,
+    /// Spike-train length.
+    pub time_steps: usize,
+}
+
+impl Program {
+    /// Total predicted cycles for one inference.
+    pub fn total_cycles(&self) -> u64 {
+        self.steps.iter().map(|s| s.timing.total_cycles()).sum()
+    }
+
+    /// Total parameter bits streamed from DRAM per inference (zero for
+    /// on-chip weights).
+    pub fn dram_bits_per_inference(&self) -> u64 {
+        if self.weight_plan.option == MemoryOption::Dram {
+            self.steps.iter().map(|s| s.weight_bits).sum()
+        } else {
+            0
+        }
+    }
+}
+
+/// Compiles a converted SNN model onto an accelerator configuration.
+///
+/// # Errors
+///
+/// Returns [`AccelError::InvalidConfig`] for invalid configurations and
+/// [`AccelError::UnsupportedLayer`] when a layer cannot be mapped (e.g. a
+/// kernel with more rows than the adder array).
+pub fn compile(model: &SnnModel, config: &AcceleratorConfig) -> Result<Program> {
+    config.validate()?;
+    let net = model.spec();
+    let time_steps = model.time_steps();
+    let dram = DramModel::from_config(config);
+
+    let mut steps = Vec::with_capacity(net.layers().len());
+    for (i, layer) in net.layers().iter().enumerate() {
+        let in_shape = net.layer_input_shape(i).to_vec();
+        let out_shape = net.layer_output_shape(i).to_vec();
+        let weight_bits = layer.parameter_count() as u64 * config.weight_bits as u64;
+        let weight_fetch_cycles = match config.memory {
+            MemoryOption::OnChip => 0,
+            MemoryOption::Dram => dram.transfer_cycles(weight_bits),
+        };
+        let (kind, channels_per_unit, channel_groups, compute_cycles, pool_kind) = match *layer {
+            LayerSpec::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => {
+                if kernel > config.conv_geometry.rows {
+                    return Err(AccelError::UnsupportedLayer {
+                        layer: i,
+                        context: format!(
+                            "kernel of {kernel} rows exceeds the {}-row adder array",
+                            config.conv_geometry.rows
+                        ),
+                    });
+                }
+                let per_unit = timing::channels_per_conv_unit(config, out_shape[2]);
+                let parallel = (config.conv_units * per_unit).max(1);
+                let groups = out_channels.div_ceil(parallel);
+                let cycles = timing::conv_layer_latency(
+                    config,
+                    in_channels,
+                    out_channels,
+                    out_shape[1],
+                    out_shape[2],
+                    kernel,
+                    time_steps,
+                );
+                (StageKind::Convolution, per_unit, groups, cycles, None)
+            }
+            LayerSpec::Pool { kind, window } => (
+                StageKind::Pooling,
+                1,
+                1,
+                timing::pool_layer_latency(
+                    config,
+                    out_shape[0],
+                    out_shape[1],
+                    out_shape[2],
+                    window,
+                    time_steps,
+                ),
+                Some(kind),
+            ),
+            LayerSpec::Flatten => (
+                StageKind::Flatten,
+                1,
+                1,
+                timing::flatten_latency(in_shape.iter().product()),
+                None,
+            ),
+            LayerSpec::Linear {
+                in_features,
+                out_features,
+            } => (
+                StageKind::Linear,
+                config.linear_lanes,
+                out_features.div_ceil(config.linear_lanes),
+                timing::linear_layer_latency(config, in_features, out_features, time_steps),
+                None,
+            ),
+        };
+        steps.push(LayerProgram {
+            index: i,
+            notation: layer.notation(),
+            kind,
+            in_shape,
+            out_shape,
+            channels_per_unit,
+            channel_groups,
+            weight_bits,
+            timing: LayerTiming {
+                layer: i,
+                kind,
+                compute_cycles,
+                weight_fetch_cycles,
+            },
+            pool_kind,
+        });
+    }
+
+    Ok(Program {
+        steps,
+        activation_plan: ActivationBufferPlan::for_network(net, time_steps),
+        weight_plan: WeightMemoryPlan::for_network(net, config.weight_bits, config.memory),
+        time_steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
+    use snn_model::params::Parameters;
+    use snn_model::zoo;
+    use snn_tensor::Tensor;
+
+    fn tiny_model(time_steps: usize) -> SnnModel {
+        let net = zoo::tiny_cnn();
+        let params = Parameters::he_init(&net, 1).unwrap();
+        let input = Tensor::filled(vec![1, 12, 12], 0.5f32);
+        let stats = CalibrationStats::collect(&net, &params, [&input]).unwrap();
+        convert(
+            &net,
+            &params,
+            &stats,
+            ConversionConfig {
+                weight_bits: 3,
+                time_steps,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn program_has_one_step_per_layer() {
+        let model = tiny_model(4);
+        let program = compile(&model, &AcceleratorConfig::default()).unwrap();
+        assert_eq!(program.steps.len(), model.spec().layers().len());
+        assert_eq!(program.time_steps, 4);
+        assert!(program.total_cycles() > 0);
+    }
+
+    #[test]
+    fn conv_layers_record_unit_sharing() {
+        let model = tiny_model(3);
+        let program = compile(&model, &AcceleratorConfig::default()).unwrap();
+        let conv_step = &program.steps[0];
+        assert_eq!(conv_step.kind, StageKind::Convolution);
+        // Tiny CNN conv output is 10 columns wide; X = 30 packs 3 channels.
+        assert_eq!(conv_step.channels_per_unit, 3);
+        assert!(conv_step.channel_groups >= 1);
+    }
+
+    #[test]
+    fn on_chip_memory_has_no_dram_traffic() {
+        let model = tiny_model(3);
+        let program = compile(&model, &AcceleratorConfig::default()).unwrap();
+        assert_eq!(program.dram_bits_per_inference(), 0);
+        assert!(program.steps.iter().all(|s| s.timing.weight_fetch_cycles == 0));
+    }
+
+    #[test]
+    fn dram_memory_streams_every_parameter_bit() {
+        let model = tiny_model(3);
+        let config = AcceleratorConfig {
+            memory: MemoryOption::Dram,
+            ..AcceleratorConfig::default()
+        };
+        let program = compile(&model, &config).unwrap();
+        let expected_bits = model.spec().parameter_count() as u64 * 3;
+        assert_eq!(program.dram_bits_per_inference(), expected_bits);
+    }
+
+    #[test]
+    fn unsupported_kernel_is_rejected() {
+        let model = tiny_model(3);
+        let mut config = AcceleratorConfig::default();
+        config.conv_geometry.rows = 2; // tiny CNN uses a 3x3 kernel
+        assert!(matches!(
+            compile(&model, &config),
+            Err(AccelError::UnsupportedLayer { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let model = tiny_model(3);
+        let mut config = AcceleratorConfig::default();
+        config.conv_units = 0;
+        assert!(matches!(
+            compile(&model, &config),
+            Err(AccelError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn program_total_matches_timing_module() {
+        let model = tiny_model(5);
+        let config = AcceleratorConfig::lenet_experiment(2);
+        let program = compile(&model, &config).unwrap();
+        let report = timing::network_timing(&config, model.spec(), 5).unwrap();
+        assert_eq!(program.total_cycles(), report.total_cycles());
+    }
+}

@@ -1,0 +1,388 @@
+//! The convolution unit (Fig. 2 of the paper).
+//!
+//! A convolution unit is a two-dimensional array of adders with `X` columns
+//! (parallel output positions of one feature-map row) and `Y` rows (one per
+//! kernel row, operated as pipeline stages).  The input logic fetches one
+//! row of a *binary* input feature map — one time step of the radix-encoded
+//! activations — into a shift register; taps spaced by the stride feed the
+//! adder columns.  As the register shifts `Kc` times, each adder row steps
+//! through its kernel row, accumulating the kernel value whenever the tap
+//! carries a spike (a multiplexer forces zero otherwise).  Partial sums
+//! stream from adder row to adder row; after `Kr` rows every column holds a
+//! complete kernel-window sum, which the output logic accumulates over
+//! input channels and — with a left shift per time step — over the radix
+//! time steps (Alg. 1, line 12).
+//!
+//! [`ConvolutionUnit::run_layer`] executes this schedule cycle by cycle and
+//! is verified bit-exactly against the integer reference convolution.
+
+use crate::config::ArrayGeometry;
+use crate::units::UnitStats;
+use crate::{AccelError, Result};
+use snn_tensor::{ops, Tensor};
+
+/// Output of a convolution-unit layer execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvResult {
+    /// Raw integer accumulators `[O, H_out, W_out]` (bias included, before
+    /// ReLU/requantization).
+    pub accumulators: Tensor<i64>,
+    /// Cycle and operation counters.
+    pub stats: UnitStats,
+}
+
+/// Cycle-stepped model of one convolution unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvolutionUnit {
+    geometry: ArrayGeometry,
+}
+
+impl ConvolutionUnit {
+    /// Creates a convolution unit with the given adder-array geometry.
+    pub fn new(geometry: ArrayGeometry) -> Self {
+        ConvolutionUnit { geometry }
+    }
+
+    /// The adder-array geometry.
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+
+    /// Number of column tiles needed for an output row of `width` values.
+    ///
+    /// The paper chooses `X` at least as large as the widest output row to
+    /// avoid tiling; the model supports tiling so narrower units still work.
+    pub fn column_tiles(&self, width: usize) -> usize {
+        width.div_ceil(self.geometry.columns)
+    }
+
+    /// Executes one convolution layer on this unit, cycle by cycle.
+    ///
+    /// * `input_levels` — `[C, H, W]` radix levels of the input activations
+    ///   (each level's binary expansion is the spike train, MSB first).
+    /// * `kernel_codes` — `[O, C, K, K]` quantized kernel codes.
+    /// * `bias_acc` — `[O]` biases pre-scaled to accumulator units.
+    /// * `time_steps` — spike-train length `T`.
+    ///
+    /// Returns raw accumulators plus exact cycle/operation counts for the
+    /// *whole* layer executed on a single unit; the controller divides the
+    /// output channels across units to obtain the wall-clock latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::UnsupportedLayer`] when the kernel has more
+    /// rows than the adder array, and propagates shape errors.
+    pub fn run_layer(
+        &self,
+        input_levels: &Tensor<i64>,
+        kernel_codes: &Tensor<i64>,
+        bias_acc: &Tensor<i64>,
+        time_steps: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<ConvResult> {
+        let in_dims = input_levels.shape().dims();
+        let k_dims = kernel_codes.shape().dims();
+        if in_dims.len() != 3 || k_dims.len() != 4 {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: "convolution unit expects [C,H,W] inputs and [O,C,K,K] kernels"
+                    .to_string(),
+            });
+        }
+        let (c_in, h, w) = (in_dims[0], in_dims[1], in_dims[2]);
+        let (c_out, kc_in, kr, kc) = (k_dims[0], k_dims[1], k_dims[2], k_dims[3]);
+        if kc_in != c_in {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!("kernel expects {kc_in} channels, input has {c_in}"),
+            });
+        }
+        if kr > self.geometry.rows {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!(
+                    "kernel has {kr} rows but the adder array only has {} rows",
+                    self.geometry.rows
+                ),
+            });
+        }
+        let (h_out, w_out) = ops::conv2d_output_dims((h, w), (kr, kc), stride, padding)
+            .map_err(AccelError::Tensor)?;
+
+        let mut accumulators = Tensor::filled(vec![c_out, h_out, w_out], 0i64);
+        let mut stats = UnitStats::new();
+        let in_data = input_levels.as_slice();
+        let k_data = kernel_codes.as_slice();
+        let tiles = self.column_tiles(w_out);
+
+        for oc in 0..c_out {
+            // Time-step accumulators for this output channel (the output
+            // logic's registers).
+            let mut channel_acc = vec![0i64; h_out * w_out];
+            for t in 0..time_steps {
+                // Spike plane bit for this time step: MSB first.
+                let bit = time_steps - 1 - t;
+                let mut step_sum = vec![0i64; h_out * w_out];
+                for ic in 0..c_in {
+                    // Pipeline fill for this channel pass.
+                    stats.cycles += kr as u64;
+                    for oy in 0..h_out {
+                        for tile in 0..tiles {
+                            let col_start = tile * self.geometry.columns;
+                            let col_end = (col_start + self.geometry.columns).min(w_out);
+                            // The input logic fetches one input row per
+                            // kernel row into the shift register.
+                            for ky in 0..kr {
+                                let iy = (oy * stride + ky) as isize - padding as isize;
+                                stats.activation_reads += 1;
+                                stats.cycles += 1; // row load into the shift register
+                                for kx in 0..kc {
+                                    // One shift of the input register and one
+                                    // kernel value broadcast per cycle.
+                                    let kernel_value =
+                                        k_data[oc * c_in * kr * kc + ic * kr * kc + ky * kc + kx];
+                                    stats.kernel_reads += 1;
+                                    stats.cycles += 1;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue; // padding row: all taps silent
+                                    }
+                                    for (lane, ox) in (col_start..col_end).enumerate() {
+                                        let _ = lane;
+                                        let ix =
+                                            (ox * stride + kx) as isize - padding as isize;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue; // padding column
+                                        }
+                                        let level = in_data
+                                            [ic * h * w + iy as usize * w + ix as usize];
+                                        let spike = (level >> bit) & 1 == 1;
+                                        if spike {
+                                            // Multiplexer admits the kernel
+                                            // value into the adder.
+                                            step_sum[oy * w_out + ox] += kernel_value;
+                                            stats.adder_ops += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Output logic: accumulate over input channels happened in
+                // `step_sum`; now fold this time step into the running
+                // radix accumulation with a single left shift.
+                for (acc, s) in channel_acc.iter_mut().zip(step_sum.iter()) {
+                    *acc = (*acc << 1) + s;
+                }
+            }
+            // Bias and write-back of the completed output channel.
+            let bias = bias_acc.as_slice().get(oc).copied().unwrap_or(0);
+            for (idx, acc) in channel_acc.iter().enumerate() {
+                accumulators.as_mut_slice()[oc * h_out * w_out + idx] = acc + bias;
+                stats.output_writes += 1;
+            }
+        }
+
+        Ok(ConvResult {
+            accumulators,
+            stats,
+        })
+    }
+
+    /// Closed-form cycle count of [`ConvolutionUnit::run_layer`] for a layer
+    /// with the given dimensions — the formula the analytical timing model
+    /// uses.  Unit tests assert that the cycle-stepped simulation matches
+    /// this expression exactly.
+    pub fn layer_cycles(
+        &self,
+        c_in: usize,
+        c_out: usize,
+        h_out: usize,
+        w_out: usize,
+        kernel: usize,
+        time_steps: usize,
+    ) -> u64 {
+        let tiles = self.column_tiles(w_out) as u64;
+        let per_row = (kernel as u64) * (kernel as u64 + 1); // Kc shifts + 1 load, per kernel row
+        let per_channel_pass =
+            kernel as u64 + (h_out as u64) * tiles * per_row; // pipeline fill + rows
+        (c_out as u64) * (time_steps as u64) * (c_in as u64) * per_channel_pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_tensor::ops;
+
+    fn unit(x: usize, y: usize) -> ConvolutionUnit {
+        ConvolutionUnit::new(ArrayGeometry {
+            columns: x,
+            rows: y,
+        })
+    }
+
+    fn reference(
+        input: &Tensor<i64>,
+        kernel: &Tensor<i64>,
+        bias: &Tensor<i64>,
+        stride: usize,
+        padding: usize,
+    ) -> Tensor<i64> {
+        let acc = ops::conv2d(input, kernel, None, stride, padding).unwrap();
+        let dims = acc.shape().dims().to_vec();
+        let (o, hw) = (dims[0], dims[1] * dims[2]);
+        let mut out = acc.clone();
+        for oc in 0..o {
+            for i in 0..hw {
+                out.as_mut_slice()[oc * hw + i] += bias.as_slice()[oc];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_convolution_bit_exactly() {
+        let input = Tensor::from_vec(
+            vec![2, 5, 5],
+            (0..50).map(|v| (v * 7 % 8) as i64).collect(),
+        )
+        .unwrap();
+        let kernel = Tensor::from_vec(
+            vec![3, 2, 3, 3],
+            (0..54).map(|v| ((v % 7) as i64) - 3).collect(),
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(vec![3], vec![5i64, -2, 0]).unwrap();
+        let result = unit(8, 3)
+            .run_layer(&input, &kernel, &bias, 3, 1, 0)
+            .unwrap();
+        let expected = reference(&input, &kernel, &bias, 1, 0);
+        assert_eq!(result.accumulators, expected);
+    }
+
+    #[test]
+    fn matches_reference_with_padding_and_stride() {
+        let input = Tensor::from_vec(
+            vec![1, 6, 6],
+            (0..36).map(|v| (v % 4) as i64).collect(),
+        )
+        .unwrap();
+        let kernel = Tensor::from_vec(
+            vec![2, 1, 3, 3],
+            (0..18).map(|v| ((v % 5) as i64) - 2).collect(),
+        )
+        .unwrap();
+        let bias = Tensor::filled(vec![2], 1i64);
+        let result = unit(4, 3)
+            .run_layer(&input, &kernel, &bias, 2, 2, 1)
+            .unwrap();
+        let expected = reference(&input, &kernel, &bias, 2, 1);
+        assert_eq!(result.accumulators, expected);
+    }
+
+    #[test]
+    fn column_tiling_does_not_change_results() {
+        let input = Tensor::from_vec(
+            vec![1, 5, 9],
+            (0..45).map(|v| (v % 3) as i64).collect(),
+        )
+        .unwrap();
+        let kernel = Tensor::from_vec(vec![1, 1, 3, 3], vec![1i64; 9]).unwrap();
+        let bias = Tensor::filled(vec![1], 0i64);
+        // Wide unit (no tiling) vs narrow unit (tiling) must agree.
+        let wide = unit(16, 3)
+            .run_layer(&input, &kernel, &bias, 2, 1, 0)
+            .unwrap();
+        let narrow = unit(2, 3)
+            .run_layer(&input, &kernel, &bias, 2, 1, 0)
+            .unwrap();
+        assert_eq!(wide.accumulators, narrow.accumulators);
+    }
+
+    #[test]
+    fn silent_input_uses_no_adders() {
+        let input = Tensor::filled(vec![1, 4, 4], 0i64);
+        let kernel = Tensor::filled(vec![1, 1, 3, 3], 3i64);
+        let bias = Tensor::filled(vec![1], 0i64);
+        let result = unit(4, 3)
+            .run_layer(&input, &kernel, &bias, 4, 1, 0)
+            .unwrap();
+        assert_eq!(result.stats.adder_ops, 0);
+        assert!(result.accumulators.iter().all(|&v| v == 0));
+        // Cycles are still consumed: the schedule is input-independent.
+        assert!(result.stats.cycles > 0);
+    }
+
+    #[test]
+    fn denser_spike_trains_cost_more_adder_operations() {
+        let kernel = Tensor::filled(vec![1, 1, 3, 3], 1i64);
+        let bias = Tensor::filled(vec![1], 0i64);
+        let sparse = Tensor::filled(vec![1, 4, 4], 1i64); // one spike (LSB)
+        let dense = Tensor::filled(vec![1, 4, 4], 7i64); // three spikes
+        let u = unit(4, 3);
+        let sparse_ops = u
+            .run_layer(&sparse, &kernel, &bias, 3, 1, 0)
+            .unwrap()
+            .stats
+            .adder_ops;
+        let dense_ops = u
+            .run_layer(&dense, &kernel, &bias, 3, 1, 0)
+            .unwrap()
+            .stats
+            .adder_ops;
+        assert_eq!(dense_ops, 3 * sparse_ops);
+    }
+
+    #[test]
+    fn cycle_count_matches_closed_form() {
+        let input = Tensor::from_vec(
+            vec![3, 6, 6],
+            (0..108).map(|v| (v % 8) as i64).collect(),
+        )
+        .unwrap();
+        let kernel = Tensor::filled(vec![4, 3, 3, 3], 1i64);
+        let bias = Tensor::filled(vec![4], 0i64);
+        let u = unit(2, 3);
+        let result = u.run_layer(&input, &kernel, &bias, 5, 1, 0).unwrap();
+        let expected = u.layer_cycles(3, 4, 4, 4, 3, 5);
+        assert_eq!(result.stats.cycles, expected);
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_time_steps() {
+        let input = Tensor::filled(vec![1, 5, 5], 3i64);
+        let kernel = Tensor::filled(vec![1, 1, 3, 3], 1i64);
+        let bias = Tensor::filled(vec![1], 0i64);
+        let u = unit(3, 3);
+        let c3 = u.run_layer(&input, &kernel, &bias, 3, 1, 0).unwrap().stats.cycles;
+        let c6 = u.run_layer(&input, &kernel, &bias, 6, 1, 0).unwrap().stats.cycles;
+        assert_eq!(c6, 2 * c3);
+    }
+
+    #[test]
+    fn oversized_kernel_is_rejected() {
+        let input = Tensor::filled(vec![1, 8, 8], 1i64);
+        let kernel = Tensor::filled(vec![1, 1, 5, 5], 1i64);
+        let bias = Tensor::filled(vec![1], 0i64);
+        // Only 3 adder rows — a 5-row kernel cannot be mapped.
+        let err = unit(8, 3)
+            .run_layer(&input, &kernel, &bias, 3, 1, 0)
+            .unwrap_err();
+        assert!(matches!(err, AccelError::UnsupportedLayer { .. }));
+    }
+
+    #[test]
+    fn radix_weighting_is_applied_msb_first() {
+        // Single 1x1 kernel of weight 1: the accumulator must equal the
+        // input level itself, demonstrating the left-shift accumulation.
+        let input = Tensor::from_vec(vec![1, 1, 2], vec![5i64, 3]).unwrap();
+        let kernel = Tensor::from_vec(vec![1, 1, 1, 1], vec![1i64]).unwrap();
+        let bias = Tensor::filled(vec![1], 0i64);
+        let result = unit(2, 1)
+            .run_layer(&input, &kernel, &bias, 3, 1, 0)
+            .unwrap();
+        assert_eq!(result.accumulators.as_slice(), &[5, 3]);
+    }
+}

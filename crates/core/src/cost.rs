@@ -1,0 +1,242 @@
+//! FPGA resource and power models.
+//!
+//! The paper implements all arithmetic in LUTs and carry logic (no DSP
+//! slices) on a Xilinx Virtex UltraScale+ XCVU13P.  This module estimates
+//! lookup-table (LUT), flip-flop (FF) and block-RAM usage plus power from
+//! the accelerator configuration and the network being deployed.
+//!
+//! The per-component constants are **calibrated against the paper's own
+//! measurements** (Table II for the LUT/FF/power scaling with the number of
+//! convolution units, Table III for the full-system operating points); the
+//! structure of the model — a fixed base plus a per-unit cost that scales
+//! with the adder count and accumulator width, plus a DRAM-interface adder —
+//! is what lets it extrapolate to other configurations.
+
+use crate::config::{AcceleratorConfig, MemoryOption};
+use crate::memory::{ActivationBufferPlan, WeightMemoryPlan};
+use serde::{Deserialize, Serialize};
+use snn_model::NetworkSpec;
+
+/// Base LUT cost of the always-present blocks: controller, pooling unit,
+/// linear unit and buffer interfaces.  Calibrated to Table II (one
+/// convolution unit uses 11 k LUTs in total).
+const BASE_LUT: f64 = 6_600.0;
+/// Base flip-flop cost of the always-present blocks.
+const BASE_FF: f64 = 5_900.0;
+/// LUTs per adder bit in the convolution array (carry-logic adder plus the
+/// spike-gating multiplexer).
+const LUT_PER_ADDER_BIT: f64 = 1.8;
+/// Flip-flops per adder bit (pipeline registers between adder rows).
+const FF_PER_ADDER_BIT: f64 = 1.7;
+/// LUTs per input-shift-register column (input logic of Fig. 2).
+const LUT_PER_SHIFT_COLUMN: f64 = 8.0;
+/// Flip-flops per input-shift-register column.
+const FF_PER_SHIFT_COLUMN: f64 = 6.0;
+/// Extra LUT/FF cost of the DRAM memory interface (memory controller,
+/// AXI data movers) used when parameters do not fit on chip.
+const DRAM_INTERFACE_LUT: f64 = 20_000.0;
+const DRAM_INTERFACE_FF: f64 = 22_000.0;
+
+/// Static power of the FPGA fabric plus the always-on logic, in watts.
+/// Calibrated to Table II's single-unit operating point (3.07 W).
+const STATIC_POWER_W: f64 = 2.95;
+/// Dynamic power of one convolution unit at the 100 MHz reference clock.
+const CONV_UNIT_POWER_W_AT_100MHZ: f64 = 0.03;
+/// Dynamic power of the shared pooling/linear units and buffers at 100 MHz.
+const SHARED_POWER_W_AT_100MHZ: f64 = 0.08;
+/// Additional power of the external DRAM and its PHY when in use.
+const DRAM_POWER_W: f64 = 1.3;
+
+/// Estimated FPGA resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// Lookup tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub flip_flops: u64,
+    /// 36 kb block RAMs (activations + on-chip weights).
+    pub bram36: u64,
+    /// DSP slices — always zero: the design uses LUT/carry arithmetic only.
+    pub dsp: u64,
+}
+
+/// Estimated power breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerEstimate {
+    /// Static (leakage + always-on) power in watts.
+    pub static_w: f64,
+    /// Dynamic power of the programmable logic in watts.
+    pub dynamic_w: f64,
+    /// DRAM interface power in watts (zero for on-chip weights).
+    pub dram_w: f64,
+}
+
+impl PowerEstimate {
+    /// Total power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.static_w + self.dynamic_w + self.dram_w
+    }
+}
+
+/// Estimates the per-convolution-unit LUT cost for a configuration.
+pub fn conv_unit_luts(config: &AcceleratorConfig) -> f64 {
+    let adders = config.conv_geometry.adder_count() as f64;
+    let acc_bits = config.accumulator_bits as f64;
+    adders * acc_bits * LUT_PER_ADDER_BIT + config.conv_geometry.columns as f64 * LUT_PER_SHIFT_COLUMN
+}
+
+/// Estimates the per-convolution-unit flip-flop cost for a configuration.
+pub fn conv_unit_ffs(config: &AcceleratorConfig) -> f64 {
+    let adders = config.conv_geometry.adder_count() as f64;
+    let acc_bits = config.accumulator_bits as f64;
+    adders * acc_bits * FF_PER_ADDER_BIT + config.conv_geometry.columns as f64 * FF_PER_SHIFT_COLUMN
+}
+
+/// Estimates LUT/FF/BRAM usage for deploying `net` on the configured
+/// accelerator with spike trains of length `time_steps`.
+pub fn estimate_resources(
+    config: &AcceleratorConfig,
+    net: &NetworkSpec,
+    time_steps: usize,
+) -> ResourceEstimate {
+    let mut luts = BASE_LUT + config.conv_units as f64 * conv_unit_luts(config);
+    let mut ffs = BASE_FF + config.conv_units as f64 * conv_unit_ffs(config);
+    if config.memory == MemoryOption::Dram {
+        luts += DRAM_INTERFACE_LUT;
+        ffs += DRAM_INTERFACE_FF;
+    }
+    let activations = ActivationBufferPlan::for_network(net, time_steps);
+    let weights = WeightMemoryPlan::for_network(net, config.weight_bits, config.memory);
+    ResourceEstimate {
+        luts: luts.round() as u64,
+        flip_flops: ffs.round() as u64,
+        bram36: activations.bram36() + weights.bram36(),
+        dsp: 0,
+    }
+}
+
+/// Estimates the power of the configured accelerator.
+pub fn estimate_power(config: &AcceleratorConfig) -> PowerEstimate {
+    let clock_scale = config.clock_mhz / 100.0;
+    let dynamic_w = (config.conv_units as f64 * CONV_UNIT_POWER_W_AT_100MHZ
+        + SHARED_POWER_W_AT_100MHZ)
+        * clock_scale;
+    let dram_w = match config.memory {
+        MemoryOption::OnChip => 0.0,
+        MemoryOption::Dram => DRAM_POWER_W,
+    };
+    PowerEstimate {
+        static_w: STATIC_POWER_W,
+        dynamic_w,
+        dram_w,
+    }
+}
+
+/// Energy of one inference in microjoules, given its latency.
+pub fn inference_energy_uj(power: &PowerEstimate, latency_us: f64) -> f64 {
+    power.total_w() * latency_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_model::zoo;
+
+    #[test]
+    fn resources_scale_almost_linearly_with_conv_units_like_table2() {
+        let net = zoo::lenet5();
+        let res = |units: usize| {
+            estimate_resources(&AcceleratorConfig::lenet_experiment(units), &net, 3)
+        };
+        let r1 = res(1);
+        let r2 = res(2);
+        let r4 = res(4);
+        let r8 = res(8);
+        // Strictly increasing.
+        assert!(r1.luts < r2.luts && r2.luts < r4.luts && r4.luts < r8.luts);
+        // Increment per added unit is constant (linear scaling).
+        let d12 = r2.luts - r1.luts;
+        let d48 = (r8.luts - r4.luts) / 4;
+        assert_eq!(d12, d48);
+        // Table II reports 11k/15k/24k/42k LUTs for 1/2/4/8 units; accept a
+        // generous band around those values.
+        assert!((8_000..16_000).contains(&r1.luts), "1-unit LUTs {}", r1.luts);
+        assert!((30_000..55_000).contains(&r8.luts), "8-unit LUTs {}", r8.luts);
+    }
+
+    #[test]
+    fn flip_flops_track_luts() {
+        let net = zoo::lenet5();
+        let r4 = estimate_resources(&AcceleratorConfig::lenet_experiment(4), &net, 3);
+        // Table II: FF count is slightly below the LUT count at every point.
+        assert!(r4.flip_flops < r4.luts);
+        assert!(r4.flip_flops as f64 > r4.luts as f64 * 0.7);
+    }
+
+    #[test]
+    fn no_dsp_slices_are_used() {
+        let net = zoo::lenet5();
+        let r = estimate_resources(&AcceleratorConfig::default(), &net, 4);
+        assert_eq!(r.dsp, 0);
+    }
+
+    #[test]
+    fn dram_option_costs_extra_logic() {
+        let net = zoo::vgg11(100);
+        let on_chip = AcceleratorConfig {
+            memory: MemoryOption::OnChip,
+            ..AcceleratorConfig::vgg11_table3()
+        };
+        let dram = AcceleratorConfig::vgg11_table3();
+        let r_on = estimate_resources(&on_chip, &net, 6);
+        let r_dram = estimate_resources(&dram, &net, 6);
+        assert!(r_dram.luts > r_on.luts);
+        // But DRAM storage needs far fewer BRAMs than keeping 28.5M
+        // parameters on chip.
+        assert!(r_dram.bram36 < r_on.bram36);
+    }
+
+    #[test]
+    fn power_matches_table2_trend() {
+        // Table II at 100 MHz: 3.07, 3.09, 3.17, 3.28 W for 1, 2, 4, 8 units.
+        let p = |units: usize| estimate_power(&AcceleratorConfig::lenet_experiment(units)).total_w();
+        assert!((p(1) - 3.07).abs() < 0.1, "1 unit: {}", p(1));
+        assert!((p(2) - 3.09).abs() < 0.1, "2 units: {}", p(2));
+        assert!((p(4) - 3.17).abs() < 0.12, "4 units: {}", p(4));
+        assert!((p(8) - 3.28).abs() < 0.15, "8 units: {}", p(8));
+        // Monotone in the number of units.
+        assert!(p(1) < p(2) && p(2) < p(4) && p(4) < p(8));
+    }
+
+    #[test]
+    fn power_scales_with_clock_and_dram() {
+        let lenet_200 = estimate_power(&AcceleratorConfig::lenet_table3());
+        let lenet_100 = estimate_power(&AcceleratorConfig::lenet_experiment(4));
+        assert!(lenet_200.total_w() > lenet_100.total_w());
+        // Table III: LeNet at 200 MHz with 4 units draws 3.4 W.
+        assert!((lenet_200.total_w() - 3.4).abs() < 0.2);
+        // VGG-11 at 115 MHz with 8 units and DRAM draws 4.9 W.
+        let vgg = estimate_power(&AcceleratorConfig::vgg11_table3());
+        assert!((vgg.total_w() - 4.9).abs() < 0.5, "VGG power {}", vgg.total_w());
+        assert!(vgg.dram_w > 0.0);
+    }
+
+    #[test]
+    fn energy_is_power_times_latency() {
+        let power = PowerEstimate {
+            static_w: 2.0,
+            dynamic_w: 1.0,
+            dram_w: 0.0,
+        };
+        assert!((inference_energy_uj(&power, 100.0) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vgg_configuration_is_cheaper_per_unit_than_lenet() {
+        // The VGG deployment uses 3-row adder arrays (3x3 kernels), so each
+        // convolution unit is smaller than LeNet's 5-row units.
+        let lenet_unit = conv_unit_luts(&AcceleratorConfig::default());
+        let vgg_unit = conv_unit_luts(&AcceleratorConfig::vgg11_table3());
+        assert!(vgg_unit < lenet_unit);
+    }
+}

@@ -1,0 +1,194 @@
+//! Activity-based energy model.
+//!
+//! The calibrated power model in [`crate::cost`] answers the question the
+//! paper's tables ask ("what does the wall-plug meter read?").  This module
+//! complements it with a bottom-up, *activity-based* estimate: every gated
+//! adder operation, activation-buffer access, weight read and DRAM bit has
+//! an energy cost, so sparser spike trains — the whole point of an SNN —
+//! directly translate into lower energy.  The per-operation constants are
+//! representative 16 nm-FPGA figures; their absolute calibration matters
+//! less than the fact that the *ratios* (DRAM ≫ BRAM ≫ adder) are right.
+
+use crate::config::AcceleratorConfig;
+use crate::cost;
+use crate::memory::MemoryTraffic;
+use crate::report::RunReport;
+use crate::units::UnitStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy of one gated adder operation (LUT/carry adder toggling).
+    pub adder_op_pj: f64,
+    /// Energy of one activation-buffer (BRAM) row read.
+    pub activation_read_pj: f64,
+    /// Energy of one weight-memory (BRAM) word read.
+    pub weight_read_pj: f64,
+    /// Energy of one activation write.
+    pub activation_write_pj: f64,
+    /// Energy per bit transferred from external DRAM.
+    pub dram_bit_pj: f64,
+    /// Static/leakage power in watts, integrated over the run time.
+    pub static_w: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            adder_op_pj: 0.4,
+            activation_read_pj: 6.0,
+            weight_read_pj: 3.0,
+            activation_write_pj: 6.0,
+            dram_bit_pj: 20.0,
+            static_w: 2.95,
+        }
+    }
+}
+
+/// Energy breakdown of one inference, in microjoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy of the gated adder operations.
+    pub compute_uj: f64,
+    /// Energy of on-chip memory accesses (activation + weight buffers).
+    pub on_chip_memory_uj: f64,
+    /// Energy of external DRAM traffic.
+    pub dram_uj: f64,
+    /// Static/leakage energy over the inference duration.
+    pub static_uj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.compute_uj + self.on_chip_memory_uj + self.dram_uj + self.static_uj
+    }
+
+    /// Fraction of the dynamic energy spent in memory accesses — the
+    /// quantity the paper's dataflow (activation and kernel reuse) is
+    /// designed to minimise.
+    pub fn memory_fraction(&self) -> f64 {
+        let dynamic = self.compute_uj + self.on_chip_memory_uj + self.dram_uj;
+        if dynamic <= 0.0 {
+            0.0
+        } else {
+            (self.on_chip_memory_uj + self.dram_uj) / dynamic
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy of the given unit activity (no static component).
+    pub fn activity_energy_uj(&self, work: &UnitStats, traffic: &MemoryTraffic) -> EnergyBreakdown {
+        let compute_uj = work.adder_ops as f64 * self.adder_op_pj * 1e-6;
+        let on_chip = work.activation_reads as f64 * self.activation_read_pj
+            + work.kernel_reads as f64 * self.weight_read_pj
+            + work.output_writes as f64 * self.activation_write_pj;
+        EnergyBreakdown {
+            compute_uj,
+            on_chip_memory_uj: on_chip * 1e-6,
+            dram_uj: traffic.dram_bits as f64 * self.dram_bit_pj * 1e-6,
+            static_uj: 0.0,
+        }
+    }
+
+    /// Full energy breakdown of a simulated inference, including static
+    /// energy over the run's latency.
+    pub fn inference_energy(
+        &self,
+        report: &RunReport,
+        config: &AcceleratorConfig,
+    ) -> EnergyBreakdown {
+        let mut breakdown = self.activity_energy_uj(&report.total_work(), &report.traffic);
+        breakdown.static_uj = self.static_w * report.latency_us(config);
+        breakdown
+    }
+
+    /// Sanity comparison against the top-down calibrated power model: the
+    /// activity-based estimate for a run, divided by the power-model
+    /// estimate.  Values far from 1 indicate the run is unusually sparse or
+    /// dense compared with the calibration point.
+    pub fn ratio_to_power_model(&self, report: &RunReport, config: &AcceleratorConfig) -> f64 {
+        let activity = self.inference_energy(report, config).total_uj();
+        let power = cost::estimate_power(config);
+        let top_down = cost::inference_energy_uj(&power, report.latency_us(config));
+        activity / top_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+    use crate::sim::Accelerator;
+    use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
+    use snn_model::params::Parameters;
+    use snn_model::zoo;
+    use snn_tensor::Tensor;
+
+    fn run_tiny(brightness: f32) -> (RunReport, AcceleratorConfig) {
+        let net = zoo::tiny_cnn();
+        let params = Parameters::he_init(&net, 3).unwrap();
+        let input = Tensor::filled(vec![1, 12, 12], brightness);
+        let calib = CalibrationStats::collect(&net, &params, [&input]).unwrap();
+        let model = convert(&net, &params, &calib, ConversionConfig::default()).unwrap();
+        let config = AcceleratorConfig::default();
+        let report = Accelerator::new(config).run(&model, &input).unwrap();
+        (report, config)
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let (report, config) = run_tiny(0.7);
+        let model = EnergyModel::default();
+        let breakdown = model.inference_energy(&report, &config);
+        let sum = breakdown.compute_uj
+            + breakdown.on_chip_memory_uj
+            + breakdown.dram_uj
+            + breakdown.static_uj;
+        assert!((breakdown.total_uj() - sum).abs() < 1e-12);
+        assert!(breakdown.total_uj() > 0.0);
+        assert!((0.0..=1.0).contains(&breakdown.memory_fraction()));
+    }
+
+    #[test]
+    fn sparser_inputs_use_less_dynamic_energy() {
+        // A darker input produces fewer spikes, hence fewer gated adder
+        // operations and less compute energy, at identical latency.
+        let (dense, _config) = run_tiny(1.0);
+        let (sparse, _) = run_tiny(0.05);
+        let model = EnergyModel::default();
+        let e_dense = model.activity_energy_uj(&dense.total_work(), &dense.traffic);
+        let e_sparse = model.activity_energy_uj(&sparse.total_work(), &sparse.traffic);
+        assert!(e_sparse.compute_uj < e_dense.compute_uj);
+        assert_eq!(dense.total_cycles(), sparse.total_cycles());
+    }
+
+    #[test]
+    fn dram_energy_is_zero_for_on_chip_weights() {
+        let (report, config) = run_tiny(0.5);
+        let breakdown = EnergyModel::default().inference_energy(&report, &config);
+        assert_eq!(breakdown.dram_uj, 0.0);
+    }
+
+    #[test]
+    fn static_energy_dominates_tiny_workloads() {
+        // For a tiny network the FPGA's static power dwarfs the dynamic
+        // energy — consistent with Table II, where adding compute units
+        // barely moves total power.
+        let (report, config) = run_tiny(0.5);
+        let breakdown = EnergyModel::default().inference_energy(&report, &config);
+        assert!(breakdown.static_uj > breakdown.compute_uj);
+    }
+
+    #[test]
+    fn activity_estimate_is_within_an_order_of_magnitude_of_power_model() {
+        let (report, config) = run_tiny(0.6);
+        let ratio = EnergyModel::default().ratio_to_power_model(&report, &config);
+        assert!(
+            (0.05..20.0).contains(&ratio),
+            "activity/power-model ratio {ratio} is implausible"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Errors produced by the accelerator simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AccelError {
+    /// The accelerator configuration is invalid (e.g. zero convolution
+    /// units).
+    InvalidConfig {
+        /// Human-readable description.
+        context: String,
+    },
+    /// The network cannot be mapped onto the configured accelerator.
+    UnsupportedLayer {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Human-readable description.
+        context: String,
+    },
+    /// An error bubbled up from the model crate.
+    Model(snn_model::ModelError),
+    /// An error bubbled up from the tensor substrate.
+    Tensor(snn_tensor::TensorError),
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::InvalidConfig { context } => {
+                write!(f, "invalid accelerator configuration: {context}")
+            }
+            AccelError::UnsupportedLayer { layer, context } => {
+                write!(f, "layer {layer} cannot be mapped: {context}")
+            }
+            AccelError::Model(e) => write!(f, "model error: {e}"),
+            AccelError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AccelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AccelError::Model(e) => Some(e),
+            AccelError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<snn_model::ModelError> for AccelError {
+    fn from(e: snn_model::ModelError) -> Self {
+        AccelError::Model(e)
+    }
+}
+
+impl From<snn_tensor::TensorError> for AccelError {
+    fn from(e: snn_tensor::TensorError) -> Self {
+        AccelError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let err = AccelError::InvalidConfig {
+            context: "zero convolution units".into(),
+        };
+        assert!(err.to_string().contains("zero convolution units"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AccelError>();
+    }
+}

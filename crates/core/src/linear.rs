@@ -1,0 +1,220 @@
+//! The linear (fully-connected) unit.
+//!
+//! Fully-connected layers are matrix multiplications with one distinct
+//! weight per accumulation, so — unlike convolution — there is no weight
+//! reuse to exploit.  The paper's linear unit therefore maximises memory
+//! bandwidth utilisation: new weights are fetched on every clock cycle and
+//! fed to a row of adders whose length equals the number of output channels
+//! processed in parallel (`linear_lanes` in the configuration).  The unit
+//! iterates over input neurons and time steps, gating each addition on the
+//! input spike, and accumulates with the same radix left shift as the
+//! convolution output logic.
+
+use crate::units::UnitStats;
+use crate::{AccelError, Result};
+use snn_tensor::Tensor;
+
+/// Output of a linear-unit layer execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearResult {
+    /// Raw integer accumulators `[O]` (bias included, before
+    /// ReLU/requantization).
+    pub accumulators: Tensor<i64>,
+    /// Cycle and operation counters.
+    pub stats: UnitStats,
+}
+
+/// Cycle-stepped model of the linear unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearUnit {
+    lanes: usize,
+}
+
+impl LinearUnit {
+    /// Creates a linear unit with `lanes` parallel output channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "linear unit needs at least one output lane");
+        LinearUnit { lanes }
+    }
+
+    /// Number of parallel output channels.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Executes one fully-connected layer.
+    ///
+    /// * `input_levels` — `[N]` radix levels of the input activations.
+    /// * `weight_codes` — `[O, N]` quantized weight codes.
+    /// * `bias_acc` — `[O]` biases pre-scaled to accumulator units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::UnsupportedLayer`] when shapes do not match.
+    pub fn run_layer(
+        &self,
+        input_levels: &Tensor<i64>,
+        weight_codes: &Tensor<i64>,
+        bias_acc: &Tensor<i64>,
+        time_steps: usize,
+    ) -> Result<LinearResult> {
+        if input_levels.shape().rank() != 1 || weight_codes.shape().rank() != 2 {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: "linear unit expects a [N] input and [O, N] weights".to_string(),
+            });
+        }
+        let n = input_levels.len();
+        let o = weight_codes.shape().dims()[0];
+        if weight_codes.shape().dims()[1] != n {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!(
+                    "weight matrix expects {} inputs, activation buffer provides {n}",
+                    weight_codes.shape().dims()[1]
+                ),
+            });
+        }
+
+        let in_data = input_levels.as_slice();
+        let w_data = weight_codes.as_slice();
+        let mut accumulators = vec![0i64; o];
+        let mut stats = UnitStats::new();
+
+        // Output channels are processed in groups of `lanes`.
+        let groups = o.div_ceil(self.lanes);
+        for group in 0..groups {
+            let lane_start = group * self.lanes;
+            let lane_end = (lane_start + self.lanes).min(o);
+            for t in 0..time_steps {
+                let bit = time_steps - 1 - t;
+                for (oi, acc) in accumulators
+                    .iter_mut()
+                    .enumerate()
+                    .take(lane_end)
+                    .skip(lane_start)
+                {
+                    // Radix shift once per time step per output.
+                    *acc <<= 1;
+                    let _ = oi;
+                }
+                for ni in 0..n {
+                    // One cycle: one input neuron, `lanes` weights fetched.
+                    stats.cycles += 1;
+                    stats.activation_reads += 1;
+                    stats.kernel_reads += (lane_end - lane_start) as u64;
+                    let spike = (in_data[ni] >> bit) & 1 == 1;
+                    if !spike {
+                        continue;
+                    }
+                    for (oi, acc) in accumulators
+                        .iter_mut()
+                        .enumerate()
+                        .take(lane_end)
+                        .skip(lane_start)
+                    {
+                        *acc += w_data[oi * n + ni];
+                        stats.adder_ops += 1;
+                    }
+                }
+            }
+        }
+
+        for (acc, &b) in accumulators.iter_mut().zip(bias_acc.as_slice()) {
+            *acc += b;
+            stats.output_writes += 1;
+        }
+
+        Ok(LinearResult {
+            accumulators: Tensor::from_vec(vec![o], accumulators).map_err(AccelError::Tensor)?,
+            stats,
+        })
+    }
+
+    /// Closed-form cycle count of a fully-connected layer on this unit.
+    pub fn layer_cycles(&self, inputs: usize, outputs: usize, time_steps: usize) -> u64 {
+        (outputs.div_ceil(self.lanes) as u64) * (inputs as u64) * (time_steps as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_tensor::ops;
+
+    #[test]
+    fn matches_reference_matrix_multiplication() {
+        let input = Tensor::from_vec(vec![5], vec![7i64, 0, 3, 5, 1]).unwrap();
+        let weight = Tensor::from_vec(
+            vec![3, 5],
+            (0..15).map(|v| ((v % 7) as i64) - 3).collect(),
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(vec![3], vec![10i64, -5, 0]).unwrap();
+        let result = LinearUnit::new(2)
+            .run_layer(&input, &weight, &bias, 3)
+            .unwrap();
+        let expected = ops::linear(&input, &weight, Some(&bias)).unwrap();
+        assert_eq!(result.accumulators, expected);
+    }
+
+    #[test]
+    fn lane_count_does_not_change_results() {
+        let input = Tensor::from_vec(vec![4], vec![1i64, 2, 3, 4]).unwrap();
+        let weight = Tensor::from_vec(vec![4, 4], (0..16).map(|v| v as i64 - 8).collect()).unwrap();
+        let bias = Tensor::filled(vec![4], 0i64);
+        let one_lane = LinearUnit::new(1)
+            .run_layer(&input, &weight, &bias, 3)
+            .unwrap();
+        let many_lanes = LinearUnit::new(8)
+            .run_layer(&input, &weight, &bias, 3)
+            .unwrap();
+        assert_eq!(one_lane.accumulators, many_lanes.accumulators);
+        // More lanes means fewer cycles.
+        assert!(many_lanes.stats.cycles < one_lane.stats.cycles);
+    }
+
+    #[test]
+    fn cycles_match_closed_form() {
+        let input = Tensor::filled(vec![20], 5i64);
+        let weight = Tensor::filled(vec![7, 20], 1i64);
+        let bias = Tensor::filled(vec![7], 0i64);
+        let unit = LinearUnit::new(3);
+        let result = unit.run_layer(&input, &weight, &bias, 4).unwrap();
+        assert_eq!(result.stats.cycles, unit.layer_cycles(20, 7, 4));
+        assert_eq!(result.stats.cycles, 3 * 20 * 4);
+    }
+
+    #[test]
+    fn silent_input_performs_no_additions() {
+        let input = Tensor::filled(vec![6], 0i64);
+        let weight = Tensor::filled(vec![2, 6], 3i64);
+        let bias = Tensor::filled(vec![2], 0i64);
+        let result = LinearUnit::new(2)
+            .run_layer(&input, &weight, &bias, 4)
+            .unwrap();
+        assert_eq!(result.stats.adder_ops, 0);
+        assert!(result.accumulators.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let input = Tensor::filled(vec![4], 1i64);
+        let weight = Tensor::filled(vec![2, 5], 1i64);
+        let bias = Tensor::filled(vec![2], 0i64);
+        assert!(matches!(
+            LinearUnit::new(2).run_layer(&input, &weight, &bias, 3),
+            Err(AccelError::UnsupportedLayer { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output lane")]
+    fn zero_lanes_rejected() {
+        LinearUnit::new(0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Memory management: ping-pong activation buffers, weight memory and the
+//! external DRAM model (Section III-C of the paper).
+//!
+//! Activations are kept entirely on chip.  Two memory blocks exist, one for
+//! two-dimensional feature maps (convolution/pooling stages) and one for
+//! one-dimensional activations (fully-connected stages); each is a
+//! *ping-pong* pair so a layer can read its input from one half while
+//! writing its output to the other.  Convolution kernels and weights either
+//! fit entirely in on-chip block RAM or are fetched from external DRAM
+//! before each layer.
+
+use crate::config::{AcceleratorConfig, MemoryOption};
+use crate::{AccelError, Result};
+use serde::{Deserialize, Serialize};
+use snn_model::NetworkSpec;
+use snn_tensor::Tensor;
+
+/// Capacity of one Xilinx-style block RAM in bits (36 kb).
+pub const BRAM36_BITS: u64 = 36 * 1024;
+
+/// Converts a bit count into 36 kb block-RAM blocks.
+pub fn bits_to_bram36(bits: u64) -> u64 {
+    bits.div_ceil(BRAM36_BITS)
+}
+
+/// Sizing of the on-chip activation buffers.
+///
+/// The width and height of the buffers are chosen so that the activations
+/// of every relevant layer fit while the size is minimal — here that means
+/// sizing each ping/pong half for the largest feature map it will ever hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationBufferPlan {
+    /// Bits in each half of the two-dimensional ping-pong buffer.
+    pub buffer_2d_bits: u64,
+    /// Bits in each half of the one-dimensional ping-pong buffer.
+    pub buffer_1d_bits: u64,
+    /// Spike-train length the plan was computed for.
+    pub time_steps: usize,
+}
+
+impl ActivationBufferPlan {
+    /// Computes buffer sizes for a network and spike-train length.
+    ///
+    /// Every activation element is stored as its `T`-bit radix code.
+    pub fn for_network(net: &NetworkSpec, time_steps: usize) -> Self {
+        let mut max_2d = net.input_shape().iter().product::<usize>();
+        let mut max_1d = 0usize;
+        for i in 0..net.layers().len() {
+            let out: usize = net.layer_output_shape(i).iter().product();
+            if net.layer_output_shape(i).len() == 3 {
+                max_2d = max_2d.max(out);
+            } else {
+                max_1d = max_1d.max(out);
+            }
+        }
+        ActivationBufferPlan {
+            buffer_2d_bits: (max_2d * time_steps) as u64,
+            buffer_1d_bits: (max_1d * time_steps) as u64,
+            time_steps,
+        }
+    }
+
+    /// Total on-chip bits for both ping-pong pairs (×2 for ping and pong).
+    pub fn total_bits(&self) -> u64 {
+        2 * (self.buffer_2d_bits + self.buffer_1d_bits)
+    }
+
+    /// Number of 36 kb BRAM blocks needed for the activation buffers.
+    pub fn bram36(&self) -> u64 {
+        bits_to_bram36(2 * self.buffer_2d_bits) + bits_to_bram36(2 * self.buffer_1d_bits)
+    }
+}
+
+/// Sizing and placement of the weight memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightMemoryPlan {
+    /// Total parameter storage in bits at the configured weight precision.
+    pub total_weight_bits: u64,
+    /// Largest single layer's weights in bits (the DRAM staging buffer must
+    /// hold one layer at a time).
+    pub max_layer_weight_bits: u64,
+    /// Where the weights live.
+    pub option: MemoryOption,
+}
+
+impl WeightMemoryPlan {
+    /// Computes the weight-memory plan for a network.
+    pub fn for_network(net: &NetworkSpec, weight_bits: u8, option: MemoryOption) -> Self {
+        let mut total = 0u64;
+        let mut max_layer = 0u64;
+        for layer in net.layers() {
+            let bits = layer.parameter_count() as u64 * weight_bits as u64;
+            total += bits;
+            max_layer = max_layer.max(bits);
+        }
+        WeightMemoryPlan {
+            total_weight_bits: total,
+            max_layer_weight_bits: max_layer,
+            option,
+        }
+    }
+
+    /// On-chip BRAM blocks used for weights: the whole model for
+    /// [`MemoryOption::OnChip`], one layer's staging buffer for
+    /// [`MemoryOption::Dram`].
+    pub fn bram36(&self) -> u64 {
+        match self.option {
+            MemoryOption::OnChip => bits_to_bram36(self.total_weight_bits),
+            MemoryOption::Dram => bits_to_bram36(self.max_layer_weight_bits),
+        }
+    }
+}
+
+/// Simple external-DRAM model: a fixed bus width per accelerator clock
+/// cycle plus a per-bit transfer energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    /// Usable bus width in bits per accelerator cycle.
+    pub bus_bits: usize,
+    /// Energy per transferred bit in picojoules (DDR4-class interface).
+    pub energy_pj_per_bit: f64,
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel {
+            bus_bits: 64,
+            energy_pj_per_bit: 20.0,
+        }
+    }
+}
+
+impl DramModel {
+    /// Creates a DRAM model matching an accelerator configuration.
+    pub fn from_config(config: &AcceleratorConfig) -> Self {
+        DramModel {
+            bus_bits: config.dram_bus_bits,
+            ..DramModel::default()
+        }
+    }
+
+    /// Cycles needed to stream `bits` of parameters into the accelerator.
+    pub fn transfer_cycles(&self, bits: u64) -> u64 {
+        bits.div_ceil(self.bus_bits as u64)
+    }
+
+    /// Energy in microjoules for transferring `bits`.
+    pub fn transfer_energy_uj(&self, bits: u64) -> f64 {
+        bits as f64 * self.energy_pj_per_bit * 1e-6
+    }
+}
+
+/// Which half of a ping-pong pair is currently being read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PingPongSide {
+    /// The "ping" half.
+    Ping,
+    /// The "pong" half.
+    Pong,
+}
+
+impl PingPongSide {
+    /// The opposite half.
+    pub fn other(self) -> Self {
+        match self {
+            PingPongSide::Ping => PingPongSide::Pong,
+            PingPongSide::Pong => PingPongSide::Ping,
+        }
+    }
+}
+
+/// Runtime model of a ping-pong activation buffer pair.
+///
+/// Each layer reads its input activations from the *read side* and writes
+/// its results to the other half; [`PingPongBuffer::swap`] then makes the
+/// freshly written half the read side for the next layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PingPongBuffer {
+    read_side: PingPongSide,
+    ping: Option<Tensor<i64>>,
+    pong: Option<Tensor<i64>>,
+    /// Number of completed write→swap handovers (one per executed layer).
+    handovers: u64,
+}
+
+impl PingPongBuffer {
+    /// Creates an empty buffer pair reading from the ping half.
+    pub fn new() -> Self {
+        PingPongBuffer {
+            read_side: PingPongSide::Ping,
+            ping: None,
+            pong: None,
+            handovers: 0,
+        }
+    }
+
+    /// Which half the next layer reads from.
+    pub fn read_side(&self) -> PingPongSide {
+        self.read_side
+    }
+
+    /// Number of completed layer handovers.
+    pub fn handovers(&self) -> u64 {
+        self.handovers
+    }
+
+    /// Loads the initial activations (the encoded network input) into the
+    /// current read half.
+    pub fn load_input(&mut self, levels: Tensor<i64>) {
+        match self.read_side {
+            PingPongSide::Ping => self.ping = Some(levels),
+            PingPongSide::Pong => self.pong = Some(levels),
+        }
+    }
+
+    /// The activations the next layer should read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] if no activations have been
+    /// written yet.
+    pub fn current(&self) -> Result<&Tensor<i64>> {
+        let side = match self.read_side {
+            PingPongSide::Ping => &self.ping,
+            PingPongSide::Pong => &self.pong,
+        };
+        side.as_ref().ok_or_else(|| AccelError::InvalidConfig {
+            context: "activation buffer read before any layer wrote it".to_string(),
+        })
+    }
+
+    /// Writes a layer result into the unused half and swaps, so the next
+    /// layer reads what was just written.
+    pub fn write_and_swap(&mut self, levels: Tensor<i64>) {
+        match self.read_side {
+            PingPongSide::Ping => self.pong = Some(levels),
+            PingPongSide::Pong => self.ping = Some(levels),
+        }
+        self.read_side = self.read_side.other();
+        self.handovers += 1;
+    }
+}
+
+impl Default for PingPongBuffer {
+    fn default() -> Self {
+        PingPongBuffer::new()
+    }
+}
+
+/// Aggregate memory-traffic statistics of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryTraffic {
+    /// Bits streamed from external DRAM (zero for on-chip weight storage).
+    pub dram_bits: u64,
+    /// On-chip activation-buffer reads (rows).
+    pub activation_reads: u64,
+    /// On-chip weight-memory reads (words).
+    pub weight_reads: u64,
+    /// On-chip activation-buffer writes (values).
+    pub activation_writes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_model::zoo;
+
+    #[test]
+    fn bram_conversion_rounds_up() {
+        assert_eq!(bits_to_bram36(1), 1);
+        assert_eq!(bits_to_bram36(BRAM36_BITS), 1);
+        assert_eq!(bits_to_bram36(BRAM36_BITS + 1), 2);
+    }
+
+    #[test]
+    fn lenet_activation_plan_is_dominated_by_first_conv_output() {
+        let net = zoo::lenet5();
+        let plan = ActivationBufferPlan::for_network(&net, 4);
+        // Largest 2-D activation of LeNet-5 is 6x28x28 = 4704 values.
+        assert_eq!(plan.buffer_2d_bits, 4704 * 4);
+        // Largest 1-D activation is the flattened 120 / fc 120 = 120 values.
+        assert_eq!(plan.buffer_1d_bits, 120 * 4);
+        assert!(plan.total_bits() > 0);
+        assert!(plan.bram36() >= 1);
+    }
+
+    #[test]
+    fn buffer_grows_with_time_steps() {
+        let net = zoo::lenet5();
+        let p3 = ActivationBufferPlan::for_network(&net, 3);
+        let p6 = ActivationBufferPlan::for_network(&net, 6);
+        assert_eq!(p6.buffer_2d_bits, 2 * p3.buffer_2d_bits);
+    }
+
+    #[test]
+    fn weight_plan_counts_all_parameters() {
+        let net = zoo::lenet5();
+        let plan = WeightMemoryPlan::for_network(&net, 3, MemoryOption::OnChip);
+        assert_eq!(
+            plan.total_weight_bits,
+            net.parameter_count() as u64 * 3
+        );
+        assert!(plan.max_layer_weight_bits < plan.total_weight_bits);
+        // On-chip option stores everything, DRAM option only one layer.
+        let dram_plan = WeightMemoryPlan::for_network(&net, 3, MemoryOption::Dram);
+        assert!(dram_plan.bram36() <= plan.bram36());
+    }
+
+    #[test]
+    fn vgg_weights_do_not_fit_realistically_on_chip() {
+        let net = zoo::vgg11(100);
+        let plan = WeightMemoryPlan::for_network(&net, 3, MemoryOption::OnChip);
+        // 28.5M parameters at 3 bits ≈ 85.6 Mbit — far more than the
+        // ~94 Mbit total BRAM of even the largest UltraScale+ parts once
+        // activations are accounted for, which is why the paper streams
+        // VGG weights from DRAM.
+        assert!(plan.total_weight_bits > 80_000_000);
+    }
+
+    #[test]
+    fn dram_transfer_cycles_round_up() {
+        let dram = DramModel {
+            bus_bits: 64,
+            energy_pj_per_bit: 20.0,
+        };
+        assert_eq!(dram.transfer_cycles(64), 1);
+        assert_eq!(dram.transfer_cycles(65), 2);
+        assert!(dram.transfer_energy_uj(1_000_000) > 0.0);
+    }
+
+    #[test]
+    fn ping_pong_alternates_sides() {
+        let mut buffer = PingPongBuffer::new();
+        buffer.load_input(Tensor::filled(vec![4], 1i64));
+        assert_eq!(buffer.read_side(), PingPongSide::Ping);
+        assert_eq!(buffer.current().unwrap().as_slice(), &[1, 1, 1, 1]);
+
+        buffer.write_and_swap(Tensor::filled(vec![2], 2i64));
+        assert_eq!(buffer.read_side(), PingPongSide::Pong);
+        assert_eq!(buffer.current().unwrap().as_slice(), &[2, 2]);
+
+        buffer.write_and_swap(Tensor::filled(vec![1], 3i64));
+        assert_eq!(buffer.read_side(), PingPongSide::Ping);
+        assert_eq!(buffer.current().unwrap().as_slice(), &[3]);
+        assert_eq!(buffer.handovers(), 2);
+    }
+
+    #[test]
+    fn reading_an_empty_buffer_is_an_error() {
+        let buffer = PingPongBuffer::new();
+        assert!(buffer.current().is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! The pooling unit.
+//!
+//! Pooling units work on the same two-dimensional, row-based data as the
+//! convolution units and reuse the same structure (Section III-B), but they
+//! are much smaller: no kernel values need to be supplied to the adders and
+//! no output logic is needed because pooling does not accumulate over input
+//! channels.  Average pooling is adder-based, with the division by the
+//! window size folded into the subsequent requantization (a right shift for
+//! power-of-two windows); max pooling replaces the adders with comparators.
+
+use crate::config::ArrayGeometry;
+use crate::units::UnitStats;
+use crate::{AccelError, Result};
+use snn_model::layer::PoolKind;
+use snn_tensor::{ops, Tensor};
+
+/// Output of a pooling-unit layer execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolResult {
+    /// Pooled activation levels `[C, H_out, W_out]`.
+    pub levels: Tensor<i64>,
+    /// Cycle and operation counters.
+    pub stats: UnitStats,
+}
+
+/// Cycle-stepped model of the pooling unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolingUnit {
+    geometry: ArrayGeometry,
+}
+
+impl PoolingUnit {
+    /// Creates a pooling unit with the given adder/comparator array
+    /// geometry.
+    pub fn new(geometry: ArrayGeometry) -> Self {
+        PoolingUnit { geometry }
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+
+    /// Number of column tiles needed for an output row of `width` values.
+    pub fn column_tiles(&self, width: usize) -> usize {
+        width.div_ceil(self.geometry.columns)
+    }
+
+    /// Executes one pooling layer.
+    ///
+    /// Average pooling sums each window and divides by the window area with
+    /// truncation (a right shift in hardware for power-of-two windows); max
+    /// pooling takes the maximum level.  Both operate on the integer levels
+    /// that the radix spike trains encode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::UnsupportedLayer`] for non-3-D inputs or a
+    /// window that does not fit.
+    pub fn run_layer(
+        &self,
+        input_levels: &Tensor<i64>,
+        kind: PoolKind,
+        window: usize,
+        time_steps: usize,
+    ) -> Result<PoolResult> {
+        let dims = input_levels.shape().dims();
+        if dims.len() != 3 {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: "pooling unit expects a [C, H, W] input".to_string(),
+            });
+        }
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        let (h_out, w_out) = ops::pool_output_dims((h, w), window).map_err(AccelError::Tensor)?;
+
+        let levels = match kind {
+            PoolKind::Average => ops::avg_pool2d(input_levels, window).map_err(AccelError::Tensor)?,
+            PoolKind::Max => ops::max_pool2d(input_levels, window).map_err(AccelError::Tensor)?,
+        };
+
+        // Operation counting: the unit walks the input row-based, one binary
+        // plane per time step, `window` input rows per output row.
+        let mut stats = UnitStats::new();
+        stats.cycles = self.layer_cycles(c, h_out, w_out, window, time_steps);
+        stats.activation_reads =
+            (time_steps * c * h_out * window * self.column_tiles(w_out)) as u64;
+        stats.output_writes = (c * h_out * w_out) as u64;
+        // Adder/comparator activations are gated by spikes, so count the
+        // spikes streamed through the unit (every input element belongs to
+        // exactly one window for non-overlapping pooling).
+        stats.adder_ops = input_levels
+            .iter()
+            .map(|&v| v.count_ones() as u64)
+            .sum();
+
+        Ok(PoolResult { levels, stats })
+    }
+
+    /// Closed-form cycle count of a pooling layer on this unit.
+    pub fn layer_cycles(
+        &self,
+        channels: usize,
+        h_out: usize,
+        w_out: usize,
+        window: usize,
+        time_steps: usize,
+    ) -> u64 {
+        let tiles = self.column_tiles(w_out) as u64;
+        // Per output row: `window` input rows are loaded and each is shifted
+        // `window` times, exactly like a kernel row pass without weights.
+        let per_row = (window as u64) * (window as u64 + 1);
+        (time_steps as u64) * (channels as u64) * (h_out as u64) * tiles * per_row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> PoolingUnit {
+        PoolingUnit::new(ArrayGeometry {
+            columns: 14,
+            rows: 2,
+        })
+    }
+
+    #[test]
+    fn average_pooling_matches_reference() {
+        let input = Tensor::from_vec(
+            vec![2, 4, 4],
+            (0..32).map(|v| (v % 7) as i64).collect(),
+        )
+        .unwrap();
+        let result = unit().run_layer(&input, PoolKind::Average, 2, 3).unwrap();
+        let expected = ops::avg_pool2d(&input, 2).unwrap();
+        assert_eq!(result.levels, expected);
+    }
+
+    #[test]
+    fn max_pooling_matches_reference() {
+        let input = Tensor::from_vec(
+            vec![1, 4, 4],
+            vec![0i64, 5, 1, 2, 7, 3, 0, 0, 1, 1, 6, 6, 2, 2, 4, 3],
+        )
+        .unwrap();
+        let result = unit().run_layer(&input, PoolKind::Max, 2, 3).unwrap();
+        assert_eq!(result.levels.as_slice(), &[7, 2, 2, 6]);
+    }
+
+    #[test]
+    fn cycles_match_closed_form_and_scale_with_time_steps() {
+        let input = Tensor::filled(vec![3, 8, 8], 5i64);
+        let u = unit();
+        let r3 = u.run_layer(&input, PoolKind::Average, 2, 3).unwrap();
+        let r6 = u.run_layer(&input, PoolKind::Average, 2, 6).unwrap();
+        assert_eq!(r3.stats.cycles, u.layer_cycles(3, 4, 4, 2, 3));
+        assert_eq!(r6.stats.cycles, 2 * r3.stats.cycles);
+    }
+
+    #[test]
+    fn silent_input_uses_no_adders() {
+        let input = Tensor::filled(vec![1, 4, 4], 0i64);
+        let result = unit().run_layer(&input, PoolKind::Average, 2, 4).unwrap();
+        assert_eq!(result.stats.adder_ops, 0);
+    }
+
+    #[test]
+    fn pooling_unit_is_smaller_than_a_conv_unit_pass() {
+        // No kernel reads at all — that is the area/power saving the paper
+        // attributes to the pooling unit.
+        let input = Tensor::filled(vec![1, 4, 4], 3i64);
+        let result = unit().run_layer(&input, PoolKind::Average, 2, 3).unwrap();
+        assert_eq!(result.stats.kernel_reads, 0);
+    }
+
+    #[test]
+    fn rejects_window_larger_than_input() {
+        let input = Tensor::filled(vec![1, 2, 2], 1i64);
+        assert!(unit().run_layer(&input, PoolKind::Average, 3, 3).is_err());
+    }
+
+    #[test]
+    fn rejects_non_3d_input() {
+        let input = Tensor::filled(vec![4, 4], 1i64);
+        assert!(matches!(
+            unit().run_layer(&input, PoolKind::Max, 2, 3),
+            Err(AccelError::UnsupportedLayer { .. })
+        ));
+    }
+}

@@ -1,0 +1,404 @@
+//! Top-level accelerator simulator.
+//!
+//! [`Accelerator`] owns a configuration, compiles converted SNN models onto
+//! it and executes inferences.  Two execution paths are provided:
+//!
+//! * [`Accelerator::run`] — **cycle-accurate**: every layer is executed on
+//!   the register-transfer-style processing-unit models
+//!   ([`crate::conv::ConvolutionUnit`], [`crate::pool::PoolingUnit`],
+//!   [`crate::linear::LinearUnit`]), activations move through the ping-pong
+//!   buffers, and exact work/operation counts are recorded.  Use this for
+//!   the MNIST-scale networks of the paper.
+//! * [`Accelerator::run_fast`] — **transaction-level**: activations are
+//!   computed with the functional integer model of `snn-model` and only the
+//!   analytical timing model is evaluated.  The results are bit-identical
+//!   (asserted by tests); use this for large models such as VGG-11 where
+//!   simulating every adder is unnecessary.
+
+use crate::compiler::{self, Program};
+use crate::config::{AcceleratorConfig, MemoryOption};
+use crate::conv::ConvolutionUnit;
+use crate::cost;
+use crate::linear::LinearUnit;
+use crate::memory::{MemoryTraffic, PingPongBuffer};
+use crate::pool::PoolingUnit;
+use crate::report::{DesignReport, LayerExecution, RunReport};
+use crate::timing;
+use crate::units::UnitStats;
+use crate::{AccelError, Result};
+use snn_model::snn::{requantize, SnnLayer, SnnModel};
+use snn_tensor::Tensor;
+
+/// The accelerator: a configuration plus the machinery to compile and run
+/// converted SNN models on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accelerator {
+    config: AcceleratorConfig,
+}
+
+impl Accelerator {
+    /// Creates an accelerator with the given configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        Accelerator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Compiles a model onto this accelerator.
+    ///
+    /// # Errors
+    ///
+    /// See [`compiler::compile`].
+    pub fn compile(&self, model: &SnnModel) -> Result<Program> {
+        compiler::compile(model, &self.config)
+    }
+
+    /// Produces the static design report (resources, power, predicted
+    /// timing) for deploying `model` on this accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model cannot be mapped.
+    pub fn design_report(&self, model: &SnnModel) -> Result<DesignReport> {
+        let program = self.compile(model)?;
+        let timing = timing::network_timing(&self.config, model.spec(), model.time_steps())?;
+        Ok(DesignReport {
+            resources: cost::estimate_resources(&self.config, model.spec(), model.time_steps()),
+            power: cost::estimate_power(&self.config),
+            activation_plan: program.activation_plan,
+            weight_plan: program.weight_plan,
+            timing,
+        })
+    }
+
+    /// Runs one inference cycle-accurately on the processing-unit models.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model cannot be mapped onto the
+    /// configuration or the input shape does not match the network.
+    pub fn run(&self, model: &SnnModel, input: &Tensor<f32>) -> Result<RunReport> {
+        let program = self.compile(model)?;
+        let input_levels = model.encode_input(input)?;
+        self.execute(model, &program, input_levels, ExecutionMode::CycleAccurate)
+    }
+
+    /// Runs one inference at transaction level: functional values plus the
+    /// analytical timing model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model cannot be mapped onto the
+    /// configuration or the input shape does not match the network.
+    pub fn run_fast(&self, model: &SnnModel, input: &Tensor<f32>) -> Result<RunReport> {
+        let program = self.compile(model)?;
+        let input_levels = model.encode_input(input)?;
+        self.execute(model, &program, input_levels, ExecutionMode::Transaction)
+    }
+
+    fn execute(
+        &self,
+        model: &SnnModel,
+        program: &Program,
+        input_levels: Tensor<i64>,
+        mode: ExecutionMode,
+    ) -> Result<RunReport> {
+        let max_level = model.max_level();
+        let time_steps = model.time_steps();
+        let conv_unit = ConvolutionUnit::new(self.config.conv_geometry);
+        let pool_unit = PoolingUnit::new(self.config.pool_geometry);
+        let linear_unit = LinearUnit::new(self.config.linear_lanes);
+
+        // Activations live in the 2-D ping-pong buffer until the flatten
+        // step, then in the 1-D buffer.  We model both with one runtime
+        // buffer pair since only one is active at a time.
+        let mut buffer = PingPongBuffer::new();
+        buffer.load_input(input_levels);
+
+        let mut layers = Vec::with_capacity(program.steps.len());
+        let mut traffic = MemoryTraffic::default();
+
+        for (step, layer) in program.steps.iter().zip(model.layers()) {
+            let current = buffer.current()?.clone();
+            let (next, work) = match (layer, mode) {
+                (
+                    SnnLayer::Conv {
+                        weight_codes,
+                        bias_acc,
+                        stride,
+                        padding,
+                        requant,
+                    },
+                    ExecutionMode::CycleAccurate,
+                ) => {
+                    let result = conv_unit.run_layer(
+                        &current,
+                        weight_codes,
+                        bias_acc,
+                        time_steps,
+                        *stride,
+                        *padding,
+                    )?;
+                    let levels = apply_requant(&result.accumulators, *requant, max_level);
+                    (levels, result.stats)
+                }
+                (
+                    SnnLayer::Linear {
+                        weight_codes,
+                        bias_acc,
+                        requant,
+                    },
+                    ExecutionMode::CycleAccurate,
+                ) => {
+                    let result =
+                        linear_unit.run_layer(&current, weight_codes, bias_acc, time_steps)?;
+                    let levels = apply_requant(&result.accumulators, *requant, max_level);
+                    (levels, result.stats)
+                }
+                (SnnLayer::Pool { kind, window }, ExecutionMode::CycleAccurate) => {
+                    let result = pool_unit.run_layer(&current, *kind, *window, time_steps)?;
+                    (result.levels, result.stats)
+                }
+                (SnnLayer::Flatten, _) => {
+                    let volume = current.len();
+                    let flattened = current.reshape(vec![volume]).map_err(AccelError::Tensor)?;
+                    let work = UnitStats {
+                        cycles: volume as u64,
+                        activation_reads: volume as u64,
+                        output_writes: volume as u64,
+                        ..UnitStats::default()
+                    };
+                    (flattened, work)
+                }
+                // Transaction-level execution: functional math, no unit-level
+                // operation counting.
+                (layer, ExecutionMode::Transaction) => {
+                    let next = functional_layer(layer, &current, max_level)?;
+                    (next, UnitStats::default())
+                }
+            };
+
+            traffic.activation_reads += work.activation_reads;
+            traffic.weight_reads += work.kernel_reads;
+            traffic.activation_writes += work.output_writes;
+            if self.config.memory == MemoryOption::Dram {
+                traffic.dram_bits += step.weight_bits;
+            }
+
+            layers.push(LayerExecution {
+                index: step.index,
+                notation: step.notation.clone(),
+                kind: step.kind,
+                latency_cycles: step.timing.total_cycles(),
+                work,
+            });
+            buffer.write_and_swap(next);
+        }
+
+        let logits = buffer.current()?.clone();
+        let prediction = logits
+            .iter()
+            .enumerate()
+            .fold((0usize, i64::MIN), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0;
+
+        Ok(RunReport {
+            prediction,
+            logits: logits.into_vec(),
+            layers,
+            time_steps,
+            traffic,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecutionMode {
+    CycleAccurate,
+    Transaction,
+}
+
+fn apply_requant(acc: &Tensor<i64>, requant: Option<f32>, max_level: i64) -> Tensor<i64> {
+    match requant {
+        Some(r) => acc.map(|&v| requantize(v, r, max_level)),
+        None => acc.clone(),
+    }
+}
+
+/// Functional (transaction-level) execution of one layer, shared with the
+/// integer reference model.
+fn functional_layer(
+    layer: &SnnLayer,
+    current: &Tensor<i64>,
+    max_level: i64,
+) -> Result<Tensor<i64>> {
+    use snn_model::layer::PoolKind;
+    use snn_tensor::ops;
+    let next = match layer {
+        SnnLayer::Conv {
+            weight_codes,
+            bias_acc,
+            stride,
+            padding,
+            requant,
+        } => {
+            let acc = ops::conv2d(current, weight_codes, Some(bias_acc), *stride, *padding)
+                .map_err(AccelError::Tensor)?;
+            apply_requant(&acc, *requant, max_level)
+        }
+        SnnLayer::Linear {
+            weight_codes,
+            bias_acc,
+            requant,
+        } => {
+            let acc =
+                ops::linear(current, weight_codes, Some(bias_acc)).map_err(AccelError::Tensor)?;
+            apply_requant(&acc, *requant, max_level)
+        }
+        SnnLayer::Pool { kind, window } => match kind {
+            PoolKind::Average => ops::avg_pool2d(current, *window).map_err(AccelError::Tensor)?,
+            PoolKind::Max => ops::max_pool2d(current, *window).map_err(AccelError::Tensor)?,
+        },
+        SnnLayer::Flatten => {
+            let volume = current.len();
+            current
+                .clone()
+                .reshape(vec![volume])
+                .map_err(AccelError::Tensor)?
+        }
+    };
+    Ok(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
+    use snn_model::params::Parameters;
+    use snn_model::zoo;
+
+    fn tiny_setup(time_steps: usize) -> (SnnModel, Vec<Tensor<f32>>) {
+        let net = zoo::tiny_cnn();
+        let params = Parameters::he_init(&net, 5).unwrap();
+        let inputs: Vec<Tensor<f32>> = (0..4)
+            .map(|i| {
+                let values: Vec<f32> = (0..144)
+                    .map(|j| ((i * 31 + j * 7) % 100) as f32 / 100.0)
+                    .collect();
+                Tensor::from_vec(vec![1, 12, 12], values).unwrap()
+            })
+            .collect();
+        let stats = CalibrationStats::collect(&net, &params, inputs.iter()).unwrap();
+        let model = convert(
+            &net,
+            &params,
+            &stats,
+            ConversionConfig {
+                weight_bits: 3,
+                time_steps,
+            },
+        )
+        .unwrap();
+        (model, inputs)
+    }
+
+    #[test]
+    fn cycle_accurate_run_matches_functional_model_bit_exactly() {
+        let (model, inputs) = tiny_setup(4);
+        let accel = Accelerator::new(AcceleratorConfig::default());
+        for input in &inputs {
+            let report = accel.run(&model, input).unwrap();
+            let trace = model.forward(input).unwrap();
+            assert_eq!(report.logits, trace.logits().as_slice());
+            assert_eq!(report.prediction, trace.predicted_class());
+        }
+    }
+
+    #[test]
+    fn fast_and_cycle_accurate_runs_agree() {
+        let (model, inputs) = tiny_setup(3);
+        let accel = Accelerator::new(AcceleratorConfig::default());
+        for input in &inputs {
+            let detailed = accel.run(&model, input).unwrap();
+            let fast = accel.run_fast(&model, input).unwrap();
+            assert_eq!(detailed.logits, fast.logits);
+            assert_eq!(detailed.total_cycles(), fast.total_cycles());
+        }
+    }
+
+    #[test]
+    fn latency_is_independent_of_the_input_data() {
+        // The schedule is static: two different inputs must take exactly the
+        // same number of cycles (only adder activity differs).
+        let (model, inputs) = tiny_setup(4);
+        let accel = Accelerator::new(AcceleratorConfig::default());
+        let a = accel.run(&model, &inputs[0]).unwrap();
+        let b = accel.run(&model, &inputs[1]).unwrap();
+        assert_eq!(a.total_cycles(), b.total_cycles());
+    }
+
+    #[test]
+    fn more_conv_units_reduce_latency_but_not_results() {
+        let (model, inputs) = tiny_setup(3);
+        let one = Accelerator::new(AcceleratorConfig::lenet_experiment(1));
+        let four = Accelerator::new(AcceleratorConfig::lenet_experiment(4));
+        let r1 = one.run(&model, &inputs[0]).unwrap();
+        let r4 = four.run(&model, &inputs[0]).unwrap();
+        assert_eq!(r1.logits, r4.logits);
+        assert!(r4.total_cycles() <= r1.total_cycles());
+    }
+
+    #[test]
+    fn run_report_layers_match_network_depth() {
+        let (model, inputs) = tiny_setup(3);
+        let accel = Accelerator::new(AcceleratorConfig::default());
+        let report = accel.run(&model, &inputs[0]).unwrap();
+        assert_eq!(report.layers.len(), model.spec().layers().len());
+        assert!(report.total_work().adder_ops > 0);
+        assert!(report.traffic.activation_reads > 0);
+        assert_eq!(report.traffic.dram_bits, 0);
+    }
+
+    #[test]
+    fn dram_configuration_reports_weight_traffic() {
+        let (model, inputs) = tiny_setup(3);
+        let config = AcceleratorConfig {
+            memory: MemoryOption::Dram,
+            ..AcceleratorConfig::default()
+        };
+        let accel = Accelerator::new(config);
+        let report = accel.run_fast(&model, &inputs[0]).unwrap();
+        assert_eq!(
+            report.traffic.dram_bits,
+            model.spec().parameter_count() as u64 * 3
+        );
+    }
+
+    #[test]
+    fn design_report_is_consistent_with_run() {
+        let (model, inputs) = tiny_setup(3);
+        let accel = Accelerator::new(AcceleratorConfig::default());
+        let design = accel.design_report(&model).unwrap();
+        let run = accel.run(&model, &inputs[0]).unwrap();
+        assert_eq!(design.timing.total_cycles(), run.total_cycles());
+        assert!(design.resources.luts > 0);
+        assert!(design.power.total_w() > 0.0);
+    }
+
+    #[test]
+    fn wrong_input_shape_is_rejected() {
+        let (model, _) = tiny_setup(3);
+        let accel = Accelerator::new(AcceleratorConfig::default());
+        let bad = Tensor::filled(vec![1, 8, 8], 0.5f32);
+        assert!(accel.run(&model, &bad).is_err());
+    }
+}

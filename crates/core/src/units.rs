@@ -1,0 +1,93 @@
+//! Shared bookkeeping for the processing-unit simulators.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Cycle and operation counters reported by a processing unit after
+/// executing (part of) a layer.
+///
+/// The counters drive the latency, energy and memory-traffic figures of the
+/// run reports:
+///
+/// * `cycles` — clock cycles consumed by the unit.
+/// * `adder_ops` — number of adder activations (an adder only toggles when
+///   an input spike gates it on, which is what makes sparse spike trains
+///   cheap).
+/// * `activation_reads` / `kernel_reads` / `output_writes` — memory accesses
+///   to the activation buffers and the weight memory, the quantity the
+///   paper's dataflow is designed to minimise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitStats {
+    /// Clock cycles consumed.
+    pub cycles: u64,
+    /// Number of adder activations (gated by spikes).
+    pub adder_ops: u64,
+    /// Activation-buffer read operations (one feature-map row each).
+    pub activation_reads: u64,
+    /// Weight-memory read operations (one kernel/weight word each).
+    pub kernel_reads: u64,
+    /// Activation-buffer write operations (one output value each).
+    pub output_writes: u64,
+}
+
+impl UnitStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        UnitStats::default()
+    }
+
+    /// Total number of memory accesses of any kind.
+    pub fn total_memory_accesses(&self) -> u64 {
+        self.activation_reads + self.kernel_reads + self.output_writes
+    }
+}
+
+impl Add for UnitStats {
+    type Output = UnitStats;
+
+    fn add(self, rhs: UnitStats) -> UnitStats {
+        UnitStats {
+            cycles: self.cycles + rhs.cycles,
+            adder_ops: self.adder_ops + rhs.adder_ops,
+            activation_reads: self.activation_reads + rhs.activation_reads,
+            kernel_reads: self.kernel_reads + rhs.kernel_reads,
+            output_writes: self.output_writes + rhs.output_writes,
+        }
+    }
+}
+
+impl AddAssign for UnitStats {
+    fn add_assign(&mut self, rhs: UnitStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate() {
+        let a = UnitStats {
+            cycles: 10,
+            adder_ops: 5,
+            activation_reads: 2,
+            kernel_reads: 3,
+            output_writes: 1,
+        };
+        let b = UnitStats {
+            cycles: 1,
+            adder_ops: 1,
+            activation_reads: 1,
+            kernel_reads: 1,
+            output_writes: 1,
+        };
+        let sum = a + b;
+        assert_eq!(sum.cycles, 11);
+        assert_eq!(sum.total_memory_accesses(), 3 + 4 + 2);
+        let mut acc = UnitStats::new();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, sum);
+    }
+}

@@ -1,0 +1,171 @@
+use serde::{Deserialize, Serialize};
+use snn_tensor::Tensor;
+
+/// An in-memory labelled image dataset.
+///
+/// Images are `[C, H, W]` tensors with values in `[0, 1]`; labels are class
+/// indices below [`Dataset::num_classes`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    images: Vec<Tensor<f32>>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+/// A train/test partition of a [`Dataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSplit {
+    /// Training portion.
+    pub train: Dataset,
+    /// Held-out test portion.
+    pub test: Dataset,
+}
+
+impl Dataset {
+    /// Creates a dataset from parallel image and label vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths or a label is out of
+    /// range.
+    pub fn new(images: Vec<Tensor<f32>>, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(
+            images.len(),
+            labels.len(),
+            "images and labels must have the same length"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "all labels must be below num_classes"
+        );
+        Dataset {
+            images,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Returns `true` when the dataset contains no samples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of distinct classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Returns the image/label pair at `index`, if it exists.
+    pub fn sample(&self, index: usize) -> Option<(&Tensor<f32>, usize)> {
+        match (self.images.get(index), self.labels.get(index)) {
+            (Some(img), Some(&label)) => Some((img, label)),
+            _ => None,
+        }
+    }
+
+    /// Iterates over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tensor<f32>, usize)> {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+
+    /// All labels, in sample order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Splits the dataset into a training and a test portion.
+    ///
+    /// The first `ceil(len * train_fraction)` samples form the training set;
+    /// generators already interleave classes so no additional shuffling is
+    /// required for a balanced split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not within `(0, 1)`.
+    pub fn split(self, train_fraction: f32) -> DatasetSplit {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let train_len = ((self.len() as f32) * train_fraction).ceil() as usize;
+        let train_len = train_len.min(self.len());
+        let mut images = self.images;
+        let mut labels = self.labels;
+        let test_images = images.split_off(train_len);
+        let test_labels = labels.split_off(train_len);
+        DatasetSplit {
+            train: Dataset::new(images, labels, self.num_classes),
+            test: Dataset::new(test_images, test_labels, self.num_classes),
+        }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset(n: usize) -> Dataset {
+        let images = (0..n)
+            .map(|i| Tensor::filled(vec![1, 2, 2], i as f32 / n as f32))
+            .collect();
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels, 3)
+    }
+
+    #[test]
+    fn len_and_sample_access() {
+        let d = tiny_dataset(9);
+        assert_eq!(d.len(), 9);
+        assert_eq!(d.num_classes(), 3);
+        let (img, label) = d.sample(4).unwrap();
+        assert_eq!(img.shape().dims(), &[1, 2, 2]);
+        assert_eq!(label, 1);
+        assert!(d.sample(9).is_none());
+    }
+
+    #[test]
+    fn split_preserves_total_count() {
+        let d = tiny_dataset(10);
+        let split = d.split(0.8);
+        assert_eq!(split.train.len(), 8);
+        assert_eq!(split.test.len(), 2);
+    }
+
+    #[test]
+    fn class_histogram_counts_each_class() {
+        let d = tiny_dataset(9);
+        assert_eq!(d.class_histogram(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        Dataset::new(vec![Tensor::filled(vec![1, 2, 2], 0.0f32)], vec![], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "below num_classes")]
+    fn out_of_range_label_panics() {
+        Dataset::new(vec![Tensor::filled(vec![1, 2, 2], 0.0f32)], vec![5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn invalid_split_fraction_panics() {
+        tiny_dataset(4).split(1.5);
+    }
+}

@@ -1,0 +1,43 @@
+//! # snn-data
+//!
+//! Synthetic dataset generators standing in for MNIST and CIFAR-100.
+//!
+//! The paper evaluates its accelerator on MNIST (LeNet-5 / the CNNs of
+//! Fang et al. and Ju et al.) and CIFAR-100 (VGG-11).  Those datasets are
+//! not available in this offline environment, so this crate generates
+//! *synthetic* classification problems that exercise the identical
+//! pipeline — ANN training, 3-bit quantization, ANN-to-SNN conversion,
+//! radix encoding and accelerator inference — on inputs of the same shape:
+//!
+//! * [`digits::SyntheticDigits`] — 10-class, single-channel 28×28 or 32×32
+//!   images of procedurally rendered seven-segment-style digits with
+//!   per-sample jitter, stroke-width variation and pixel noise.
+//! * [`objects::SyntheticObjects`] — N-class, three-channel 32×32 images of
+//!   parametric blob/gradient/stripe textures, standing in for CIFAR-100.
+//!
+//! The substitution is documented in `DESIGN.md`; absolute accuracies are
+//! not expected to match the paper, but the relative trends (accuracy vs.
+//! spike-train length) are preserved because they are properties of the
+//! encoding, not of the data.
+//!
+//! # Example
+//!
+//! ```
+//! use snn_data::{digits::SyntheticDigits, Dataset};
+//!
+//! let dataset = SyntheticDigits::new(32).generate(100, 7);
+//! assert_eq!(dataset.len(), 100);
+//! let (image, label) = dataset.sample(0).expect("non-empty dataset");
+//! assert_eq!(image.shape().dims(), &[1, 32, 32]);
+//! assert!(label < dataset.num_classes());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+
+pub mod digits;
+pub mod objects;
+
+pub use dataset::{Dataset, DatasetSplit};

@@ -1,0 +1,116 @@
+//! Encoding-scheme analysis helpers.
+//!
+//! These functions quantify the accuracy/latency trade-off between radix and
+//! rate encoding that motivates the paper (Section I and Table I): how many
+//! time steps each scheme needs for a given activation resolution, and what
+//! reconstruction error a given train length leaves.
+
+use crate::{radix::RadixEncoder, rate::RateEncoder, Encoder, Result};
+use serde::{Deserialize, Serialize};
+use snn_tensor::Tensor;
+
+/// Reconstruction-error comparison of radix and rate encoding at equal
+/// spike-train length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncodingComparison {
+    /// Spike-train length used for both schemes.
+    pub time_steps: usize,
+    /// Mean absolute reconstruction error of radix encoding.
+    pub radix_error: f32,
+    /// Mean absolute reconstruction error of deterministic rate encoding.
+    pub rate_error: f32,
+    /// Average spike density (spikes per neuron per step) of radix encoding.
+    pub radix_density: f64,
+    /// Average spike density of rate encoding.
+    pub rate_density: f64,
+}
+
+/// Compares radix and rate encoding on the same activations and train
+/// length.
+///
+/// # Errors
+///
+/// Returns an error if `time_steps` is unsupported by either encoder.
+pub fn compare_encodings(activations: &Tensor<f32>, time_steps: usize) -> Result<EncodingComparison> {
+    let radix = RadixEncoder::new(time_steps)?;
+    let rate = RateEncoder::new(time_steps)?;
+    let radix_raster = radix.encode_tensor(activations);
+    let rate_raster = rate.encode_tensor(activations);
+    Ok(EncodingComparison {
+        time_steps,
+        radix_error: radix.reconstruction_error(activations),
+        rate_error: rate.reconstruction_error(activations),
+        radix_density: radix_raster.density(),
+        rate_density: rate_raster.density(),
+    })
+}
+
+/// Sweeps spike-train length and reports the comparison at each point.
+///
+/// # Errors
+///
+/// Returns an error if any length in the range is unsupported.
+pub fn sweep_train_lengths(
+    activations: &Tensor<f32>,
+    lengths: &[usize],
+) -> Result<Vec<EncodingComparison>> {
+    lengths
+        .iter()
+        .map(|&t| compare_encodings(activations, t))
+        .collect()
+}
+
+/// The number of time steps each scheme needs to represent `bits` bits of
+/// activation resolution: `bits` for radix, `2^bits - 1` for rate.
+pub fn steps_for_resolution(bits: usize) -> (usize, usize) {
+    (bits, RateEncoder::equivalent_steps_for_radix(bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Tensor<f32> {
+        Tensor::from_vec(
+            vec![n],
+            (0..n).map(|i| i as f32 / (n - 1) as f32).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn radix_beats_rate_at_equal_length() {
+        let activations = ramp(101);
+        let cmp = compare_encodings(&activations, 4).unwrap();
+        assert!(
+            cmp.radix_error < cmp.rate_error,
+            "radix {} should be below rate {}",
+            cmp.radix_error,
+            cmp.rate_error
+        );
+    }
+
+    #[test]
+    fn both_errors_shrink_with_longer_trains() {
+        let activations = ramp(101);
+        let sweep = sweep_train_lengths(&activations, &[2, 4, 8]).unwrap();
+        assert!(sweep[0].radix_error > sweep[2].radix_error);
+        assert!(sweep[0].rate_error > sweep[2].rate_error);
+    }
+
+    #[test]
+    fn steps_for_resolution_matches_paper_motivation() {
+        // 8-bit activations: radix needs 8 steps, rate needs 255.
+        assert_eq!(steps_for_resolution(8), (8, 255));
+        // The paper's 6-step radix code corresponds to 63 rate steps.
+        assert_eq!(steps_for_resolution(6), (6, 63));
+    }
+
+    #[test]
+    fn densities_are_within_unit_interval() {
+        let activations = ramp(32);
+        let cmp = compare_encodings(&activations, 5).unwrap();
+        assert!(cmp.radix_density >= 0.0 && cmp.radix_density <= 1.0);
+        assert!(cmp.rate_density >= 0.0 && cmp.rate_density <= 1.0);
+    }
+}

@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Errors produced when constructing encoders or spike containers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodingError {
+    /// The requested spike-train length is outside the supported range.
+    InvalidTimeSteps {
+        /// The requested number of time steps.
+        requested: usize,
+        /// The largest supported number of time steps.
+        max: usize,
+    },
+    /// A spike container was built from mismatched pieces.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::InvalidTimeSteps { requested, max } => write!(
+                f,
+                "spike train length {requested} not supported (must be 1..={max})"
+            ),
+            EncodingError::ShapeMismatch { context } => {
+                write!(f, "spike container shape mismatch: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_bounds() {
+        let err = EncodingError::InvalidTimeSteps {
+            requested: 0,
+            max: 24,
+        };
+        assert!(err.to_string().contains("1..=24"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EncodingError>();
+    }
+}

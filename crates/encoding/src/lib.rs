@@ -1,0 +1,139 @@
+//! # snn-encoding
+//!
+//! Spike-train representations and the neural encoding schemes compared in
+//! the paper.
+//!
+//! A spiking neural network transmits binary events over `T` discrete time
+//! steps.  How a real-valued activation is turned into those events — the
+//! *neural encoding* — determines how long the spike train has to be for a
+//! given accuracy:
+//!
+//! * [`rate`] — classical rate encoding, where the spike count over the
+//!   train is proportional to the activation.  Reaching 8-bit resolution
+//!   requires on the order of hundreds of time steps, which is why
+//!   rate-coded accelerators need very long spike trains.
+//! * [`radix`] — the emerging *radix encoding* of Wang et al. (reference
+//!   [6] of the paper): the spike at time step `t` carries a weight of
+//!   `2^(T-1-t)`, so a train of length `T` encodes `T` bits of activation
+//!   resolution.  This is the scheme the accelerator is designed around;
+//!   the hardware accounts for the position weighting with a single left
+//!   shift per time step (Alg. 1, line 12).
+//!
+//! The [`SpikeTrain`] and [`SpikeRaster`] types are bit-packed so the
+//! accelerator simulator can move feature-map rows around exactly the way
+//! the hardware's shift registers do.
+//!
+//! # Example
+//!
+//! ```
+//! use snn_encoding::{radix::RadixEncoder, Encoder};
+//!
+//! // Encode an 8-level activation into a 3-step radix spike train.
+//! let encoder = RadixEncoder::new(3)?;
+//! let train = encoder.encode_value(0.75);         // 0.75 * (2^3 - 1) = 5.25 -> 5 = 0b101
+//! assert_eq!(train.spikes(), &[true, false, true]);
+//! let decoded = encoder.decode_value(&train);
+//! assert!((decoded - 5.0 / 7.0).abs() < 1e-6);
+//! # Ok::<(), snn_encoding::EncodingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod raster;
+mod train;
+
+pub mod analysis;
+pub mod radix;
+pub mod rate;
+pub mod ttfs;
+
+pub use error::EncodingError;
+pub use raster::SpikeRaster;
+pub use train::SpikeTrain;
+
+use snn_tensor::Tensor;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, EncodingError>;
+
+/// A neural encoding scheme: a way of turning real-valued activations in
+/// `[0, 1]` into spike trains of a fixed length, and back.
+///
+/// Implementations: [`radix::RadixEncoder`], [`rate::RateEncoder`].
+pub trait Encoder {
+    /// Number of time steps in the spike trains this encoder produces.
+    fn time_steps(&self) -> usize;
+
+    /// Encodes a single activation (clamped to `[0, 1]`) into a spike train.
+    fn encode_value(&self, value: f32) -> SpikeTrain;
+
+    /// Decodes a spike train back into an approximate activation in `[0, 1]`.
+    fn decode_value(&self, train: &SpikeTrain) -> f32;
+
+    /// Encodes a whole feature map into a [`SpikeRaster`] with one binary
+    /// plane per time step.
+    fn encode_tensor(&self, tensor: &Tensor<f32>) -> SpikeRaster {
+        let trains: Vec<SpikeTrain> = tensor.iter().map(|&v| self.encode_value(v)).collect();
+        SpikeRaster::from_trains(tensor.shape().clone(), self.time_steps(), &trains)
+    }
+
+    /// Decodes a [`SpikeRaster`] back into a real-valued feature map.
+    fn decode_tensor(&self, raster: &SpikeRaster) -> Tensor<f32> {
+        let trains = raster.to_trains();
+        let values: Vec<f32> = trains.iter().map(|t| self.decode_value(t)).collect();
+        Tensor::from_vec(raster.shape().clone(), values)
+            .expect("raster shape volume matches number of trains")
+    }
+
+    /// Mean absolute encode→decode error over a feature map.
+    fn reconstruction_error(&self, tensor: &Tensor<f32>) -> f32 {
+        let raster = self.encode_tensor(tensor);
+        let decoded = self.decode_tensor(&raster);
+        let n = tensor.len().max(1) as f32;
+        tensor
+            .iter()
+            .zip(decoded.iter())
+            .map(|(a, b)| (a.clamp(0.0, 1.0) - b).abs())
+            .sum::<f32>()
+            / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radix::RadixEncoder;
+
+    #[test]
+    fn encoder_trait_object_is_usable() {
+        let encoder: Box<dyn Encoder> = Box::new(RadixEncoder::new(4).unwrap());
+        assert_eq!(encoder.time_steps(), 4);
+        let train = encoder.encode_value(1.0);
+        assert_eq!(train.len(), 4);
+    }
+
+    #[test]
+    fn encode_decode_tensor_roundtrip_shape() {
+        let encoder = RadixEncoder::new(3).unwrap();
+        let tensor = Tensor::from_vec(vec![2, 2], vec![0.0f32, 0.25, 0.5, 1.0]).unwrap();
+        let raster = encoder.encode_tensor(&tensor);
+        assert_eq!(raster.shape().dims(), &[2, 2]);
+        assert_eq!(raster.time_steps(), 3);
+        let decoded = encoder.decode_tensor(&raster);
+        assert_eq!(decoded.shape().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn reconstruction_error_decreases_with_time_steps() {
+        let tensor = Tensor::from_vec(
+            vec![8],
+            vec![0.05f32, 0.15, 0.33, 0.42, 0.58, 0.66, 0.81, 0.97],
+        )
+        .unwrap();
+        let err3 = RadixEncoder::new(3).unwrap().reconstruction_error(&tensor);
+        let err6 = RadixEncoder::new(6).unwrap().reconstruction_error(&tensor);
+        assert!(err6 < err3, "expected {err6} < {err3}");
+    }
+}

@@ -1,0 +1,223 @@
+use crate::SpikeTrain;
+use serde::{Deserialize, Serialize};
+use snn_tensor::Shape;
+
+/// A *spike raster*: the spike trains of a whole feature map, stored as one
+/// binary plane per time step.
+///
+/// This mirrors how the accelerator consumes activations: for each time step
+/// it streams binary feature-map rows into the processing units, so the
+/// natural layout is `[time_step][flat feature-map offset]`, each plane
+/// bit-packed into `u64` words.
+///
+/// # Example
+///
+/// ```
+/// use snn_encoding::{SpikeRaster, SpikeTrain};
+/// use snn_tensor::Shape;
+///
+/// let trains = vec![
+///     SpikeTrain::from_level(0b10, 2),
+///     SpikeTrain::from_level(0b01, 2),
+/// ];
+/// let raster = SpikeRaster::from_trains(Shape::new(vec![2]), 2, &trains);
+/// assert!(raster.spike_at(0, 0));   // neuron 0 fires at t=0
+/// assert!(!raster.spike_at(0, 1));
+/// assert!(raster.spike_at(1, 1));   // neuron 1 fires at t=1
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpikeRaster {
+    shape: Shape,
+    time_steps: usize,
+    /// `time_steps` planes, each `ceil(volume / 64)` packed words.
+    planes: Vec<Vec<u64>>,
+}
+
+impl SpikeRaster {
+    /// Creates an all-silent raster for a feature map of the given shape.
+    pub fn silent(shape: Shape, time_steps: usize) -> Self {
+        let words = shape.volume().div_ceil(64);
+        SpikeRaster {
+            shape,
+            time_steps,
+            planes: vec![vec![0u64; words]; time_steps],
+        }
+    }
+
+    /// Builds a raster from one spike train per feature-map element
+    /// (row-major order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trains.len()` differs from the shape volume or any train is
+    /// shorter than `time_steps`.
+    pub fn from_trains(shape: Shape, time_steps: usize, trains: &[SpikeTrain]) -> Self {
+        assert_eq!(
+            trains.len(),
+            shape.volume(),
+            "number of spike trains must equal the feature-map volume"
+        );
+        let mut raster = SpikeRaster::silent(shape, time_steps);
+        for (idx, train) in trains.iter().enumerate() {
+            for t in 0..time_steps {
+                if train.spike_at(t) {
+                    raster.set_spike(t, idx, true);
+                }
+            }
+        }
+        raster
+    }
+
+    /// The feature-map shape this raster covers.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of time steps.
+    pub fn time_steps(&self) -> usize {
+        self.time_steps
+    }
+
+    /// Number of feature-map elements (neurons).
+    pub fn neurons(&self) -> usize {
+        self.shape.volume()
+    }
+
+    /// Whether the neuron at flat offset `index` spikes at time step `t`.
+    ///
+    /// Out-of-range queries return `false`.
+    pub fn spike_at(&self, t: usize, index: usize) -> bool {
+        if t >= self.time_steps || index >= self.neurons() {
+            return false;
+        }
+        let word = self.planes[t][index / 64];
+        (word >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets the event of neuron `index` at time step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `index` is out of range.
+    pub fn set_spike(&mut self, t: usize, index: usize, value: bool) {
+        assert!(t < self.time_steps, "time step {t} out of range");
+        assert!(index < self.neurons(), "neuron index {index} out of range");
+        let word = &mut self.planes[t][index / 64];
+        let mask = 1u64 << (index % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Total number of spikes across all time steps — the quantity that
+    /// drives dynamic energy in the accelerator.
+    pub fn total_spikes(&self) -> usize {
+        self.planes
+            .iter()
+            .map(|plane| plane.iter().map(|w| w.count_ones() as usize).sum::<usize>())
+            .sum()
+    }
+
+    /// Average number of spikes per neuron per time step, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        let slots = self.neurons() * self.time_steps;
+        if slots == 0 {
+            0.0
+        } else {
+            self.total_spikes() as f64 / slots as f64
+        }
+    }
+
+    /// Extracts one binary value per neuron for time step `t`
+    /// (row-major order), as `0`/`1` integers.
+    pub fn plane(&self, t: usize) -> Vec<u8> {
+        (0..self.neurons())
+            .map(|i| u8::from(self.spike_at(t, i)))
+            .collect()
+    }
+
+    /// Reconstructs the per-neuron spike trains (row-major order).
+    pub fn to_trains(&self) -> Vec<SpikeTrain> {
+        (0..self.neurons())
+            .map(|i| {
+                (0..self.time_steps)
+                    .map(|t| self.spike_at(t, i))
+                    .collect::<SpikeTrain>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_raster_has_no_spikes() {
+        let r = SpikeRaster::silent(Shape::new(vec![3, 3]), 4);
+        assert_eq!(r.total_spikes(), 0);
+        assert_eq!(r.density(), 0.0);
+        assert_eq!(r.neurons(), 9);
+    }
+
+    #[test]
+    fn set_and_get_spikes() {
+        let mut r = SpikeRaster::silent(Shape::new(vec![10]), 2);
+        r.set_spike(1, 7, true);
+        assert!(r.spike_at(1, 7));
+        assert!(!r.spike_at(0, 7));
+        r.set_spike(1, 7, false);
+        assert!(!r.spike_at(1, 7));
+    }
+
+    #[test]
+    fn packing_crosses_word_boundaries() {
+        let mut r = SpikeRaster::silent(Shape::new(vec![130]), 1);
+        r.set_spike(0, 63, true);
+        r.set_spike(0, 64, true);
+        r.set_spike(0, 129, true);
+        assert_eq!(r.total_spikes(), 3);
+        assert!(r.spike_at(0, 63));
+        assert!(r.spike_at(0, 64));
+        assert!(r.spike_at(0, 129));
+        assert!(!r.spike_at(0, 65));
+    }
+
+    #[test]
+    fn from_trains_roundtrip() {
+        let trains = vec![
+            SpikeTrain::from_level(5, 3),
+            SpikeTrain::from_level(2, 3),
+            SpikeTrain::from_level(7, 3),
+            SpikeTrain::from_level(0, 3),
+        ];
+        let raster = SpikeRaster::from_trains(Shape::new(vec![2, 2]), 3, &trains);
+        assert_eq!(raster.to_trains(), trains);
+        assert_eq!(raster.total_spikes(), 2 + 1 + 3 + 0);
+    }
+
+    #[test]
+    fn plane_extracts_one_time_step() {
+        let trains = vec![SpikeTrain::from_level(2, 2), SpikeTrain::from_level(1, 2)];
+        let raster = SpikeRaster::from_trains(Shape::new(vec![2]), 2, &trains);
+        assert_eq!(raster.plane(0), vec![1, 0]);
+        assert_eq!(raster.plane(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn density_is_fraction_of_slots() {
+        let mut r = SpikeRaster::silent(Shape::new(vec![4]), 2);
+        r.set_spike(0, 0, true);
+        r.set_spike(1, 3, true);
+        assert!((r.density() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "number of spike trains")]
+    fn from_trains_rejects_wrong_count() {
+        let trains = vec![SpikeTrain::silent(2)];
+        SpikeRaster::from_trains(Shape::new(vec![2]), 2, &trains);
+    }
+}

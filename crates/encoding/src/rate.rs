@@ -1,0 +1,208 @@
+//! Rate encoding — the classical SNN input encoding the paper contrasts
+//! radix encoding with.
+//!
+//! With rate encoding the *number* of spikes over the train is proportional
+//! to the activation, while the positions of the spikes carry no
+//! information.  To distinguish `2^B` activation levels, a rate-coded train
+//! needs `2^B - 1` time steps, which is why rate-coded deep SNNs use trains
+//! of hundreds to a thousand steps (Section I of the paper).
+//!
+//! Two deterministic variants and one stochastic variant are provided:
+//!
+//! * [`RateEncoder`] (deterministic, evenly spaced spikes) — used by the
+//!   comparison harness because it is reproducible.
+//! * [`PoissonRateEncoder`] — Bernoulli spiking with probability equal to
+//!   the activation, the textbook stochastic scheme.
+
+use crate::{Encoder, EncodingError, Result, SpikeTrain};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported spike-train length for rate encoding.
+pub const MAX_TIME_STEPS: usize = 4096;
+
+/// Deterministic rate encoder: `round(a * T)` spikes spread as evenly as
+/// possible over the `T` time steps.
+///
+/// # Example
+///
+/// ```
+/// use snn_encoding::{rate::RateEncoder, Encoder};
+///
+/// let enc = RateEncoder::new(8)?;
+/// let train = enc.encode_value(0.5);
+/// assert_eq!(train.spike_count(), 4);
+/// assert!((enc.decode_value(&train) - 0.5).abs() < 1e-6);
+/// # Ok::<(), snn_encoding::EncodingError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RateEncoder {
+    time_steps: usize,
+}
+
+impl RateEncoder {
+    /// Creates a deterministic rate encoder with trains of `time_steps`
+    /// steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::InvalidTimeSteps`] when `time_steps` is zero
+    /// or exceeds [`MAX_TIME_STEPS`].
+    pub fn new(time_steps: usize) -> Result<Self> {
+        if time_steps == 0 || time_steps > MAX_TIME_STEPS {
+            return Err(EncodingError::InvalidTimeSteps {
+                requested: time_steps,
+                max: MAX_TIME_STEPS,
+            });
+        }
+        Ok(RateEncoder { time_steps })
+    }
+
+    /// Number of time steps a rate code needs to reach the same resolution
+    /// as a radix code of `radix_steps` steps (`2^radix_steps - 1`).
+    ///
+    /// This is the train-length blow-up the paper's Section I refers to.
+    pub fn equivalent_steps_for_radix(radix_steps: usize) -> usize {
+        (1usize << radix_steps) - 1
+    }
+}
+
+impl Encoder for RateEncoder {
+    fn time_steps(&self) -> usize {
+        self.time_steps
+    }
+
+    fn encode_value(&self, value: f32) -> SpikeTrain {
+        let clamped = value.clamp(0.0, 1.0);
+        let count = (clamped * self.time_steps as f32).round() as usize;
+        let mut train = SpikeTrain::silent(self.time_steps);
+        if count == 0 {
+            return train;
+        }
+        // Spread `count` spikes evenly (Bresenham-style accumulation).
+        let mut acc = 0usize;
+        for t in 0..self.time_steps {
+            acc += count;
+            if acc >= self.time_steps {
+                acc -= self.time_steps;
+                train.set_spike(t, true);
+            }
+        }
+        train
+    }
+
+    fn decode_value(&self, train: &SpikeTrain) -> f32 {
+        train.spike_count() as f32 / self.time_steps as f32
+    }
+}
+
+/// Stochastic (Poisson/Bernoulli) rate encoder: at each time step the neuron
+/// fires with probability equal to the activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoissonRateEncoder {
+    time_steps: usize,
+}
+
+impl PoissonRateEncoder {
+    /// Creates a stochastic rate encoder with trains of `time_steps` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::InvalidTimeSteps`] for unsupported lengths.
+    pub fn new(time_steps: usize) -> Result<Self> {
+        if time_steps == 0 || time_steps > MAX_TIME_STEPS {
+            return Err(EncodingError::InvalidTimeSteps {
+                requested: time_steps,
+                max: MAX_TIME_STEPS,
+            });
+        }
+        Ok(PoissonRateEncoder { time_steps })
+    }
+
+    /// Number of time steps per train.
+    pub fn time_steps(&self) -> usize {
+        self.time_steps
+    }
+
+    /// Encodes an activation with the supplied random-number generator.
+    pub fn encode_value_with<R: Rng + ?Sized>(&self, value: f32, rng: &mut R) -> SpikeTrain {
+        let p = value.clamp(0.0, 1.0) as f64;
+        (0..self.time_steps)
+            .map(|_| rng.gen_bool(p))
+            .collect::<SpikeTrain>()
+    }
+
+    /// Decodes by spike-count averaging, like the deterministic encoder.
+    pub fn decode_value(&self, train: &SpikeTrain) -> f32 {
+        train.spike_count() as f32 / self.time_steps as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_lengths() {
+        assert!(RateEncoder::new(0).is_err());
+        assert!(RateEncoder::new(MAX_TIME_STEPS + 1).is_err());
+        assert!(PoissonRateEncoder::new(0).is_err());
+    }
+
+    #[test]
+    fn spike_count_proportional_to_value() {
+        let enc = RateEncoder::new(10).unwrap();
+        assert_eq!(enc.encode_value(0.0).spike_count(), 0);
+        assert_eq!(enc.encode_value(0.3).spike_count(), 3);
+        assert_eq!(enc.encode_value(1.0).spike_count(), 10);
+    }
+
+    #[test]
+    fn decode_recovers_value_to_within_one_step() {
+        let enc = RateEncoder::new(16).unwrap();
+        for i in 0..=20 {
+            let v = i as f32 / 20.0;
+            let d = enc.decode_value(&enc.encode_value(v));
+            assert!((v - d).abs() <= 0.5 / 16.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn spikes_are_spread_not_bunched() {
+        let enc = RateEncoder::new(8).unwrap();
+        let train = enc.encode_value(0.5);
+        // Four spikes over eight steps, never two adjacent pairs in a row of four.
+        assert_eq!(train.spike_count(), 4);
+        let spikes = train.spikes();
+        let first_half: usize = spikes[..4].iter().filter(|&&s| s).count();
+        let second_half: usize = spikes[4..].iter().filter(|&&s| s).count();
+        assert_eq!(first_half, 2);
+        assert_eq!(second_half, 2);
+    }
+
+    #[test]
+    fn equivalent_steps_shows_exponential_blowup() {
+        assert_eq!(RateEncoder::equivalent_steps_for_radix(3), 7);
+        assert_eq!(RateEncoder::equivalent_steps_for_radix(6), 63);
+        assert_eq!(RateEncoder::equivalent_steps_for_radix(10), 1023);
+    }
+
+    #[test]
+    fn poisson_encoder_statistics_match_probability() {
+        let enc = PoissonRateEncoder::new(2000).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let train = enc.encode_value_with(0.3, &mut rng);
+        let rate = enc.decode_value(&train);
+        assert!((rate - 0.3).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn poisson_extremes_are_deterministic() {
+        let enc = PoissonRateEncoder::new(64).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(enc.encode_value_with(0.0, &mut rng).spike_count(), 0);
+        assert_eq!(enc.encode_value_with(1.0, &mut rng).spike_count(), 64);
+    }
+}

@@ -1,0 +1,174 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A spike train for a single neuron: an ordered sequence of binary events,
+/// one per time step.
+///
+/// Time step 0 is the **first** step transmitted; for radix encoding it is
+/// the most significant bit of the encoded activation.
+///
+/// # Example
+///
+/// ```
+/// use snn_encoding::SpikeTrain;
+///
+/// let train = SpikeTrain::from_bits(&[true, false, true]);
+/// assert_eq!(train.len(), 3);
+/// assert_eq!(train.spike_count(), 2);
+/// assert!(train.spike_at(0));
+/// assert!(!train.spike_at(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpikeTrain {
+    spikes: Vec<bool>,
+}
+
+impl SpikeTrain {
+    /// Creates an empty (all-silent) spike train of the given length.
+    pub fn silent(time_steps: usize) -> Self {
+        SpikeTrain {
+            spikes: vec![false; time_steps],
+        }
+    }
+
+    /// Creates a spike train from a slice of per-step events.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        SpikeTrain {
+            spikes: bits.to_vec(),
+        }
+    }
+
+    /// Creates a spike train of length `time_steps` whose bit pattern is the
+    /// binary representation of `value`, most significant bit first.
+    ///
+    /// Values larger than `2^time_steps - 1` are saturated to all-ones.
+    /// This is exactly the radix encoding of an unsigned integer level.
+    pub fn from_level(value: u32, time_steps: usize) -> Self {
+        let max = if time_steps >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << time_steps) - 1
+        };
+        let v = value.min(max);
+        let spikes = (0..time_steps)
+            .map(|t| {
+                let bit = time_steps - 1 - t;
+                (v >> bit) & 1 == 1
+            })
+            .collect();
+        SpikeTrain { spikes }
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.spikes.len()
+    }
+
+    /// Returns `true` when the train has zero time steps.
+    pub fn is_empty(&self) -> bool {
+        self.spikes.is_empty()
+    }
+
+    /// Whether a spike occurs at time step `t` (out-of-range steps are
+    /// silent).
+    pub fn spike_at(&self, t: usize) -> bool {
+        self.spikes.get(t).copied().unwrap_or(false)
+    }
+
+    /// Sets the event at time step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn set_spike(&mut self, t: usize, value: bool) {
+        self.spikes[t] = value;
+    }
+
+    /// The per-step events, first time step first.
+    pub fn spikes(&self) -> &[bool] {
+        &self.spikes
+    }
+
+    /// Total number of spikes in the train.
+    pub fn spike_count(&self) -> usize {
+        self.spikes.iter().filter(|&&s| s).count()
+    }
+
+    /// Interprets the train as a radix-encoded unsigned level
+    /// (most significant bit first).
+    pub fn to_level(&self) -> u32 {
+        self.spikes
+            .iter()
+            .fold(0u32, |acc, &s| (acc << 1) | u32::from(s))
+    }
+}
+
+impl fmt::Display for SpikeTrain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &s in &self.spikes {
+            write!(f, "{}", if s { '|' } else { '.' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for SpikeTrain {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        SpikeTrain {
+            spikes: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_train_has_no_spikes() {
+        let t = SpikeTrain::silent(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.spike_count(), 0);
+        assert_eq!(t.to_level(), 0);
+    }
+
+    #[test]
+    fn from_level_is_msb_first() {
+        let t = SpikeTrain::from_level(0b101, 3);
+        assert_eq!(t.spikes(), &[true, false, true]);
+        assert_eq!(t.to_level(), 5);
+    }
+
+    #[test]
+    fn from_level_saturates() {
+        let t = SpikeTrain::from_level(100, 3);
+        assert_eq!(t.to_level(), 7);
+        assert_eq!(t.spike_count(), 3);
+    }
+
+    #[test]
+    fn level_roundtrip() {
+        for level in 0..16u32 {
+            let t = SpikeTrain::from_level(level, 4);
+            assert_eq!(t.to_level(), level);
+        }
+    }
+
+    #[test]
+    fn display_uses_pipe_and_dot() {
+        let t = SpikeTrain::from_bits(&[true, false, true, false]);
+        assert_eq!(t.to_string(), "|.|.");
+    }
+
+    #[test]
+    fn out_of_range_step_is_silent() {
+        let t = SpikeTrain::from_bits(&[true]);
+        assert!(!t.spike_at(10));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: SpikeTrain = [true, true, false].into_iter().collect();
+        assert_eq!(t.spike_count(), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Time-to-first-spike (TTFS) encoding.
+//!
+//! TTFS is another *emerging* neural encoding (alongside radix encoding)
+//! that compresses information into few spikes: each neuron emits at most
+//! one spike per inference, and the information is carried by *when* it
+//! fires — a larger activation fires earlier.  It is included here as a
+//! point of comparison for the encoding study: like radix encoding it is
+//! order-sensitive (so rate-coded accelerators cannot execute it), but its
+//! resolution is only `T + 1` levels per train versus `2^T` for radix,
+//! which is why the paper builds on radix encoding.
+
+use crate::{Encoder, EncodingError, Result, SpikeTrain};
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported spike-train length for TTFS encoding.
+pub const MAX_TIME_STEPS: usize = 4096;
+
+/// Time-to-first-spike encoder: activation `a ∈ [0, 1]` is quantized to one
+/// of `T + 1` levels; level `0` stays silent, level `l > 0` fires a single
+/// spike at time step `T - l` (larger activations fire earlier).
+///
+/// # Example
+///
+/// ```
+/// use snn_encoding::{ttfs::TtfsEncoder, Encoder};
+///
+/// let enc = TtfsEncoder::new(4)?;
+/// let strong = enc.encode_value(1.0);
+/// let weak = enc.encode_value(0.25);
+/// assert_eq!(strong.spike_count(), 1);
+/// assert!(strong.spikes().iter().position(|&s| s) < weak.spikes().iter().position(|&s| s));
+/// # Ok::<(), snn_encoding::EncodingError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TtfsEncoder {
+    time_steps: usize,
+}
+
+impl TtfsEncoder {
+    /// Creates a TTFS encoder producing trains of `time_steps` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::InvalidTimeSteps`] when `time_steps` is zero
+    /// or exceeds [`MAX_TIME_STEPS`].
+    pub fn new(time_steps: usize) -> Result<Self> {
+        if time_steps == 0 || time_steps > MAX_TIME_STEPS {
+            return Err(EncodingError::InvalidTimeSteps {
+                requested: time_steps,
+                max: MAX_TIME_STEPS,
+            });
+        }
+        Ok(TtfsEncoder { time_steps })
+    }
+
+    /// Number of distinguishable activation levels (`T + 1`, including
+    /// "never fires").
+    pub fn levels(&self) -> usize {
+        self.time_steps + 1
+    }
+
+    /// The quantized level of an activation: `round(a * T)`.
+    pub fn level_of(&self, value: f32) -> usize {
+        (value.clamp(0.0, 1.0) * self.time_steps as f32).round() as usize
+    }
+
+    /// The firing time for a level, or `None` for the silent level 0.
+    pub fn firing_time(&self, level: usize) -> Option<usize> {
+        if level == 0 || level > self.time_steps {
+            None
+        } else {
+            Some(self.time_steps - level)
+        }
+    }
+}
+
+impl Encoder for TtfsEncoder {
+    fn time_steps(&self) -> usize {
+        self.time_steps
+    }
+
+    fn encode_value(&self, value: f32) -> SpikeTrain {
+        let mut train = SpikeTrain::silent(self.time_steps);
+        if let Some(t) = self.firing_time(self.level_of(value)) {
+            train.set_spike(t, true);
+        }
+        train
+    }
+
+    fn decode_value(&self, train: &SpikeTrain) -> f32 {
+        match train.spikes().iter().position(|&s| s) {
+            Some(t) => (self.time_steps - t) as f32 / self.time_steps as f32,
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_lengths() {
+        assert!(TtfsEncoder::new(0).is_err());
+        assert!(TtfsEncoder::new(MAX_TIME_STEPS + 1).is_err());
+        assert!(TtfsEncoder::new(8).is_ok());
+    }
+
+    #[test]
+    fn at_most_one_spike_per_train() {
+        let enc = TtfsEncoder::new(8).unwrap();
+        for i in 0..=20 {
+            let train = enc.encode_value(i as f32 / 20.0);
+            assert!(train.spike_count() <= 1);
+        }
+    }
+
+    #[test]
+    fn larger_activations_fire_earlier() {
+        let enc = TtfsEncoder::new(8).unwrap();
+        let strong = enc.encode_value(1.0);
+        let medium = enc.encode_value(0.5);
+        let first = |t: &SpikeTrain| t.spikes().iter().position(|&s| s).unwrap();
+        assert!(first(&strong) < first(&medium));
+        assert_eq!(first(&strong), 0);
+    }
+
+    #[test]
+    fn zero_activation_stays_silent() {
+        let enc = TtfsEncoder::new(6).unwrap();
+        assert_eq!(enc.encode_value(0.0).spike_count(), 0);
+        assert_eq!(enc.decode_value(&SpikeTrain::silent(6)), 0.0);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_level() {
+        let enc = TtfsEncoder::new(10).unwrap();
+        let half_step = 0.5 / 10.0;
+        for i in 0..=50 {
+            let v = i as f32 / 50.0;
+            let d = enc.decode_value(&enc.encode_value(v));
+            assert!((v - d).abs() <= half_step + 1e-6, "{v} -> {d}");
+        }
+    }
+
+    #[test]
+    fn resolution_is_linear_not_exponential_in_t() {
+        // The reason the paper prefers radix: a TTFS train of length T only
+        // distinguishes T + 1 levels, a radix train 2^T.
+        let ttfs = TtfsEncoder::new(6).unwrap();
+        let radix = crate::radix::RadixEncoder::new(6).unwrap();
+        assert_eq!(ttfs.levels(), 7);
+        assert_eq!(radix.max_level() + 1, 64);
+    }
+
+    #[test]
+    fn ttfs_is_sparser_than_radix_at_equal_length() {
+        let ttfs = TtfsEncoder::new(6).unwrap();
+        let radix = crate::radix::RadixEncoder::new(6).unwrap();
+        let mut ttfs_spikes = 0usize;
+        let mut radix_spikes = 0usize;
+        for i in 0..=63 {
+            let v = i as f32 / 63.0;
+            ttfs_spikes += ttfs.encode_value(v).spike_count();
+            radix_spikes += radix.encode_value(v).spike_count();
+        }
+        assert!(ttfs_spikes < radix_spikes);
+    }
+}

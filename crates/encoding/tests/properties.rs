@@ -1,0 +1,85 @@
+//! Property-based tests for the encoding crate.
+
+use proptest::prelude::*;
+use snn_encoding::{radix::RadixEncoder, rate::RateEncoder, Encoder, SpikeRaster, SpikeTrain};
+use snn_tensor::Shape;
+
+proptest! {
+    /// Radix encode→decode error never exceeds half a quantization step.
+    #[test]
+    fn radix_roundtrip_error_bounded(value in 0.0f32..=1.0, steps in 1usize..12) {
+        let enc = RadixEncoder::new(steps).unwrap();
+        let decoded = enc.decode_value(&enc.encode_value(value));
+        let half_step = 0.5 / enc.max_level() as f32;
+        prop_assert!((value - decoded).abs() <= half_step + 1e-6);
+    }
+
+    /// The level interpretation of a radix train equals the left-shift
+    /// weighted sum used by the hardware output logic.
+    #[test]
+    fn radix_weighted_sum_equals_level(level in 0u32..4096, steps in 1usize..12) {
+        let enc = RadixEncoder::new(steps).unwrap();
+        let train = SpikeTrain::from_level(level, steps);
+        prop_assert_eq!(enc.weighted_sum(&train), train.to_level());
+    }
+
+    /// Radix encoding is monotone: larger activations never decode to
+    /// smaller values.
+    #[test]
+    fn radix_encoding_is_monotone(a in 0.0f32..=1.0, b in 0.0f32..=1.0, steps in 1usize..10) {
+        let enc = RadixEncoder::new(steps).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let d_lo = enc.decode_value(&enc.encode_value(lo));
+        let d_hi = enc.decode_value(&enc.encode_value(hi));
+        prop_assert!(d_lo <= d_hi + 1e-6);
+    }
+
+    /// Rate encoding spike count equals round(value * T) and decoding is the
+    /// count divided by T.
+    #[test]
+    fn rate_spike_count_matches_value(value in 0.0f32..=1.0, steps in 1usize..64) {
+        let enc = RateEncoder::new(steps).unwrap();
+        let train = enc.encode_value(value);
+        let expected = (value * steps as f32).round() as usize;
+        prop_assert_eq!(train.spike_count(), expected);
+        prop_assert!((enc.decode_value(&train) - expected as f32 / steps as f32).abs() < 1e-6);
+    }
+
+    /// At equal train length, radix reconstruction error is never worse than
+    /// rate reconstruction error for on-grid radix levels.
+    #[test]
+    fn radix_no_worse_than_rate_on_grid(level in 0u32..64, steps in 2usize..7) {
+        let enc_radix = RadixEncoder::new(steps).unwrap();
+        let enc_rate = RateEncoder::new(steps).unwrap();
+        let max = enc_radix.max_level();
+        let value = (level % (max + 1)) as f32 / max as f32;
+        let radix_err = (enc_radix.decode_value(&enc_radix.encode_value(value)) - value).abs();
+        let rate_err = (enc_rate.decode_value(&enc_rate.encode_value(value)) - value).abs();
+        prop_assert!(radix_err <= rate_err + 1e-6);
+    }
+
+    /// Raster round-trips spike trains losslessly.
+    #[test]
+    fn raster_roundtrip(levels in prop::collection::vec(0u32..256, 1..40), steps in 1usize..9) {
+        let trains: Vec<SpikeTrain> = levels
+            .iter()
+            .map(|&l| SpikeTrain::from_level(l, steps))
+            .collect();
+        let raster = SpikeRaster::from_trains(Shape::new(vec![trains.len()]), steps, &trains);
+        prop_assert_eq!(raster.to_trains(), trains);
+    }
+
+    /// Total spike count of the raster equals the sum of the per-train
+    /// counts.
+    #[test]
+    fn raster_total_spikes_is_sum(levels in prop::collection::vec(0u32..64, 1..40)) {
+        let steps = 6usize;
+        let trains: Vec<SpikeTrain> = levels
+            .iter()
+            .map(|&l| SpikeTrain::from_level(l, steps))
+            .collect();
+        let expected: usize = trains.iter().map(|t| t.spike_count()).sum();
+        let raster = SpikeRaster::from_trains(Shape::new(vec![trains.len()]), steps, &trains);
+        prop_assert_eq!(raster.total_spikes(), expected);
+    }
+}

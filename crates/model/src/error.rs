@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Errors produced while constructing or executing network models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A layer's input shape is incompatible with the preceding layer's
+    /// output.
+    ShapeMismatch {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Human-readable description.
+        context: String,
+    },
+    /// A network was declared with an unsupported structure (for example no
+    /// layers, or a convolution after flattening).
+    InvalidNetwork {
+        /// Human-readable description.
+        context: String,
+    },
+    /// Parameters do not match the network they are used with.
+    ParameterMismatch {
+        /// Human-readable description.
+        context: String,
+    },
+    /// An error bubbled up from the tensor substrate.
+    Tensor(snn_tensor::TensorError),
+    /// An error bubbled up from the encoding crate.
+    Encoding(snn_encoding::EncodingError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ShapeMismatch { layer, context } => {
+                write!(f, "shape mismatch at layer {layer}: {context}")
+            }
+            ModelError::InvalidNetwork { context } => {
+                write!(f, "invalid network: {context}")
+            }
+            ModelError::ParameterMismatch { context } => {
+                write!(f, "parameter mismatch: {context}")
+            }
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ModelError::Encoding(e) => write!(f, "encoding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Tensor(e) => Some(e),
+            ModelError::Encoding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<snn_tensor::TensorError> for ModelError {
+    fn from(e: snn_tensor::TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+impl From<snn_encoding::EncodingError> for ModelError {
+    fn from(e: snn_encoding::EncodingError) -> Self {
+        ModelError::Encoding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let err = ModelError::InvalidNetwork {
+            context: "network has no layers".to_string(),
+        };
+        assert!(err.to_string().contains("no layers"));
+    }
+
+    #[test]
+    fn tensor_errors_convert() {
+        let tensor_err = snn_tensor::TensorError::InvalidParameter {
+            context: "stride".into(),
+        };
+        let err: ModelError = tensor_err.into();
+        assert!(matches!(err, ModelError::Tensor(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

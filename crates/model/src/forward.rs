@@ -1,0 +1,220 @@
+//! Floating-point ANN reference forward pass.
+//!
+//! This is the "equivalent ANN" of the ANN-to-SNN conversion flow
+//! (Section IV-A).  ReLU is applied after every convolution and
+//! fully-connected layer except the final classifier layer.
+
+use crate::{params::Parameters, LayerSpec, ModelError, NetworkSpec, Result};
+use crate::layer::PoolKind;
+use snn_tensor::{ops, Tensor};
+
+/// The activations produced by [`ann_forward`]: one tensor per layer
+/// output, plus the logits of the final layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardTrace {
+    /// Output activation of every layer, in layer order.  Entry `i` is the
+    /// output of layer `i` (after ReLU where applicable).
+    pub activations: Vec<Tensor<f32>>,
+}
+
+impl ForwardTrace {
+    /// The network output (logits of the final layer).
+    pub fn logits(&self) -> &Tensor<f32> {
+        self.activations.last().expect("trace is never empty")
+    }
+
+    /// Index of the largest logit.
+    pub fn predicted_class(&self) -> usize {
+        argmax(self.logits())
+    }
+}
+
+/// Index of the maximum element (ties resolved to the first).
+pub fn argmax(t: &Tensor<f32>) -> usize {
+    t.iter()
+        .enumerate()
+        .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+            if v > bv {
+                (i, v)
+            } else {
+                (bi, bv)
+            }
+        })
+        .0
+}
+
+/// Runs the floating-point forward pass of `net` with `params` on a single
+/// `[C, H, W]` input.
+///
+/// # Errors
+///
+/// Returns an error when the input shape does not match the network or the
+/// parameters are missing/mismatched.
+pub fn ann_forward(
+    net: &NetworkSpec,
+    params: &Parameters,
+    input: &Tensor<f32>,
+) -> Result<ForwardTrace> {
+    if input.shape().dims() != net.input_shape() {
+        return Err(ModelError::ShapeMismatch {
+            layer: 0,
+            context: format!(
+                "input shape {:?} does not match network input {:?}",
+                input.shape().dims(),
+                net.input_shape()
+            ),
+        });
+    }
+    let last_layer = net.layers().len() - 1;
+    let mut current = input.clone();
+    let mut activations = Vec::with_capacity(net.layers().len());
+    for (i, layer) in net.layers().iter().enumerate() {
+        let is_output_layer = i == last_layer;
+        current = match *layer {
+            LayerSpec::Conv2d {
+                stride, padding, ..
+            } => {
+                let p = params.layer(i).ok_or_else(|| ModelError::ParameterMismatch {
+                    context: format!("layer {i} is missing parameters"),
+                })?;
+                let out = ops::conv2d(&current, &p.weight, Some(&p.bias), stride, padding)?;
+                if is_output_layer {
+                    out
+                } else {
+                    ops::relu(&out)
+                }
+            }
+            LayerSpec::Pool { kind, window } => match kind {
+                PoolKind::Average => ops::avg_pool2d(&current, window)?,
+                PoolKind::Max => ops::max_pool2d(&current, window)?,
+            },
+            LayerSpec::Flatten => {
+                let volume = current.len();
+                current.reshape(vec![volume])?
+            }
+            LayerSpec::Linear { .. } => {
+                let p = params.layer(i).ok_or_else(|| ModelError::ParameterMismatch {
+                    context: format!("layer {i} is missing parameters"),
+                })?;
+                let out = ops::linear(&current, &p.weight, Some(&p.bias))?;
+                if is_output_layer {
+                    out
+                } else {
+                    ops::relu(&out)
+                }
+            }
+        };
+        activations.push(current.clone());
+    }
+    Ok(ForwardTrace { activations })
+}
+
+/// Predicts the class of a single input.
+///
+/// # Errors
+///
+/// Propagates errors from [`ann_forward`].
+pub fn predict(net: &NetworkSpec, params: &Parameters, input: &Tensor<f32>) -> Result<usize> {
+    Ok(ann_forward(net, params, input)?.predicted_class())
+}
+
+/// Classification accuracy of the ANN over an iterator of labelled samples.
+///
+/// # Errors
+///
+/// Propagates errors from [`ann_forward`].
+pub fn evaluate<'a, I>(net: &NetworkSpec, params: &Parameters, samples: I) -> Result<f32>
+where
+    I: IntoIterator<Item = (&'a Tensor<f32>, usize)>,
+{
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (input, label) in samples {
+        if predict(net, params, input)? == label {
+            correct += 1;
+        }
+        total += 1;
+    }
+    Ok(if total == 0 {
+        0.0
+    } else {
+        correct as f32 / total as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LayerParameters;
+    use crate::zoo;
+
+    #[test]
+    fn argmax_picks_first_maximum() {
+        let t = Tensor::from_vec(vec![4], vec![0.1f32, 0.9, 0.9, 0.2]).unwrap();
+        assert_eq!(argmax(&t), 1);
+    }
+
+    #[test]
+    fn forward_produces_one_activation_per_layer() {
+        let net = zoo::tiny_cnn();
+        let params = Parameters::he_init(&net, 1).unwrap();
+        let input = Tensor::filled(vec![1, 12, 12], 0.5f32);
+        let trace = ann_forward(&net, &params, &input).unwrap();
+        assert_eq!(trace.activations.len(), net.layers().len());
+        assert_eq!(trace.logits().shape().dims(), &[10]);
+        assert!(trace.predicted_class() < 10);
+    }
+
+    #[test]
+    fn hidden_activations_are_non_negative() {
+        let net = zoo::tiny_cnn();
+        let params = Parameters::he_init(&net, 2).unwrap();
+        let input = Tensor::filled(vec![1, 12, 12], 1.0f32);
+        let trace = ann_forward(&net, &params, &input).unwrap();
+        // All layers except the final logits are post-ReLU (or pooling of
+        // post-ReLU values), hence non-negative.
+        for act in &trace.activations[..trace.activations.len() - 1] {
+            assert!(act.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn wrong_input_shape_is_rejected() {
+        let net = zoo::tiny_cnn();
+        let params = Parameters::he_init(&net, 1).unwrap();
+        let input = Tensor::filled(vec![1, 8, 8], 0.5f32);
+        assert!(ann_forward(&net, &params, &input).is_err());
+    }
+
+    #[test]
+    fn handcrafted_network_classifies_by_brightness() {
+        // A 1-layer linear network that separates bright from dark images.
+        let net = NetworkSpec::new(
+            "brightness",
+            vec![4],
+            vec![LayerSpec::linear(4, 2)],
+        )
+        .unwrap();
+        let weight = Tensor::from_vec(
+            vec![2, 4],
+            vec![1.0f32, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0],
+        )
+        .unwrap();
+        let bias = Tensor::filled(vec![2], 0.0f32);
+        let params = Parameters::new(&net, vec![Some(LayerParameters { weight, bias })]).unwrap();
+        let bright = Tensor::filled(vec![4], 1.0f32);
+        let dark = Tensor::filled(vec![4], -1.0f32);
+        assert_eq!(predict(&net, &params, &bright).unwrap(), 0);
+        assert_eq!(predict(&net, &params, &dark).unwrap(), 1);
+        let acc = evaluate(&net, &params, vec![(&bright, 0), (&dark, 1)]).unwrap();
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn evaluate_empty_iterator_is_zero() {
+        let net = zoo::tiny_cnn();
+        let params = Parameters::he_init(&net, 1).unwrap();
+        let acc = evaluate(&net, &params, std::iter::empty()).unwrap();
+        assert_eq!(acc, 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Layer specifications for the feed-forward CNN topologies supported by
+//! the accelerator.
+
+use crate::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+use snn_tensor::ops;
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Average pooling (adder-based in hardware, division folded into the
+    /// requantization step).
+    Average,
+    /// Max pooling (comparator-based).
+    Max,
+}
+
+/// A single layer of a network.
+///
+/// The accelerator supports exactly the layer types that appear in the
+/// paper's workloads: 2-D convolution, non-overlapping pooling, flattening
+/// of the feature maps before the classifier, and fully-connected layers.
+/// ReLU is implicit after every convolution and fully-connected layer
+/// except the last one, matching "apply ReLU and requantize" in Alg. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// 2-D convolution over `[C, H, W]` feature maps.
+    Conv2d {
+        /// Number of input channels.
+        in_channels: usize,
+        /// Number of output channels.
+        out_channels: usize,
+        /// Square kernel side length.
+        kernel: usize,
+        /// Stride in both dimensions.
+        stride: usize,
+        /// Zero padding in both dimensions.
+        padding: usize,
+    },
+    /// Non-overlapping pooling with a square window.
+    Pool {
+        /// Pooling flavour.
+        kind: PoolKind,
+        /// Window (and stride) size.
+        window: usize,
+    },
+    /// Flattens a `[C, H, W]` feature map into a `[C*H*W]` vector.  This is
+    /// the point where the accelerator moves activations from the 2-D to
+    /// the 1-D ping-pong buffers.
+    Flatten,
+    /// Fully-connected layer.
+    Linear {
+        /// Number of input features.
+        in_features: usize,
+        /// Number of output features.
+        out_features: usize,
+    },
+}
+
+impl LayerSpec {
+    /// Convenience constructor for a convolution with stride 1 and no
+    /// padding (the form used by LeNet-5 and the MNIST CNNs).
+    pub fn conv(in_channels: usize, out_channels: usize, kernel: usize) -> Self {
+        LayerSpec::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride: 1,
+            padding: 0,
+        }
+    }
+
+    /// Convenience constructor for a padded stride-1 convolution (VGG
+    /// style: 3×3 kernels with padding 1).
+    pub fn conv_padded(in_channels: usize, out_channels: usize, kernel: usize, padding: usize) -> Self {
+        LayerSpec::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride: 1,
+            padding,
+        }
+    }
+
+    /// Convenience constructor for 2×2 average pooling.
+    pub fn avg_pool2() -> Self {
+        LayerSpec::Pool {
+            kind: PoolKind::Average,
+            window: 2,
+        }
+    }
+
+    /// Convenience constructor for 2×2 max pooling.
+    pub fn max_pool2() -> Self {
+        LayerSpec::Pool {
+            kind: PoolKind::Max,
+            window: 2,
+        }
+    }
+
+    /// Convenience constructor for a fully-connected layer.
+    pub fn linear(in_features: usize, out_features: usize) -> Self {
+        LayerSpec::Linear {
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Returns `true` for layers that carry trainable weights.
+    pub fn has_weights(&self) -> bool {
+        matches!(self, LayerSpec::Conv2d { .. } | LayerSpec::Linear { .. })
+    }
+
+    /// Number of trainable parameters (weights + biases) in this layer.
+    pub fn parameter_count(&self) -> usize {
+        match *self {
+            LayerSpec::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => out_channels * in_channels * kernel * kernel + out_channels,
+            LayerSpec::Linear {
+                in_features,
+                out_features,
+            } => out_features * in_features + out_features,
+            _ => 0,
+        }
+    }
+
+    /// Computes the output shape of this layer for the given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] (with `layer` set to 0; callers
+    /// patch in the real index) when the input shape is incompatible.
+    pub fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>> {
+        let mismatch = |context: String| ModelError::ShapeMismatch { layer: 0, context };
+        match *self {
+            LayerSpec::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
+                if input.len() != 3 {
+                    return Err(mismatch(format!(
+                        "convolution expects a [C, H, W] input, got {input:?}"
+                    )));
+                }
+                if input[0] != in_channels {
+                    return Err(mismatch(format!(
+                        "convolution expects {in_channels} input channels, got {}",
+                        input[0]
+                    )));
+                }
+                let (h, w) = ops::conv2d_output_dims(
+                    (input[1], input[2]),
+                    (kernel, kernel),
+                    stride,
+                    padding,
+                )
+                .map_err(|e| mismatch(e.to_string()))?;
+                Ok(vec![out_channels, h, w])
+            }
+            LayerSpec::Pool { window, .. } => {
+                if input.len() != 3 {
+                    return Err(mismatch(format!(
+                        "pooling expects a [C, H, W] input, got {input:?}"
+                    )));
+                }
+                let (h, w) = ops::pool_output_dims((input[1], input[2]), window)
+                    .map_err(|e| mismatch(e.to_string()))?;
+                Ok(vec![input[0], h, w])
+            }
+            LayerSpec::Flatten => {
+                if input.is_empty() {
+                    return Err(mismatch("flatten expects a non-empty shape".to_string()));
+                }
+                Ok(vec![input.iter().product()])
+            }
+            LayerSpec::Linear {
+                in_features,
+                out_features,
+            } => {
+                if input != [in_features] {
+                    return Err(mismatch(format!(
+                        "linear layer expects [{in_features}] input, got {input:?}"
+                    )));
+                }
+                Ok(vec![out_features])
+            }
+        }
+    }
+
+    /// Short human-readable description, e.g. `6C5` or `P2` in the notation
+    /// the paper uses for network architectures.
+    pub fn notation(&self) -> String {
+        match *self {
+            LayerSpec::Conv2d {
+                out_channels,
+                kernel,
+                ..
+            } => format!("{out_channels}C{kernel}"),
+            LayerSpec::Pool { window, kind } => match kind {
+                PoolKind::Average => format!("P{window}"),
+                PoolKind::Max => format!("MP{window}"),
+            },
+            LayerSpec::Flatten => "flatten".to_string(),
+            LayerSpec::Linear { out_features, .. } => format!("{out_features}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_shape() {
+        let layer = LayerSpec::conv(1, 6, 5);
+        assert_eq!(layer.output_shape(&[1, 32, 32]).unwrap(), vec![6, 28, 28]);
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channels() {
+        let layer = LayerSpec::conv(3, 6, 5);
+        assert!(layer.output_shape(&[1, 32, 32]).is_err());
+    }
+
+    #[test]
+    fn padded_conv_preserves_spatial_size() {
+        let layer = LayerSpec::conv_padded(3, 64, 3, 1);
+        assert_eq!(layer.output_shape(&[3, 32, 32]).unwrap(), vec![64, 32, 32]);
+    }
+
+    #[test]
+    fn pool_halves_spatial_size() {
+        let layer = LayerSpec::avg_pool2();
+        assert_eq!(layer.output_shape(&[6, 28, 28]).unwrap(), vec![6, 14, 14]);
+    }
+
+    #[test]
+    fn flatten_collapses_dims() {
+        let layer = LayerSpec::Flatten;
+        assert_eq!(layer.output_shape(&[120, 1, 1]).unwrap(), vec![120]);
+    }
+
+    #[test]
+    fn linear_checks_features() {
+        let layer = LayerSpec::linear(120, 84);
+        assert_eq!(layer.output_shape(&[120]).unwrap(), vec![84]);
+        assert!(layer.output_shape(&[100]).is_err());
+    }
+
+    #[test]
+    fn parameter_counts() {
+        assert_eq!(LayerSpec::conv(1, 6, 5).parameter_count(), 6 * 25 + 6);
+        assert_eq!(LayerSpec::linear(120, 84).parameter_count(), 120 * 84 + 84);
+        assert_eq!(LayerSpec::avg_pool2().parameter_count(), 0);
+        assert_eq!(LayerSpec::Flatten.parameter_count(), 0);
+    }
+
+    #[test]
+    fn notation_matches_paper_style() {
+        assert_eq!(LayerSpec::conv(1, 6, 5).notation(), "6C5");
+        assert_eq!(LayerSpec::avg_pool2().notation(), "P2");
+        assert_eq!(LayerSpec::max_pool2().notation(), "MP2");
+        assert_eq!(LayerSpec::linear(120, 84).notation(), "84");
+    }
+
+    #[test]
+    fn has_weights_only_for_conv_and_linear() {
+        assert!(LayerSpec::conv(1, 6, 5).has_weights());
+        assert!(LayerSpec::linear(10, 10).has_weights());
+        assert!(!LayerSpec::avg_pool2().has_weights());
+        assert!(!LayerSpec::Flatten.has_weights());
+    }
+}

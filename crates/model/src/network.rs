@@ -1,0 +1,286 @@
+//! Whole-network specifications.
+
+use crate::{LayerSpec, ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A validated feed-forward network description.
+///
+/// A `NetworkSpec` is a named sequence of [`LayerSpec`]s together with the
+/// input shape.  Construction via [`NetworkSpec::new`] checks that every
+/// layer's input matches the previous layer's output, that convolutions do
+/// not appear after flattening, and caches the intermediate shapes.
+///
+/// # Example
+///
+/// ```
+/// use snn_model::{LayerSpec, NetworkSpec};
+///
+/// let net = NetworkSpec::new(
+///     "tiny",
+///     vec![1, 8, 8],
+///     vec![
+///         LayerSpec::conv(1, 4, 3),
+///         LayerSpec::avg_pool2(),
+///         LayerSpec::Flatten,
+///         LayerSpec::linear(4 * 3 * 3, 10),
+///     ],
+/// )?;
+/// assert_eq!(net.output_shape(), &[10]);
+/// # Ok::<(), snn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    name: String,
+    input_shape: Vec<usize>,
+    layers: Vec<LayerSpec>,
+    /// `shapes[i]` is the *input* shape of layer `i`; the last entry is the
+    /// network output shape.
+    shapes: Vec<Vec<usize>>,
+}
+
+impl NetworkSpec {
+    /// Creates and validates a network.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::InvalidNetwork`] when the layer list is empty or a
+    ///   convolution/pooling layer appears after [`LayerSpec::Flatten`].
+    /// * [`ModelError::ShapeMismatch`] when consecutive layers are
+    ///   dimensionally incompatible.
+    pub fn new(
+        name: impl Into<String>,
+        input_shape: Vec<usize>,
+        layers: Vec<LayerSpec>,
+    ) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(ModelError::InvalidNetwork {
+                context: "network has no layers".to_string(),
+            });
+        }
+        let mut shapes = Vec::with_capacity(layers.len() + 1);
+        let mut current = input_shape.clone();
+        let mut flattened = input_shape.len() == 1;
+        for (i, layer) in layers.iter().enumerate() {
+            if flattened
+                && matches!(layer, LayerSpec::Conv2d { .. } | LayerSpec::Pool { .. })
+            {
+                return Err(ModelError::InvalidNetwork {
+                    context: format!(
+                        "layer {i} ({}) appears after the feature maps were flattened",
+                        layer.notation()
+                    ),
+                });
+            }
+            shapes.push(current.clone());
+            current = layer.output_shape(&current).map_err(|e| match e {
+                ModelError::ShapeMismatch { context, .. } => {
+                    ModelError::ShapeMismatch { layer: i, context }
+                }
+                other => other,
+            })?;
+            if matches!(layer, LayerSpec::Flatten) {
+                flattened = true;
+            }
+        }
+        shapes.push(current);
+        Ok(NetworkSpec {
+            name: name.into(),
+            input_shape,
+            layers,
+            shapes,
+        })
+    }
+
+    /// The network name (e.g. `"LeNet-5"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The input feature-map shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// The layer sequence.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// The input shape of layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn layer_input_shape(&self, index: usize) -> &[usize] {
+        &self.shapes[index]
+    }
+
+    /// The output shape of layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn layer_output_shape(&self, index: usize) -> &[usize] {
+        &self.shapes[index + 1]
+    }
+
+    /// The network output shape.
+    pub fn output_shape(&self) -> &[usize] {
+        self.shapes.last().expect("validated network has shapes")
+    }
+
+    /// Number of classes produced by the final layer.
+    pub fn num_classes(&self) -> usize {
+        self.output_shape().iter().product()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+
+    /// Indices of layers that carry weights (convolution and linear).
+    pub fn weighted_layers(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.has_weights())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Architecture string in the paper's notation, e.g.
+    /// `32x32x1 - 6C5 - P2 - 16C5 - P2 - 120C5 - 120 - 84 - 10`.
+    pub fn notation(&self) -> String {
+        let input = self
+            .input_shape
+            .iter()
+            .rev()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        let mut parts = vec![input];
+        for layer in &self.layers {
+            if matches!(layer, LayerSpec::Flatten) {
+                continue;
+            }
+            parts.push(layer.notation());
+        }
+        parts.join(" - ")
+    }
+
+    /// Number of distinct convolution kernel sizes used by the network —
+    /// the accelerator instantiates one convolution-unit *type* per kernel
+    /// size (Section III-A).
+    pub fn kernel_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self
+            .layers
+            .iter()
+            .filter_map(|l| match l {
+                LayerSpec::Conv2d { kernel, .. } => Some(*kernel),
+                _ => None,
+            })
+            .collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> NetworkSpec {
+        NetworkSpec::new(
+            "tiny",
+            vec![1, 8, 8],
+            vec![
+                LayerSpec::conv(1, 4, 3),
+                LayerSpec::avg_pool2(),
+                LayerSpec::Flatten,
+                LayerSpec::linear(4 * 3 * 3, 10),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shapes_propagate_through_layers() {
+        let net = tiny();
+        assert_eq!(net.layer_input_shape(0), &[1, 8, 8]);
+        assert_eq!(net.layer_output_shape(0), &[4, 6, 6]);
+        assert_eq!(net.layer_output_shape(1), &[4, 3, 3]);
+        assert_eq!(net.layer_output_shape(2), &[36]);
+        assert_eq!(net.output_shape(), &[10]);
+        assert_eq!(net.num_classes(), 10);
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(matches!(
+            NetworkSpec::new("empty", vec![1, 8, 8], vec![]),
+            Err(ModelError::InvalidNetwork { .. })
+        ));
+    }
+
+    #[test]
+    fn conv_after_flatten_rejected() {
+        let err = NetworkSpec::new(
+            "bad",
+            vec![1, 8, 8],
+            vec![LayerSpec::Flatten, LayerSpec::conv(1, 4, 3)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidNetwork { .. }));
+    }
+
+    #[test]
+    fn mismatched_linear_rejected_with_layer_index() {
+        let err = NetworkSpec::new(
+            "bad",
+            vec![1, 8, 8],
+            vec![LayerSpec::Flatten, LayerSpec::linear(10, 10)],
+        )
+        .unwrap_err();
+        match err {
+            ModelError::ShapeMismatch { layer, .. } => assert_eq!(layer, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameter_count_sums_layers() {
+        let net = tiny();
+        assert_eq!(net.parameter_count(), (4 * 9 + 4) + (36 * 10 + 10));
+    }
+
+    #[test]
+    fn notation_skips_flatten() {
+        let net = tiny();
+        assert_eq!(net.notation(), "8x8x1 - 4C3 - P2 - 10");
+    }
+
+    #[test]
+    fn kernel_sizes_deduplicated() {
+        let net = NetworkSpec::new(
+            "two-kernels",
+            vec![1, 16, 16],
+            vec![
+                LayerSpec::conv(1, 4, 3),
+                LayerSpec::conv(4, 4, 3),
+                LayerSpec::conv(4, 2, 5),
+                LayerSpec::Flatten,
+                LayerSpec::linear(2 * 8 * 8, 10),
+            ],
+        )
+        .unwrap();
+        assert_eq!(net.kernel_sizes(), vec![3, 5]);
+    }
+
+    #[test]
+    fn weighted_layers_lists_conv_and_linear() {
+        let net = tiny();
+        assert_eq!(net.weighted_layers(), vec![0, 3]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Human-readable network summaries: per-layer shapes, parameter counts and
+//! multiply-accumulate (here: accumulate-only) operation counts.
+//!
+//! The summary is what a user consults to decide how to configure the
+//! accelerator — which kernel sizes occur (one convolution-unit type each),
+//! how wide the widest output row is (the `X` dimension of the adder
+//! array), and where the parameters and operations concentrate.
+
+use crate::{LayerSpec, NetworkSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary of a single layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSummary {
+    /// Layer index.
+    pub index: usize,
+    /// Layer notation (`6C5`, `P2`, ...).
+    pub notation: String,
+    /// Output shape.
+    pub output_shape: Vec<usize>,
+    /// Trainable parameters.
+    pub parameters: usize,
+    /// Accumulate operations per inference per time step.
+    pub accumulate_ops: u64,
+}
+
+/// Summary of a whole network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSummary {
+    /// Network name.
+    pub name: String,
+    /// Input shape.
+    pub input_shape: Vec<usize>,
+    /// Per-layer rows.
+    pub layers: Vec<LayerSummary>,
+}
+
+impl NetworkSummary {
+    /// Builds the summary of a network.
+    pub fn of(net: &NetworkSpec) -> Self {
+        let layers = net
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                let output_shape = net.layer_output_shape(i).to_vec();
+                let outputs: usize = output_shape.iter().product();
+                let accumulate_ops = match *layer {
+                    LayerSpec::Conv2d {
+                        in_channels,
+                        kernel,
+                        ..
+                    } => (outputs * in_channels * kernel * kernel) as u64,
+                    LayerSpec::Linear { in_features, .. } => (outputs * in_features) as u64,
+                    LayerSpec::Pool { window, .. } => (outputs * window * window) as u64,
+                    LayerSpec::Flatten => 0,
+                };
+                LayerSummary {
+                    index: i,
+                    notation: layer.notation(),
+                    output_shape,
+                    parameters: layer.parameter_count(),
+                    accumulate_ops,
+                }
+            })
+            .collect();
+        NetworkSummary {
+            name: net.name().to_string(),
+            input_shape: net.input_shape().to_vec(),
+            layers,
+        }
+    }
+
+    /// Total trainable parameters.
+    pub fn total_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.parameters).sum()
+    }
+
+    /// Total accumulate operations per inference per time step.
+    pub fn total_accumulate_ops(&self) -> u64 {
+        self.layers.iter().map(|l| l.accumulate_ops).sum()
+    }
+
+    /// The widest output row of any convolution or pooling layer — the
+    /// minimum `X` for which the adder array avoids column tiling.
+    pub fn widest_output_row(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.output_shape.len() == 3)
+            .map(|l| l.output_shape[2])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Index of the layer with the most parameters (dominates DRAM traffic
+    /// for models that do not fit on chip).
+    pub fn heaviest_layer(&self) -> Option<usize> {
+        self.layers
+            .iter()
+            .max_by_key(|l| l.parameters)
+            .map(|l| l.index)
+    }
+}
+
+impl fmt::Display for NetworkSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} (input {:?})", self.name, self.input_shape)?;
+        writeln!(
+            f,
+            "{:<4} {:<10} {:<16} {:>12} {:>14}",
+            "#", "layer", "output", "params", "acc ops/step"
+        )?;
+        for layer in &self.layers {
+            writeln!(
+                f,
+                "{:<4} {:<10} {:<16} {:>12} {:>14}",
+                layer.index,
+                layer.notation,
+                format!("{:?}", layer.output_shape),
+                layer.parameters,
+                layer.accumulate_ops
+            )?;
+        }
+        writeln!(
+            f,
+            "total: {} parameters, {} accumulate ops per time step",
+            self.total_parameters(),
+            self.total_accumulate_ops()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn lenet_summary_matches_known_figures() {
+        let summary = NetworkSummary::of(&zoo::lenet5());
+        assert_eq!(summary.layers.len(), 9);
+        assert_eq!(summary.total_parameters(), zoo::lenet5().parameter_count());
+        // LeNet-5's widest feature-map row is the 28-wide first conv output.
+        assert_eq!(summary.widest_output_row(), 28);
+        // The first conv layer performs 6*28*28*25 accumulations per step.
+        assert_eq!(summary.layers[0].accumulate_ops, 6 * 28 * 28 * 25);
+    }
+
+    #[test]
+    fn vgg_heaviest_layer_is_the_first_big_fc() {
+        let net = zoo::vgg11(100);
+        let summary = NetworkSummary::of(&net);
+        let heaviest = summary.heaviest_layer().unwrap();
+        // The 4096x4096 fully-connected layer holds the most parameters.
+        assert_eq!(
+            summary.layers[heaviest].parameters,
+            4096 * 4096 + 4096
+        );
+    }
+
+    #[test]
+    fn flatten_contributes_no_ops_or_params()
+    {
+        let summary = NetworkSummary::of(&zoo::tiny_cnn());
+        let flatten = summary
+            .layers
+            .iter()
+            .find(|l| l.notation == "flatten")
+            .unwrap();
+        assert_eq!(flatten.parameters, 0);
+        assert_eq!(flatten.accumulate_ops, 0);
+    }
+
+    #[test]
+    fn display_lists_every_layer_and_totals() {
+        let summary = NetworkSummary::of(&zoo::fang_cnn());
+        let text = summary.to_string();
+        assert!(text.contains("32C3"));
+        assert!(text.contains("total:"));
+        assert!(text.lines().count() >= summary.layers.len() + 2);
+    }
+
+    #[test]
+    fn consistent_with_snn_synaptic_ops() {
+        // The summary's conv+linear accumulate count must equal the
+        // SnnModel::synaptic_ops_per_step figure (pooling excluded there).
+        let net = zoo::tiny_cnn();
+        let summary = NetworkSummary::of(&net);
+        let conv_linear_ops: u64 = summary
+            .layers
+            .iter()
+            .zip(net.layers())
+            .filter(|(_, spec)| spec.has_weights())
+            .map(|(l, _)| l.accumulate_ops)
+            .sum();
+        // Build a converted model to compare against.
+        use crate::convert::{convert, CalibrationStats, ConversionConfig};
+        use crate::params::Parameters;
+        use snn_tensor::Tensor;
+        let params = Parameters::he_init(&net, 1).unwrap();
+        let input = Tensor::filled(vec![1, 12, 12], 0.5f32);
+        let calib = CalibrationStats::collect(&net, &params, [&input]).unwrap();
+        let model = convert(&net, &params, &calib, ConversionConfig::default()).unwrap();
+        assert_eq!(model.synaptic_ops_per_step(), conv_linear_ops);
+    }
+}

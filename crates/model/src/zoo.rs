@@ -1,0 +1,183 @@
+//! The concrete network topologies evaluated in the paper.
+//!
+//! * [`lenet5`] — `32x32x1 – 6C5 – P2 – 16C5 – P2 – 120C5 – 120 – 84 – 10`
+//!   (Section IV-A).
+//! * [`fang_cnn`] — the convolutional SNN of Fang et al. [11]:
+//!   `28x28 – 32C3 – P2 – 32C3 – P2 – 256 – 10` (Table III, footnote 2).
+//! * [`ju_cnn`] — the CNN of Ju et al. [12]:
+//!   `28x28 – 64C5 – 2P – 64C5 – 2P – 128 – 10` (Table III, footnote 1).
+//! * [`vgg11`] — VGG-11 with 28.5 M parameters for CIFAR-100
+//!   (Section IV-A / Table III, last row).
+//! * [`tiny_cnn`] — a miniature network used by fast unit tests and the
+//!   quickstart example.
+
+use crate::{LayerSpec, NetworkSpec};
+
+/// LeNet-5 as configured in the paper (Section IV-A).
+pub fn lenet5() -> NetworkSpec {
+    NetworkSpec::new(
+        "LeNet-5",
+        vec![1, 32, 32],
+        vec![
+            LayerSpec::conv(1, 6, 5),
+            LayerSpec::avg_pool2(),
+            LayerSpec::conv(6, 16, 5),
+            LayerSpec::avg_pool2(),
+            LayerSpec::conv(16, 120, 5),
+            LayerSpec::Flatten,
+            LayerSpec::linear(120, 120),
+            LayerSpec::linear(120, 84),
+            LayerSpec::linear(84, 10),
+        ],
+    )
+    .expect("LeNet-5 topology is valid")
+}
+
+/// The convolutional SNN of Fang et al. [11] used for the Table III
+/// comparison: `28x28 – 32C3 – P2 – 32C3 – P2 – 256 – 10`.
+pub fn fang_cnn() -> NetworkSpec {
+    NetworkSpec::new(
+        "Fang-CNN",
+        vec![1, 28, 28],
+        vec![
+            LayerSpec::conv_padded(1, 32, 3, 1),
+            LayerSpec::avg_pool2(),
+            LayerSpec::conv_padded(32, 32, 3, 1),
+            LayerSpec::avg_pool2(),
+            LayerSpec::Flatten,
+            LayerSpec::linear(32 * 7 * 7, 256),
+            LayerSpec::linear(256, 10),
+        ],
+    )
+    .expect("Fang CNN topology is valid")
+}
+
+/// The CNN of Ju et al. [12] used for the Table III comparison:
+/// `28x28 – 64C5 – 2P – 64C5 – 2P – 128 – 10` (padded 5×5 convolutions).
+pub fn ju_cnn() -> NetworkSpec {
+    NetworkSpec::new(
+        "Ju-CNN",
+        vec![1, 28, 28],
+        vec![
+            LayerSpec::conv_padded(1, 64, 5, 2),
+            LayerSpec::max_pool2(),
+            LayerSpec::conv_padded(64, 64, 5, 2),
+            LayerSpec::max_pool2(),
+            LayerSpec::Flatten,
+            LayerSpec::linear(64 * 7 * 7, 128),
+            LayerSpec::linear(128, 10),
+        ],
+    )
+    .expect("Ju CNN topology is valid")
+}
+
+/// VGG-11 for 32×32×3 inputs and `num_classes` outputs (CIFAR-100 in the
+/// paper).  Eleven weight layers: eight 3×3 convolutions and three
+/// fully-connected layers, with 2×2 max pooling after selected stages.
+pub fn vgg11(num_classes: usize) -> NetworkSpec {
+    NetworkSpec::new(
+        "VGG-11",
+        vec![3, 32, 32],
+        vec![
+            LayerSpec::conv_padded(3, 64, 3, 1),
+            LayerSpec::max_pool2(),
+            LayerSpec::conv_padded(64, 128, 3, 1),
+            LayerSpec::max_pool2(),
+            LayerSpec::conv_padded(128, 256, 3, 1),
+            LayerSpec::conv_padded(256, 256, 3, 1),
+            LayerSpec::max_pool2(),
+            LayerSpec::conv_padded(256, 512, 3, 1),
+            LayerSpec::conv_padded(512, 512, 3, 1),
+            LayerSpec::max_pool2(),
+            LayerSpec::conv_padded(512, 512, 3, 1),
+            LayerSpec::conv_padded(512, 512, 3, 1),
+            LayerSpec::max_pool2(),
+            LayerSpec::Flatten,
+            LayerSpec::linear(512, 4096),
+            LayerSpec::linear(4096, 4096),
+            LayerSpec::linear(4096, num_classes),
+        ],
+    )
+    .expect("VGG-11 topology is valid")
+}
+
+/// A miniature CNN (`12x12x1 – 4C3 – P2 – 5x5x4 – 20 – 10`) used by unit
+/// tests and the quickstart example where full LeNet would be needlessly
+/// slow.
+pub fn tiny_cnn() -> NetworkSpec {
+    NetworkSpec::new(
+        "Tiny-CNN",
+        vec![1, 12, 12],
+        vec![
+            LayerSpec::conv(1, 4, 3),
+            LayerSpec::avg_pool2(),
+            LayerSpec::Flatten,
+            LayerSpec::linear(4 * 5 * 5, 20),
+            LayerSpec::linear(20, 10),
+        ],
+    )
+    .expect("tiny CNN topology is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet5_matches_paper_architecture() {
+        let net = lenet5();
+        assert_eq!(
+            net.notation(),
+            "32x32x1 - 6C5 - P2 - 16C5 - P2 - 120C5 - 120 - 84 - 10"
+        );
+        assert_eq!(net.output_shape(), &[10]);
+        // Final conv output is 120x1x1, flattened to 120.
+        assert_eq!(net.layer_output_shape(4), &[120, 1, 1]);
+    }
+
+    #[test]
+    fn fang_cnn_matches_footnote() {
+        let net = fang_cnn();
+        assert_eq!(net.notation(), "28x28x1 - 32C3 - P2 - 32C3 - P2 - 256 - 10");
+        assert_eq!(net.num_classes(), 10);
+    }
+
+    #[test]
+    fn ju_cnn_matches_footnote() {
+        let net = ju_cnn();
+        assert_eq!(
+            net.notation(),
+            "28x28x1 - 64C5 - MP2 - 64C5 - MP2 - 128 - 10"
+        );
+        assert_eq!(net.num_classes(), 10);
+    }
+
+    #[test]
+    fn vgg11_has_eleven_weight_layers_and_about_28m_parameters() {
+        let net = vgg11(100);
+        assert_eq!(net.weighted_layers().len(), 11);
+        let params = net.parameter_count();
+        // The paper quotes 28.5 million parameters for VGG-11.
+        assert!(
+            (27_000_000..30_000_000).contains(&params),
+            "VGG-11 parameter count {params} outside the expected range"
+        );
+    }
+
+    #[test]
+    fn vgg11_only_uses_3x3_kernels() {
+        assert_eq!(vgg11(100).kernel_sizes(), vec![3]);
+    }
+
+    #[test]
+    fn lenet_uses_only_5x5_kernels() {
+        assert_eq!(lenet5().kernel_sizes(), vec![5]);
+    }
+
+    #[test]
+    fn tiny_cnn_is_valid_and_small() {
+        let net = tiny_cnn();
+        assert!(net.parameter_count() < 5_000);
+        assert_eq!(net.num_classes(), 10);
+    }
+}

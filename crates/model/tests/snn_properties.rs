@@ -1,0 +1,169 @@
+//! Property-based tests for the ANN-to-SNN conversion and the functional
+//! radix SNN.
+
+use proptest::prelude::*;
+use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
+use snn_model::params::{LayerParameters, Parameters};
+use snn_model::snn::{requantize, SnnLayer};
+use snn_model::{LayerSpec, NetworkSpec};
+use snn_tensor::Tensor;
+
+/// Builds a two-layer MLP with weights derived from a seed vector.
+fn mlp(inputs: usize, hidden: usize, outputs: usize, seed: &[f32]) -> (NetworkSpec, Parameters) {
+    let net = NetworkSpec::new(
+        "mlp",
+        vec![inputs],
+        vec![
+            LayerSpec::linear(inputs, hidden),
+            LayerSpec::linear(hidden, outputs),
+        ],
+    )
+    .expect("valid MLP");
+    let take = |n: usize, offset: usize| -> Vec<f32> {
+        (0..n)
+            .map(|i| seed[(offset + i) % seed.len()])
+            .collect()
+    };
+    let params = Parameters::new(
+        &net,
+        vec![
+            Some(LayerParameters {
+                weight: Tensor::from_vec(vec![hidden, inputs], take(hidden * inputs, 0)).unwrap(),
+                bias: Tensor::from_vec(vec![hidden], take(hidden, 3)).unwrap(),
+            }),
+            Some(LayerParameters {
+                weight: Tensor::from_vec(vec![outputs, hidden], take(outputs * hidden, 5)).unwrap(),
+                bias: Tensor::from_vec(vec![outputs], take(outputs, 11)).unwrap(),
+            }),
+        ],
+    )
+    .expect("valid parameters");
+    (net, params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Requantization always lands inside the representable level range and
+    /// is monotone in its input.
+    #[test]
+    fn requantize_is_clamped_and_monotone(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+        scale in 0.0001f32..10.0,
+        time_steps in 1usize..10,
+    ) {
+        let max_level = (1i64 << time_steps) - 1;
+        let qa = requantize(a, scale, max_level);
+        let qb = requantize(b, scale, max_level);
+        prop_assert!((0..=max_level).contains(&qa));
+        prop_assert!((0..=max_level).contains(&qb));
+        if a <= b {
+            prop_assert!(qa <= qb);
+        }
+    }
+
+    /// All hidden activations of a converted model stay within the T-bit
+    /// level range — the invariant that lets the hardware store them in the
+    /// ping-pong buffers as radix spike trains.
+    #[test]
+    fn hidden_activations_stay_within_level_range(
+        weights in prop::collection::vec(-1.0f32..1.0, 64),
+        pixels in prop::collection::vec(0.0f32..1.0, 6),
+        time_steps in 1usize..8,
+    ) {
+        let (net, params) = mlp(6, 5, 3, &weights);
+        let input = Tensor::from_vec(vec![6], pixels).unwrap();
+        let calibration = CalibrationStats::collect(&net, &params, [&input]).unwrap();
+        let model = convert(
+            &net,
+            &params,
+            &calibration,
+            ConversionConfig { weight_bits: 3, time_steps },
+        )
+        .unwrap();
+        let trace = model.forward(&input).unwrap();
+        let max_level = model.max_level();
+        // Every layer except the classifier output is a level tensor.
+        for act in &trace.activations[..trace.activations.len() - 1] {
+            prop_assert!(act.iter().all(|&v| (0..=max_level).contains(&v)));
+        }
+    }
+
+    /// Conversion is deterministic: converting twice yields identical
+    /// models and identical predictions.
+    #[test]
+    fn conversion_is_deterministic(
+        weights in prop::collection::vec(-1.0f32..1.0, 64),
+        pixels in prop::collection::vec(0.0f32..1.0, 6),
+    ) {
+        let (net, params) = mlp(6, 4, 3, &weights);
+        let input = Tensor::from_vec(vec![6], pixels).unwrap();
+        let calibration = CalibrationStats::collect(&net, &params, [&input]).unwrap();
+        let cfg = ConversionConfig { weight_bits: 3, time_steps: 5 };
+        let a = convert(&net, &params, &calibration, cfg).unwrap();
+        let b = convert(&net, &params, &calibration, cfg).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.predict(&input).unwrap(), b.predict(&input).unwrap());
+    }
+
+    /// Quantized weight codes in every converted layer respect the
+    /// configured bit width.
+    #[test]
+    fn converted_weight_codes_respect_bit_width(
+        weights in prop::collection::vec(-2.0f32..2.0, 64),
+        bits in 2u8..6,
+    ) {
+        let (net, params) = mlp(6, 4, 3, &weights);
+        let input = Tensor::filled(vec![6], 0.5f32);
+        let calibration = CalibrationStats::collect(&net, &params, [&input]).unwrap();
+        let model = convert(
+            &net,
+            &params,
+            &calibration,
+            ConversionConfig { weight_bits: bits, time_steps: 4 },
+        )
+        .unwrap();
+        let max_code = ((1i64 << (bits - 1)) - 1).abs();
+        for layer in model.layers() {
+            if let SnnLayer::Linear { weight_codes, .. } = layer {
+                prop_assert!(weight_codes.iter().all(|&c| c.abs() <= max_code));
+            }
+        }
+    }
+
+    /// Scaling the ANN input by a constant in (0, 1] never changes which
+    /// class wins by more than the quantization can explain — specifically,
+    /// the all-zero input always produces the bias-only logits.
+    #[test]
+    fn silent_input_produces_bias_only_logits(
+        weights in prop::collection::vec(-1.0f32..1.0, 64),
+        time_steps in 1usize..8,
+    ) {
+        let (net, params) = mlp(6, 4, 3, &weights);
+        let calib_input = Tensor::filled(vec![6], 1.0f32);
+        let calibration = CalibrationStats::collect(&net, &params, [&calib_input]).unwrap();
+        let model = convert(
+            &net,
+            &params,
+            &calibration,
+            ConversionConfig { weight_bits: 3, time_steps },
+        )
+        .unwrap();
+        let zero = Tensor::filled(vec![6], 0.0f32);
+        let trace = model.forward(&zero).unwrap();
+        // With no spikes, the first layer's accumulator is exactly its bias.
+        if let SnnLayer::Linear { bias_acc, requant, .. } = &model.layers()[0] {
+            let expected: Vec<i64> = bias_acc
+                .iter()
+                .map(|&b| match requant {
+                    Some(r) => requantize(b, *r, model.max_level()),
+                    None => b,
+                })
+                .collect();
+            prop_assert_eq!(trace.activations[0].as_slice(), &expected[..]);
+        } else {
+            prop_assert!(false, "first layer should be linear");
+        }
+    }
+}

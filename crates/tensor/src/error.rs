@@ -1,0 +1,97 @@
+use std::fmt;
+
+/// Errors produced by tensor construction and the reference operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The provided data length does not match the number of elements
+    /// implied by the shape.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        dims: Vec<usize>,
+    },
+    /// The operation expected a tensor of a different rank.
+    RankMismatch {
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// Two tensors participating in an operation have incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the incompatibility.
+        context: String,
+    },
+    /// An operator was invoked with an invalid hyper-parameter
+    /// (e.g. a stride of zero).
+    InvalidParameter {
+        /// Human-readable description of the invalid parameter.
+        context: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::IndexOutOfBounds { index, dims } => {
+                write!(f, "index {index:?} out of bounds for shape {dims:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected tensor of rank {expected}, got rank {actual}")
+            }
+            TensorError::ShapeMismatch { context } => {
+                write!(f, "incompatible shapes: {context}")
+            }
+            TensorError::InvalidParameter { context } => {
+                write!(f, "invalid parameter: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let err = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert_eq!(
+            err.to_string(),
+            "data length 3 does not match shape volume 4"
+        );
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = TensorError::IndexOutOfBounds {
+            index: vec![2, 2],
+            dims: vec![2, 2],
+        };
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

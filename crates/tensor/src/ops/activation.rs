@@ -1,0 +1,45 @@
+use super::Numeric;
+use crate::Tensor;
+
+/// Rectified linear unit: `max(0, x)` element-wise, returning a new tensor.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::{Tensor, ops::relu};
+///
+/// let t = Tensor::from_vec(vec![3], vec![-1.0f32, 0.0, 2.0])?;
+/// assert_eq!(relu(&t).as_slice(), &[0.0, 0.0, 2.0]);
+/// # Ok::<(), snn_tensor::TensorError>(())
+/// ```
+pub fn relu<T: Numeric>(input: &Tensor<T>) -> Tensor<T> {
+    input.map(|&v| if v > T::zero() { v } else { T::zero() })
+}
+
+/// Rectified linear unit applied in place.
+pub fn relu_in_place<T: Numeric>(input: &mut Tensor<T>) {
+    for v in input.iter_mut() {
+        if *v < T::zero() {
+            *v = T::zero();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(vec![4], vec![-5i32, -1, 0, 3]).unwrap();
+        assert_eq!(relu(&t).as_slice(), &[0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn relu_in_place_matches_relu() {
+        let mut t = Tensor::from_vec(vec![4], vec![-2.5f32, 1.5, 0.0, -0.1]).unwrap();
+        let expected = relu(&t);
+        relu_in_place(&mut t);
+        assert_eq!(t.as_slice(), expected.as_slice());
+    }
+}

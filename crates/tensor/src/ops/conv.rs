@@ -1,0 +1,232 @@
+use super::Numeric;
+use crate::{Result, Tensor, TensorError};
+
+/// Computes the spatial output dimensions of a 2-D convolution.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] when `stride` is zero or the
+/// kernel (plus padding) does not fit into the input.
+pub fn conv2d_output_dims(
+    input_hw: (usize, usize),
+    kernel_hw: (usize, usize),
+    stride: usize,
+    padding: usize,
+) -> Result<(usize, usize)> {
+    if stride == 0 {
+        return Err(TensorError::InvalidParameter {
+            context: "stride must be non-zero".to_string(),
+        });
+    }
+    let (h, w) = input_hw;
+    let (kh, kw) = kernel_hw;
+    let padded_h = h + 2 * padding;
+    let padded_w = w + 2 * padding;
+    if kh == 0 || kw == 0 || kh > padded_h || kw > padded_w {
+        return Err(TensorError::InvalidParameter {
+            context: format!(
+                "kernel {kh}x{kw} does not fit into padded input {padded_h}x{padded_w}"
+            ),
+        });
+    }
+    Ok(((padded_h - kh) / stride + 1, (padded_w - kw) / stride + 1))
+}
+
+/// Reference 2-D convolution (actually cross-correlation, as in all deep
+/// learning frameworks).
+///
+/// * `input`: `[C, H, W]`
+/// * `kernel`: `[O, C, Kh, Kw]`
+/// * `bias`: optional `[O]`
+///
+/// Returns a `[O, H_out, W_out]` tensor.
+///
+/// # Errors
+///
+/// Returns an error when the ranks or channel counts do not match, or when
+/// the convolution hyper-parameters are invalid.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::{Tensor, ops::conv2d};
+///
+/// let input = Tensor::filled(vec![1, 3, 3], 1.0f32);
+/// let kernel = Tensor::filled(vec![2, 1, 2, 2], 1.0f32);
+/// let out = conv2d(&input, &kernel, None, 1, 0)?;
+/// assert_eq!(out.shape().dims(), &[2, 2, 2]);
+/// assert!(out.iter().all(|&v| (v - 4.0).abs() < 1e-6));
+/// # Ok::<(), snn_tensor::TensorError>(())
+/// ```
+pub fn conv2d<T: Numeric>(
+    input: &Tensor<T>,
+    kernel: &Tensor<T>,
+    bias: Option<&Tensor<T>>,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor<T>> {
+    if input.shape().rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.shape().rank(),
+        });
+    }
+    if kernel.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: kernel.shape().rank(),
+        });
+    }
+    let in_dims = input.shape().dims();
+    let k_dims = kernel.shape().dims();
+    let (c_in, h, w) = (in_dims[0], in_dims[1], in_dims[2]);
+    let (c_out, kc, kh, kw) = (k_dims[0], k_dims[1], k_dims[2], k_dims[3]);
+    if kc != c_in {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("kernel expects {kc} input channels, feature map has {c_in}"),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape().dims() != [c_out] {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "bias shape {:?} does not match {c_out} output channels",
+                    b.shape().dims()
+                ),
+            });
+        }
+    }
+    let (h_out, w_out) = conv2d_output_dims((h, w), (kh, kw), stride, padding)?;
+
+    let mut output = Tensor::filled(vec![c_out, h_out, w_out], T::zero());
+    let in_data = input.as_slice();
+    let k_data = kernel.as_slice();
+    let out_data = output.as_mut_slice();
+
+    for oc in 0..c_out {
+        let bias_val = bias.map(|b| b.as_slice()[oc]).unwrap_or_else(T::zero);
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut acc = bias_val;
+                for ic in 0..c_in {
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let in_v = in_data[ic * h * w + iy as usize * w + ix as usize];
+                            let k_v = k_data[oc * c_in * kh * kw + ic * kh * kw + ky * kw + kx];
+                            acc = acc + in_v * k_v;
+                        }
+                    }
+                }
+                out_data[oc * h_out * w_out + oy * w_out + ox] = acc;
+            }
+        }
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dims_basic() {
+        assert_eq!(conv2d_output_dims((32, 32), (5, 5), 1, 0).unwrap(), (28, 28));
+        assert_eq!(conv2d_output_dims((28, 28), (3, 3), 1, 1).unwrap(), (28, 28));
+        assert_eq!(conv2d_output_dims((8, 8), (2, 2), 2, 0).unwrap(), (4, 4));
+    }
+
+    #[test]
+    fn output_dims_rejects_zero_stride() {
+        assert!(conv2d_output_dims((8, 8), (3, 3), 0, 0).is_err());
+    }
+
+    #[test]
+    fn output_dims_rejects_oversized_kernel() {
+        assert!(conv2d_output_dims((2, 2), (3, 3), 1, 0).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // A single 1x1 kernel with weight 1 is the identity map.
+        let input =
+            Tensor::from_vec(vec![1, 2, 2], vec![1.0f32, 2.0, 3.0, 4.0]).unwrap();
+        let kernel = Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0f32]).unwrap();
+        let out = conv2d(&input, &kernel, None, 1, 0).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // Input 1x3x3 with values 1..9, kernel of ones, valid conv -> sum = 45.
+        let input =
+            Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|v| v as i32).collect()).unwrap();
+        let kernel = Tensor::filled(vec![1, 1, 3, 3], 1i32);
+        let out = conv2d(&input, &kernel, None, 1, 0).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 1]);
+        assert_eq!(out.as_slice(), &[45]);
+    }
+
+    #[test]
+    fn stride_two_subsamples() {
+        let input = Tensor::from_vec(vec![1, 4, 4], (0..16).collect::<Vec<i32>>()).unwrap();
+        let kernel = Tensor::from_vec(vec![1, 1, 1, 1], vec![1i32]).unwrap();
+        let out = conv2d(&input, &kernel, None, 2, 0).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[0, 2, 8, 10]);
+    }
+
+    #[test]
+    fn padding_adds_zero_border() {
+        let input = Tensor::filled(vec![1, 2, 2], 1i32);
+        let kernel = Tensor::filled(vec![1, 1, 3, 3], 1i32);
+        let out = conv2d(&input, &kernel, None, 1, 1).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        // Each output sees exactly the four ones of the input.
+        assert_eq!(out.as_slice(), &[4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn bias_is_added_per_output_channel() {
+        let input = Tensor::filled(vec![1, 2, 2], 1i32);
+        let kernel = Tensor::filled(vec![2, 1, 2, 2], 1i32);
+        let bias = Tensor::from_vec(vec![2], vec![10i32, -10]).unwrap();
+        let out = conv2d(&input, &kernel, Some(&bias), 1, 0).unwrap();
+        assert_eq!(out.as_slice(), &[14, -6]);
+    }
+
+    #[test]
+    fn multi_channel_accumulates_over_input_channels() {
+        let input = Tensor::from_vec(vec![2, 2, 2], vec![1i32, 1, 1, 1, 2, 2, 2, 2]).unwrap();
+        let kernel = Tensor::filled(vec![1, 2, 2, 2], 1i32);
+        let out = conv2d(&input, &kernel, None, 1, 0).unwrap();
+        assert_eq!(out.as_slice(), &[4 + 8]);
+    }
+
+    #[test]
+    fn channel_mismatch_is_error() {
+        let input = Tensor::filled(vec![2, 4, 4], 1.0f32);
+        let kernel = Tensor::filled(vec![1, 3, 3, 3], 1.0f32);
+        assert!(matches!(
+            conv2d(&input, &kernel, None, 1, 0),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rank_is_error() {
+        let input = Tensor::filled(vec![4, 4], 1.0f32);
+        let kernel = Tensor::filled(vec![1, 1, 3, 3], 1.0f32);
+        assert!(matches!(
+            conv2d(&input, &kernel, None, 1, 0),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,124 @@
+use super::Numeric;
+use crate::{Result, Tensor, TensorError};
+
+/// Fully-connected layer: `output[o] = bias[o] + Σ_n weight[o, n] * input[n]`.
+///
+/// * `input`: `[N]`
+/// * `weight`: `[O, N]`
+/// * `bias`: optional `[O]`
+///
+/// # Errors
+///
+/// Returns an error when ranks or dimensions do not match.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::{Tensor, ops::linear};
+///
+/// let input = Tensor::from_vec(vec![3], vec![1.0f32, 2.0, 3.0])?;
+/// let weight = Tensor::from_vec(vec![2, 3], vec![1.0f32, 0.0, 0.0, 0.0, 0.0, 1.0])?;
+/// let out = linear(&input, &weight, None)?;
+/// assert_eq!(out.as_slice(), &[1.0, 3.0]);
+/// # Ok::<(), snn_tensor::TensorError>(())
+/// ```
+pub fn linear<T: Numeric>(
+    input: &Tensor<T>,
+    weight: &Tensor<T>,
+    bias: Option<&Tensor<T>>,
+) -> Result<Tensor<T>> {
+    if input.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: input.shape().rank(),
+        });
+    }
+    if weight.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: weight.shape().rank(),
+        });
+    }
+    let n = input.shape().dims()[0];
+    let (o, wn) = (weight.shape().dims()[0], weight.shape().dims()[1]);
+    if wn != n {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("weight expects {wn} inputs, got {n}"),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape().dims() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "bias shape {:?} does not match {o} outputs",
+                    b.shape().dims()
+                ),
+            });
+        }
+    }
+
+    let in_data = input.as_slice();
+    let w_data = weight.as_slice();
+    let mut out = Vec::with_capacity(o);
+    for oi in 0..o {
+        let mut acc = bias.map(|b| b.as_slice()[oi]).unwrap_or_else(T::zero);
+        let row = &w_data[oi * n..(oi + 1) * n];
+        for (w, x) in row.iter().zip(in_data.iter()) {
+            acc = acc + *w * *x;
+        }
+        out.push(acc);
+    }
+    Tensor::from_vec(vec![o], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_weight_matrix() {
+        let input = Tensor::from_vec(vec![3], vec![5i32, -2, 7]).unwrap();
+        let weight =
+            Tensor::from_vec(vec![3, 3], vec![1, 0, 0, 0, 1, 0, 0, 0, 1]).unwrap();
+        let out = linear(&input, &weight, None).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn bias_offsets_each_output() {
+        let input = Tensor::from_vec(vec![2], vec![1i32, 1]).unwrap();
+        let weight = Tensor::from_vec(vec![2, 2], vec![1, 1, 2, 2]).unwrap();
+        let bias = Tensor::from_vec(vec![2], vec![100, -100]).unwrap();
+        let out = linear(&input, &weight, Some(&bias)).unwrap();
+        assert_eq!(out.as_slice(), &[102, -96]);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let input = Tensor::from_vec(vec![3], vec![1.0f32, 2.0, 3.0]).unwrap();
+        let weight = Tensor::filled(vec![2, 4], 1.0f32);
+        assert!(matches!(
+            linear(&input, &weight, None),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_mismatch_is_error() {
+        let input = Tensor::filled(vec![2, 2], 1.0f32);
+        let weight = Tensor::filled(vec![2, 4], 1.0f32);
+        assert!(matches!(
+            linear(&input, &weight, None),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn float_matches_manual_dot_product() {
+        let input = Tensor::from_vec(vec![4], vec![0.5f32, -1.0, 2.0, 0.0]).unwrap();
+        let weight =
+            Tensor::from_vec(vec![1, 4], vec![2.0f32, 3.0, -1.0, 10.0]).unwrap();
+        let out = linear(&input, &weight, None).unwrap();
+        assert!((out.as_slice()[0] - (1.0 - 3.0 - 2.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,24 @@
+//! Reference implementations of the neural-network operators used by the
+//! accelerator.
+//!
+//! These operators are *functional golden models*: they compute exactly what
+//! the hardware is supposed to compute, with no notion of cycles, buffers or
+//! parallelism.  The cycle-level processing-unit simulators in `snn-accel`
+//! are verified against them bit-exactly (for the integer variants).
+//!
+//! All operators work on `[C, H, W]` feature maps, `[O, C, Kh, Kw]` kernels
+//! and `[O, N]` weight matrices in row-major order, and are generic over the
+//! element type through the [`Numeric`] trait (implemented for `f32`, `i32`
+//! and `i64`).
+
+mod activation;
+mod conv;
+mod linear;
+mod numeric;
+mod pool;
+
+pub use activation::{relu, relu_in_place};
+pub use conv::{conv2d, conv2d_output_dims};
+pub use linear::linear;
+pub use numeric::Numeric;
+pub use pool::{avg_pool2d, max_pool2d, pool_output_dims, sum_pool2d};

@@ -1,0 +1,78 @@
+/// Element types the reference operators can work with.
+///
+/// The trait is intentionally tiny: addition, multiplication, comparison and
+/// the constants zero/one are all the operators need.  It is implemented for
+/// `f32` (ANN reference path), `i32` (quantized / hardware golden path) and
+/// `i64` (wide accumulators).
+pub trait Numeric:
+    Copy
+    + PartialOrd
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::fmt::Debug
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Division by a positive element count, used by average pooling.
+    fn div_count(self, count: usize) -> Self;
+}
+
+impl Numeric for f32 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn div_count(self, count: usize) -> Self {
+        self / count as f32
+    }
+}
+
+impl Numeric for i32 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn div_count(self, count: usize) -> Self {
+        // Integer average pooling truncates toward zero, matching the
+        // hardware's shift-based division for power-of-two windows.
+        self / count as i32
+    }
+}
+
+impl Numeric for i64 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn div_count(self, count: usize) -> Self {
+        self / count as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(f32::zero(), 0.0);
+        assert_eq!(i32::one(), 1);
+        assert_eq!(i64::zero(), 0);
+    }
+
+    #[test]
+    fn div_count_truncates_for_integers() {
+        assert_eq!(7i32.div_count(4), 1);
+        assert_eq!((-7i32).div_count(4), -1);
+        assert!((7.0f32.div_count(4) - 1.75).abs() < f32::EPSILON);
+    }
+}

@@ -1,0 +1,180 @@
+use super::Numeric;
+use crate::{Result, Tensor, TensorError};
+
+/// Computes the spatial output dimensions of a pooling layer with a square
+/// `window` and stride equal to the window size (non-overlapping pooling, as
+/// used by LeNet-5 and VGG).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] when the window is zero or
+/// larger than the input.
+pub fn pool_output_dims(input_hw: (usize, usize), window: usize) -> Result<(usize, usize)> {
+    if window == 0 {
+        return Err(TensorError::InvalidParameter {
+            context: "pooling window must be non-zero".to_string(),
+        });
+    }
+    let (h, w) = input_hw;
+    if window > h || window > w {
+        return Err(TensorError::InvalidParameter {
+            context: format!("pooling window {window} larger than input {h}x{w}"),
+        });
+    }
+    Ok((h / window, w / window))
+}
+
+fn pool2d<T: Numeric>(
+    input: &Tensor<T>,
+    window: usize,
+    mut reduce: impl FnMut(&[T]) -> T,
+) -> Result<Tensor<T>> {
+    if input.shape().rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.shape().rank(),
+        });
+    }
+    let dims = input.shape().dims();
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let (h_out, w_out) = pool_output_dims((h, w), window)?;
+    let mut output = Tensor::filled(vec![c, h_out, w_out], T::zero());
+    let in_data = input.as_slice();
+    let out_data = output.as_mut_slice();
+    let mut patch = Vec::with_capacity(window * window);
+    for ch in 0..c {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                patch.clear();
+                for ky in 0..window {
+                    for kx in 0..window {
+                        let iy = oy * window + ky;
+                        let ix = ox * window + kx;
+                        patch.push(in_data[ch * h * w + iy * w + ix]);
+                    }
+                }
+                out_data[ch * h_out * w_out + oy * w_out + ox] = reduce(&patch);
+            }
+        }
+    }
+    Ok(output)
+}
+
+/// Non-overlapping average pooling over a `[C, H, W]` feature map.
+///
+/// Integer element types truncate toward zero, matching the hardware's
+/// shift-based division for power-of-two windows.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-3 inputs or invalid windows.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::{Tensor, ops::avg_pool2d};
+///
+/// let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0f32, 3.0, 5.0, 7.0])?;
+/// let out = avg_pool2d(&input, 2)?;
+/// assert_eq!(out.as_slice(), &[4.0]);
+/// # Ok::<(), snn_tensor::TensorError>(())
+/// ```
+pub fn avg_pool2d<T: Numeric>(input: &Tensor<T>, window: usize) -> Result<Tensor<T>> {
+    let count = window * window;
+    pool2d(input, window, |patch| {
+        let sum = patch.iter().fold(T::zero(), |acc, &v| acc + v);
+        sum.div_count(count)
+    })
+}
+
+/// Non-overlapping *sum* pooling over a `[C, H, W]` feature map.
+///
+/// The paper's pooling unit is adder-based: it accumulates the window and
+/// lets the subsequent requantization step absorb the division.  Sum pooling
+/// is therefore the exact hardware behaviour; [`avg_pool2d`] is the ANN-side
+/// reference.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-3 inputs or invalid windows.
+pub fn sum_pool2d<T: Numeric>(input: &Tensor<T>, window: usize) -> Result<Tensor<T>> {
+    pool2d(input, window, |patch| {
+        patch.iter().fold(T::zero(), |acc, &v| acc + v)
+    })
+}
+
+/// Non-overlapping max pooling over a `[C, H, W]` feature map.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-3 inputs or invalid windows.
+pub fn max_pool2d<T: Numeric>(input: &Tensor<T>, window: usize) -> Result<Tensor<T>> {
+    pool2d(input, window, |patch| {
+        patch
+            .iter()
+            .copied()
+            .fold(patch[0], |acc, v| if v > acc { v } else { acc })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dims() {
+        assert_eq!(pool_output_dims((28, 28), 2).unwrap(), (14, 14));
+        assert_eq!(pool_output_dims((10, 10), 5).unwrap(), (2, 2));
+        assert!(pool_output_dims((4, 4), 0).is_err());
+        assert!(pool_output_dims((2, 2), 3).is_err());
+    }
+
+    #[test]
+    fn average_pooling_float() {
+        let input =
+            Tensor::from_vec(vec![1, 2, 4], vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+                .unwrap();
+        let out = avg_pool2d(&input, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2]);
+        assert_eq!(out.as_slice(), &[3.5, 5.5]);
+    }
+
+    #[test]
+    fn average_pooling_integer_truncates() {
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1i32, 2, 3, 5]).unwrap();
+        let out = avg_pool2d(&input, 2).unwrap();
+        assert_eq!(out.as_slice(), &[2]); // 11 / 4 truncated
+    }
+
+    #[test]
+    fn sum_pooling_accumulates_window() {
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1i32, 2, 3, 5]).unwrap();
+        let out = sum_pool2d(&input, 2).unwrap();
+        assert_eq!(out.as_slice(), &[11]);
+    }
+
+    #[test]
+    fn max_pooling_picks_largest() {
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![-1i32, -2, -3, -5]).unwrap();
+        let out = max_pool2d(&input, 2).unwrap();
+        assert_eq!(out.as_slice(), &[-1]);
+    }
+
+    #[test]
+    fn pooling_is_per_channel() {
+        let input =
+            Tensor::from_vec(vec![2, 2, 2], vec![1i32, 1, 1, 1, 4, 4, 4, 4]).unwrap();
+        let out = avg_pool2d(&input, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 1, 1]);
+        assert_eq!(out.as_slice(), &[1, 4]);
+    }
+
+    #[test]
+    fn rank_mismatch_is_error() {
+        let input = Tensor::filled(vec![4, 4], 1i32);
+        assert!(matches!(
+            max_pool2d(&input, 2),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,163 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The extents of a dense, row-major tensor.
+///
+/// A shape is an ordered list of dimension sizes.  The last dimension is
+/// the fastest-varying one, matching the memory layout of [`crate::Tensor`].
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::Shape;
+///
+/// let shape = Shape::new(vec![6, 28, 28]);
+/// assert_eq!(shape.rank(), 3);
+/// assert_eq!(shape.volume(), 6 * 28 * 28);
+/// assert_eq!(shape.linear_index(&[1, 2, 3]), Some(1 * 28 * 28 + 2 * 28 + 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from the given dimension sizes.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Returns the dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Returns the number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Returns the total number of elements described by the shape.
+    ///
+    /// An empty shape (rank 0) has a volume of 1, matching the convention
+    /// for scalars.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns the size of dimension `axis`, or `None` if the axis does not
+    /// exist.
+    pub fn dim(&self, axis: usize) -> Option<usize> {
+        self.dims.get(axis).copied()
+    }
+
+    /// Converts a multi-dimensional index into a row-major linear offset.
+    ///
+    /// Returns `None` when the index rank does not match or any component is
+    /// out of bounds.
+    pub fn linear_index(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut offset = 0usize;
+        for (i, (&idx, &dim)) in index.iter().zip(self.dims.iter()).enumerate() {
+            if idx >= dim {
+                return None;
+            }
+            let stride: usize = self.dims[i + 1..].iter().product();
+            offset += idx * stride;
+        }
+        Some(offset)
+    }
+
+    /// Returns the row-major strides of the shape.
+    ///
+    /// ```
+    /// use snn_tensor::Shape;
+    /// assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_empty_shape_is_one() {
+        assert_eq!(Shape::new(vec![]).volume(), 1);
+    }
+
+    #[test]
+    fn volume_multiplies_dims() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).volume(), 24);
+    }
+
+    #[test]
+    fn linear_index_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.linear_index(&[0, 0, 0]), Some(0));
+        assert_eq!(s.linear_index(&[0, 0, 3]), Some(3));
+        assert_eq!(s.linear_index(&[0, 1, 0]), Some(4));
+        assert_eq!(s.linear_index(&[1, 0, 0]), Some(12));
+        assert_eq!(s.linear_index(&[1, 2, 3]), Some(23));
+    }
+
+    #[test]
+    fn linear_index_rejects_out_of_bounds() {
+        let s = Shape::new(vec![2, 3]);
+        assert_eq!(s.linear_index(&[2, 0]), None);
+        assert_eq!(s.linear_index(&[0, 3]), None);
+        assert_eq!(s.linear_index(&[0]), None);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(vec![6, 28, 28]).strides(), vec![784, 28, 1]);
+        assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
+        assert_eq!(Shape::new(vec![]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Shape::new(vec![1, 32, 32]).to_string(), "[1x32x32]");
+    }
+
+    #[test]
+    fn conversions_from_slices_and_vecs() {
+        let a: Shape = vec![2, 2].into();
+        let b: Shape = (&[2usize, 2][..]).into();
+        assert_eq!(a, b);
+    }
+}

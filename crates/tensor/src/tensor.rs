@@ -1,0 +1,280 @@
+use crate::{Result, Shape, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major tensor over an arbitrary element type.
+///
+/// The tensor owns its data in a flat `Vec<T>`; multi-dimensional indices
+/// are mapped to linear offsets through [`Shape::linear_index`].  The type
+/// is deliberately small: the accelerator simulator mostly needs 3-D
+/// feature maps (`[channels, height, width]`), 4-D kernels
+/// (`[out_ch, in_ch, kh, kw]`) and 1-D/2-D weights.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::Tensor;
+///
+/// let mut t = Tensor::filled(vec![2, 3], 0.0f32);
+/// t.set(&[1, 2], 5.0)?;
+/// assert_eq!(t.get(&[1, 2]), Some(&5.0));
+/// assert_eq!(t.iter().copied().sum::<f32>(), 5.0);
+/// # Ok::<(), snn_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T> Tensor<T> {
+    /// Creates a tensor from a shape and a flat row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the shape volume.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<T>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Returns the tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Returns the number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns a reference to the element at `index`, or `None` if the index
+    /// is out of bounds.
+    pub fn get(&self, index: &[usize]) -> Option<&T> {
+        self.shape.linear_index(index).map(|i| &self.data[i])
+    }
+
+    /// Returns a mutable reference to the element at `index`.
+    pub fn get_mut(&mut self, index: &[usize]) -> Option<&mut T> {
+        self.shape
+            .linear_index(index)
+            .map(move |i| &mut self.data[i])
+    }
+
+    /// Stores `value` at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn set(&mut self, index: &[usize], value: T) -> Result<()> {
+        match self.shape.linear_index(index) {
+            Some(i) => {
+                self.data[i] = value;
+                Ok(())
+            }
+            None => Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                dims: self.shape.dims().to_vec(),
+            }),
+        }
+    }
+
+    /// Returns the flat, row-major element slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Returns the flat, row-major element slice mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat data vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterates over the elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Iterates mutably over the elements in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    /// Reinterprets the tensor with a new shape of identical volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the volumes differ.
+    pub fn reshape(self, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data,
+        })
+    }
+
+    /// Applies `f` element-wise, producing a tensor of a possibly different
+    /// element type with the same shape.
+    pub fn map<U, F: FnMut(&T) -> U>(&self, mut f: F) -> Tensor<U> {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|v| f(v)).collect(),
+        }
+    }
+}
+
+impl<T: Clone> Tensor<T> {
+    /// Creates a tensor with every element set to `value`.
+    pub fn filled(shape: impl Into<Shape>, value: T) -> Self {
+        let shape = shape.into();
+        let volume = shape.volume();
+        Tensor {
+            shape,
+            data: vec![value; volume],
+        }
+    }
+}
+
+impl<T: Default + Clone> Tensor<T> {
+    /// Creates a tensor filled with `T::default()` (zeros for numeric types).
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        Tensor::filled(shape, T::default())
+    }
+}
+
+impl Tensor<f32> {
+    /// Converts a floating-point tensor to `i32` by rounding to the nearest
+    /// integer (ties away from zero, like `f32::round`).
+    pub fn to_i32_rounded(&self) -> Tensor<i32> {
+        self.map(|v| v.round() as i32)
+    }
+
+    /// Returns the maximum absolute value, or 0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |acc, v| acc.max(v.abs()))
+    }
+}
+
+impl Tensor<i32> {
+    /// Converts an integer tensor to `f32`.
+    pub fn to_f32(&self) -> Tensor<f32> {
+        self.map(|v| *v as f32)
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Tensor<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl<T> IntoIterator for Tensor<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0f32; 4]).is_ok());
+        let err = Tensor::from_vec(vec![2, 2], vec![1.0f32; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(vec![3, 4]);
+        t.set(&[2, 3], 7i32).unwrap();
+        assert_eq!(t.get(&[2, 3]), Some(&7));
+        assert_eq!(t.get(&[0, 0]), Some(&0));
+        assert_eq!(t.get(&[3, 0]), None);
+    }
+
+    #[test]
+    fn set_out_of_bounds_is_error() {
+        let mut t: Tensor<i32> = Tensor::zeros(vec![2, 2]);
+        assert!(matches!(
+            t.set(&[0, 2], 1),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).collect::<Vec<i32>>()).unwrap();
+        let r = t.reshape(vec![3, 2]).unwrap();
+        assert_eq!(r.shape().dims(), &[3, 2]);
+        assert_eq!(r.as_slice(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reshape_rejects_volume_change() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).collect::<Vec<i32>>()).unwrap();
+        assert!(t.reshape(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn map_changes_element_type() {
+        let t = Tensor::from_vec(vec![2], vec![1.4f32, -2.6]).unwrap();
+        let i = t.to_i32_rounded();
+        assert_eq!(i.as_slice(), &[1, -3]);
+        assert_eq!(i.to_f32().as_slice(), &[1.0, -3.0]);
+    }
+
+    #[test]
+    fn max_abs_handles_negatives() {
+        let t = Tensor::from_vec(vec![3], vec![0.5f32, -2.0, 1.5]).unwrap();
+        assert!((t.max_abs() - 2.0).abs() < f32::EPSILON);
+    }
+
+    #[test]
+    fn iteration_is_row_major() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1, 2, 3, 4]).unwrap();
+        let collected: Vec<i32> = t.iter().copied().collect();
+        assert_eq!(collected, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tensor_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor<f32>>();
+        assert_send_sync::<Tensor<i32>>();
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use snn_tensor::{ops, quant::QuantizedTensor, Shape, Tensor};
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    /// Every in-bounds multi-index maps to a unique linear offset below the
+    /// volume, and the mapping agrees with the strides.
+    #[test]
+    fn linear_index_is_bijective(dims in small_dims()) {
+        let shape = Shape::new(dims.clone());
+        let volume = shape.volume();
+        let mut seen = vec![false; volume];
+        let mut index = vec![0usize; dims.len()];
+        loop {
+            let lin = shape.linear_index(&index).expect("in-bounds index");
+            prop_assert!(lin < volume);
+            prop_assert!(!seen[lin], "duplicate linear index {lin}");
+            seen[lin] = true;
+            // Odometer increment.
+            let mut axis = dims.len();
+            loop {
+                if axis == 0 { break; }
+                axis -= 1;
+                index[axis] += 1;
+                if index[axis] < dims[axis] { break; }
+                index[axis] = 0;
+                if axis == 0 {
+                    prop_assert!(seen.iter().all(|&s| s));
+                    return Ok(());
+                }
+            }
+            if index.iter().all(|&i| i == 0) { break; }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Convolving with an all-ones 1x1 kernel is the identity.
+    #[test]
+    fn conv_with_unit_kernel_is_identity(
+        h in 1usize..8,
+        w in 1usize..8,
+        values in prop::collection::vec(-8i32..8, 1..64),
+    ) {
+        let mut data = values;
+        data.resize(h * w, 0);
+        let input = Tensor::from_vec(vec![1, h, w], data).unwrap();
+        let kernel = Tensor::from_vec(vec![1, 1, 1, 1], vec![1i32]).unwrap();
+        let out = ops::conv2d(&input, &kernel, None, 1, 0).unwrap();
+        prop_assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    /// Convolution is linear in the input: conv(a + b) == conv(a) + conv(b).
+    #[test]
+    fn conv_is_linear_in_input(
+        a in prop::collection::vec(-4i32..4, 16),
+        b in prop::collection::vec(-4i32..4, 16),
+        k in prop::collection::vec(-2i32..3, 9),
+    ) {
+        let ta = Tensor::from_vec(vec![1, 4, 4], a.clone()).unwrap();
+        let tb = Tensor::from_vec(vec![1, 4, 4], b.clone()).unwrap();
+        let sum = Tensor::from_vec(
+            vec![1, 4, 4],
+            a.iter().zip(b.iter()).map(|(x, y)| x + y).collect(),
+        ).unwrap();
+        let kernel = Tensor::from_vec(vec![1, 1, 3, 3], k).unwrap();
+        let ca = ops::conv2d(&ta, &kernel, None, 1, 0).unwrap();
+        let cb = ops::conv2d(&tb, &kernel, None, 1, 0).unwrap();
+        let csum = ops::conv2d(&sum, &kernel, None, 1, 0).unwrap();
+        let expected: Vec<i32> = ca.iter().zip(cb.iter()).map(|(x, y)| x + y).collect();
+        prop_assert_eq!(csum.as_slice(), &expected[..]);
+    }
+
+    /// Max pooling never produces a value absent from the input window and
+    /// dominates average pooling.
+    #[test]
+    fn max_pool_dominates_avg_pool(values in prop::collection::vec(-50i32..50, 16)) {
+        let input = Tensor::from_vec(vec![1, 4, 4], values).unwrap();
+        let max = ops::max_pool2d(&input, 2).unwrap();
+        let avg = ops::avg_pool2d(&input, 2).unwrap();
+        for (m, a) in max.iter().zip(avg.iter()) {
+            prop_assert!(m >= a, "max {m} < avg {a}");
+        }
+        for m in max.iter() {
+            prop_assert!(input.iter().any(|v| v == m));
+        }
+    }
+
+    /// Sum pooling equals window*window times average pooling for windows
+    /// that divide evenly (floats, no truncation).
+    #[test]
+    fn sum_pool_matches_scaled_avg_pool(values in prop::collection::vec(-10.0f32..10.0, 16)) {
+        let input = Tensor::from_vec(vec![1, 4, 4], values).unwrap();
+        let sum = ops::sum_pool2d(&input, 2).unwrap();
+        let avg = ops::avg_pool2d(&input, 2).unwrap();
+        for (s, a) in sum.iter().zip(avg.iter()) {
+            prop_assert!((s - a * 4.0).abs() < 1e-4);
+        }
+    }
+
+    /// ReLU output is non-negative and fixed-point free: relu(relu(x)) == relu(x).
+    #[test]
+    fn relu_is_idempotent(values in prop::collection::vec(-100i32..100, 1..32)) {
+        let len = values.len();
+        let t = Tensor::from_vec(vec![len], values).unwrap();
+        let once = ops::relu(&t);
+        let twice = ops::relu(&once);
+        prop_assert!(once.iter().all(|&v| v >= 0));
+        prop_assert_eq!(once.as_slice(), twice.as_slice());
+    }
+
+    /// Linear layer distributes over input addition.
+    #[test]
+    fn linear_is_additive(
+        a in prop::collection::vec(-5i32..5, 6),
+        b in prop::collection::vec(-5i32..5, 6),
+        w in prop::collection::vec(-3i32..3, 12),
+    ) {
+        let ta = Tensor::from_vec(vec![6], a.clone()).unwrap();
+        let tb = Tensor::from_vec(vec![6], b.clone()).unwrap();
+        let tsum = Tensor::from_vec(
+            vec![6],
+            a.iter().zip(b.iter()).map(|(x, y)| x + y).collect(),
+        ).unwrap();
+        let weight = Tensor::from_vec(vec![2, 6], w).unwrap();
+        let la = ops::linear(&ta, &weight, None).unwrap();
+        let lb = ops::linear(&tb, &weight, None).unwrap();
+        let lsum = ops::linear(&tsum, &weight, None).unwrap();
+        let expected: Vec<i32> = la.iter().zip(lb.iter()).map(|(x, y)| x + y).collect();
+        prop_assert_eq!(lsum.as_slice(), &expected[..]);
+    }
+
+    /// Quantization round-trip error is bounded by half the quantization step.
+    #[test]
+    fn quantization_error_within_half_step(
+        values in prop::collection::vec(-2.0f32..2.0, 1..64),
+        bits in 2u8..9,
+    ) {
+        let len = values.len();
+        let real = Tensor::from_vec(vec![len], values).unwrap();
+        let q = QuantizedTensor::quantize(&real, bits).unwrap();
+        let deq = q.dequantize();
+        for (orig, back) in real.iter().zip(deq.iter()) {
+            prop_assert!((orig - back).abs() <= q.scale() / 2.0 + 1e-5);
+        }
+    }
+
+    /// Quantized codes never exceed the symmetric range for the bit width.
+    #[test]
+    fn quantized_codes_stay_in_range(
+        values in prop::collection::vec(-100.0f32..100.0, 1..64),
+        bits in 2u8..9,
+    ) {
+        let len = values.len();
+        let real = Tensor::from_vec(vec![len], values).unwrap();
+        let q = QuantizedTensor::quantize(&real, bits).unwrap();
+        let max_code = QuantizedTensor::max_code_for(bits);
+        prop_assert!(q.codes().iter().all(|&c| c.abs() <= max_code));
+    }
+}

@@ -1,0 +1,75 @@
+use std::fmt;
+
+/// Errors produced by the training substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// The dataset is unusable for training (for example empty).
+    InvalidDataset {
+        /// Human-readable description.
+        context: String,
+    },
+    /// A training hyper-parameter is invalid.
+    InvalidConfig {
+        /// Human-readable description.
+        context: String,
+    },
+    /// An error bubbled up from the model crate.
+    Model(snn_model::ModelError),
+    /// An error bubbled up from the tensor substrate.
+    Tensor(snn_tensor::TensorError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::InvalidDataset { context } => write!(f, "invalid dataset: {context}"),
+            TrainError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
+            TrainError::Model(e) => write!(f, "model error: {e}"),
+            TrainError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Model(e) => Some(e),
+            TrainError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<snn_model::ModelError> for TrainError {
+    fn from(e: snn_model::ModelError) -> Self {
+        TrainError::Model(e)
+    }
+}
+
+impl From<snn_tensor::TensorError> for TrainError {
+    fn from(e: snn_tensor::TensorError) -> Self {
+        TrainError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let err = TrainError::InvalidDataset {
+            context: "empty".into(),
+        };
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let model_err = snn_model::ModelError::InvalidNetwork {
+            context: "x".into(),
+        };
+        assert!(matches!(TrainError::from(model_err), TrainError::Model(_)));
+    }
+}

@@ -1,0 +1,356 @@
+//! Backward passes of the layer operators.
+//!
+//! Each function takes the layer input (as seen during the forward pass),
+//! the upstream gradient with respect to the layer output, and returns the
+//! gradient with respect to the layer input plus, for weighted layers, the
+//! gradients with respect to the weights and biases.
+
+use crate::Result;
+use snn_tensor::Tensor;
+
+/// Gradients of a convolution layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvGrads {
+    /// Gradient with respect to the layer input `[C, H, W]`.
+    pub input: Tensor<f32>,
+    /// Gradient with respect to the kernels `[O, C, K, K]`.
+    pub weight: Tensor<f32>,
+    /// Gradient with respect to the biases `[O]`.
+    pub bias: Tensor<f32>,
+}
+
+/// Gradients of a fully-connected layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearGrads {
+    /// Gradient with respect to the layer input `[N]`.
+    pub input: Tensor<f32>,
+    /// Gradient with respect to the weights `[O, N]`.
+    pub weight: Tensor<f32>,
+    /// Gradient with respect to the biases `[O]`.
+    pub bias: Tensor<f32>,
+}
+
+/// Backward pass of [`ops::conv2d`].
+///
+/// # Errors
+///
+/// Returns an error when tensor shapes are internally inconsistent.
+pub fn conv2d_backward(
+    input: &Tensor<f32>,
+    weight: &Tensor<f32>,
+    grad_output: &Tensor<f32>,
+    stride: usize,
+    padding: usize,
+) -> Result<ConvGrads> {
+    let in_dims = input.shape().dims().to_vec();
+    let k_dims = weight.shape().dims().to_vec();
+    let out_dims = grad_output.shape().dims().to_vec();
+    let (c_in, h, w) = (in_dims[0], in_dims[1], in_dims[2]);
+    let (c_out, _, kh, kw) = (k_dims[0], k_dims[1], k_dims[2], k_dims[3]);
+    let (h_out, w_out) = (out_dims[1], out_dims[2]);
+
+    let mut grad_input = Tensor::filled(vec![c_in, h, w], 0.0f32);
+    let mut grad_weight = Tensor::filled(k_dims.clone(), 0.0f32);
+    let mut grad_bias = Tensor::filled(vec![c_out], 0.0f32);
+
+    let in_data = input.as_slice();
+    let w_data = weight.as_slice();
+    let go_data = grad_output.as_slice();
+    let gi_data = grad_input.as_mut_slice();
+    // Weight and bias gradients plus input gradient in one sweep over the
+    // output positions (mirrors the forward loop nest).
+    for oc in 0..c_out {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let go = go_data[oc * h_out * w_out + oy * w_out + ox];
+                if go == 0.0 {
+                    continue;
+                }
+                grad_bias.as_mut_slice()[oc] += go;
+                for ic in 0..c_in {
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let in_idx = ic * h * w + iy as usize * w + ix as usize;
+                            let k_idx = oc * c_in * kh * kw + ic * kh * kw + ky * kw + kx;
+                            grad_weight.as_mut_slice()[k_idx] += go * in_data[in_idx];
+                            gi_data[in_idx] += go * w_data[k_idx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(ConvGrads {
+        input: grad_input,
+        weight: grad_weight,
+        bias: grad_bias,
+    })
+}
+
+/// Backward pass of [`ops::linear`].
+///
+/// # Errors
+///
+/// Returns an error when tensor shapes are internally inconsistent.
+pub fn linear_backward(
+    input: &Tensor<f32>,
+    weight: &Tensor<f32>,
+    grad_output: &Tensor<f32>,
+) -> Result<LinearGrads> {
+    let n = input.len();
+    let o = grad_output.len();
+    let in_data = input.as_slice();
+    let w_data = weight.as_slice();
+    let go_data = grad_output.as_slice();
+
+    let mut grad_input = vec![0.0f32; n];
+    let mut grad_weight = vec![0.0f32; o * n];
+    let grad_bias = go_data.to_vec();
+
+    for oi in 0..o {
+        let go = go_data[oi];
+        if go == 0.0 {
+            continue;
+        }
+        for ni in 0..n {
+            grad_weight[oi * n + ni] += go * in_data[ni];
+            grad_input[ni] += go * w_data[oi * n + ni];
+        }
+    }
+
+    Ok(LinearGrads {
+        input: Tensor::from_vec(vec![n], grad_input)?,
+        weight: Tensor::from_vec(vec![o, n], grad_weight)?,
+        bias: Tensor::from_vec(vec![o], grad_bias)?,
+    })
+}
+
+/// Backward pass of ReLU: passes the gradient through where the *pre-ReLU*
+/// value was positive.
+pub fn relu_backward(pre_activation: &Tensor<f32>, grad_output: &Tensor<f32>) -> Tensor<f32> {
+    let grads: Vec<f32> = pre_activation
+        .iter()
+        .zip(grad_output.iter())
+        .map(|(&pre, &g)| if pre > 0.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(pre_activation.shape().clone(), grads).expect("shapes match")
+}
+
+/// Backward pass of non-overlapping average pooling: the gradient of each
+/// output is distributed equally over its window.
+///
+/// # Errors
+///
+/// Returns an error when tensor shapes are internally inconsistent.
+pub fn avg_pool2d_backward(
+    input_shape: &[usize],
+    grad_output: &Tensor<f32>,
+    window: usize,
+) -> Result<Tensor<f32>> {
+    let (c, h, w) = (input_shape[0], input_shape[1], input_shape[2]);
+    let out_dims = grad_output.shape().dims().to_vec();
+    let (h_out, w_out) = (out_dims[1], out_dims[2]);
+    let mut grad_input = Tensor::filled(vec![c, h, w], 0.0f32);
+    let gi = grad_input.as_mut_slice();
+    let go = grad_output.as_slice();
+    let scale = 1.0 / (window * window) as f32;
+    for ch in 0..c {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let g = go[ch * h_out * w_out + oy * w_out + ox] * scale;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        let iy = oy * window + ky;
+                        let ix = ox * window + kx;
+                        gi[ch * h * w + iy * w + ix] += g;
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_input)
+}
+
+/// Backward pass of non-overlapping max pooling: the gradient of each
+/// output flows only to the argmax position of its window.
+///
+/// # Errors
+///
+/// Returns an error when tensor shapes are internally inconsistent.
+pub fn max_pool2d_backward(
+    input: &Tensor<f32>,
+    grad_output: &Tensor<f32>,
+    window: usize,
+) -> Result<Tensor<f32>> {
+    let dims = input.shape().dims().to_vec();
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let out_dims = grad_output.shape().dims().to_vec();
+    let (h_out, w_out) = (out_dims[1], out_dims[2]);
+    let mut grad_input = Tensor::filled(vec![c, h, w], 0.0f32);
+    let gi = grad_input.as_mut_slice();
+    let go = grad_output.as_slice();
+    let in_data = input.as_slice();
+    for ch in 0..c {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut best_idx = ch * h * w + (oy * window) * w + ox * window;
+                let mut best_val = in_data[best_idx];
+                for ky in 0..window {
+                    for kx in 0..window {
+                        let idx = ch * h * w + (oy * window + ky) * w + (ox * window + kx);
+                        if in_data[idx] > best_val {
+                            best_val = in_data[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                gi[best_idx] += go[ch * h_out * w_out + oy * w_out + ox];
+            }
+        }
+    }
+    Ok(grad_input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_tensor::ops;
+
+    /// Numerically checks d(sum of outputs)/d(input[i]) for the convolution.
+    #[test]
+    fn conv_input_gradient_matches_numerical() {
+        let input = Tensor::from_vec(
+            vec![1, 4, 4],
+            (0..16).map(|v| v as f32 * 0.1).collect(),
+        )
+        .unwrap();
+        let weight = Tensor::from_vec(
+            vec![1, 1, 3, 3],
+            vec![0.1f32, -0.2, 0.3, 0.0, 0.5, -0.1, 0.2, 0.2, -0.4],
+        )
+        .unwrap();
+        // Upstream gradient of all ones == derivative of sum of outputs.
+        let out = ops::conv2d(&input, &weight, None, 1, 0).unwrap();
+        let grad_out = Tensor::filled(out.shape().clone(), 1.0f32);
+        let grads = conv2d_backward(&input, &weight, &grad_out, 1, 0).unwrap();
+
+        let eps = 1e-3f32;
+        for i in [0usize, 5, 10, 15] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let sum_plus: f32 = ops::conv2d(&plus, &weight, None, 1, 0).unwrap().iter().sum();
+            let sum_minus: f32 = ops::conv2d(&minus, &weight, None, 1, 0)
+                .unwrap()
+                .iter()
+                .sum();
+            let numeric = (sum_plus - sum_minus) / (2.0 * eps);
+            let analytic = grads.input.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "input grad at {i}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_weight_gradient_matches_numerical() {
+        let input = Tensor::from_vec(
+            vec![1, 3, 3],
+            vec![0.5f32, -0.5, 1.0, 0.2, 0.0, -0.3, 0.7, 0.1, 0.4],
+        )
+        .unwrap();
+        let weight = Tensor::from_vec(vec![1, 1, 2, 2], vec![0.3f32, -0.1, 0.2, 0.05]).unwrap();
+        let out = ops::conv2d(&input, &weight, None, 1, 0).unwrap();
+        let grad_out = Tensor::filled(out.shape().clone(), 1.0f32);
+        let grads = conv2d_backward(&input, &weight, &grad_out, 1, 0).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut plus = weight.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = weight.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let sp: f32 = ops::conv2d(&input, &plus, None, 1, 0).unwrap().iter().sum();
+            let sm: f32 = ops::conv2d(&input, &minus, None, 1, 0).unwrap().iter().sum();
+            let numeric = (sp - sm) / (2.0 * eps);
+            assert!(
+                (numeric - grads.weight.as_slice()[i]).abs() < 1e-2,
+                "weight grad {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_bias_gradient_is_output_sum() {
+        let input = Tensor::filled(vec![1, 3, 3], 1.0f32);
+        let weight = Tensor::filled(vec![2, 1, 2, 2], 0.5f32);
+        let grad_out = Tensor::filled(vec![2, 2, 2], 1.0f32);
+        let grads = conv2d_backward(&input, &weight, &grad_out, 1, 0).unwrap();
+        assert_eq!(grads.bias.as_slice(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn linear_gradients_match_numerical() {
+        let input = Tensor::from_vec(vec![3], vec![0.4f32, -0.7, 0.2]).unwrap();
+        let weight =
+            Tensor::from_vec(vec![2, 3], vec![0.1f32, 0.3, -0.2, 0.5, -0.4, 0.2]).unwrap();
+        let grad_out = Tensor::from_vec(vec![2], vec![1.0f32, -2.0]).unwrap();
+        let grads = linear_backward(&input, &weight, &grad_out).unwrap();
+        // Weighted sum of outputs: s = 1*y0 - 2*y1.
+        let weighted_sum = |w: &Tensor<f32>, x: &Tensor<f32>| -> f32 {
+            let y = ops::linear(x, w, None).unwrap();
+            y.as_slice()[0] - 2.0 * y.as_slice()[1]
+        };
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let numeric = (weighted_sum(&weight, &plus) - weighted_sum(&weight, &minus)) / (2.0 * eps);
+            assert!((numeric - grads.input.as_slice()[i]).abs() < 1e-2);
+        }
+        for i in 0..6 {
+            let mut plus = weight.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = weight.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let numeric = (weighted_sum(&plus, &input) - weighted_sum(&minus, &input)) / (2.0 * eps);
+            assert!((numeric - grads.weight.as_slice()[i]).abs() < 1e-2);
+        }
+        assert_eq!(grads.bias.as_slice(), grad_out.as_slice());
+    }
+
+    #[test]
+    fn relu_backward_masks_negative_preactivations() {
+        let pre = Tensor::from_vec(vec![4], vec![-1.0f32, 2.0, 0.0, 3.0]).unwrap();
+        let grad = Tensor::from_vec(vec![4], vec![1.0f32, 1.0, 1.0, 1.0]).unwrap();
+        let out = relu_backward(&pre, &grad);
+        assert_eq!(out.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_equally() {
+        let grad_out = Tensor::from_vec(vec![1, 1, 1], vec![4.0f32]).unwrap();
+        let grad_in = avg_pool2d_backward(&[1, 2, 2], &grad_out, 2).unwrap();
+        assert_eq!(grad_in.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0f32, 5.0, 2.0, 3.0]).unwrap();
+        let grad_out = Tensor::from_vec(vec![1, 1, 1], vec![7.0f32]).unwrap();
+        let grad_in = max_pool2d_backward(&input, &grad_out, 2).unwrap();
+        assert_eq!(grad_in.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # snn-train
+//!
+//! A minimal from-scratch SGD/backpropagation trainer for the feed-forward
+//! CNNs described by `snn-model`.
+//!
+//! The paper does not train on the accelerator: SNN models are obtained by
+//! training an **equivalent ANN** and converting it (Section IV-A).  This
+//! crate provides that training substrate so the accuracy experiments
+//! (Table I) can be reproduced end-to-end on the synthetic datasets from
+//! `snn-data`:
+//!
+//! * [`loss`] — softmax cross-entropy and its gradient.
+//! * [`grad`] — backward passes of convolution, pooling, ReLU and
+//!   fully-connected layers.
+//! * [`optimizer`] — stochastic gradient descent with momentum.
+//! * [`trainer`] — the mini-batch training loop and evaluation helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use snn_data::digits::SyntheticDigits;
+//! use snn_model::{params::Parameters, zoo};
+//! use snn_train::trainer::{Trainer, TrainingConfig};
+//!
+//! let dataset = SyntheticDigits::new(12).generate(40, 1).split(0.75);
+//! let net = zoo::tiny_cnn();
+//! let mut params = Parameters::he_init(&net, 7)?;
+//! let config = TrainingConfig { epochs: 1, ..TrainingConfig::default() };
+//! let report = Trainer::new(config).train(&net, &mut params, &dataset.train)?;
+//! assert_eq!(report.epoch_losses.len(), 1);
+//! # Ok::<(), snn_train::TrainError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod grad;
+pub mod loss;
+pub mod metrics;
+pub mod optimizer;
+pub mod trainer;
+
+pub use error::TrainError;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, TrainError>;

@@ -1,0 +1,125 @@
+//! Softmax cross-entropy loss.
+
+use snn_tensor::Tensor;
+
+/// Numerically stable softmax of a logit vector.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::Tensor;
+/// use snn_train::loss::softmax;
+///
+/// let logits = Tensor::from_vec(vec![3], vec![1.0f32, 2.0, 3.0])?;
+/// let p = softmax(&logits);
+/// assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+/// # Ok::<(), snn_tensor::TensorError>(())
+/// ```
+pub fn softmax(logits: &Tensor<f32>) -> Tensor<f32> {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(logits.shape().clone(), exps.into_iter().map(|e| e / sum).collect())
+        .expect("softmax preserves shape")
+}
+
+/// Cross-entropy loss of a logit vector against a target class, together
+/// with the gradient with respect to the logits.
+///
+/// Returns `(loss, dloss/dlogits)`.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range for the logit vector.
+pub fn cross_entropy_with_grad(logits: &Tensor<f32>, target: usize) -> (f32, Tensor<f32>) {
+    assert!(
+        target < logits.len(),
+        "target class {target} out of range for {} logits",
+        logits.len()
+    );
+    let probs = softmax(logits);
+    let p_target = probs.as_slice()[target].max(1e-12);
+    let loss = -p_target.ln();
+    let mut grad = probs;
+    grad.as_mut_slice()[target] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_preserves_order() {
+        let logits = Tensor::from_vec(vec![4], vec![0.5f32, -1.0, 3.0, 0.0]).unwrap();
+        let p = softmax(&logits);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        let max_idx = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 2);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![3], vec![1.0f32, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![101.0f32, 102.0, 103.0]).unwrap();
+        let pa = softmax(&a);
+        let pb = softmax(&b);
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn loss_is_low_when_confidently_correct() {
+        let logits = Tensor::from_vec(vec![3], vec![10.0f32, 0.0, 0.0]).unwrap();
+        let (loss, _) = cross_entropy_with_grad(&logits, 0);
+        assert!(loss < 0.01);
+        let (wrong_loss, _) = cross_entropy_with_grad(&logits, 1);
+        assert!(wrong_loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_softmax_minus_onehot() {
+        let logits = Tensor::from_vec(vec![3], vec![0.2f32, 0.5, -0.1]).unwrap();
+        let probs = softmax(&logits);
+        let (_, grad) = cross_entropy_with_grad(&logits, 2);
+        for i in 0..3 {
+            let expected = probs.as_slice()[i] - if i == 2 { 1.0 } else { 0.0 };
+            assert!((grad.as_slice()[i] - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numerical_gradient() {
+        let logits = Tensor::from_vec(vec![4], vec![0.3f32, -0.2, 0.8, 0.1]).unwrap();
+        let (_, grad) = cross_entropy_with_grad(&logits, 1);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let (lp, _) = cross_entropy_with_grad(&plus, 1);
+            let (lm, _) = cross_entropy_with_grad(&minus, 1);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad.as_slice()[i] - numeric).abs() < 1e-2,
+                "analytic {} vs numeric {}",
+                grad.as_slice()[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_panics() {
+        let logits = Tensor::from_vec(vec![2], vec![0.0f32, 0.0]).unwrap();
+        cross_entropy_with_grad(&logits, 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Classification metrics: confusion matrix, per-class accuracy and
+//! agreement between two classifiers (used to quantify how faithfully the
+//! converted SNN tracks its source ANN).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A confusion matrix over `num_classes` classes.
+///
+/// Rows are true labels, columns are predictions.
+///
+/// # Example
+///
+/// ```
+/// use snn_train::metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(3);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(2, 2);
+/// assert_eq!(cm.total(), 3);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    num_classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty confusion matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` is zero.
+    pub fn new(num_classes: usize) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        ConfusionMatrix {
+            num_classes,
+            counts: vec![0; num_classes * num_classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Records one `(true label, prediction)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, label: usize, prediction: usize) {
+        assert!(label < self.num_classes, "label {label} out of range");
+        assert!(
+            prediction < self.num_classes,
+            "prediction {prediction} out of range"
+        );
+        self.counts[label * self.num_classes + prediction] += 1;
+    }
+
+    /// Count of samples with the given true label and prediction.
+    pub fn count(&self, label: usize, prediction: usize) -> u64 {
+        self.counts[label * self.num_classes + prediction]
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 for an empty matrix).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.num_classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (`None` for classes with no samples).
+    pub fn per_class_recall(&self) -> Vec<Option<f64>> {
+        (0..self.num_classes)
+            .map(|c| {
+                let row: u64 = (0..self.num_classes).map(|p| self.count(c, p)).sum();
+                if row == 0 {
+                    None
+                } else {
+                    Some(self.count(c, c) as f64 / row as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Builds a matrix from parallel label/prediction slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or contain out-of-range
+    /// indices.
+    pub fn from_pairs(num_classes: usize, labels: &[usize], predictions: &[usize]) -> Self {
+        assert_eq!(
+            labels.len(),
+            predictions.len(),
+            "labels and predictions must have the same length"
+        );
+        let mut cm = ConfusionMatrix::new(num_classes);
+        for (&l, &p) in labels.iter().zip(predictions.iter()) {
+            cm.record(l, p);
+        }
+        cm
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "true\\pred")?;
+        for p in 0..self.num_classes {
+            write!(f, " {p:>6}")?;
+        }
+        writeln!(f)?;
+        for l in 0..self.num_classes {
+            write!(f, "{l:>9}")?;
+            for p in 0..self.num_classes {
+                write!(f, " {:>6}", self.count(l, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Fraction of samples on which two classifiers produce the same prediction
+/// — used to measure how faithfully the converted SNN follows the ANN.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn agreement(predictions_a: &[usize], predictions_b: &[usize]) -> f64 {
+    assert_eq!(
+        predictions_a.len(),
+        predictions_b.len(),
+        "prediction lists must have the same length"
+    );
+    if predictions_a.is_empty() {
+        return 1.0;
+    }
+    let same = predictions_a
+        .iter()
+        .zip(predictions_b.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    same as f64 / predictions_a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_diagonal() {
+        let cm = ConfusionMatrix::from_pairs(3, &[0, 1, 2, 2], &[0, 1, 1, 2]);
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-9);
+        assert_eq!(cm.count(2, 1), 1);
+    }
+
+    #[test]
+    fn per_class_recall_handles_missing_classes() {
+        let cm = ConfusionMatrix::from_pairs(3, &[0, 0, 1], &[0, 1, 1]);
+        let recall = cm.per_class_recall();
+        assert_eq!(recall[0], Some(0.5));
+        assert_eq!(recall[1], Some(1.0));
+        assert_eq!(recall[2], None);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_accuracy() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let cm = ConfusionMatrix::from_pairs(2, &[0, 1], &[0, 1]);
+        let text = cm.to_string();
+        assert!(text.lines().count() >= 3);
+        assert!(text.contains("true\\pred"));
+    }
+
+    #[test]
+    fn agreement_fraction() {
+        assert_eq!(agreement(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+        assert_eq!(agreement(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn agreement_requires_equal_lengths() {
+        agreement(&[1], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_prediction_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Stochastic gradient descent with momentum.
+
+use snn_tensor::Tensor;
+
+/// SGD-with-momentum state for a set of parameter tensors.
+///
+/// The optimizer is deliberately simple: the networks in the paper are
+/// trained conventionally (the accelerator is inference-only), and plain
+/// SGD with momentum is sufficient for the synthetic workloads.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::Tensor;
+/// use snn_train::optimizer::Sgd;
+///
+/// let mut sgd = Sgd::new(0.1, 0.9);
+/// let mut param = Tensor::from_vec(vec![2], vec![1.0f32, -1.0])?;
+/// let grad = Tensor::from_vec(vec![2], vec![1.0f32, -1.0])?;
+/// sgd.step("w", &mut param, &grad);
+/// assert!(param.as_slice()[0] < 1.0);
+/// # Ok::<(), snn_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    velocities: std::collections::HashMap<String, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with the given learning rate and momentum
+    /// coefficient (use `0.0` momentum for plain SGD).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the learning rate is not positive or momentum is not in
+    /// `[0, 1)`.
+    pub fn new(learning_rate: f32, momentum: f32) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1)"
+        );
+        Sgd {
+            learning_rate,
+            momentum,
+            velocities: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Updates the learning rate (e.g. for a decay schedule).
+    pub fn set_learning_rate(&mut self, learning_rate: f32) {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        self.learning_rate = learning_rate;
+    }
+
+    /// Applies one update to `param` given its gradient.  The `key`
+    /// identifies the parameter so its momentum buffer persists across
+    /// steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` and `grad` have different lengths.
+    pub fn step(&mut self, key: &str, param: &mut Tensor<f32>, grad: &Tensor<f32>) {
+        assert_eq!(
+            param.len(),
+            grad.len(),
+            "parameter and gradient must have the same number of elements"
+        );
+        let velocity = self
+            .velocities
+            .entry(key.to_string())
+            .or_insert_with(|| vec![0.0; param.len()]);
+        for ((p, &g), v) in param
+            .iter_mut()
+            .zip(grad.iter())
+            .zip(velocity.iter_mut())
+        {
+            *v = self.momentum * *v - self.learning_rate * g;
+            *p += *v;
+        }
+    }
+
+    /// Clears all momentum buffers.
+    pub fn reset(&mut self) {
+        self.velocities.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut sgd = Sgd::new(0.5, 0.0);
+        let mut p = Tensor::from_vec(vec![2], vec![1.0f32, 2.0]).unwrap();
+        let g = Tensor::from_vec(vec![2], vec![2.0f32, -2.0]).unwrap();
+        sgd.step("p", &mut p, &g);
+        assert_eq!(p.as_slice(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut sgd = Sgd::new(0.1, 0.9);
+        let mut p = Tensor::from_vec(vec![1], vec![0.0f32]).unwrap();
+        let g = Tensor::from_vec(vec![1], vec![1.0f32]).unwrap();
+        sgd.step("p", &mut p, &g);
+        let after_one = p.as_slice()[0];
+        sgd.step("p", &mut p, &g);
+        let delta_two = p.as_slice()[0] - after_one;
+        // Second step is larger in magnitude because velocity accumulated.
+        assert!(delta_two.abs() > after_one.abs());
+    }
+
+    #[test]
+    fn distinct_keys_have_independent_velocity() {
+        let mut sgd = Sgd::new(0.1, 0.9);
+        let mut a = Tensor::from_vec(vec![1], vec![0.0f32]).unwrap();
+        let mut b = Tensor::from_vec(vec![1], vec![0.0f32]).unwrap();
+        let g = Tensor::from_vec(vec![1], vec![1.0f32]).unwrap();
+        sgd.step("a", &mut a, &g);
+        sgd.step("a", &mut a, &g);
+        sgd.step("b", &mut b, &g);
+        // b has only taken one fresh step, so it moved less.
+        assert!(b.as_slice()[0].abs() < a.as_slice()[0].abs());
+    }
+
+    #[test]
+    fn converges_on_a_quadratic() {
+        // Minimise f(x) = (x - 3)^2 with gradient 2(x - 3).
+        let mut sgd = Sgd::new(0.1, 0.5);
+        let mut x = Tensor::from_vec(vec![1], vec![-5.0f32]).unwrap();
+        for _ in 0..200 {
+            let g = Tensor::from_vec(vec![1], vec![2.0 * (x.as_slice()[0] - 3.0)]).unwrap();
+            sgd.step("x", &mut x, &g);
+        }
+        assert!((x.as_slice()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reset_clears_momentum() {
+        let mut sgd = Sgd::new(0.1, 0.9);
+        let mut p = Tensor::from_vec(vec![1], vec![0.0f32]).unwrap();
+        let g = Tensor::from_vec(vec![1], vec![1.0f32]).unwrap();
+        sgd.step("p", &mut p, &g);
+        sgd.reset();
+        let before = p.as_slice()[0];
+        sgd.step("p", &mut p, &g);
+        // After a reset the step size equals the very first step again.
+        assert!(((p.as_slice()[0] - before) - before).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_learning_rate_rejected() {
+        Sgd::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn invalid_momentum_rejected() {
+        Sgd::new(0.1, 1.0);
+    }
+}

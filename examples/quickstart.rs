@@ -1,0 +1,76 @@
+//! Quickstart: the full flow from a network description to an accelerator
+//! run report in ~40 lines.
+//!
+//! 1. Pick a network topology and (randomly initialised) parameters.
+//! 2. Calibrate activations and convert the ANN into a radix-encoded SNN
+//!    with 3-bit weights.
+//! 3. Instantiate the accelerator with the paper's default configuration
+//!    and run one inference cycle-accurately.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use snn_repro::accel::config::AcceleratorConfig;
+use snn_repro::accel::sim::Accelerator;
+use snn_repro::model::convert::{convert, CalibrationStats, ConversionConfig};
+use snn_repro::model::params::Parameters;
+use snn_repro::model::zoo;
+use snn_repro::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small CNN and an example input (a uniform grey image).
+    let net = zoo::tiny_cnn();
+    println!("network: {}", net.notation());
+    let params = Parameters::he_init(&net, 42)?;
+    let input = Tensor::from_vec(
+        vec![1, 12, 12],
+        (0..144).map(|i| (i % 30) as f32 / 29.0).collect(),
+    )?;
+
+    // 2. ANN-to-SNN conversion: calibrate activation ranges, quantize the
+    //    weights to 3 bits, derive the per-layer requantization scales.
+    let calibration = CalibrationStats::collect(&net, &params, [&input])?;
+    let snn = convert(
+        &net,
+        &params,
+        &calibration,
+        ConversionConfig {
+            weight_bits: 3,
+            time_steps: 4,
+        },
+    )?;
+    println!(
+        "converted SNN: T = {} time steps, {}-bit weights, {} parameters",
+        snn.time_steps(),
+        snn.weight_bits(),
+        net.parameter_count()
+    );
+
+    // 3. Instantiate the accelerator and run one inference.
+    let config = AcceleratorConfig::default();
+    let accelerator = Accelerator::new(config);
+    println!(
+        "accelerator: {} convolution units, {}x{} adder array, {} MHz",
+        config.conv_units,
+        config.conv_geometry.columns,
+        config.conv_geometry.rows,
+        config.clock_mhz
+    );
+
+    let report = accelerator.run(&snn, &input)?;
+    println!();
+    println!("{report}");
+    println!(
+        "latency: {:.1} us  |  throughput: {:.0} fps  |  energy: {:.1} uJ",
+        report.latency_us(&config),
+        report.throughput_fps(&config),
+        report.energy_uj(&config)
+    );
+
+    // The static design report shows what the deployment would cost on the
+    // FPGA (Fig. 1's blocks: processing units, weight memory, ping-pong
+    // buffers).
+    let design = accelerator.design_report(&snn)?;
+    println!();
+    println!("{design}");
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! VGG-11 scalability study — the headline claim of the paper: the radix
+//! dataflow is lean enough to deploy a 28.5 M-parameter VGG-11 on FPGA
+//! neuromorphic hardware (Table III, last row).
+//!
+//! Training VGG-11 is out of scope for a simulation example; the hardware
+//! questions the paper answers for VGG — does it fit, how fast is it, what
+//! does it cost — are topology-driven, so this example evaluates the
+//! analytical timing, memory and cost models on the real VGG-11 topology
+//! with DRAM-resident weights, and contrasts them with LeNet-5.
+//!
+//! Run with: `cargo run --release --example vgg11_scalability`
+
+use snn_repro::accel::config::AcceleratorConfig;
+use snn_repro::accel::cost;
+use snn_repro::accel::memory::{ActivationBufferPlan, WeightMemoryPlan};
+use snn_repro::accel::timing::network_timing;
+use snn_repro::model::zoo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vgg = zoo::vgg11(100);
+    let lenet = zoo::lenet5();
+
+    println!("network inventory");
+    for net in [&lenet, &vgg] {
+        println!(
+            "  {:<8} {:>12} parameters, kernel sizes {:?}",
+            net.name(),
+            net.parameter_count(),
+            net.kernel_sizes()
+        );
+    }
+
+    // The Table III operating points.
+    let vgg_cfg = AcceleratorConfig::vgg11_table3();
+    let lenet_cfg = AcceleratorConfig::lenet_table3();
+
+    // Memory planning: why VGG needs DRAM.
+    let vgg_weights = WeightMemoryPlan::for_network(&vgg, vgg_cfg.weight_bits, vgg_cfg.memory);
+    let vgg_acts = ActivationBufferPlan::for_network(&vgg, 6);
+    println!();
+    println!("VGG-11 memory plan (T = 6, 3-bit weights):");
+    println!(
+        "  parameters: {:.1} Mbit total -> streamed from DRAM ({} BRAM36 staging)",
+        vgg_weights.total_weight_bits as f64 / 1e6,
+        vgg_weights.bram36()
+    );
+    println!(
+        "  activations: {:.1} kbit (2-D ping-pong) + {:.1} kbit (1-D) on chip = {} BRAM36",
+        vgg_acts.buffer_2d_bits as f64 / 1e3,
+        vgg_acts.buffer_1d_bits as f64 / 1e3,
+        vgg_acts.bram36()
+    );
+
+    // Timing and per-layer breakdown.
+    let timing = network_timing(&vgg_cfg, &vgg, 6)?;
+    println!();
+    println!("VGG-11 per-layer latency at {} MHz, {} convolution units:", vgg_cfg.clock_mhz, vgg_cfg.conv_units);
+    println!(
+        "  {:<6} {:<10} {:>14} {:>16}",
+        "layer", "kind", "compute [cyc]", "dram fetch [cyc]"
+    );
+    for (layer, spec) in timing.layers.iter().zip(vgg.layers()) {
+        println!(
+            "  {:<6} {:<10} {:>14} {:>16}",
+            layer.layer,
+            spec.notation(),
+            layer.compute_cycles,
+            layer.weight_fetch_cycles
+        );
+    }
+    println!(
+        "  total: {} cycles = {:.1} ms -> {:.1} fps",
+        timing.total_cycles(),
+        timing.latency_us(&vgg_cfg) / 1e3,
+        timing.throughput_fps(&vgg_cfg)
+    );
+
+    // Resource and power comparison with the LeNet deployment.
+    let vgg_res = cost::estimate_resources(&vgg_cfg, &vgg, 6);
+    let vgg_pow = cost::estimate_power(&vgg_cfg);
+    let lenet_timing = network_timing(&lenet_cfg, &lenet, 4)?;
+    let lenet_res = cost::estimate_resources(&lenet_cfg, &lenet, 4);
+    let lenet_pow = cost::estimate_power(&lenet_cfg);
+
+    println!();
+    println!(
+        "{:<10} {:>10} {:>10} {:>8} {:>12} {:>10}",
+        "model", "LUTs", "FFs", "pow [W]", "latency", "fps"
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>8.2} {:>10.0} us {:>10.0}",
+        "LeNet-5",
+        lenet_res.luts,
+        lenet_res.flip_flops,
+        lenet_pow.total_w(),
+        lenet_timing.latency_us(&lenet_cfg),
+        lenet_timing.throughput_fps(&lenet_cfg)
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>8.2} {:>10.1} ms {:>10.1}",
+        "VGG-11",
+        vgg_res.luts,
+        vgg_res.flip_flops,
+        vgg_pow.total_w(),
+        timing.latency_us(&vgg_cfg) / 1e3,
+        timing.throughput_fps(&vgg_cfg)
+    );
+    println!();
+    println!("paper reference (Table III): VGG-11 at 115 MHz -> 210 ms, 4.7 fps, 4.9 W, 88k LUTs / 84k FFs");
+    Ok(())
+}

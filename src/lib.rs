@@ -1,0 +1,13 @@
+//! Umbrella crate for the SNN radix-encoding accelerator reproduction.
+//!
+//! Re-exports the individual workspace crates so the examples and
+//! integration tests can use a single dependency. Downstream users will
+//! normally depend on the individual crates ([`snn_accel`], [`snn_model`],
+//! [`snn_encoding`], ...) directly.
+pub use snn_accel as accel;
+pub use snn_baselines as baselines;
+pub use snn_data as data;
+pub use snn_encoding as encoding;
+pub use snn_model as model;
+pub use snn_tensor as tensor;
+pub use snn_train as train;

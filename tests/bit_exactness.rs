@@ -1,0 +1,136 @@
+//! Property-based cross-crate test: for randomly generated small networks,
+//! weights and inputs, the cycle-accurate accelerator simulator produces
+//! exactly the same integers as the functional radix-SNN model, and the
+//! transaction-level path agrees with both.
+
+use proptest::prelude::*;
+use snn_repro::accel::config::{AcceleratorConfig, ArrayGeometry};
+use snn_repro::accel::sim::Accelerator;
+use snn_repro::model::convert::{convert, CalibrationStats, ConversionConfig};
+use snn_repro::model::params::{LayerParameters, Parameters};
+use snn_repro::model::{LayerSpec, NetworkSpec};
+use snn_repro::tensor::Tensor;
+
+/// Builds a small random conv→pool→flatten→linear network together with
+/// random parameters from the proptest-provided raw values.
+fn build_network(
+    channels: usize,
+    kernel: usize,
+    weights_seed: &[f32],
+) -> (NetworkSpec, Parameters) {
+    let side = 9usize;
+    let pooled = (side - kernel + 1) / 2;
+    let flat = channels * pooled * pooled;
+    let net = NetworkSpec::new(
+        "prop",
+        vec![1, side, side],
+        vec![
+            LayerSpec::conv(1, channels, kernel),
+            LayerSpec::avg_pool2(),
+            LayerSpec::Flatten,
+            LayerSpec::linear(flat, 4),
+        ],
+    )
+    .expect("generated network is valid");
+
+    // Deterministically derive weights from the seed slice.
+    let take = |n: usize, offset: usize| -> Vec<f32> {
+        (0..n)
+            .map(|i| weights_seed[(offset + i) % weights_seed.len()])
+            .collect()
+    };
+    let conv_weight =
+        Tensor::from_vec(vec![channels, 1, kernel, kernel], take(channels * kernel * kernel, 0))
+            .expect("conv weight");
+    let conv_bias = Tensor::from_vec(vec![channels], take(channels, 7)).expect("conv bias");
+    let lin_weight = Tensor::from_vec(vec![4, flat], take(4 * flat, 13)).expect("linear weight");
+    let lin_bias = Tensor::from_vec(vec![4], take(4, 29)).expect("linear bias");
+    let params = Parameters::new(
+        &net,
+        vec![
+            Some(LayerParameters {
+                weight: conv_weight,
+                bias: conv_bias,
+            }),
+            None,
+            None,
+            Some(LayerParameters {
+                weight: lin_weight,
+                bias: lin_bias,
+            }),
+        ],
+    )
+    .expect("generated parameters match the network");
+    (net, params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The cycle-accurate and transaction-level simulators and the
+    /// functional SNN model all compute identical logits.
+    #[test]
+    fn accelerator_matches_functional_model(
+        channels in 1usize..4,
+        kernel in 2usize..4,
+        time_steps in 1usize..7,
+        weights in prop::collection::vec(-1.0f32..1.0, 64),
+        pixels in prop::collection::vec(0.0f32..1.0, 81),
+    ) {
+        let (net, params) = build_network(channels, kernel, &weights);
+        let input = Tensor::from_vec(vec![1, 9, 9], pixels).expect("input");
+        let calibration = CalibrationStats::collect(&net, &params, [&input])
+            .expect("calibration");
+        let model = convert(
+            &net,
+            &params,
+            &calibration,
+            ConversionConfig { weight_bits: 3, time_steps },
+        )
+        .expect("conversion");
+
+        let accel = Accelerator::new(AcceleratorConfig::default());
+        let detailed = accel.run(&model, &input).expect("cycle-accurate run");
+        let fast = accel.run_fast(&model, &input).expect("transaction run");
+        let functional = model.forward(&input).expect("functional forward");
+
+        prop_assert_eq!(&detailed.logits, functional.logits().as_slice());
+        prop_assert_eq!(&fast.logits, functional.logits().as_slice());
+        prop_assert_eq!(detailed.prediction, functional.predicted_class());
+    }
+
+    /// Results are independent of the accelerator's parallelism and adder
+    /// array geometry (only latency changes).
+    #[test]
+    fn results_are_invariant_to_hardware_geometry(
+        conv_units in 1usize..9,
+        columns in 3usize..40,
+        time_steps in 1usize..6,
+        weights in prop::collection::vec(-1.0f32..1.0, 64),
+    ) {
+        let (net, params) = build_network(2, 3, &weights);
+        let input = Tensor::filled(vec![1, 9, 9], 0.6f32);
+        let calibration = CalibrationStats::collect(&net, &params, [&input])
+            .expect("calibration");
+        let model = convert(
+            &net,
+            &params,
+            &calibration,
+            ConversionConfig { weight_bits: 3, time_steps },
+        )
+        .expect("conversion");
+
+        let reference = Accelerator::new(AcceleratorConfig::default())
+            .run(&model, &input)
+            .expect("reference run");
+        let custom_config = AcceleratorConfig {
+            conv_units,
+            conv_geometry: ArrayGeometry { columns, rows: 5 },
+            ..AcceleratorConfig::default()
+        };
+        let custom = Accelerator::new(custom_config)
+            .run(&model, &input)
+            .expect("custom run");
+        prop_assert_eq!(reference.logits, custom.logits);
+    }
+}

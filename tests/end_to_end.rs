@@ -1,0 +1,143 @@
+//! Cross-crate integration test: the complete pipeline from synthetic data
+//! through ANN training, quantization, ANN-to-SNN conversion and
+//! accelerator simulation.
+
+use snn_repro::accel::config::AcceleratorConfig;
+use snn_repro::accel::sim::Accelerator;
+use snn_repro::data::digits::SyntheticDigits;
+use snn_repro::model::convert::{convert, CalibrationStats, ConversionConfig};
+use snn_repro::model::forward;
+use snn_repro::model::params::Parameters;
+use snn_repro::model::zoo;
+use snn_repro::train::trainer::{Trainer, TrainingConfig};
+
+#[test]
+fn trained_tiny_cnn_survives_conversion_and_accelerator_deployment() {
+    // 1. Data and ANN training.
+    let data = SyntheticDigits::new(12)
+        .with_noise_percent(5)
+        .generate(120, 11)
+        .split(0.75);
+    let net = zoo::tiny_cnn();
+    let mut params = Parameters::he_init(&net, 11).expect("parameters");
+    let report = Trainer::new(TrainingConfig {
+        epochs: 8,
+        learning_rate: 0.01,
+        momentum: 0.9,
+        lr_decay: 0.95,
+    })
+    .train(&net, &mut params, &data.train)
+    .expect("training");
+    assert!(
+        report.final_train_accuracy > 0.5,
+        "ANN failed to learn the synthetic digits: {}",
+        report.final_train_accuracy
+    );
+
+    let ann_acc = forward::evaluate(&net, &params, data.test.iter()).expect("ANN eval");
+
+    // 2. Conversion at T = 6 (the paper's high-accuracy operating point).
+    let calibration_inputs: Vec<_> = data.train.iter().take(24).map(|(img, _)| img).collect();
+    let calibration =
+        CalibrationStats::collect(&net, &params, calibration_inputs).expect("calibration");
+    let snn = convert(
+        &net,
+        &params,
+        &calibration,
+        ConversionConfig {
+            weight_bits: 3,
+            time_steps: 6,
+        },
+    )
+    .expect("conversion");
+    let snn_acc = snn.evaluate(data.test.iter()).expect("SNN eval");
+
+    // The converted SNN should be within a reasonable margin of the ANN on
+    // the same test set (3-bit weights cost some accuracy).
+    assert!(
+        snn_acc >= ann_acc - 0.25,
+        "SNN accuracy {snn_acc} fell too far below ANN accuracy {ann_acc}"
+    );
+
+    // 3. Accelerator deployment: the cycle-accurate simulator must agree
+    //    with the functional SNN on every test sample.
+    let accelerator = Accelerator::new(AcceleratorConfig::default());
+    for (input, _) in data.test.iter().take(10) {
+        let run = accelerator.run(&snn, input).expect("accelerator run");
+        let trace = snn.forward(input).expect("functional forward");
+        assert_eq!(run.logits, trace.logits().as_slice());
+        assert_eq!(run.prediction, trace.predicted_class());
+    }
+}
+
+#[test]
+fn accelerator_accuracy_equals_functional_snn_accuracy() {
+    // Accuracy measured through the accelerator simulator must equal the
+    // functional model's accuracy exactly: the hardware computes the same
+    // integers.
+    let data = SyntheticDigits::new(12).generate(40, 3).split(0.5);
+    let net = zoo::tiny_cnn();
+    let params = Parameters::he_init(&net, 3).expect("parameters");
+    let calibration_inputs: Vec<_> = data.train.iter().map(|(img, _)| img).collect();
+    let calibration =
+        CalibrationStats::collect(&net, &params, calibration_inputs).expect("calibration");
+    let snn = convert(&net, &params, &calibration, ConversionConfig::default())
+        .expect("conversion");
+
+    let accelerator = Accelerator::new(AcceleratorConfig::lenet_experiment(4));
+    let mut functional_correct = 0usize;
+    let mut accelerator_correct = 0usize;
+    for (input, label) in data.test.iter() {
+        if snn.predict(input).expect("functional predict") == label {
+            functional_correct += 1;
+        }
+        if accelerator.run(&snn, input).expect("accelerator run").prediction == label {
+            accelerator_correct += 1;
+        }
+    }
+    assert_eq!(functional_correct, accelerator_correct);
+}
+
+#[test]
+fn conversion_accuracy_improves_or_saturates_with_time_steps() {
+    // Table I's qualitative claim: more time steps never hurt by much, and
+    // very short trains are the worst.
+    let data = SyntheticDigits::new(12)
+        .with_noise_percent(5)
+        .generate(100, 17)
+        .split(0.7);
+    let net = zoo::tiny_cnn();
+    let mut params = Parameters::he_init(&net, 17).expect("parameters");
+    Trainer::new(TrainingConfig {
+        epochs: 6,
+        learning_rate: 0.01,
+        momentum: 0.9,
+        lr_decay: 0.95,
+    })
+    .train(&net, &mut params, &data.train)
+    .expect("training");
+    let calibration_inputs: Vec<_> = data.train.iter().take(24).map(|(img, _)| img).collect();
+    let calibration =
+        CalibrationStats::collect(&net, &params, calibration_inputs).expect("calibration");
+
+    let acc_at = |t: usize| {
+        let snn = convert(
+            &net,
+            &params,
+            &calibration,
+            ConversionConfig {
+                weight_bits: 3,
+                time_steps: t,
+            },
+        )
+        .expect("conversion");
+        snn.evaluate(data.test.iter()).expect("SNN eval")
+    };
+
+    let acc1 = acc_at(1);
+    let acc6 = acc_at(6);
+    assert!(
+        acc6 + 1e-6 >= acc1,
+        "accuracy degraded with more time steps: T=1 {acc1} vs T=6 {acc6}"
+    );
+}
