@@ -147,7 +147,10 @@ mod tests {
         assert!((1.2..1.3).contains(&power_factor), "{power_factor}");
         // "We improved the throughput by 15x" (vs Ju et al.)
         let throughput_factor = ours_cnn2.throughput_fps / ju.throughput_fps;
-        assert!((14.0..16.0).contains(&throughput_factor), "{throughput_factor}");
+        assert!(
+            (14.0..16.0).contains(&throughput_factor),
+            "{throughput_factor}"
+        );
         // "almost 4x of lookup tables and 6x of flip-flops"
         assert!((fang.luts as f64 / ours_cnn2.luts as f64) > 3.5);
         assert!((fang.flip_flops as f64 / ours_cnn2.flip_flops as f64) > 6.0);

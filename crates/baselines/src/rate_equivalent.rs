@@ -102,8 +102,12 @@ mod tests {
     #[test]
     fn slowdown_grows_with_resolution() {
         let cfg = AcceleratorConfig::lenet_experiment(2);
-        let s3 = compare_encodings(&cfg, &zoo::lenet5(), 3).unwrap().slowdown();
-        let s6 = compare_encodings(&cfg, &zoo::lenet5(), 6).unwrap().slowdown();
+        let s3 = compare_encodings(&cfg, &zoo::lenet5(), 3)
+            .unwrap()
+            .slowdown();
+        let s6 = compare_encodings(&cfg, &zoo::lenet5(), 6)
+            .unwrap()
+            .slowdown();
         assert!(s6 > s3);
     }
 

@@ -1,15 +1,22 @@
 //! Criterion micro-benchmarks for the processing-unit simulators.
 //!
 //! These benches measure the *simulator's* throughput (host-side), which is
-//! what matters when sweeping design points: the cycle-accurate convolution
-//! unit versus the functional integer reference, the pooling unit and the
-//! linear unit on LeNet-5-shaped layers.
+//! what matters when sweeping design points: the bit-plane sparse
+//! convolution engine versus the retained counter-stepped scalar reference
+//! and the functional integer reference, plus the pooling and linear units
+//! on LeNet-5-shaped layers.
+//!
+//! Besides the usual console output, the harness writes a machine-readable
+//! `BENCH_conv.json` summary to the workspace root with the
+//! sparse-vs-scalar speedup on the LeNet conv2 workload, so the perf
+//! trajectory of the hot path is tracked PR over PR.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use snn_accel::config::{AcceleratorConfig, ArrayGeometry};
 use snn_accel::conv::ConvolutionUnit;
 use snn_accel::linear::LinearUnit;
 use snn_accel::pool::PoolingUnit;
+use snn_accel::reference::ReferenceConvolutionUnit;
 use snn_model::layer::PoolKind;
 use snn_tensor::{ops, Tensor};
 use std::hint::black_box;
@@ -30,18 +37,20 @@ fn lenet_conv2_inputs() -> (Tensor<i64>, Tensor<i64>, Tensor<i64>) {
     (input, kernel, bias)
 }
 
+const LENET_GEOMETRY: ArrayGeometry = ArrayGeometry {
+    columns: 30,
+    rows: 5,
+};
+
 fn bench_conv_unit(c: &mut Criterion) {
     let (input, kernel, bias) = lenet_conv2_inputs();
     let mut group = c.benchmark_group("conv_unit");
     for &time_steps in &[3usize, 6] {
         group.bench_with_input(
-            BenchmarkId::new("cycle_accurate", time_steps),
+            BenchmarkId::new("bitplane_sparse", time_steps),
             &time_steps,
             |b, &t| {
-                let unit = ConvolutionUnit::new(ArrayGeometry {
-                    columns: 30,
-                    rows: 5,
-                });
+                let unit = ConvolutionUnit::new(LENET_GEOMETRY);
                 b.iter(|| {
                     unit.run_layer(
                         black_box(&input),
@@ -52,6 +61,24 @@ fn bench_conv_unit(c: &mut Criterion) {
                         0,
                     )
                     .expect("conv unit run")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scalar_reference", time_steps),
+            &time_steps,
+            |b, &t| {
+                let unit = ReferenceConvolutionUnit::new(LENET_GEOMETRY);
+                b.iter(|| {
+                    unit.run_layer(
+                        black_box(&input),
+                        black_box(&kernel),
+                        black_box(&bias),
+                        t,
+                        1,
+                        0,
+                    )
+                    .expect("reference conv unit run")
                 });
             },
         );
@@ -104,4 +131,36 @@ fn bench_linear_unit(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_conv_unit, bench_pool_unit, bench_linear_unit);
-criterion_main!(benches);
+
+/// Runs the groups, then writes the `BENCH_conv.json` summary with the
+/// sparse-vs-scalar speedup per spike-train length.
+fn main() {
+    let mut criterion = Criterion::default();
+    benches(&mut criterion);
+    criterion.final_summary();
+
+    let mut speedups = String::new();
+    for t in [3usize, 6] {
+        let sparse = criterion
+            .result(&format!("conv_unit/bitplane_sparse/{t}"))
+            .expect("sparse result");
+        let scalar = criterion
+            .result(&format!("conv_unit/scalar_reference/{t}"))
+            .expect("scalar result");
+        let speedup = scalar.median_ns / sparse.median_ns;
+        println!("conv_unit T={t}: bitplane_sparse is {speedup:.2}x faster than scalar_reference");
+        if !speedups.is_empty() {
+            speedups.push_str(", ");
+        }
+        speedups.push_str(&format!("\"T{t}\": {speedup:.3}"));
+    }
+    let json = format!(
+        "{{\n\"workload\": \"lenet_conv2_6x14x14_to_16ch_5x5\",\n\
+         \"speedup_sparse_vs_scalar\": {{{speedups}}},\n\
+         \"results\": {}\n}}\n",
+        criterion.summary_json()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_conv.json");
+    std::fs::write(path, &json).expect("write BENCH_conv.json");
+    println!("wrote {path}");
+}

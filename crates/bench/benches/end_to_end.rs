@@ -56,7 +56,11 @@ fn bench_inference(c: &mut Criterion) {
     let accel = Accelerator::new(AcceleratorConfig::lenet_table3());
 
     c.bench_function("inference/tiny_cnn_cycle_accurate", |b| {
-        b.iter(|| accel.run(black_box(&tiny), black_box(&tiny_input)).expect("run"));
+        b.iter(|| {
+            accel
+                .run(black_box(&tiny), black_box(&tiny_input))
+                .expect("run")
+        });
     });
     c.bench_function("inference/tiny_cnn_transaction", |b| {
         b.iter(|| {

@@ -23,8 +23,8 @@ fn main() {
 
     println!("design-space exploration: LeNet-5, T = 4, 3-bit weights");
     println!(
-        "{:>6} {:>6} {:>6} {:>12} {:>8} {:>12} {:>8} {:>8}  {}",
-        "units", "MHz", "lanes", "latency[us]", "pow[W]", "energy[uJ]", "LUTs", "FFs", "pareto"
+        "{:>6} {:>6} {:>6} {:>12} {:>8} {:>12} {:>8} {:>8}  pareto",
+        "units", "MHz", "lanes", "latency[us]", "pow[W]", "energy[uJ]", "LUTs", "FFs"
     );
     for (i, point) in result.points.iter().enumerate() {
         println!(

@@ -23,8 +23,16 @@ fn main() {
     print!("{}", format_table1(&rows));
     println!();
     println!("paper reference (MNIST, Table I):");
-    println!("{:>10} {:>10} {:>12}", "time steps", "acc [%]", "latency [us]");
-    for (t, acc, lat) in [(3, 98.57, 648.0), (4, 99.09, 856.0), (5, 99.21, 1063.0), (6, 99.26, 1271.0)] {
+    println!(
+        "{:>10} {:>10} {:>12}",
+        "time steps", "acc [%]", "latency [us]"
+    );
+    for (t, acc, lat) in [
+        (3, 98.57, 648.0),
+        (4, 99.09, 856.0),
+        (5, 99.21, 1063.0),
+        (6, 99.26, 1271.0),
+    ] {
         println!("{t:>10} {acc:>10.2} {lat:>12.0}");
     }
 }

@@ -211,7 +211,9 @@ pub fn encoding_ablation() -> Vec<EncodingAblationRow> {
 
 /// Pretty-prints Table I rows.
 pub fn format_table1(rows: &[Table1Row]) -> String {
-    let mut out = String::from("Table I — accuracy & latency vs. time steps (LeNet-5, 2 conv units, 100 MHz)\n");
+    let mut out = String::from(
+        "Table I — accuracy & latency vs. time steps (LeNet-5, 2 conv units, 100 MHz)\n",
+    );
     out.push_str(&format!(
         "{:>10} {:>10} {:>12}\n",
         "time steps", "acc [%]", "latency [us]"
@@ -245,8 +247,9 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
 
 /// Pretty-prints the encoding ablation.
 pub fn format_encoding_ablation(rows: &[EncodingAblationRow]) -> String {
-    let mut out =
-        String::from("Encoding ablation — radix vs. resolution-equivalent rate encoding (LeNet-5)\n");
+    let mut out = String::from(
+        "Encoding ablation — radix vs. resolution-equivalent rate encoding (LeNet-5)\n",
+    );
     out.push_str(&format!(
         "{:>6} {:>6} {:>14} {:>14} {:>10}\n",
         "T", "T_rate", "radix [us]", "rate [us]", "slowdown"
@@ -254,7 +257,11 @@ pub fn format_encoding_ablation(rows: &[EncodingAblationRow]) -> String {
     for row in rows {
         out.push_str(&format!(
             "{:>6} {:>6} {:>14.0} {:>14.0} {:>9.1}x\n",
-            row.radix_steps, row.rate_steps, row.radix_latency_us, row.rate_latency_us, row.slowdown
+            row.radix_steps,
+            row.rate_steps,
+            row.radix_latency_us,
+            row.rate_latency_us,
+            row.slowdown
         ));
     }
     out

@@ -235,7 +235,10 @@ mod tests {
         let model = tiny_model(3);
         let program = compile(&model, &AcceleratorConfig::default()).unwrap();
         assert_eq!(program.dram_bits_per_inference(), 0);
-        assert!(program.steps.iter().all(|s| s.timing.weight_fetch_cycles == 0));
+        assert!(program
+            .steps
+            .iter()
+            .all(|s| s.timing.weight_fetch_cycles == 0));
     }
 
     #[test]
@@ -264,8 +267,10 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let model = tiny_model(3);
-        let mut config = AcceleratorConfig::default();
-        config.conv_units = 0;
+        let config = AcceleratorConfig {
+            conv_units: 0,
+            ..AcceleratorConfig::default()
+        };
         assert!(matches!(
             compile(&model, &config),
             Err(AccelError::InvalidConfig { .. })

@@ -227,33 +227,39 @@ mod tests {
         assert!(AcceleratorConfig::lenet_table3().validate().is_ok());
         assert!(AcceleratorConfig::fang_cnn_table3().validate().is_ok());
         assert!(AcceleratorConfig::vgg11_table3().validate().is_ok());
-        assert_eq!(
-            AcceleratorConfig::vgg11_table3().memory,
-            MemoryOption::Dram
-        );
+        assert_eq!(AcceleratorConfig::vgg11_table3().memory, MemoryOption::Dram);
     }
 
     #[test]
     fn validation_rejects_degenerate_configs() {
-        let mut cfg = AcceleratorConfig::default();
-        cfg.conv_units = 0;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = AcceleratorConfig::default();
-        cfg.clock_mhz = 0.0;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = AcceleratorConfig::default();
-        cfg.linear_lanes = 0;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = AcceleratorConfig::default();
-        cfg.weight_bits = 1;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = AcceleratorConfig::default();
-        cfg.conv_geometry = ArrayGeometry { columns: 0, rows: 5 };
-        assert!(cfg.validate().is_err());
+        let degenerate = [
+            AcceleratorConfig {
+                conv_units: 0,
+                ..AcceleratorConfig::default()
+            },
+            AcceleratorConfig {
+                clock_mhz: 0.0,
+                ..AcceleratorConfig::default()
+            },
+            AcceleratorConfig {
+                linear_lanes: 0,
+                ..AcceleratorConfig::default()
+            },
+            AcceleratorConfig {
+                weight_bits: 1,
+                ..AcceleratorConfig::default()
+            },
+            AcceleratorConfig {
+                conv_geometry: ArrayGeometry {
+                    columns: 0,
+                    rows: 5,
+                },
+                ..AcceleratorConfig::default()
+            },
+        ];
+        for cfg in degenerate {
+            assert!(cfg.validate().is_err());
+        }
     }
 
     #[test]

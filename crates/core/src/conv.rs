@@ -13,13 +13,42 @@
 //! input channels and — with a left shift per time step — over the radix
 //! time steps (Alg. 1, line 12).
 //!
-//! [`ConvolutionUnit::run_layer`] executes this schedule cycle by cycle and
-//! is verified bit-exactly against the integer reference convolution.
+//! # Bit-plane sparse execution model
+//!
+//! [`ConvolutionUnit::run_layer`] no longer steps that schedule cycle by
+//! cycle.  It computes the *same* accumulators and the *same*
+//! [`UnitStats`] two orders faster by splitting the work the schedule
+//! interleaves:
+//!
+//! * **Compute** — conceptually the input levels are per-time-step binary
+//!   planes of `u64` row words ([`snn_tensor::bitplane::BitPlanes`]).  By
+//!   the radix shift-and-add identity, folding plane `t` with a left shift
+//!   per step is algebraically identical to weighting each spiking pixel
+//!   by its masked level (`level & level_mask(T)`), so the engine walks
+//!   the OR-reduction of the planes (the occupancy mask, built directly in
+//!   one pass by [`snn_tensor::bitplane::Occupancy::from_levels`]),
+//!   skipping silent rows 64 pixels per word comparison, and scatters
+//!   `kernel_value * level` into the output window of each spiking pixel.
+//!   Plain `i64` arithmetic is commutative and wraps identically in any
+//!   order, so the result is bit-identical to the cycle-stepped
+//!   reference — including for out-of-range levels, which the mask
+//!   truncates to exactly the bits the schedule would see.  Output
+//!   channels are independent and run on parallel threads when the layer
+//!   is large enough to amortise the spawns.
+//! * **Statistics** — the schedule is static, so `cycles`,
+//!   `activation_reads`, `kernel_reads` and `output_writes` follow in
+//!   closed form from the loop bounds ([`ConvolutionUnit::layer_cycles`]
+//!   and friends).  The data-dependent `adder_ops` is a one-pass
+//!   popcount: each input pixel toggles one adder per set plane bit per
+//!   covering `(output position, kernel tap)` pair, so
+//!   `adder_ops = C_out * Σ_pixels popcount(level & mask) * coverage(pixel)`.
+//!   Property tests assert both parts equal the counter-stepped values of
+//!   [`crate::reference::ReferenceConvolutionUnit`] exactly.
 
 use crate::config::ArrayGeometry;
 use crate::units::UnitStats;
 use crate::{AccelError, Result};
-use snn_tensor::{ops, Tensor};
+use snn_tensor::{bitplane, ops, Tensor};
 
 /// Output of a convolution-unit layer execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,10 +60,33 @@ pub struct ConvResult {
     pub stats: UnitStats,
 }
 
-/// Cycle-stepped model of one convolution unit.
+/// Bit-plane sparse model of one convolution unit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConvolutionUnit {
     geometry: ArrayGeometry,
+}
+
+/// `(kernel index, output index)` pairs covering one input coordinate: all
+/// `(k, o)` with `o * stride + k == input + padding` inside the valid
+/// ranges.  Precomputed per row and per column so the scatter loop does no
+/// bounds arithmetic per spike.
+fn coverage_pairs(
+    input_extent: usize,
+    kernel_extent: usize,
+    output_extent: usize,
+    stride: usize,
+    padding: usize,
+) -> Vec<Vec<(usize, usize)>> {
+    let mut pairs = vec![Vec::new(); input_extent];
+    for o in 0..output_extent {
+        for k in 0..kernel_extent {
+            let i = (o * stride + k) as isize - padding as isize;
+            if (0..input_extent as isize).contains(&i) {
+                pairs[i as usize].push((k, o));
+            }
+        }
+    }
+    pairs
 }
 
 impl ConvolutionUnit {
@@ -56,7 +108,7 @@ impl ConvolutionUnit {
         width.div_ceil(self.geometry.columns)
     }
 
-    /// Executes one convolution layer on this unit, cycle by cycle.
+    /// Executes one convolution layer on this unit.
     ///
     /// * `input_levels` — `[C, H, W]` radix levels of the input activations
     ///   (each level's binary expansion is the spike train, MSB first).
@@ -66,12 +118,16 @@ impl ConvolutionUnit {
     ///
     /// Returns raw accumulators plus exact cycle/operation counts for the
     /// *whole* layer executed on a single unit; the controller divides the
-    /// output channels across units to obtain the wall-clock latency.
+    /// output channels across units to obtain the wall-clock latency.  The
+    /// accumulators and counters are bit-identical to the counter-stepped
+    /// [`crate::reference::ReferenceConvolutionUnit`] (see the module docs
+    /// for the execution model).
     ///
     /// # Errors
     ///
     /// Returns [`AccelError::UnsupportedLayer`] when the kernel has more
-    /// rows than the adder array, and propagates shape errors.
+    /// rows than the adder array or `time_steps` exceeds the 63 payload
+    /// bits of an `i64` level, and propagates shape errors.
     pub fn run_layer(
         &self,
         input_levels: &Tensor<i64>,
@@ -107,82 +163,153 @@ impl ConvolutionUnit {
                 ),
             });
         }
+        if time_steps > 63 {
+            // An i64 level can only carry 63 payload bits; beyond that the
+            // bit-plane engine and the shift-stepped reference would no
+            // longer agree (the reference hits the sign bit at T = 64).
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!(
+                    "spike trains of {time_steps} steps exceed the 63-bit level payload"
+                ),
+            });
+        }
         let (h_out, w_out) = ops::conv2d_output_dims((h, w), (kr, kc), stride, padding)
             .map_err(AccelError::Tensor)?;
 
-        let mut accumulators = Tensor::filled(vec![c_out, h_out, w_out], 0i64);
-        let mut stats = UnitStats::new();
         let in_data = input_levels.as_slice();
         let k_data = kernel_codes.as_slice();
-        let tiles = self.column_tiles(w_out);
+        let mask = bitplane::level_mask(time_steps);
 
-        for oc in 0..c_out {
-            // Time-step accumulators for this output channel (the output
-            // logic's registers).
-            let mut channel_acc = vec![0i64; h_out * w_out];
-            for t in 0..time_steps {
-                // Spike plane bit for this time step: MSB first.
-                let bit = time_steps - 1 - t;
-                let mut step_sum = vec![0i64; h_out * w_out];
-                for ic in 0..c_in {
-                    // Pipeline fill for this channel pass.
-                    stats.cycles += kr as u64;
-                    for oy in 0..h_out {
-                        for tile in 0..tiles {
-                            let col_start = tile * self.geometry.columns;
-                            let col_end = (col_start + self.geometry.columns).min(w_out);
-                            // The input logic fetches one input row per
-                            // kernel row into the shift register.
-                            for ky in 0..kr {
-                                let iy = (oy * stride + ky) as isize - padding as isize;
-                                stats.activation_reads += 1;
-                                stats.cycles += 1; // row load into the shift register
-                                for kx in 0..kc {
-                                    // One shift of the input register and one
-                                    // kernel value broadcast per cycle.
-                                    let kernel_value =
-                                        k_data[oc * c_in * kr * kc + ic * kr * kc + ky * kc + kx];
-                                    stats.kernel_reads += 1;
-                                    stats.cycles += 1;
-                                    if iy < 0 || iy >= h as isize {
-                                        continue; // padding row: all taps silent
-                                    }
-                                    for (lane, ox) in (col_start..col_end).enumerate() {
-                                        let _ = lane;
-                                        let ix =
-                                            (ox * stride + kx) as isize - padding as isize;
-                                        if ix < 0 || ix >= w as isize {
-                                            continue; // padding column
-                                        }
-                                        let level = in_data
-                                            [ic * h * w + iy as usize * w + ix as usize];
-                                        let spike = (level >> bit) & 1 == 1;
-                                        if spike {
-                                            // Multiplexer admits the kernel
-                                            // value into the adder.
-                                            step_sum[oy * w_out + ox] += kernel_value;
-                                            stats.adder_ops += 1;
-                                        }
-                                    }
+        // Which (kernel tap, output position) pairs each input coordinate
+        // feeds — shared by the statistics and the scatter loop.
+        let y_pairs = coverage_pairs(h, kr, h_out, stride, padding);
+        let x_pairs = coverage_pairs(w, kc, w_out, stride, padding);
+
+        // --- Statistics: closed-form schedule counts plus one popcount
+        // pass for the data-dependent adder activity. ---
+        let mut spike_work = 0u64; // adder ops of ONE output channel
+        for ic in 0..c_in {
+            for (iy, pairs_y) in y_pairs.iter().enumerate() {
+                if pairs_y.is_empty() {
+                    continue;
+                }
+                let row = &in_data[ic * h * w + iy * w..ic * h * w + iy * w + w];
+                let row_work: u64 = row
+                    .iter()
+                    .zip(&x_pairs)
+                    .map(|(&level, pairs_x)| {
+                        u64::from((level & mask).count_ones()) * pairs_x.len() as u64
+                    })
+                    .sum();
+                spike_work += pairs_y.len() as u64 * row_work;
+            }
+        }
+        let stats = self.derived_stats(c_in, c_out, h_out, w_out, kr, kc, time_steps, spike_work);
+
+        // --- Compute: build the planes' OR-reduction (occupancy) in one
+        // pass, classify each non-silent row once (shared by every output
+        // channel), then accumulate one output channel per chunk.  Rows with few spikes use a scatter over the
+        // occupancy's set bits; saturated rows use a register-accumulated
+        // gather over a zero-padded copy of the masked level row, which
+        // avoids the store-to-load dependency chains scatter suffers when
+        // nearly every pixel spikes.  Both paths add exactly the terms
+        // `kernel x masked level`, so the choice never changes the result.
+        let occupancy = bitplane::Occupancy::from_levels(in_data, c_in * h, w, time_steps);
+        struct SpikeRow {
+            ic: usize,
+            iy: usize,
+            /// `(ix, masked level)` of each spiking pixel (sparse rows
+            /// only; empty when the dense path is chosen).
+            spikes: Vec<(usize, i64)>,
+            /// Masked level row with `padding` zeros on both sides (dense
+            /// rows only; empty when the sparse path is chosen).
+            padded: Vec<i64>,
+            /// Use the dense gather path for this row.
+            dense: bool,
+        }
+        let mut spike_rows: Vec<SpikeRow> = Vec::new();
+        for ic in 0..c_in {
+            for (iy, pairs_y) in y_pairs.iter().enumerate() {
+                let row_words = occupancy.row(ic * h + iy);
+                let spike_count: usize = row_words
+                    .iter()
+                    .map(|word| word.count_ones() as usize)
+                    .sum();
+                if pairs_y.is_empty() || spike_count == 0 {
+                    continue; // word-level skip of silent rows
+                }
+                // Build only the representation the chosen path reads.
+                let dense = 2 * spike_count >= w_out;
+                let mut spikes = Vec::new();
+                let mut padded = Vec::new();
+                if dense {
+                    padded = vec![0i64; w + 2 * padding];
+                    bitplane::for_each_set_bit(row_words, |ix| {
+                        padded[padding + ix] = in_data[ic * h * w + iy * w + ix] & mask;
+                    });
+                } else {
+                    spikes.reserve(spike_count);
+                    bitplane::for_each_set_bit(row_words, |ix| {
+                        spikes.push((ix, in_data[ic * h * w + iy * w + ix] & mask));
+                    });
+                }
+                spike_rows.push(SpikeRow {
+                    ic,
+                    iy,
+                    spikes,
+                    padded,
+                    dense,
+                });
+            }
+        }
+
+        let mut accumulators = Tensor::filled(vec![c_out, h_out, w_out], 0i64);
+        let plane_len = h_out * w_out;
+        let threads = if stats.adder_ops >= snn_parallel::MIN_PARALLEL_WORK {
+            snn_parallel::default_threads().min(c_out)
+        } else {
+            1
+        };
+        let bias_data = bias_acc.as_slice();
+        let spike_rows = &spike_rows;
+        snn_parallel::par_chunks_mut(
+            accumulators.as_mut_slice(),
+            plane_len,
+            threads,
+            |oc, out| {
+                for row in spike_rows {
+                    for &(ky, oy) in &y_pairs[row.iy] {
+                        let k_base = ((oc * c_in + row.ic) * kr + ky) * kc;
+                        let k_row = &k_data[k_base..k_base + kc];
+                        let out_row = &mut out[oy * w_out..(oy + 1) * w_out];
+                        if row.dense {
+                            // Dense gather: every output position reads its
+                            // window from the padded level row.
+                            for (ox, o) in out_row.iter_mut().enumerate() {
+                                let window = &row.padded[ox * stride..ox * stride + kc];
+                                let mut sum = 0i64;
+                                for (&level, &k) in window.iter().zip(k_row) {
+                                    sum += level * k;
+                                }
+                                *o += sum;
+                            }
+                        } else {
+                            // Sparse scatter from the spiking pixels only.
+                            for &(ix, level) in &row.spikes {
+                                for &(kx, ox) in &x_pairs[ix] {
+                                    out_row[ox] += k_row[kx] * level;
                                 }
                             }
                         }
                     }
                 }
-                // Output logic: accumulate over input channels happened in
-                // `step_sum`; now fold this time step into the running
-                // radix accumulation with a single left shift.
-                for (acc, s) in channel_acc.iter_mut().zip(step_sum.iter()) {
-                    *acc = (*acc << 1) + s;
+                let bias = bias_data.get(oc).copied().unwrap_or(0);
+                for v in out.iter_mut() {
+                    *v += bias;
                 }
-            }
-            // Bias and write-back of the completed output channel.
-            let bias = bias_acc.as_slice().get(oc).copied().unwrap_or(0);
-            for (idx, acc) in channel_acc.iter().enumerate() {
-                accumulators.as_mut_slice()[oc * h_out * w_out + idx] = acc + bias;
-                stats.output_writes += 1;
-            }
-        }
+            },
+        );
 
         Ok(ConvResult {
             accumulators,
@@ -190,10 +317,62 @@ impl ConvolutionUnit {
         })
     }
 
-    /// Closed-form cycle count of [`ConvolutionUnit::run_layer`] for a layer
-    /// with the given dimensions — the formula the analytical timing model
-    /// uses.  Unit tests assert that the cycle-stepped simulation matches
-    /// this expression exactly.
+    /// Row slots of the static schedule: one per `(output row, tile,
+    /// kernel row)` triple — a row load each, plus `kc` shift cycles.
+    fn row_slots(&self, h_out: usize, w_out: usize, kr: usize) -> u64 {
+        (h_out as u64) * self.column_tiles(w_out) as u64 * kr as u64
+    }
+
+    /// The single source of the closed-form cycle expression, shared by
+    /// [`ConvolutionUnit::layer_cycles`] and the derived counters so the
+    /// analytical timing model can never drift from the unit's reports.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_cycles(
+        &self,
+        c_in: usize,
+        c_out: usize,
+        h_out: usize,
+        w_out: usize,
+        kr: usize,
+        kc: usize,
+        time_steps: usize,
+    ) -> u64 {
+        let passes = (c_out * time_steps * c_in) as u64;
+        // Per channel pass: pipeline fill + (1 load + Kc shifts) per slot.
+        passes * (kr as u64 + self.row_slots(h_out, w_out, kr) * (1 + kc as u64))
+    }
+
+    /// The full analytically derived counter set for a layer execution:
+    /// closed-form schedule counts plus the externally computed per-channel
+    /// adder activity (`spike_work`).
+    #[allow(clippy::too_many_arguments)]
+    fn derived_stats(
+        &self,
+        c_in: usize,
+        c_out: usize,
+        h_out: usize,
+        w_out: usize,
+        kr: usize,
+        kc: usize,
+        time_steps: usize,
+        spike_work: u64,
+    ) -> UnitStats {
+        let passes = (c_out * time_steps * c_in) as u64;
+        let row_slots = self.row_slots(h_out, w_out, kr);
+        UnitStats {
+            cycles: self.schedule_cycles(c_in, c_out, h_out, w_out, kr, kc, time_steps),
+            adder_ops: c_out as u64 * spike_work,
+            activation_reads: passes * row_slots,
+            kernel_reads: passes * row_slots * kc as u64,
+            output_writes: (c_out * h_out * w_out) as u64,
+        }
+    }
+
+    /// Closed-form cycle count of [`ConvolutionUnit::run_layer`] for a
+    /// square-kernel layer with the given dimensions — the formula the
+    /// analytical timing model uses, and (being the very expression the
+    /// engine derives its counters from) exactly the value reported in
+    /// [`ConvResult::stats`].
     pub fn layer_cycles(
         &self,
         c_in: usize,
@@ -203,17 +382,14 @@ impl ConvolutionUnit {
         kernel: usize,
         time_steps: usize,
     ) -> u64 {
-        let tiles = self.column_tiles(w_out) as u64;
-        let per_row = (kernel as u64) * (kernel as u64 + 1); // Kc shifts + 1 load, per kernel row
-        let per_channel_pass =
-            kernel as u64 + (h_out as u64) * tiles * per_row; // pipeline fill + rows
-        (c_out as u64) * (time_steps as u64) * (c_in as u64) * per_channel_pass
+        self.schedule_cycles(c_in, c_out, h_out, w_out, kernel, kernel, time_steps)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceConvolutionUnit;
     use snn_tensor::ops;
 
     fn unit(x: usize, y: usize) -> ConvolutionUnit {
@@ -244,11 +420,8 @@ mod tests {
 
     #[test]
     fn matches_reference_convolution_bit_exactly() {
-        let input = Tensor::from_vec(
-            vec![2, 5, 5],
-            (0..50).map(|v| (v * 7 % 8) as i64).collect(),
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(vec![2, 5, 5], (0..50).map(|v| (v * 7 % 8) as i64).collect()).unwrap();
         let kernel = Tensor::from_vec(
             vec![3, 2, 3, 3],
             (0..54).map(|v| ((v % 7) as i64) - 3).collect(),
@@ -264,11 +437,8 @@ mod tests {
 
     #[test]
     fn matches_reference_with_padding_and_stride() {
-        let input = Tensor::from_vec(
-            vec![1, 6, 6],
-            (0..36).map(|v| (v % 4) as i64).collect(),
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(vec![1, 6, 6], (0..36).map(|v| (v % 4) as i64).collect()).unwrap();
         let kernel = Tensor::from_vec(
             vec![2, 1, 3, 3],
             (0..18).map(|v| ((v % 5) as i64) - 2).collect(),
@@ -284,11 +454,8 @@ mod tests {
 
     #[test]
     fn column_tiling_does_not_change_results() {
-        let input = Tensor::from_vec(
-            vec![1, 5, 9],
-            (0..45).map(|v| (v % 3) as i64).collect(),
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(vec![1, 5, 9], (0..45).map(|v| (v % 3) as i64).collect()).unwrap();
         let kernel = Tensor::from_vec(vec![1, 1, 3, 3], vec![1i64; 9]).unwrap();
         let bias = Tensor::filled(vec![1], 0i64);
         // Wide unit (no tiling) vs narrow unit (tiling) must agree.
@@ -337,11 +504,8 @@ mod tests {
 
     #[test]
     fn cycle_count_matches_closed_form() {
-        let input = Tensor::from_vec(
-            vec![3, 6, 6],
-            (0..108).map(|v| (v % 8) as i64).collect(),
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(vec![3, 6, 6], (0..108).map(|v| (v % 8) as i64).collect()).unwrap();
         let kernel = Tensor::filled(vec![4, 3, 3, 3], 1i64);
         let bias = Tensor::filled(vec![4], 0i64);
         let u = unit(2, 3);
@@ -356,8 +520,16 @@ mod tests {
         let kernel = Tensor::filled(vec![1, 1, 3, 3], 1i64);
         let bias = Tensor::filled(vec![1], 0i64);
         let u = unit(3, 3);
-        let c3 = u.run_layer(&input, &kernel, &bias, 3, 1, 0).unwrap().stats.cycles;
-        let c6 = u.run_layer(&input, &kernel, &bias, 6, 1, 0).unwrap().stats.cycles;
+        let c3 = u
+            .run_layer(&input, &kernel, &bias, 3, 1, 0)
+            .unwrap()
+            .stats
+            .cycles;
+        let c6 = u
+            .run_layer(&input, &kernel, &bias, 6, 1, 0)
+            .unwrap()
+            .stats
+            .cycles;
         assert_eq!(c6, 2 * c3);
     }
 
@@ -374,6 +546,19 @@ mod tests {
     }
 
     #[test]
+    fn overlong_spike_trains_are_rejected() {
+        let input = Tensor::filled(vec![1, 4, 4], 1i64);
+        let kernel = Tensor::filled(vec![1, 1, 3, 3], 1i64);
+        let bias = Tensor::filled(vec![1], 0i64);
+        let u = unit(4, 3);
+        assert!(u.run_layer(&input, &kernel, &bias, 63, 1, 0).is_ok());
+        assert!(matches!(
+            u.run_layer(&input, &kernel, &bias, 64, 1, 0),
+            Err(AccelError::UnsupportedLayer { .. })
+        ));
+    }
+
+    #[test]
     fn radix_weighting_is_applied_msb_first() {
         // Single 1x1 kernel of weight 1: the accumulator must equal the
         // input level itself, demonstrating the left-shift accumulation.
@@ -384,5 +569,50 @@ mod tests {
             .run_layer(&input, &kernel, &bias, 3, 1, 0)
             .unwrap();
         assert_eq!(result.accumulators.as_slice(), &[5, 3]);
+    }
+
+    #[test]
+    fn out_of_range_levels_are_truncated_like_the_schedule() {
+        // A level above 2^T - 1 only contributes its T low bits in the
+        // cycle-stepped schedule; the sparse engine must mask identically.
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![9i64, -1, 4, 3]).unwrap();
+        let kernel = Tensor::filled(vec![1, 1, 2, 2], 2i64);
+        let bias = Tensor::filled(vec![1], 1i64);
+        let u = unit(4, 2);
+        let fast = u.run_layer(&input, &kernel, &bias, 2, 1, 0).unwrap();
+        let slow = ReferenceConvolutionUnit::new(u.geometry())
+            .run_layer(&input, &kernel, &bias, 2, 1, 0)
+            .unwrap();
+        assert_eq!(fast.accumulators, slow.accumulators);
+        assert_eq!(fast.stats, slow.stats);
+    }
+
+    #[test]
+    fn stats_and_accumulators_match_the_reference_unit() {
+        let input = Tensor::from_vec(
+            vec![2, 7, 7],
+            (0..98).map(|v| ((v * 13) % 16) as i64).collect(),
+        )
+        .unwrap();
+        let kernel = Tensor::from_vec(
+            vec![3, 2, 3, 3],
+            (0..54).map(|v| ((v % 7) as i64) - 3).collect(),
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(vec![3], vec![2i64, -1, 4]).unwrap();
+        for (stride, padding, t) in [(1, 0, 4), (2, 1, 3), (1, 2, 5), (3, 0, 1)] {
+            let u = unit(4, 3);
+            let fast = u
+                .run_layer(&input, &kernel, &bias, t, stride, padding)
+                .unwrap();
+            let slow = ReferenceConvolutionUnit::new(u.geometry())
+                .run_layer(&input, &kernel, &bias, t, stride, padding)
+                .unwrap();
+            assert_eq!(
+                fast.accumulators, slow.accumulators,
+                "s={stride} p={padding} t={t}"
+            );
+            assert_eq!(fast.stats, slow.stats, "s={stride} p={padding} t={t}");
+        }
     }
 }

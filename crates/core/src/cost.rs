@@ -82,7 +82,8 @@ impl PowerEstimate {
 pub fn conv_unit_luts(config: &AcceleratorConfig) -> f64 {
     let adders = config.conv_geometry.adder_count() as f64;
     let acc_bits = config.accumulator_bits as f64;
-    adders * acc_bits * LUT_PER_ADDER_BIT + config.conv_geometry.columns as f64 * LUT_PER_SHIFT_COLUMN
+    adders * acc_bits * LUT_PER_ADDER_BIT
+        + config.conv_geometry.columns as f64 * LUT_PER_SHIFT_COLUMN
 }
 
 /// Estimates the per-convolution-unit flip-flop cost for a configuration.
@@ -145,9 +146,8 @@ mod tests {
     #[test]
     fn resources_scale_almost_linearly_with_conv_units_like_table2() {
         let net = zoo::lenet5();
-        let res = |units: usize| {
-            estimate_resources(&AcceleratorConfig::lenet_experiment(units), &net, 3)
-        };
+        let res =
+            |units: usize| estimate_resources(&AcceleratorConfig::lenet_experiment(units), &net, 3);
         let r1 = res(1);
         let r2 = res(2);
         let r4 = res(4);
@@ -160,8 +160,16 @@ mod tests {
         assert_eq!(d12, d48);
         // Table II reports 11k/15k/24k/42k LUTs for 1/2/4/8 units; accept a
         // generous band around those values.
-        assert!((8_000..16_000).contains(&r1.luts), "1-unit LUTs {}", r1.luts);
-        assert!((30_000..55_000).contains(&r8.luts), "8-unit LUTs {}", r8.luts);
+        assert!(
+            (8_000..16_000).contains(&r1.luts),
+            "1-unit LUTs {}",
+            r1.luts
+        );
+        assert!(
+            (30_000..55_000).contains(&r8.luts),
+            "8-unit LUTs {}",
+            r8.luts
+        );
     }
 
     #[test]
@@ -199,7 +207,8 @@ mod tests {
     #[test]
     fn power_matches_table2_trend() {
         // Table II at 100 MHz: 3.07, 3.09, 3.17, 3.28 W for 1, 2, 4, 8 units.
-        let p = |units: usize| estimate_power(&AcceleratorConfig::lenet_experiment(units)).total_w();
+        let p =
+            |units: usize| estimate_power(&AcceleratorConfig::lenet_experiment(units)).total_w();
         assert!((p(1) - 3.07).abs() < 0.1, "1 unit: {}", p(1));
         assert!((p(2) - 3.09).abs() < 0.1, "2 units: {}", p(2));
         assert!((p(4) - 3.17).abs() < 0.12, "4 units: {}", p(4));
@@ -217,7 +226,11 @@ mod tests {
         assert!((lenet_200.total_w() - 3.4).abs() < 0.2);
         // VGG-11 at 115 MHz with 8 units and DRAM draws 4.9 W.
         let vgg = estimate_power(&AcceleratorConfig::vgg11_table3());
-        assert!((vgg.total_w() - 4.9).abs() < 0.5, "VGG power {}", vgg.total_w());
+        assert!(
+            (vgg.total_w() - 4.9).abs() < 0.5,
+            "VGG power {}",
+            vgg.total_w()
+        );
         assert!(vgg.dram_w > 0.0);
     }
 

@@ -209,12 +209,20 @@ mod tests {
         let slow = result
             .points
             .iter()
-            .find(|p| p.config.conv_units == 4 && p.config.clock_mhz == 100.0 && p.config.linear_lanes == 32)
+            .find(|p| {
+                p.config.conv_units == 4
+                    && p.config.clock_mhz == 100.0
+                    && p.config.linear_lanes == 32
+            })
             .unwrap();
         let fast = result
             .points
             .iter()
-            .find(|p| p.config.conv_units == 4 && p.config.clock_mhz == 200.0 && p.config.linear_lanes == 32)
+            .find(|p| {
+                p.config.conv_units == 4
+                    && p.config.clock_mhz == 200.0
+                    && p.config.linear_lanes == 32
+            })
             .unwrap();
         assert!(fast.latency_us < slow.latency_us);
         assert!(fast.power_w > slow.power_w);

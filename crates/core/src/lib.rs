@@ -6,13 +6,16 @@
 //! The crate reproduces the paper's hardware architecture at two levels of
 //! detail that are verified against each other:
 //!
-//! * **Register-transfer-style processing units** — [`conv::ConvolutionUnit`],
+//! * **Bit-plane sparse processing units** — [`conv::ConvolutionUnit`],
 //!   [`pool::PoolingUnit`] and [`linear::LinearUnit`] model the
 //!   micro-architecture of Fig. 2: the input shift register, the X×Y adder
 //!   array with multiplexer gating on spikes, the per-kernel-row pipeline,
 //!   the partial-sum propagation and the radix left-shift accumulation in
-//!   the output logic.  They operate cycle-by-cycle and report exact cycle
-//!   and operation counts.
+//!   the output logic.  The engines traverse the activations as packed
+//!   spike bit-planes, skipping silent regions a word at a time, and
+//!   derive the exact cycle and operation counts analytically; the
+//!   counter-stepped originals are retained in [`reference`] and property
+//!   tests assert bit-identical accumulators *and* counters.
 //! * **Analytical models** — [`timing`] derives layer latencies from the
 //!   loop hierarchy of Alg. 1, and [`cost`] estimates LUT/FF/BRAM usage and
 //!   power, calibrated against the paper's Tables II and III.
@@ -61,6 +64,7 @@ pub mod energy;
 pub mod linear;
 pub mod memory;
 pub mod pool;
+pub mod reference;
 pub mod report;
 pub mod sim;
 pub mod timing;

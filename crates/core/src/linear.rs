@@ -9,10 +9,21 @@
 //! iterates over input neurons and time steps, gating each addition on the
 //! input spike, and accumulates with the same radix left shift as the
 //! convolution output logic.
+//!
+//! Like [`crate::conv`], [`LinearUnit::run_layer`] executes that schedule
+//! sparsely: the input vector is packed into per-time-step bit planes, the
+//! spiking neurons are gathered once from the occupancy mask (word-level
+//! skip of silent neurons), and each output accumulates
+//! `weight * masked_level` over just those neurons — bit-identical to the
+//! radix shift-and-add by the same identity as the convolution engine.
+//! The counters are derived from the closed-form schedule (`cycles`,
+//! `activation_reads`, `kernel_reads`) plus one plane popcount
+//! (`adder_ops`); property tests check them against the counter-stepped
+//! [`crate::reference::ReferenceLinearUnit`].
 
 use crate::units::UnitStats;
 use crate::{AccelError, Result};
-use snn_tensor::Tensor;
+use snn_tensor::{bitplane, Tensor};
 
 /// Output of a linear-unit layer execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,7 +35,7 @@ pub struct LinearResult {
     pub stats: UnitStats,
 }
 
-/// Cycle-stepped model of the linear unit.
+/// Bit-plane sparse model of the linear unit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinearUnit {
     lanes: usize,
@@ -54,7 +65,8 @@ impl LinearUnit {
     ///
     /// # Errors
     ///
-    /// Returns [`AccelError::UnsupportedLayer`] when shapes do not match.
+    /// Returns [`AccelError::UnsupportedLayer`] when shapes do not match or
+    /// `time_steps` exceeds the 63 payload bits of an `i64` level.
     pub fn run_layer(
         &self,
         input_levels: &Tensor<i64>,
@@ -79,54 +91,73 @@ impl LinearUnit {
                 ),
             });
         }
+        if time_steps > 63 {
+            // Same bound as the convolution engine: an i64 level carries at
+            // most 63 payload bits.
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!(
+                    "spike trains of {time_steps} steps exceed the 63-bit level payload"
+                ),
+            });
+        }
 
         let in_data = input_levels.as_slice();
         let w_data = weight_codes.as_slice();
-        let mut accumulators = vec![0i64; o];
-        let mut stats = UnitStats::new();
+        let mask = bitplane::level_mask(time_steps);
 
-        // Output channels are processed in groups of `lanes`.
-        let groups = o.div_ceil(self.lanes);
-        for group in 0..groups {
-            let lane_start = group * self.lanes;
-            let lane_end = (lane_start + self.lanes).min(o);
-            for t in 0..time_steps {
-                let bit = time_steps - 1 - t;
-                for (oi, acc) in accumulators
-                    .iter_mut()
-                    .enumerate()
-                    .take(lane_end)
-                    .skip(lane_start)
-                {
-                    // Radix shift once per time step per output.
-                    *acc <<= 1;
-                    let _ = oi;
-                }
-                for ni in 0..n {
-                    // One cycle: one input neuron, `lanes` weights fetched.
-                    stats.cycles += 1;
-                    stats.activation_reads += 1;
-                    stats.kernel_reads += (lane_end - lane_start) as u64;
-                    let spike = (in_data[ni] >> bit) & 1 == 1;
-                    if !spike {
-                        continue;
-                    }
-                    for (oi, acc) in accumulators
-                        .iter_mut()
-                        .enumerate()
-                        .take(lane_end)
-                        .skip(lane_start)
-                    {
-                        *acc += w_data[oi * n + ni];
-                        stats.adder_ops += 1;
-                    }
-                }
-            }
+        // Gather the spiking neurons once from the occupancy words (the
+        // planes' OR-reduction, built in one pass), folding the plane
+        // popcount — silent neurons contribute no bits — into the walk.
+        let mut spikes: Vec<(usize, i64)> = Vec::new();
+        let mut total_popcount = 0u64;
+        if n > 0 {
+            let occupancy = bitplane::Occupancy::from_levels(in_data, 1, n, time_steps);
+            bitplane::for_each_set_bit(occupancy.row(0), |ni| {
+                let level = in_data[ni] & mask;
+                total_popcount += u64::from(level.count_ones());
+                spikes.push((ni, level));
+            });
         }
+
+        // Derived statistics: the schedule visits every (group, time step,
+        // neuron) slot regardless of the data; only the adder activity is
+        // data-dependent (every spike bit toggles one adder per output in
+        // the group, i.e. `O x popcount` in total).
+        let groups = o.div_ceil(self.lanes) as u64;
+        let slots = (time_steps * n) as u64;
+        let stats = UnitStats {
+            cycles: groups * slots,
+            adder_ops: o as u64 * total_popcount,
+            activation_reads: groups * slots,
+            kernel_reads: o as u64 * slots,
+            output_writes: o.min(bias_acc.len()) as u64,
+        };
+
+        // Sparse accumulation, parallel over output channels when large.
+        let mut accumulators = vec![0i64; o];
+        let work = o as u64 * spikes.len() as u64;
+        let threads = if work >= snn_parallel::MIN_PARALLEL_WORK {
+            snn_parallel::default_threads().min(o.max(1))
+        } else {
+            1
+        };
+        let chunk = o.div_ceil(threads.max(1)).max(1);
+        let spikes = &spikes;
+        snn_parallel::par_chunks_mut(&mut accumulators, chunk, threads, |chunk_index, out| {
+            for (offset, acc) in out.iter_mut().enumerate() {
+                let oi = chunk_index * chunk + offset;
+                let row = &w_data[oi * n..oi * n + n];
+                let mut sum = 0i64;
+                for &(ni, level) in spikes {
+                    sum += row[ni] * level;
+                }
+                *acc = sum;
+            }
+        });
 
         for (acc, &b) in accumulators.iter_mut().zip(bias_acc.as_slice()) {
             *acc += b;
-            stats.output_writes += 1;
         }
 
         Ok(LinearResult {
@@ -144,16 +175,14 @@ impl LinearUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceLinearUnit;
     use snn_tensor::ops;
 
     #[test]
     fn matches_reference_matrix_multiplication() {
         let input = Tensor::from_vec(vec![5], vec![7i64, 0, 3, 5, 1]).unwrap();
-        let weight = Tensor::from_vec(
-            vec![3, 5],
-            (0..15).map(|v| ((v % 7) as i64) - 3).collect(),
-        )
-        .unwrap();
+        let weight =
+            Tensor::from_vec(vec![3, 5], (0..15).map(|v| ((v % 7) as i64) - 3).collect()).unwrap();
         let bias = Tensor::from_vec(vec![3], vec![10i64, -5, 0]).unwrap();
         let result = LinearUnit::new(2)
             .run_layer(&input, &weight, &bias, 3)
@@ -216,5 +245,57 @@ mod tests {
     #[should_panic(expected = "at least one output lane")]
     fn zero_lanes_rejected() {
         LinearUnit::new(0);
+    }
+
+    #[test]
+    fn overlong_spike_trains_are_rejected() {
+        let input = Tensor::filled(vec![4], 1i64);
+        let weight = Tensor::filled(vec![2, 4], 1i64);
+        let bias = Tensor::filled(vec![2], 0i64);
+        let unit = LinearUnit::new(2);
+        assert!(unit.run_layer(&input, &weight, &bias, 63).is_ok());
+        assert!(matches!(
+            unit.run_layer(&input, &weight, &bias, 64),
+            Err(AccelError::UnsupportedLayer { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_and_accumulators_match_the_reference_unit() {
+        let input =
+            Tensor::from_vec(vec![23], (0..23).map(|v| ((v * 11) % 16) as i64).collect()).unwrap();
+        let weight = Tensor::from_vec(
+            vec![9, 23],
+            (0..9 * 23).map(|v| ((v % 7) as i64) - 3).collect(),
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(vec![9], (0..9).map(|v| v - 4).collect()).unwrap();
+        for lanes in [1, 2, 4, 9, 16] {
+            for t in [1usize, 3, 6] {
+                let fast = LinearUnit::new(lanes)
+                    .run_layer(&input, &weight, &bias, t)
+                    .unwrap();
+                let slow = ReferenceLinearUnit::new(lanes)
+                    .run_layer(&input, &weight, &bias, t)
+                    .unwrap();
+                assert_eq!(fast.accumulators, slow.accumulators, "lanes={lanes} t={t}");
+                assert_eq!(fast.stats, slow.stats, "lanes={lanes} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_levels_are_truncated_like_the_schedule() {
+        let input = Tensor::from_vec(vec![3], vec![9i64, -1, 2]).unwrap();
+        let weight = Tensor::filled(vec![2, 3], 3i64);
+        let bias = Tensor::filled(vec![2], 1i64);
+        let fast = LinearUnit::new(2)
+            .run_layer(&input, &weight, &bias, 2)
+            .unwrap();
+        let slow = ReferenceLinearUnit::new(2)
+            .run_layer(&input, &weight, &bias, 2)
+            .unwrap();
+        assert_eq!(fast.accumulators, slow.accumulators);
+        assert_eq!(fast.stats, slow.stats);
     }
 }

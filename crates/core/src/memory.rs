@@ -296,10 +296,7 @@ mod tests {
     fn weight_plan_counts_all_parameters() {
         let net = zoo::lenet5();
         let plan = WeightMemoryPlan::for_network(&net, 3, MemoryOption::OnChip);
-        assert_eq!(
-            plan.total_weight_bits,
-            net.parameter_count() as u64 * 3
-        );
+        assert_eq!(plan.total_weight_bits, net.parameter_count() as u64 * 3);
         assert!(plan.max_layer_weight_bits < plan.total_weight_bits);
         // On-chip option stores everything, DRAM option only one layer.
         let dram_plan = WeightMemoryPlan::for_network(&net, 3, MemoryOption::Dram);

@@ -8,11 +8,18 @@
 //! window size folded into the subsequent requantization (a right shift for
 //! power-of-two windows); max pooling replaces the adders with comparators.
 
+//! The pooling unit's counters were always analytical (the unit never
+//! stepped them in a data loop): `cycles`, `activation_reads` and
+//! `output_writes` follow from the closed-form schedule, and `adder_ops`
+//! is the popcount of the streamed levels, now computed by the shared
+//! [`snn_tensor::bitplane`] helper the sparse convolution and linear
+//! engines also use for their derived statistics.
+
 use crate::config::ArrayGeometry;
 use crate::units::UnitStats;
 use crate::{AccelError, Result};
 use snn_model::layer::PoolKind;
-use snn_tensor::{ops, Tensor};
+use snn_tensor::{bitplane, ops, Tensor};
 
 /// Output of a pooling-unit layer execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,7 +82,9 @@ impl PoolingUnit {
         let (h_out, w_out) = ops::pool_output_dims((h, w), window).map_err(AccelError::Tensor)?;
 
         let levels = match kind {
-            PoolKind::Average => ops::avg_pool2d(input_levels, window).map_err(AccelError::Tensor)?,
+            PoolKind::Average => {
+                ops::avg_pool2d(input_levels, window).map_err(AccelError::Tensor)?
+            }
             PoolKind::Max => ops::max_pool2d(input_levels, window).map_err(AccelError::Tensor)?,
         };
 
@@ -89,10 +98,7 @@ impl PoolingUnit {
         // Adder/comparator activations are gated by spikes, so count the
         // spikes streamed through the unit (every input element belongs to
         // exactly one window for non-overlapping pooling).
-        stats.adder_ops = input_levels
-            .iter()
-            .map(|&v| v.count_ones() as u64)
-            .sum();
+        stats.adder_ops = bitplane::popcount_levels(input_levels.as_slice());
 
         Ok(PoolResult { levels, stats })
     }
@@ -127,11 +133,8 @@ mod tests {
 
     #[test]
     fn average_pooling_matches_reference() {
-        let input = Tensor::from_vec(
-            vec![2, 4, 4],
-            (0..32).map(|v| (v % 7) as i64).collect(),
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(vec![2, 4, 4], (0..32).map(|v| (v % 7) as i64).collect()).unwrap();
         let result = unit().run_layer(&input, PoolKind::Average, 2, 3).unwrap();
         let expected = ops::avg_pool2d(&input, 2).unwrap();
         assert_eq!(result.levels, expected);

@@ -141,7 +141,10 @@ impl fmt::Display for DesignReport {
         writeln!(
             f,
             "resources: {} LUTs, {} FFs, {} BRAM36, {} DSPs",
-            self.resources.luts, self.resources.flip_flops, self.resources.bram36, self.resources.dsp
+            self.resources.luts,
+            self.resources.flip_flops,
+            self.resources.bram36,
+            self.resources.dsp
         )?;
         writeln!(
             f,

@@ -3,17 +3,25 @@
 //! [`Accelerator`] owns a configuration, compiles converted SNN models onto
 //! it and executes inferences.  Two execution paths are provided:
 //!
-//! * [`Accelerator::run`] — **cycle-accurate**: every layer is executed on
-//!   the register-transfer-style processing-unit models
+//! * [`Accelerator::run`] — **unit-exact**: every layer is executed on the
+//!   bit-plane sparse processing-unit models
 //!   ([`crate::conv::ConvolutionUnit`], [`crate::pool::PoolingUnit`],
 //!   [`crate::linear::LinearUnit`]), activations move through the ping-pong
-//!   buffers, and exact work/operation counts are recorded.  Use this for
-//!   the MNIST-scale networks of the paper.
+//!   buffers, and exact work/operation counts are reported.  The units
+//!   traverse packed spike planes (word-level skip of silent regions,
+//!   output channels spread over worker threads) and *derive* their
+//!   counters analytically from the static schedule plus plane popcounts;
+//!   property tests pin both accumulators and counters to the retained
+//!   counter-stepped models in [`crate::reference`].
 //! * [`Accelerator::run_fast`] — **transaction-level**: activations are
 //!   computed with the functional integer model of `snn-model` and only the
 //!   analytical timing model is evaluated.  The results are bit-identical
 //!   (asserted by tests); use this for large models such as VGG-11 where
-//!   simulating every adder is unnecessary.
+//!   even the sparse engine is unnecessary.
+//!
+//! Batches of independent inputs can be dispatched over worker threads
+//! with [`Accelerator::run_batch`] / [`Accelerator::run_fast_batch`]; each
+//! input produces exactly the report a solo [`Accelerator::run`] would.
 
 use crate::compiler::{self, Program};
 use crate::config::{AcceleratorConfig, MemoryOption};
@@ -97,6 +105,48 @@ impl Accelerator {
         let program = self.compile(model)?;
         let input_levels = model.encode_input(input)?;
         self.execute(model, &program, input_levels, ExecutionMode::Transaction)
+    }
+
+    /// Runs one inference per input, unit-exact, spreading the batch over
+    /// worker threads.  The model is compiled once and shared; report `i`
+    /// is bit-identical to `self.run(model, &inputs[i])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered (bad input shape, unmappable
+    /// model); remaining inputs are still processed but their reports are
+    /// discarded.
+    pub fn run_batch(&self, model: &SnnModel, inputs: &[Tensor<f32>]) -> Result<Vec<RunReport>> {
+        self.execute_batch(model, inputs, ExecutionMode::CycleAccurate)
+    }
+
+    /// Transaction-level variant of [`Accelerator::run_batch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Accelerator::run_batch`].
+    pub fn run_fast_batch(
+        &self,
+        model: &SnnModel,
+        inputs: &[Tensor<f32>],
+    ) -> Result<Vec<RunReport>> {
+        self.execute_batch(model, inputs, ExecutionMode::Transaction)
+    }
+
+    fn execute_batch(
+        &self,
+        model: &SnnModel,
+        inputs: &[Tensor<f32>],
+        mode: ExecutionMode,
+    ) -> Result<Vec<RunReport>> {
+        let program = self.compile(model)?;
+        let threads = snn_parallel::default_threads().min(inputs.len().max(1));
+        snn_parallel::par_map(inputs, threads, |_, input| {
+            let levels = model.encode_input(input)?;
+            self.execute(model, &program, levels, mode)
+        })
+        .into_iter()
+        .collect()
     }
 
     fn execute(
@@ -202,13 +252,16 @@ impl Accelerator {
         let prediction = logits
             .iter()
             .enumerate()
-            .fold((0usize, i64::MIN), |(bi, bv), (i, &v)| {
-                if v > bv {
-                    (i, v)
-                } else {
-                    (bi, bv)
-                }
-            })
+            .fold(
+                (0usize, i64::MIN),
+                |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                },
+            )
             .0;
 
         Ok(RunReport {
@@ -400,5 +453,33 @@ mod tests {
         let accel = Accelerator::new(AcceleratorConfig::default());
         let bad = Tensor::filled(vec![1, 8, 8], 0.5f32);
         assert!(accel.run(&model, &bad).is_err());
+    }
+
+    #[test]
+    fn batch_reports_match_individual_runs() {
+        let (model, inputs) = tiny_setup(4);
+        let accel = Accelerator::new(AcceleratorConfig::default());
+        let batch = accel.run_batch(&model, &inputs).unwrap();
+        assert_eq!(batch.len(), inputs.len());
+        for (report, input) in batch.iter().zip(&inputs) {
+            let solo = accel.run(&model, input).unwrap();
+            assert_eq!(report.logits, solo.logits);
+            assert_eq!(report.prediction, solo.prediction);
+            assert_eq!(report.total_cycles(), solo.total_cycles());
+            assert_eq!(report.total_work(), solo.total_work());
+        }
+        let fast_batch = accel.run_fast_batch(&model, &inputs).unwrap();
+        for (fast, detailed) in fast_batch.iter().zip(&batch) {
+            assert_eq!(fast.logits, detailed.logits);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine_and_bad_inputs_error() {
+        let (model, mut inputs) = tiny_setup(3);
+        let accel = Accelerator::new(AcceleratorConfig::default());
+        assert!(accel.run_batch(&model, &[]).unwrap().is_empty());
+        inputs.push(Tensor::filled(vec![1, 8, 8], 0.5f32));
+        assert!(accel.run_batch(&model, &inputs).is_err());
     }
 }

@@ -1,9 +1,11 @@
 //! Analytical latency model derived from the loop hierarchy of Alg. 1.
 //!
 //! The processing units in [`crate::conv`], [`crate::pool`] and
-//! [`crate::linear`] count cycles while they execute; this module predicts
-//! the same counts in closed form and adds the system-level effects the
-//! units cannot see: the division of output channels across multiple
+//! [`crate::linear`] derive their cycle counters from the same closed-form
+//! expressions this module evaluates (the schedule is static, so counting
+//! and predicting coincide exactly — a property the unit tests pin down);
+//! this module adds the system-level effects the units cannot see: the
+//! division of output channels across multiple
 //! convolution units, the packing of several narrow output channels into
 //! one unit, the flatten transfer between the 2-D and 1-D buffers, and the
 //! DRAM weight-fetch time for models that do not fit on chip.
@@ -290,7 +292,8 @@ mod tests {
 
     #[test]
     fn channels_per_unit_matches_paper_intent() {
-        let cfg = AcceleratorConfig::default(); // X = 30
+        // Default geometry has X = 30.
+        let cfg = AcceleratorConfig::default();
         // A 28-wide output row fills the unit: one channel at a time.
         assert_eq!(channels_per_conv_unit(&cfg, 28), 1);
         // A 10-wide row lets three channels share the unit.

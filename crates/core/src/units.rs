@@ -6,6 +6,13 @@ use std::ops::{Add, AddAssign};
 /// Cycle and operation counters reported by a processing unit after
 /// executing (part of) a layer.
 ///
+/// The counters are **analytical**: the accelerator's schedule is static,
+/// so the units derive `cycles` and the memory-access counts in closed
+/// form from the loop bounds, and the data-dependent `adder_ops` from
+/// packed-plane popcounts — nothing is stepped inside a compute loop.
+/// Property tests assert the derived values are bit-identical to the
+/// counter-stepped reference models in [`crate::reference`].
+///
 /// The counters drive the latency, energy and memory-traffic figures of the
 /// run reports:
 ///

@@ -7,6 +7,7 @@ use snn_accel::config::ArrayGeometry;
 use snn_accel::conv::ConvolutionUnit;
 use snn_accel::linear::LinearUnit;
 use snn_accel::pool::PoolingUnit;
+use snn_accel::reference::{ReferenceConvolutionUnit, ReferenceLinearUnit};
 use snn_model::layer::PoolKind;
 use snn_tensor::{ops, Tensor};
 
@@ -167,6 +168,89 @@ proptest! {
             PoolKind::Average => ops::avg_pool2d(&input, 2).unwrap(),
         };
         prop_assert_eq!(result.levels, expected);
+    }
+
+    /// The bit-plane sparse convolution engine reproduces the retained
+    /// counter-stepped scalar reference exactly: same accumulators and the
+    /// same `UnitStats`, for arbitrary shapes, strides, paddings, tile
+    /// counts and data — the contract that makes the derived (analytical)
+    /// statistics trustworthy.
+    #[test]
+    fn sparse_conv_engine_matches_scalar_reference_exactly(
+        c_in in 1usize..3,
+        c_out in 1usize..4,
+        size in 4usize..9,
+        kernel in 2usize..4,
+        stride in 1usize..3,
+        padding in 0usize..3,
+        time_steps in 0usize..7,
+        columns in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let max_level = (1i64 << time_steps.max(1)) - 1;
+        let input = Tensor::from_vec(
+            vec![c_in, size, size],
+            (0..c_in * size * size)
+                .map(|i| ((i as u64 * 2654435761 + seed) % (max_level as u64 + 2)) as i64)
+                .collect(),
+        ).unwrap();
+        let kernel_t = Tensor::from_vec(
+            vec![c_out, c_in, kernel, kernel],
+            (0..c_out * c_in * kernel * kernel)
+                .map(|i| (((i as u64 * 40503 + seed) % 7) as i64) - 3)
+                .collect(),
+        ).unwrap();
+        let bias = Tensor::from_vec(
+            vec![c_out],
+            (0..c_out).map(|i| (i as i64) - 1).collect(),
+        ).unwrap();
+
+        let geometry = ArrayGeometry { columns, rows: kernel };
+        let fast = ConvolutionUnit::new(geometry)
+            .run_layer(&input, &kernel_t, &bias, time_steps, stride, padding)
+            .unwrap();
+        let slow = ReferenceConvolutionUnit::new(geometry)
+            .run_layer(&input, &kernel_t, &bias, time_steps, stride, padding)
+            .unwrap();
+        prop_assert_eq!(&fast.accumulators, &slow.accumulators);
+        prop_assert_eq!(fast.stats, slow.stats);
+    }
+
+    /// Same contract for the linear engine, over arbitrary lane counts.
+    #[test]
+    fn sparse_linear_engine_matches_scalar_reference_exactly(
+        inputs in 1usize..16,
+        outputs in 1usize..10,
+        lanes in 1usize..12,
+        time_steps in 0usize..7,
+        seed in 0u64..1000,
+    ) {
+        let max_level = (1i64 << time_steps.max(1)) - 1;
+        let input = Tensor::from_vec(
+            vec![inputs],
+            (0..inputs)
+                .map(|i| ((i as u64 * 31 + seed) % (max_level as u64 + 2)) as i64)
+                .collect(),
+        ).unwrap();
+        let weight = Tensor::from_vec(
+            vec![outputs, inputs],
+            (0..outputs * inputs)
+                .map(|i| (((i as u64 * 17 + seed) % 7) as i64) - 3)
+                .collect(),
+        ).unwrap();
+        let bias = Tensor::from_vec(
+            vec![outputs],
+            (0..outputs).map(|i| (i as i64 % 5) - 2).collect(),
+        ).unwrap();
+
+        let fast = LinearUnit::new(lanes)
+            .run_layer(&input, &weight, &bias, time_steps)
+            .unwrap();
+        let slow = ReferenceLinearUnit::new(lanes)
+            .run_layer(&input, &weight, &bias, time_steps)
+            .unwrap();
+        prop_assert_eq!(&fast.accumulators, &slow.accumulators);
+        prop_assert_eq!(fast.stats, slow.stats);
     }
 
     /// Splitting the radix accumulation over time steps is exact: running

@@ -93,7 +93,7 @@ impl SyntheticObjects {
         let stripe_channel = class % 3;
         for y in 0..s {
             for x in 0..s {
-                if (x + (phase * stripe_period as f32) as usize) % stripe_period == 0 {
+                if (x + (phase * stripe_period as f32) as usize).is_multiple_of(stripe_period) {
                     pixels[stripe_channel * s * s + y * s + x] += 0.3;
                 }
             }

@@ -31,7 +31,10 @@ pub struct EncodingComparison {
 /// # Errors
 ///
 /// Returns an error if `time_steps` is unsupported by either encoder.
-pub fn compare_encodings(activations: &Tensor<f32>, time_steps: usize) -> Result<EncodingComparison> {
+pub fn compare_encodings(
+    activations: &Tensor<f32>,
+    time_steps: usize,
+) -> Result<EncodingComparison> {
     let radix = RadixEncoder::new(time_steps)?;
     let rate = RateEncoder::new(time_steps)?;
     let radix_raster = radix.encode_tensor(activations);
@@ -71,11 +74,7 @@ mod tests {
     use super::*;
 
     fn ramp(n: usize) -> Tensor<f32> {
-        Tensor::from_vec(
-            vec![n],
-            (0..n).map(|i| i as f32 / (n - 1) as f32).collect(),
-        )
-        .unwrap()
+        Tensor::from_vec(vec![n], (0..n).map(|i| i as f32 / (n - 1) as f32).collect()).unwrap()
     }
 
     #[test]

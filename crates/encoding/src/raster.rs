@@ -195,7 +195,7 @@ mod tests {
         ];
         let raster = SpikeRaster::from_trains(Shape::new(vec![2, 2]), 3, &trains);
         assert_eq!(raster.to_trains(), trains);
-        assert_eq!(raster.total_spikes(), 2 + 1 + 3 + 0);
+        assert_eq!(raster.total_spikes(), (2 + 1 + 3));
     }
 
     #[test]

@@ -136,9 +136,11 @@ pub fn convert(
             LayerSpec::Conv2d {
                 stride, padding, ..
             } => {
-                let qp = quantized.layer(i).ok_or_else(|| ModelError::ParameterMismatch {
-                    context: format!("layer {i} is missing quantized parameters"),
-                })?;
+                let qp = quantized
+                    .layer(i)
+                    .ok_or_else(|| ModelError::ParameterMismatch {
+                        context: format!("layer {i} is missing quantized parameters"),
+                    })?;
                 let w_scale = qp.weight.scale();
                 let out_act_max = effective_max(calibration.layer_max[i]);
                 let is_output = i == last_layer;
@@ -160,9 +162,11 @@ pub fn convert(
                 }
             }
             LayerSpec::Linear { .. } => {
-                let qp = quantized.layer(i).ok_or_else(|| ModelError::ParameterMismatch {
-                    context: format!("layer {i} is missing quantized parameters"),
-                })?;
+                let qp = quantized
+                    .layer(i)
+                    .ok_or_else(|| ModelError::ParameterMismatch {
+                        context: format!("layer {i} is missing quantized parameters"),
+                    })?;
                 let w_scale = qp.weight.scale();
                 let out_act_max = effective_max(calibration.layer_max[i]);
                 let is_output = i == last_layer;
@@ -256,9 +260,7 @@ mod tests {
     fn from_layer_maxima_checks_length() {
         let net = zoo::tiny_cnn();
         assert!(CalibrationStats::from_layer_maxima(&net, vec![1.0; 2]).is_err());
-        assert!(
-            CalibrationStats::from_layer_maxima(&net, vec![1.0; net.layers().len()]).is_ok()
-        );
+        assert!(CalibrationStats::from_layer_maxima(&net, vec![1.0; net.layers().len()]).is_ok());
     }
 
     #[test]
@@ -344,8 +346,7 @@ mod tests {
             let mismatches = inputs
                 .iter()
                 .filter(|input| {
-                    forward::predict(&net, &params, input).unwrap()
-                        != snn.predict(input).unwrap()
+                    forward::predict(&net, &params, input).unwrap() != snn.predict(input).unwrap()
                 })
                 .count();
             mismatches as f32 / inputs.len() as f32

@@ -4,8 +4,8 @@
 //! (Section IV-A).  ReLU is applied after every convolution and
 //! fully-connected layer except the final classifier layer.
 
-use crate::{params::Parameters, LayerSpec, ModelError, NetworkSpec, Result};
 use crate::layer::PoolKind;
+use crate::{params::Parameters, LayerSpec, ModelError, NetworkSpec, Result};
 use snn_tensor::{ops, Tensor};
 
 /// The activations produced by [`ann_forward`]: one tensor per layer
@@ -74,9 +74,11 @@ pub fn ann_forward(
             LayerSpec::Conv2d {
                 stride, padding, ..
             } => {
-                let p = params.layer(i).ok_or_else(|| ModelError::ParameterMismatch {
-                    context: format!("layer {i} is missing parameters"),
-                })?;
+                let p = params
+                    .layer(i)
+                    .ok_or_else(|| ModelError::ParameterMismatch {
+                        context: format!("layer {i} is missing parameters"),
+                    })?;
                 let out = ops::conv2d(&current, &p.weight, Some(&p.bias), stride, padding)?;
                 if is_output_layer {
                     out
@@ -93,9 +95,11 @@ pub fn ann_forward(
                 current.reshape(vec![volume])?
             }
             LayerSpec::Linear { .. } => {
-                let p = params.layer(i).ok_or_else(|| ModelError::ParameterMismatch {
-                    context: format!("layer {i} is missing parameters"),
-                })?;
+                let p = params
+                    .layer(i)
+                    .ok_or_else(|| ModelError::ParameterMismatch {
+                        context: format!("layer {i} is missing parameters"),
+                    })?;
                 let out = ops::linear(&current, &p.weight, Some(&p.bias))?;
                 if is_output_layer {
                     out
@@ -189,12 +193,7 @@ mod tests {
     #[test]
     fn handcrafted_network_classifies_by_brightness() {
         // A 1-layer linear network that separates bright from dark images.
-        let net = NetworkSpec::new(
-            "brightness",
-            vec![4],
-            vec![LayerSpec::linear(4, 2)],
-        )
-        .unwrap();
+        let net = NetworkSpec::new("brightness", vec![4], vec![LayerSpec::linear(4, 2)]).unwrap();
         let weight = Tensor::from_vec(
             vec![2, 4],
             vec![1.0f32, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0],

@@ -72,7 +72,12 @@ impl LayerSpec {
 
     /// Convenience constructor for a padded stride-1 convolution (VGG
     /// style: 3×3 kernels with padding 1).
-    pub fn conv_padded(in_channels: usize, out_channels: usize, kernel: usize, padding: usize) -> Self {
+    pub fn conv_padded(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+    ) -> Self {
         LayerSpec::Conv2d {
             in_channels,
             out_channels,

@@ -61,9 +61,7 @@ impl NetworkSpec {
         let mut current = input_shape.clone();
         let mut flattened = input_shape.len() == 1;
         for (i, layer) in layers.iter().enumerate() {
-            if flattened
-                && matches!(layer, LayerSpec::Conv2d { .. } | LayerSpec::Pool { .. })
-            {
+            if flattened && matches!(layer, LayerSpec::Conv2d { .. } | LayerSpec::Pool { .. }) {
                 return Err(ModelError::InvalidNetwork {
                     context: format!(
                         "layer {i} ({}) appears after the feature maps were flattened",

@@ -88,13 +88,16 @@ impl SnnTrace {
         self.logits()
             .iter()
             .enumerate()
-            .fold((0usize, i64::MIN), |(bi, bv), (i, &v)| {
-                if v > bv {
-                    (i, v)
-                } else {
-                    (bi, bv)
-                }
-            })
+            .fold(
+                (0usize, i64::MIN),
+                |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                },
+            )
             .0
     }
 }
@@ -321,17 +324,9 @@ mod tests {
 
     fn identity_linear_model(time_steps: usize) -> SnnModel {
         // One linear layer with an identity weight matrix of codes.
-        let spec = NetworkSpec::new(
-            "identity",
-            vec![3],
-            vec![LayerSpec::linear(3, 3)],
-        )
-        .unwrap();
-        let weight_codes = Tensor::from_vec(
-            vec![3, 3],
-            vec![1i64, 0, 0, 0, 1, 0, 0, 0, 1],
-        )
-        .unwrap();
+        let spec = NetworkSpec::new("identity", vec![3], vec![LayerSpec::linear(3, 3)]).unwrap();
+        let weight_codes =
+            Tensor::from_vec(vec![3, 3], vec![1i64, 0, 0, 0, 1, 0, 0, 0, 1]).unwrap();
         let bias_acc = Tensor::filled(vec![3], 0i64);
         SnnModel::new(
             spec,

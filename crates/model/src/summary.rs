@@ -153,15 +153,11 @@ mod tests {
         let summary = NetworkSummary::of(&net);
         let heaviest = summary.heaviest_layer().unwrap();
         // The 4096x4096 fully-connected layer holds the most parameters.
-        assert_eq!(
-            summary.layers[heaviest].parameters,
-            4096 * 4096 + 4096
-        );
+        assert_eq!(summary.layers[heaviest].parameters, 4096 * 4096 + 4096);
     }
 
     #[test]
-    fn flatten_contributes_no_ops_or_params()
-    {
+    fn flatten_contributes_no_ops_or_params() {
         let summary = NetworkSummary::of(&zoo::tiny_cnn());
         let flatten = summary
             .layers

@@ -20,9 +20,7 @@ fn mlp(inputs: usize, hidden: usize, outputs: usize, seed: &[f32]) -> (NetworkSp
     )
     .expect("valid MLP");
     let take = |n: usize, offset: usize| -> Vec<f32> {
-        (0..n)
-            .map(|i| seed[(offset + i) % seed.len()])
-            .collect()
+        (0..n).map(|i| seed[(offset + i) % seed.len()]).collect()
     };
     let params = Parameters::new(
         &net,

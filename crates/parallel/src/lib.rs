@@ -1,0 +1,203 @@
+//! # snn-parallel
+//!
+//! Minimal fork/join helpers built on `std::thread::scope`, used to
+//! parallelize output channels inside the processing-unit simulators and
+//! batches of inferences in the top-level simulator.
+//!
+//! The container this workspace builds in has no registry access, so rayon
+//! cannot be used; these helpers cover the two shapes the simulator needs —
+//! mapping over a slice and processing disjoint mutable chunks — with
+//! deterministic output ordering (work is split into contiguous blocks, so
+//! results land exactly where a sequential loop would put them).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Upper bound on worker threads, keeping spawn overhead bounded for the
+/// small layer workloads the simulator runs.
+pub const MAX_THREADS: usize = 16;
+
+/// Rough number of inner-loop operations below which spawning scoped
+/// threads costs more than it saves; callers gate their `threads`
+/// argument on a work estimate against this (shared so the processing
+/// units stay in sync — the ROADMAP tracks per-host calibration).
+pub const MIN_PARALLEL_WORK: u64 = 1 << 15;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism capped at [`MAX_THREADS`].
+pub fn default_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Splits `len` items into at most `threads` contiguous block ranges of
+/// near-equal size.  Returns `(start, end)` pairs covering `0..len`.
+pub fn block_ranges(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    let workers = threads.clamp(1, len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for worker in 0..workers {
+        let size = base + usize::from(worker < extra);
+        if size == 0 {
+            break;
+        }
+        ranges.push((start, start + size));
+        start += size;
+    }
+    ranges
+}
+
+/// Maps `f` over `items` with up to `threads` scoped worker threads,
+/// preserving input order in the output.
+///
+/// With one thread (or one item) this degrades to a plain sequential map,
+/// so callers can gate parallelism on a work estimate without duplicating
+/// the loop body.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let ranges = block_ranges(items.len(), threads);
+    if ranges.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut results: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    thread::scope(|scope| {
+        // Ranges are contiguous from zero, so the result buffer can be
+        // peeled off block by block.
+        let mut tail: &mut [Option<U>] = &mut results;
+        for &(start, end) in &ranges {
+            let (block, rest) = tail.split_at_mut(end - start);
+            tail = rest;
+            let f = &f;
+            scope.spawn(move || {
+                for (offset, slot) in block.iter_mut().enumerate() {
+                    let index = start + offset;
+                    *slot = Some(f(index, &items[index]));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Processes `data` as consecutive chunks of `chunk_len` elements, calling
+/// `f(chunk_index, chunk)` for each, with chunks distributed over up to
+/// `threads` scoped worker threads.
+///
+/// The final chunk may be shorter when `chunk_len` does not divide
+/// `data.len()`.  Chunks are disjoint, so the closure may freely mutate its
+/// chunk; results are deterministic regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be non-zero");
+    let chunk_count = data.len().div_ceil(chunk_len);
+    let ranges = block_ranges(chunk_count, threads);
+    if ranges.len() <= 1 {
+        for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(index, chunk);
+        }
+        return;
+    }
+    thread::scope(|scope| {
+        let mut tail = data;
+        for &(start, end) in &ranges {
+            let block_elems = ((end - start) * chunk_len).min(tail.len());
+            let (block, rest) = tail.split_at_mut(block_elems);
+            tail = rest;
+            let f = &f;
+            scope.spawn(move || {
+                for (offset, chunk) in block.chunks_mut(chunk_len).enumerate() {
+                    f(start + offset, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_cover_everything_in_order() {
+        for len in 0..40 {
+            for threads in 1..6 {
+                let ranges = block_ranges(len, threads);
+                let mut expected_start = 0;
+                for &(start, end) in &ranges {
+                    assert_eq!(start, expected_start);
+                    assert!(end > start);
+                    expected_start = end;
+                }
+                assert_eq!(expected_start, len);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..101).collect();
+        let sequential: Vec<u64> = items.iter().map(|v| v * v + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = par_map(&items, threads, |_, v| v * v + 1);
+            assert_eq!(parallel, sequential);
+        }
+    }
+
+    #[test]
+    fn par_map_passes_correct_indices() {
+        let items = vec![(); 37];
+        let indices = par_map(&items, 4, |i, _| i);
+        assert_eq!(indices, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        for (len, chunk_len) in [(96usize, 8usize), (97, 8), (5, 8), (64, 1)] {
+            let mut data = vec![0u64; len];
+            par_chunks_mut(&mut data, chunk_len, 4, |index, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1 + index as u64;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, 1 + (i / chunk_len) as u64, "element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, v| *v).is_empty());
+        let mut none: Vec<u32> = Vec::new();
+        par_chunks_mut(&mut none, 3, 4, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        let t = default_threads();
+        assert!(t >= 1);
+        assert!(t <= MAX_THREADS);
+    }
+}

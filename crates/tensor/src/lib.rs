@@ -15,6 +15,10 @@
 //!   against bit-exactly.
 //! * [`quant`] — symmetric fixed-point quantization used for the 3-bit
 //!   network parameters of the paper.
+//! * [`bitplane`] — radix activations packed into per-time-step binary
+//!   planes of `u64` row words, the substrate of the sparse execution
+//!   engine in `snn-accel` (word-level skipping of silent regions and
+//!   one-pass popcounts for the data-dependent operation counters).
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod bitplane;
 pub mod ops;
 pub mod quant;
 

@@ -138,8 +138,14 @@ mod tests {
 
     #[test]
     fn output_dims_basic() {
-        assert_eq!(conv2d_output_dims((32, 32), (5, 5), 1, 0).unwrap(), (28, 28));
-        assert_eq!(conv2d_output_dims((28, 28), (3, 3), 1, 1).unwrap(), (28, 28));
+        assert_eq!(
+            conv2d_output_dims((32, 32), (5, 5), 1, 0).unwrap(),
+            (28, 28)
+        );
+        assert_eq!(
+            conv2d_output_dims((28, 28), (3, 3), 1, 1).unwrap(),
+            (28, 28)
+        );
         assert_eq!(conv2d_output_dims((8, 8), (2, 2), 2, 0).unwrap(), (4, 4));
     }
 
@@ -156,8 +162,7 @@ mod tests {
     #[test]
     fn identity_kernel_reproduces_input() {
         // A single 1x1 kernel with weight 1 is the identity map.
-        let input =
-            Tensor::from_vec(vec![1, 2, 2], vec![1.0f32, 2.0, 3.0, 4.0]).unwrap();
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0f32, 2.0, 3.0, 4.0]).unwrap();
         let kernel = Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0f32]).unwrap();
         let out = conv2d(&input, &kernel, None, 1, 0).unwrap();
         assert_eq!(out.as_slice(), input.as_slice());
@@ -166,8 +171,7 @@ mod tests {
     #[test]
     fn known_3x3_convolution() {
         // Input 1x3x3 with values 1..9, kernel of ones, valid conv -> sum = 45.
-        let input =
-            Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|v| v as i32).collect()).unwrap();
+        let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).collect::<Vec<i32>>()).unwrap();
         let kernel = Tensor::filled(vec![1, 1, 3, 3], 1i32);
         let out = conv2d(&input, &kernel, None, 1, 0).unwrap();
         assert_eq!(out.shape().dims(), &[1, 1, 1]);

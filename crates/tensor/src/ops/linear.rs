@@ -78,8 +78,7 @@ mod tests {
     #[test]
     fn identity_weight_matrix() {
         let input = Tensor::from_vec(vec![3], vec![5i32, -2, 7]).unwrap();
-        let weight =
-            Tensor::from_vec(vec![3, 3], vec![1, 0, 0, 0, 1, 0, 0, 0, 1]).unwrap();
+        let weight = Tensor::from_vec(vec![3, 3], vec![1, 0, 0, 0, 1, 0, 0, 0, 1]).unwrap();
         let out = linear(&input, &weight, None).unwrap();
         assert_eq!(out.as_slice(), input.as_slice());
     }
@@ -116,8 +115,7 @@ mod tests {
     #[test]
     fn float_matches_manual_dot_product() {
         let input = Tensor::from_vec(vec![4], vec![0.5f32, -1.0, 2.0, 0.0]).unwrap();
-        let weight =
-            Tensor::from_vec(vec![1, 4], vec![2.0f32, 3.0, -1.0, 10.0]).unwrap();
+        let weight = Tensor::from_vec(vec![1, 4], vec![2.0f32, 3.0, -1.0, 10.0]).unwrap();
         let out = linear(&input, &weight, None).unwrap();
         assert!((out.as_slice()[0] - (1.0 - 3.0 - 2.0)).abs() < 1e-6);
     }

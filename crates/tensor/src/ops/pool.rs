@@ -131,9 +131,11 @@ mod tests {
 
     #[test]
     fn average_pooling_float() {
-        let input =
-            Tensor::from_vec(vec![1, 2, 4], vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
-                .unwrap();
+        let input = Tensor::from_vec(
+            vec![1, 2, 4],
+            vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        )
+        .unwrap();
         let out = avg_pool2d(&input, 2).unwrap();
         assert_eq!(out.shape().dims(), &[1, 1, 2]);
         assert_eq!(out.as_slice(), &[3.5, 5.5]);
@@ -162,8 +164,7 @@ mod tests {
 
     #[test]
     fn pooling_is_per_channel() {
-        let input =
-            Tensor::from_vec(vec![2, 2, 2], vec![1i32, 1, 1, 1, 4, 4, 4, 4]).unwrap();
+        let input = Tensor::from_vec(vec![2, 2, 2], vec![1i32, 1, 1, 1, 4, 4, 4, 4]).unwrap();
         let out = avg_pool2d(&input, 2).unwrap();
         assert_eq!(out.shape().dims(), &[2, 1, 1]);
         assert_eq!(out.as_slice(), &[1, 4]);

@@ -146,11 +146,8 @@ mod tests {
 
     #[test]
     fn quantize_roundtrip_error_bounded_by_half_step() {
-        let real = Tensor::from_vec(
-            vec![7],
-            vec![-0.9f32, -0.33, -0.1, 0.0, 0.2, 0.55, 0.9],
-        )
-        .unwrap();
+        let real =
+            Tensor::from_vec(vec![7], vec![-0.9f32, -0.33, -0.1, 0.0, 0.2, 0.55, 0.9]).unwrap();
         let q = QuantizedTensor::quantize(&real, 3).unwrap();
         let deq = q.dequantize();
         for (orig, back) in real.iter().zip(deq.iter()) {

@@ -136,10 +136,10 @@ impl<T> Tensor<T> {
 
     /// Applies `f` element-wise, producing a tensor of a possibly different
     /// element type with the same shape.
-    pub fn map<U, F: FnMut(&T) -> U>(&self, mut f: F) -> Tensor<U> {
+    pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> Tensor<U> {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|v| f(v)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 }

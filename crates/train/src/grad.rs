@@ -228,11 +228,8 @@ mod tests {
     /// Numerically checks d(sum of outputs)/d(input[i]) for the convolution.
     #[test]
     fn conv_input_gradient_matches_numerical() {
-        let input = Tensor::from_vec(
-            vec![1, 4, 4],
-            (0..16).map(|v| v as f32 * 0.1).collect(),
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(vec![1, 4, 4], (0..16).map(|v| v as f32 * 0.1).collect()).unwrap();
         let weight = Tensor::from_vec(
             vec![1, 1, 3, 3],
             vec![0.1f32, -0.2, 0.3, 0.0, 0.5, -0.1, 0.2, 0.2, -0.4],
@@ -249,7 +246,10 @@ mod tests {
             plus.as_mut_slice()[i] += eps;
             let mut minus = input.clone();
             minus.as_mut_slice()[i] -= eps;
-            let sum_plus: f32 = ops::conv2d(&plus, &weight, None, 1, 0).unwrap().iter().sum();
+            let sum_plus: f32 = ops::conv2d(&plus, &weight, None, 1, 0)
+                .unwrap()
+                .iter()
+                .sum();
             let sum_minus: f32 = ops::conv2d(&minus, &weight, None, 1, 0)
                 .unwrap()
                 .iter()
@@ -281,7 +281,10 @@ mod tests {
             let mut minus = weight.clone();
             minus.as_mut_slice()[i] -= eps;
             let sp: f32 = ops::conv2d(&input, &plus, None, 1, 0).unwrap().iter().sum();
-            let sm: f32 = ops::conv2d(&input, &minus, None, 1, 0).unwrap().iter().sum();
+            let sm: f32 = ops::conv2d(&input, &minus, None, 1, 0)
+                .unwrap()
+                .iter()
+                .sum();
             let numeric = (sp - sm) / (2.0 * eps);
             assert!(
                 (numeric - grads.weight.as_slice()[i]).abs() < 1e-2,
@@ -302,8 +305,7 @@ mod tests {
     #[test]
     fn linear_gradients_match_numerical() {
         let input = Tensor::from_vec(vec![3], vec![0.4f32, -0.7, 0.2]).unwrap();
-        let weight =
-            Tensor::from_vec(vec![2, 3], vec![0.1f32, 0.3, -0.2, 0.5, -0.4, 0.2]).unwrap();
+        let weight = Tensor::from_vec(vec![2, 3], vec![0.1f32, 0.3, -0.2, 0.5, -0.4, 0.2]).unwrap();
         let grad_out = Tensor::from_vec(vec![2], vec![1.0f32, -2.0]).unwrap();
         let grads = linear_backward(&input, &weight, &grad_out).unwrap();
         // Weighted sum of outputs: s = 1*y0 - 2*y1.
@@ -317,7 +319,8 @@ mod tests {
             plus.as_mut_slice()[i] += eps;
             let mut minus = input.clone();
             minus.as_mut_slice()[i] -= eps;
-            let numeric = (weighted_sum(&weight, &plus) - weighted_sum(&weight, &minus)) / (2.0 * eps);
+            let numeric =
+                (weighted_sum(&weight, &plus) - weighted_sum(&weight, &minus)) / (2.0 * eps);
             assert!((numeric - grads.input.as_slice()[i]).abs() < 1e-2);
         }
         for i in 0..6 {
@@ -325,7 +328,8 @@ mod tests {
             plus.as_mut_slice()[i] += eps;
             let mut minus = weight.clone();
             minus.as_mut_slice()[i] -= eps;
-            let numeric = (weighted_sum(&plus, &input) - weighted_sum(&minus, &input)) / (2.0 * eps);
+            let numeric =
+                (weighted_sum(&plus, &input) - weighted_sum(&minus, &input)) / (2.0 * eps);
             assert!((numeric - grads.weight.as_slice()[i]).abs() < 1e-2);
         }
         assert_eq!(grads.bias.as_slice(), grad_out.as_slice());

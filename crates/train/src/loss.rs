@@ -19,8 +19,11 @@ pub fn softmax(logits: &Tensor<f32>) -> Tensor<f32> {
     let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
     let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
-    Tensor::from_vec(logits.shape().clone(), exps.into_iter().map(|e| e / sum).collect())
-        .expect("softmax preserves shape")
+    Tensor::from_vec(
+        logits.shape().clone(),
+        exps.into_iter().map(|e| e / sum).collect(),
+    )
+    .expect("softmax preserves shape")
 }
 
 /// Cross-entropy loss of a logit vector against a target class, together

@@ -38,10 +38,7 @@ impl Sgd {
     /// `[0, 1)`.
     pub fn new(learning_rate: f32, momentum: f32) -> Self {
         assert!(learning_rate > 0.0, "learning rate must be positive");
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         Sgd {
             learning_rate,
             momentum,
@@ -77,11 +74,7 @@ impl Sgd {
             .velocities
             .entry(key.to_string())
             .or_insert_with(|| vec![0.0; param.len()]);
-        for ((p, &g), v) in param
-            .iter_mut()
-            .zip(grad.iter())
-            .zip(velocity.iter_mut())
-        {
+        for ((p, &g), v) in param.iter_mut().zip(grad.iter()).zip(velocity.iter_mut()) {
             *v = self.momentum * *v - self.learning_rate * g;
             *p += *v;
         }

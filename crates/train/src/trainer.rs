@@ -153,8 +153,7 @@ impl Trainer {
                         grad = relu_backward(pre, &grad);
                     }
                     let lp = params.layer(i).expect("validated parameters");
-                    let grads =
-                        conv2d_backward(&cache.input, &lp.weight, &grad, stride, padding)?;
+                    let grads = conv2d_backward(&cache.input, &lp.weight, &grad, stride, padding)?;
                     let lp_mut = params.layer_weights_mut()[i]
                         .as_mut()
                         .expect("validated parameters");
@@ -212,11 +211,12 @@ fn forward_cached(
             LayerSpec::Conv2d {
                 stride, padding, ..
             } => {
-                let lp = params
-                    .layer(i)
-                    .ok_or_else(|| snn_model::ModelError::ParameterMismatch {
-                        context: format!("layer {i} is missing parameters"),
-                    })?;
+                let lp =
+                    params
+                        .layer(i)
+                        .ok_or_else(|| snn_model::ModelError::ParameterMismatch {
+                            context: format!("layer {i} is missing parameters"),
+                        })?;
                 let pre = ops::conv2d(&layer_input, &lp.weight, Some(&lp.bias), stride, padding)?;
                 if i == last_layer {
                     pre
@@ -227,11 +227,12 @@ fn forward_cached(
                 }
             }
             LayerSpec::Linear { .. } => {
-                let lp = params
-                    .layer(i)
-                    .ok_or_else(|| snn_model::ModelError::ParameterMismatch {
-                        context: format!("layer {i} is missing parameters"),
-                    })?;
+                let lp =
+                    params
+                        .layer(i)
+                        .ok_or_else(|| snn_model::ModelError::ParameterMismatch {
+                            context: format!("layer {i} is missing parameters"),
+                        })?;
                 let pre = ops::linear(&layer_input, &lp.weight, Some(&lp.bias))?;
                 if i == last_layer {
                     pre
@@ -299,7 +300,9 @@ mod tests {
     fn training_reduces_loss_on_tiny_cnn() {
         let net = zoo::tiny_cnn();
         let mut params = Parameters::he_init(&net, 3).unwrap();
-        let dataset = SyntheticDigits::new(12).with_noise_percent(5).generate(60, 5);
+        let dataset = SyntheticDigits::new(12)
+            .with_noise_percent(5)
+            .generate(60, 5);
         let report = Trainer::new(small_config(6))
             .train(&net, &mut params, &dataset)
             .unwrap();
@@ -318,7 +321,9 @@ mod tests {
         // epochs of the tiny CNN should classify most of the training set.
         let net = zoo::tiny_cnn();
         let mut params = Parameters::he_init(&net, 9).unwrap();
-        let dataset = SyntheticDigits::new(12).with_noise_percent(0).generate(80, 2);
+        let dataset = SyntheticDigits::new(12)
+            .with_noise_percent(0)
+            .generate(80, 2);
         let report = Trainer::new(small_config(12))
             .train(&net, &mut params, &dataset)
             .unwrap();

@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Radix-encode the input: one binary plane per time step.
     let levels: Vec<Vec<i64>> = activations
         .iter()
-        .map(|row| row.iter().map(|&v| i64::from(encoder.level_of(v))).collect())
+        .map(|row| {
+            row.iter()
+                .map(|&v| i64::from(encoder.level_of(v)))
+                .collect()
+        })
         .collect();
     println!("input levels (activation * (2^T - 1), rounded):");
     for row in &levels {
@@ -73,11 +77,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         kernel_values.iter().flatten().copied().collect(),
     )?;
     let bias = Tensor::filled(vec![1], 0i64);
-    let unit = ConvolutionUnit::new(ArrayGeometry { columns: 3, rows: 3 });
+    let unit = ConvolutionUnit::new(ArrayGeometry {
+        columns: 3,
+        rows: 3,
+    });
     let result = unit.run_layer(&input, &kernel, &bias, time_steps, stride, 0)?;
 
-    println!("\nconvolution unit result (raw accumulators): {:?}", result.accumulators.as_slice());
-    assert_eq!(result.accumulators.as_slice(), &partial, "trace and unit must agree");
+    println!(
+        "\nconvolution unit result (raw accumulators): {:?}",
+        result.accumulators.as_slice()
+    );
+    assert_eq!(
+        result.accumulators.as_slice(),
+        &partial,
+        "trace and unit must agree"
+    );
     println!("matches the narrated partial sums: OK");
     println!(
         "\nunit statistics: {} cycles, {} gated adder operations, {} activation row reads, {} kernel reads",

@@ -17,10 +17,7 @@ use snn_repro::tensor::Tensor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A smooth ramp of activations to encode.
-    let activations = Tensor::from_vec(
-        vec![256],
-        (0..256).map(|i| i as f32 / 255.0).collect(),
-    )?;
+    let activations = Tensor::from_vec(vec![256], (0..256).map(|i| i as f32 / 255.0).collect())?;
 
     println!("reconstruction error and spike density at equal spike-train length:");
     println!(

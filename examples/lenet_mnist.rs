@@ -24,10 +24,16 @@ use snn_repro::train::trainer::{Trainer, TrainingConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Synthetic digit dataset (MNIST substitution, see DESIGN.md) and
     //    ANN training.
-    let dataset = SyntheticDigits::new(32).with_noise_percent(8).generate(160, 7);
+    let dataset = SyntheticDigits::new(32)
+        .with_noise_percent(8)
+        .generate(160, 7);
     let data = dataset.split(0.75);
     let net = zoo::lenet5();
-    println!("training {} on {} synthetic digits...", net.name(), data.train.len());
+    println!(
+        "training {} on {} synthetic digits...",
+        net.name(),
+        data.train.len()
+    );
 
     let mut params = Parameters::he_init(&net, 7)?;
     let report = Trainer::new(TrainingConfig {
@@ -78,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = accelerator.run_fast(&snn, sample)?;
 
     println!();
-    println!("deployment at {} MHz with {} convolution units:", config.clock_mhz, config.conv_units);
+    println!(
+        "deployment at {} MHz with {} convolution units:",
+        config.clock_mhz, config.conv_units
+    );
     println!(
         "  latency {:.0} us  |  throughput {:.0} fps  |  power {:.2} W  |  {} LUTs / {} FFs",
         run.latency_us(&config),
@@ -87,8 +96,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         design.resources.luts,
         design.resources.flip_flops
     );
-    println!(
-        "  (paper, Table III: 294 us, 3380 fps, 3.4 W, 27k LUTs / 24k FFs on real MNIST)"
-    );
+    println!("  (paper, Table III: 294 us, 3380 fps, 3.4 W, 27k LUTs / 24k FFs on real MNIST)");
     Ok(())
 }

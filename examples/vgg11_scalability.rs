@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Timing and per-layer breakdown.
     let timing = network_timing(&vgg_cfg, &vgg, 6)?;
     println!();
-    println!("VGG-11 per-layer latency at {} MHz, {} convolution units:", vgg_cfg.clock_mhz, vgg_cfg.conv_units);
+    println!(
+        "VGG-11 per-layer latency at {} MHz, {} convolution units:",
+        vgg_cfg.clock_mhz, vgg_cfg.conv_units
+    );
     println!(
         "  {:<6} {:<10} {:>14} {:>16}",
         "layer", "kind", "compute [cyc]", "dram fetch [cyc]"

@@ -81,8 +81,8 @@ fn accelerator_accuracy_equals_functional_snn_accuracy() {
     let calibration_inputs: Vec<_> = data.train.iter().map(|(img, _)| img).collect();
     let calibration =
         CalibrationStats::collect(&net, &params, calibration_inputs).expect("calibration");
-    let snn = convert(&net, &params, &calibration, ConversionConfig::default())
-        .expect("conversion");
+    let snn =
+        convert(&net, &params, &calibration, ConversionConfig::default()).expect("conversion");
 
     let accelerator = Accelerator::new(AcceleratorConfig::lenet_experiment(4));
     let mut functional_correct = 0usize;
@@ -91,7 +91,12 @@ fn accelerator_accuracy_equals_functional_snn_accuracy() {
         if snn.predict(input).expect("functional predict") == label {
             functional_correct += 1;
         }
-        if accelerator.run(&snn, input).expect("accelerator run").prediction == label {
+        if accelerator
+            .run(&snn, input)
+            .expect("accelerator run")
+            .prediction
+            == label
+        {
             accelerator_correct += 1;
         }
     }

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach a crates registry, so this crate
+//! provides exactly the subset of serde the workspace compiles against:
+//! the `Serialize` / `Deserialize` trait names and their derive macros.
+//! The derives expand to nothing and the traits carry no methods — the
+//! workspace uses them purely as markers on report/config types.  Swapping
+//! in the real serde is a one-line change in each crate manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the offline
+/// stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the offline
+/// stand-in).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no registry access, so the real serde cannot be
+//! fetched.  This crate accepts `#[derive(Serialize, Deserialize)]` (with
+//! any `#[serde(...)]` attributes) and expands to nothing: the workspace
+//! only uses the derives as markers and never serializes at runtime.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
