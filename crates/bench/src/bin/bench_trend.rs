@@ -1,0 +1,68 @@
+//! Benchmark trend check: compares fresh `BENCH_*.json` summaries against
+//! the committed previous values and warns on >20 % regressions.
+//!
+//! ```text
+//! bench_trend <baseline.json> <current.json> [threshold]
+//! ```
+//!
+//! Per the roadmap the check is **non-blocking**: warnings are printed as
+//! GitHub `::warning::` annotations and the exit code is always zero, so
+//! noisy hosted runners cannot block merges while the numbers stabilise.
+//! A missing baseline (first run of a new summary) is reported and
+//! skipped.
+
+use snn_bench::trend::{compare, parse_metrics, DEFAULT_THRESHOLD};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_trend <baseline.json> <current.json> [threshold]");
+        return;
+    }
+    let threshold: f64 = args
+        .get(3)
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(DEFAULT_THRESHOLD);
+
+    let baseline_text = match std::fs::read_to_string(&args[1]) {
+        Ok(text) => text,
+        Err(e) => {
+            println!("bench-trend: no baseline at {} ({e}); skipping", args[1]);
+            return;
+        }
+    };
+    let current_text = match std::fs::read_to_string(&args[2]) {
+        Ok(text) => text,
+        Err(e) => {
+            println!("::warning::bench-trend: cannot read {} ({e})", args[2]);
+            return;
+        }
+    };
+    let (baseline, current) = match (parse_metrics(&baseline_text), parse_metrics(&current_text)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            println!("::warning::bench-trend: malformed summary: {e}");
+            return;
+        }
+    };
+
+    let regressions = compare(&baseline, &current, threshold);
+    if regressions.is_empty() {
+        println!(
+            "bench-trend: {} vs {}: {} comparable metrics, none regressed by more than {:.0}%",
+            args[1],
+            args[2],
+            current.len(),
+            100.0 * threshold
+        );
+    } else {
+        for regression in &regressions {
+            println!("::warning::bench-trend ({}): {regression}", args[2]);
+        }
+        println!(
+            "bench-trend: {} metric(s) regressed by more than {:.0}% (non-blocking, see warnings)",
+            regressions.len(),
+            100.0 * threshold
+        );
+    }
+}

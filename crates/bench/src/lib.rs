@@ -21,4 +21,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod trend;
 pub mod workloads;

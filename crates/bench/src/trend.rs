@@ -1,0 +1,403 @@
+//! Benchmark trend checking: compares a freshly generated `BENCH_*.json`
+//! summary against the committed previous values and reports regressions.
+//!
+//! The summaries are written by the bench harnesses themselves
+//! (`BENCH_conv.json` by `conv_unit`, `BENCH_serve.json` by `end_to_end`),
+//! so the format is ours; a tiny flattening JSON reader keeps this free of
+//! external dependencies (the container has no registry access).  Metrics
+//! are classified by their key path:
+//!
+//! * `*_ns` — durations, **lower** is better;
+//! * `*speedup*`, `*per_sec*` paths and `utilisation` leaf keys —
+//!   ratios/rates, **higher** is better;
+//! * everything else (sample counts, batch sizes, cycle counts — including
+//!   the `busy_cycles`/`total_cycles` siblings of a utilisation entry) is
+//!   informational and not compared.
+//!
+//! Per the roadmap, the check is **non-blocking** for now: the CI step
+//! prints GitHub warning annotations and always exits successfully, so
+//! noisy hosted runners cannot block merges while the numbers stabilise.
+
+use std::fmt;
+
+/// Fraction of change treated as a regression (20 %).
+pub const DEFAULT_THRESHOLD: f64 = 0.20;
+
+/// One comparable benchmark metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Flattened key path, e.g. `results/conv_unit/bitplane_sparse/3/median_ns`.
+    pub id: String,
+    /// The numeric value.
+    pub value: f64,
+    /// Whether larger values are improvements.
+    pub higher_is_better: bool,
+}
+
+/// A metric that moved past the regression threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The metric's key path.
+    pub id: String,
+    /// Committed previous value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether larger values are improvements for this metric.
+    pub higher_is_better: bool,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let direction = if self.higher_is_better {
+            "dropped"
+        } else {
+            "grew"
+        };
+        write!(
+            f,
+            "{}: {} {:.1}% ({} -> {})",
+            self.id,
+            direction,
+            100.0 * (self.ratio - 1.0).abs(),
+            self.baseline,
+            self.current
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal flattening JSON reader
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    // The harness-written summaries only escape quotes and
+                    // backslashes; pass anything else through verbatim.
+                    if let Some(&esc) = self.bytes.get(self.pos) {
+                        self.pos += 1;
+                        out.push(esc as char);
+                    }
+                }
+                _ => out.push(b as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_scalar(&mut self) -> Result<Option<f64>, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b',' || b == b'}' || b == b']' || b.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 scalar".to_string())?;
+        if token.is_empty() {
+            return Err(format!("empty scalar at byte {start}"));
+        }
+        // Numbers become metrics; true/false/null are informational.
+        Ok(token.parse::<f64>().ok())
+    }
+
+    /// Parses one value, appending `(path, number)` pairs to `out`.
+    fn parse_value(&mut self, path: &str, out: &mut Vec<(String, f64)>) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.expect(b'{')?;
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let child = if path.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{path}/{key}")
+                    };
+                    self.parse_value(&child, out)?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("bad object separator {other:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                let mut index = 0usize;
+                loop {
+                    // Array elements keep their index as a provisional path
+                    // component; `parse_metrics` rewrites criterion result
+                    // rows to their stable `"id"` afterwards.
+                    self.parse_value(&format!("{path}/{index}"), out)?;
+                    index += 1;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("bad array separator {other:?}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(())
+            }
+            Some(_) => {
+                if let Some(number) = self.parse_scalar()? {
+                    out.push((path.to_string(), number));
+                }
+                Ok(())
+            }
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+}
+
+/// Extracts the comparable metrics of one `BENCH_*.json` summary.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn parse_metrics(text: &str) -> Result<Vec<Metric>, String> {
+    // First pass: flatten every numeric field.
+    let mut raw = Vec::new();
+    let mut reader = Reader::new(text);
+    reader.parse_value("", &mut raw)?;
+    reader.skip_ws();
+
+    // Second pass: criterion result rows carry their stable key in an
+    // `"id"` string field; rewrite `results/<index>/...` to
+    // `results/<id>/...` so reordering rows does not break comparisons.
+    let ids = result_ids(text);
+    let mut metrics = Vec::new();
+    for (mut id, value) in raw {
+        if let Some(rest) = id.strip_prefix("results/") {
+            if let Some((index, field)) = rest.split_once('/') {
+                if let Ok(index) = index.parse::<usize>() {
+                    if let Some(stable) = ids.get(index) {
+                        id = format!("results/{stable}/{field}");
+                    }
+                }
+            }
+        }
+        // Only the `utilisation` leaf is a rate; its cycle-count siblings
+        // (`.../busy_cycles`, `.../total_cycles`) are informational.
+        let leaf = id.rsplit('/').next().unwrap_or(id.as_str()).to_string();
+        let higher = id.contains("speedup") || id.contains("per_sec") || leaf == "utilisation";
+        let lower = id.ends_with("_ns");
+        if higher || lower {
+            metrics.push(Metric {
+                id,
+                value,
+                higher_is_better: higher,
+            });
+        }
+    }
+    Ok(metrics)
+}
+
+/// The `"id"` strings of the `results` array, in order.
+fn result_ids(text: &str) -> Vec<String> {
+    let mut ids = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("\"id\"") {
+        rest = &rest[at + 4..];
+        if let Some(colon) = rest.find(':') {
+            rest = &rest[colon + 1..];
+            if let Some(open) = rest.find('"') {
+                rest = &rest[open + 1..];
+                if let Some(close) = rest.find('"') {
+                    ids.push(rest[..close].to_string());
+                    rest = &rest[close + 1..];
+                    continue;
+                }
+            }
+        }
+        break;
+    }
+    ids
+}
+
+/// Compares current metrics against the committed baseline and returns the
+/// ones that regressed by more than `threshold` (e.g. `0.2` for 20 %).
+///
+/// Metrics present on only one side are ignored — new benchmarks appear
+/// and old ones retire without tripping the check.
+pub fn compare(baseline: &[Metric], current: &[Metric], threshold: f64) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for now in current {
+        let Some(then) = baseline.iter().find(|m| m.id == now.id) else {
+            continue;
+        };
+        if then.value <= 0.0 {
+            continue;
+        }
+        let ratio = now.value / then.value;
+        let regressed = if now.higher_is_better {
+            ratio < 1.0 - threshold
+        } else {
+            ratio > 1.0 + threshold
+        };
+        if regressed {
+            regressions.push(Regression {
+                id: now.id.clone(),
+                baseline: then.value,
+                current: now.value,
+                ratio,
+                higher_is_better: now.higher_is_better,
+            });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+"workload": "lenet",
+"batch": 32,
+"inferences_per_sec": {"naive_run_fast": 900.0, "stream_server": 2200.0},
+"speedup_server_vs_naive": 2.4,
+"unit_utilisation": {"Convolution": {"units": 4, "busy_cycles": 73160, "total_cycles": 125568, "utilisation": 0.58}},
+"results": [
+  {"id": "conv_unit/bitplane_sparse/3", "median_ns": 450000.0, "mean_ns": 451000.0, "samples": 12},
+  {"id": "pool_unit/avg", "median_ns": 22000.0, "mean_ns": 22500.0, "samples": 12}
+]
+}"#;
+
+    #[test]
+    fn parses_rates_speedups_utilisation_and_durations() {
+        let metrics = parse_metrics(SAMPLE).unwrap();
+        let find = |id: &str| {
+            metrics
+                .iter()
+                .find(|m| m.id == id)
+                .unwrap_or_else(|| panic!("missing metric {id}: {metrics:?}"))
+        };
+        let naive = find("inferences_per_sec/naive_run_fast");
+        assert!(naive.higher_is_better);
+        assert!((naive.value - 900.0).abs() < 1e-9);
+        assert!(find("speedup_server_vs_naive").higher_is_better);
+        assert!(find("unit_utilisation/Convolution/utilisation").higher_is_better);
+        // Cycle-count siblings of a utilisation entry are informational,
+        // not comparable metrics.
+        assert!(metrics.iter().all(|m| !m.id.ends_with("busy_cycles")));
+        assert!(metrics.iter().all(|m| !m.id.ends_with("total_cycles")));
+        assert!(metrics.iter().all(|m| !m.id.ends_with("/units")));
+        let sparse = find("results/conv_unit/bitplane_sparse/3/median_ns");
+        assert!(!sparse.higher_is_better);
+        assert!((sparse.value - 450000.0).abs() < 1e-9);
+        // Sample counts and batch sizes are not comparable metrics.
+        assert!(metrics.iter().all(|m| !m.id.ends_with("samples")));
+        assert!(metrics.iter().all(|m| m.id != "batch"));
+    }
+
+    #[test]
+    fn regressions_respect_direction_and_threshold() {
+        let baseline = parse_metrics(SAMPLE).unwrap();
+        let current = SAMPLE
+            .replace("\"stream_server\": 2200.0", "\"stream_server\": 1500.0")
+            .replace("\"median_ns\": 450000.0", "\"median_ns\": 600000.0");
+        let current = parse_metrics(&current).unwrap();
+        let regressions = compare(&baseline, &current, DEFAULT_THRESHOLD);
+        let ids: Vec<&str> = regressions.iter().map(|r| r.id.as_str()).collect();
+        assert!(ids.contains(&"inferences_per_sec/stream_server"));
+        assert!(ids.contains(&"results/conv_unit/bitplane_sparse/3/median_ns"));
+        // The unchanged pool metric does not trip.
+        assert!(!ids.iter().any(|id| id.contains("pool_unit")));
+        // Every regression renders a human-readable line.
+        for regression in &regressions {
+            assert!(regression.to_string().contains(&regression.id));
+        }
+    }
+
+    #[test]
+    fn improvements_and_small_noise_do_not_trip() {
+        let baseline = parse_metrics(SAMPLE).unwrap();
+        let current = SAMPLE
+            .replace("\"stream_server\": 2200.0", "\"stream_server\": 2600.0")
+            .replace("\"median_ns\": 450000.0", "\"median_ns\": 495000.0"); // +10%
+        let current = parse_metrics(&current).unwrap();
+        assert!(compare(&baseline, &current, DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn new_and_retired_metrics_are_ignored() {
+        let baseline = parse_metrics(SAMPLE).unwrap();
+        let trimmed = parse_metrics(
+            r#"{"inferences_per_sec": {"naive_run_fast": 900.0}, "brand_new_per_sec": 1.0}"#,
+        )
+        .unwrap();
+        assert!(compare(&baseline, &trimmed, DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn committed_summaries_parse() {
+        for path in ["../../BENCH_conv.json", "../../BENCH_serve.json"] {
+            let full = format!("{}/{}", env!("CARGO_MANIFEST_DIR"), path);
+            if let Ok(text) = std::fs::read_to_string(&full) {
+                let metrics = parse_metrics(&text).unwrap();
+                assert!(!metrics.is_empty(), "{path} produced no metrics");
+            }
+        }
+    }
+}

@@ -76,6 +76,14 @@ pub struct AcceleratorConfig {
     pub memory: MemoryOption,
     /// DRAM bus width in bits (only relevant with [`MemoryOption::Dram`]).
     pub dram_bus_bits: usize,
+    /// Spike density (spiking pixels per output-row width) at or above
+    /// which the sparse convolution engine switches a row from the sparse
+    /// scatter to the padded dense-row gather.  The choice never changes
+    /// results — both paths add exactly the same terms — only host-side
+    /// throughput, so hosts can calibrate it (e.g. with the criterion
+    /// harness) without a rebuild.  The default of 0.5 reproduces the
+    /// engine's original fixed `2 * nnz >= w_out` rule.
+    pub dense_gather_threshold: f64,
 }
 
 impl Default for AcceleratorConfig {
@@ -96,9 +104,14 @@ impl Default for AcceleratorConfig {
             accumulator_bits: 16,
             memory: MemoryOption::OnChip,
             dram_bus_bits: 64,
+            dense_gather_threshold: DEFAULT_DENSE_GATHER_THRESHOLD,
         }
     }
 }
+
+/// Default [`AcceleratorConfig::dense_gather_threshold`]: the engine's
+/// original fixed `2 * nnz >= w_out` rule.
+pub const DEFAULT_DENSE_GATHER_THRESHOLD: f64 = 0.5;
 
 impl AcceleratorConfig {
     /// The configuration used for the LeNet-5 experiments in Sections IV-B
@@ -155,6 +168,7 @@ impl AcceleratorConfig {
             accumulator_bits: 18,
             memory: MemoryOption::Dram,
             dram_bus_bits: 64,
+            dense_gather_threshold: DEFAULT_DENSE_GATHER_THRESHOLD,
         }
     }
 
@@ -188,6 +202,14 @@ impl AcceleratorConfig {
         if self.dram_bus_bits == 0 {
             return Err(AccelError::InvalidConfig {
                 context: "DRAM bus width must be non-zero".to_string(),
+            });
+        }
+        if !self.dense_gather_threshold.is_finite() || self.dense_gather_threshold < 0.0 {
+            return Err(AccelError::InvalidConfig {
+                context: format!(
+                    "dense gather threshold {} must be a finite non-negative density",
+                    self.dense_gather_threshold
+                ),
             });
         }
         ArrayGeometry::new(self.conv_geometry.columns, self.conv_geometry.rows)?;
@@ -254,6 +276,14 @@ mod tests {
                     columns: 0,
                     rows: 5,
                 },
+                ..AcceleratorConfig::default()
+            },
+            AcceleratorConfig {
+                dense_gather_threshold: f64::NAN,
+                ..AcceleratorConfig::default()
+            },
+            AcceleratorConfig {
+                dense_gather_threshold: -0.25,
                 ..AcceleratorConfig::default()
             },
         ];

@@ -61,9 +61,14 @@ pub struct ConvResult {
 }
 
 /// Bit-plane sparse model of one convolution unit.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConvolutionUnit {
     geometry: ArrayGeometry,
+    /// Spike density (spiking pixels per output-row width) at or above
+    /// which a row uses the padded dense-row gather instead of the sparse
+    /// scatter.  Never affects results, only host throughput; see
+    /// [`crate::config::AcceleratorConfig::dense_gather_threshold`].
+    dense_gather_threshold: f64,
 }
 
 /// `(kernel index, output index)` pairs covering one input coordinate: all
@@ -90,14 +95,29 @@ fn coverage_pairs(
 }
 
 impl ConvolutionUnit {
-    /// Creates a convolution unit with the given adder-array geometry.
+    /// Creates a convolution unit with the given adder-array geometry and
+    /// the default dense-gather threshold.
     pub fn new(geometry: ArrayGeometry) -> Self {
-        ConvolutionUnit { geometry }
+        Self::with_threshold(geometry, crate::config::DEFAULT_DENSE_GATHER_THRESHOLD)
+    }
+
+    /// Creates a convolution unit with an explicit dense-gather threshold
+    /// (see [`crate::config::AcceleratorConfig::dense_gather_threshold`]).
+    pub fn with_threshold(geometry: ArrayGeometry, dense_gather_threshold: f64) -> Self {
+        ConvolutionUnit {
+            geometry,
+            dense_gather_threshold,
+        }
     }
 
     /// The adder-array geometry.
     pub fn geometry(&self) -> ArrayGeometry {
         self.geometry
+    }
+
+    /// The configured dense-gather density threshold.
+    pub fn dense_gather_threshold(&self) -> f64 {
+        self.dense_gather_threshold
     }
 
     /// Number of column tiles needed for an output row of `width` values.
@@ -240,7 +260,7 @@ impl ConvolutionUnit {
                     continue; // word-level skip of silent rows
                 }
                 // Build only the representation the chosen path reads.
-                let dense = 2 * spike_count >= w_out;
+                let dense = spike_count as f64 >= self.dense_gather_threshold * w_out as f64;
                 let mut spikes = Vec::new();
                 let mut padded = Vec::new();
                 if dense {
@@ -556,6 +576,38 @@ mod tests {
             u.run_layer(&input, &kernel, &bias, 64, 1, 0),
             Err(AccelError::UnsupportedLayer { .. })
         ));
+    }
+
+    #[test]
+    fn dense_gather_threshold_never_changes_results() {
+        // Force always-dense (0.0) and always-sparse (above any density)
+        // path selection: accumulators and stats must match the default
+        // exactly — the threshold is a host-throughput knob only.
+        let input = Tensor::from_vec(
+            vec![2, 6, 6],
+            (0..72).map(|v| ((v * 5) % 8) as i64).collect(),
+        )
+        .unwrap();
+        let kernel = Tensor::from_vec(
+            vec![3, 2, 3, 3],
+            (0..54).map(|v| ((v % 7) as i64) - 3).collect(),
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(vec![3], vec![1i64, -2, 0]).unwrap();
+        let geometry = ArrayGeometry {
+            columns: 6,
+            rows: 3,
+        };
+        let default = ConvolutionUnit::new(geometry)
+            .run_layer(&input, &kernel, &bias, 3, 1, 1)
+            .unwrap();
+        for threshold in [0.0, 0.25, 2.0, 1.0e6] {
+            let tuned = ConvolutionUnit::with_threshold(geometry, threshold)
+                .run_layer(&input, &kernel, &bias, 3, 1, 1)
+                .unwrap();
+            assert_eq!(tuned.accumulators, default.accumulators, "thr={threshold}");
+            assert_eq!(tuned.stats, default.stats, "thr={threshold}");
+        }
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub enum AccelError {
     Model(snn_model::ModelError),
     /// An error bubbled up from the tensor substrate.
     Tensor(snn_tensor::TensorError),
+    /// The streaming server could not complete a request (e.g. it was shut
+    /// down while inferences were still queued).
+    Serving {
+        /// Human-readable description.
+        context: String,
+    },
 }
 
 impl fmt::Display for AccelError {
@@ -34,6 +40,7 @@ impl fmt::Display for AccelError {
             }
             AccelError::Model(e) => write!(f, "model error: {e}"),
             AccelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AccelError::Serving { context } => write!(f, "serving error: {context}"),
         }
     }
 }

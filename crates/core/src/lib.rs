@@ -22,9 +22,14 @@
 //!
 //! The top-level [`sim::Accelerator`] compiles a converted
 //! [`snn_model::snn::SnnModel`] onto a configurable number of processing
-//! units ([`config::AcceleratorConfig`]), runs inference, and produces a
-//! [`report::RunReport`] with the prediction, latency, energy and memory
-//! traffic — the quantities reported in the paper's evaluation.
+//! units ([`config::AcceleratorConfig`]), runs inference through the
+//! pipelined execution engine in [`exec`] (adjacent convolution → pooling
+//! stages overlap through bounded queues, drawing threads from the global
+//! [`snn_parallel::ThreadBudget`]), and produces a [`report::RunReport`]
+//! with the prediction, latency, energy, memory traffic and per-unit
+//! utilisation — the quantities reported in the paper's evaluation.  For
+//! serving-scale traffic, [`serve::StreamServer`] micro-batches a
+//! submission queue over the same engine.
 //!
 //! # Example
 //!
@@ -61,11 +66,13 @@ pub mod conv;
 pub mod cost;
 pub mod dse;
 pub mod energy;
+pub mod exec;
 pub mod linear;
 pub mod memory;
 pub mod pool;
 pub mod reference;
 pub mod report;
+pub mod serve;
 pub mod sim;
 pub mod timing;
 pub mod units;

@@ -26,6 +26,37 @@ pub struct LayerExecution {
     pub work: UnitStats,
 }
 
+/// Modelled busy/idle occupancy of one kind of processing unit over an
+/// inference, derived from the static schedule (so it is identical for the
+/// sequential and pipelined execution paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitUtilisation {
+    /// Which processing stage the figure describes.
+    pub kind: StageKind,
+    /// Number of physical units of this kind.
+    pub units: usize,
+    /// Unit-cycles spent computing (straggler channel groups count only
+    /// their active units — see [`crate::timing::ConvGroupPlan`]).
+    pub busy_cycles: u64,
+    /// Unit-cycles available while the network ran (makespan × `units`).
+    pub total_cycles: u64,
+}
+
+impl UnitUtilisation {
+    /// Busy fraction in `0.0..=1.0` (`0.0` for an empty schedule).
+    pub fn utilisation(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Idle unit-cycles.
+    pub fn idle_cycles(&self) -> u64 {
+        self.total_cycles.saturating_sub(self.busy_cycles)
+    }
+}
+
 /// Result of simulating one inference on the accelerator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -39,6 +70,13 @@ pub struct RunReport {
     pub time_steps: usize,
     /// Aggregate memory traffic.
     pub traffic: MemoryTraffic,
+    /// Effective host thread budget the execution drew from (the global
+    /// [`snn_parallel::ThreadBudget`], shared by batch workers, channel
+    /// parallelism and pipeline stage threads) — **not** a per-call thread
+    /// count, so oversubscription regressions show up in bench output.
+    pub thread_budget: usize,
+    /// Modelled per-unit busy/idle occupancy over this inference.
+    pub utilisation: Vec<UnitUtilisation>,
 }
 
 impl RunReport {
@@ -96,6 +134,19 @@ impl fmt::Display for RunReport {
                 layer.latency_cycles,
                 layer.work.adder_ops,
                 layer.work.total_memory_accesses()
+            )?;
+        }
+        if !self.utilisation.is_empty() {
+            let parts: Vec<String> = self
+                .utilisation
+                .iter()
+                .map(|u| format!("{:?} {:.1}%", u.kind, 100.0 * u.utilisation()))
+                .collect();
+            writeln!(
+                f,
+                "unit utilisation: {}  (thread budget {})",
+                parts.join(", "),
+                self.thread_budget
             )?;
         }
         Ok(())
@@ -204,6 +255,13 @@ mod tests {
             ],
             time_steps: 3,
             traffic: MemoryTraffic::default(),
+            thread_budget: 4,
+            utilisation: vec![UnitUtilisation {
+                kind: StageKind::Convolution,
+                units: 2,
+                busy_cycles: 225,
+                total_cycles: 300,
+            }],
         }
     }
 
@@ -231,6 +289,27 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("4C3"));
         assert!(text.contains("prediction: 3"));
+        assert!(text.contains("utilisation"));
+        assert!(text.contains("thread budget 4"));
+    }
+
+    #[test]
+    fn utilisation_fractions_are_sane() {
+        let u = UnitUtilisation {
+            kind: StageKind::Pooling,
+            units: 1,
+            busy_cycles: 30,
+            total_cycles: 120,
+        };
+        assert!((u.utilisation() - 0.25).abs() < 1e-12);
+        assert_eq!(u.idle_cycles(), 90);
+        let empty = UnitUtilisation {
+            kind: StageKind::Linear,
+            units: 1,
+            busy_cycles: 0,
+            total_cycles: 0,
+        };
+        assert_eq!(empty.utilisation(), 0.0);
     }
 
     #[test]

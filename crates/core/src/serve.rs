@@ -1,0 +1,452 @@
+//! Streaming batch server: a submission queue with micro-batching on top
+//! of the pipelined execution engine.
+//!
+//! [`StreamServer`] owns one accelerator and one compiled model.  Clients
+//! [`StreamServer::submit`] inputs at any rate; a dispatcher thread drains
+//! the submission queue into micro-batches of up to
+//! [`ServerOptions::max_batch`] inputs and executes each batch over the
+//! shared worker pool — compiling once at start-up instead of per call,
+//! and (by default) serving on the **bit-plane sparse engine**, which is
+//! both unit-exact and measurably faster than the functional
+//! transaction-level path on radix workloads.  Every report a client
+//! receives is bit-identical to the matching solo
+//! [`crate::sim::Accelerator`] call (pinned by property tests).
+//!
+//! All parallelism — batch workers, per-layer channel fan-out and pipeline
+//! stage threads — draws from the single global
+//! [`snn_parallel::ThreadBudget`], so a server under heavy traffic cannot
+//! oversubscribe the host.  [`StreamServer::stats`] reports completed
+//! inferences, micro-batch sizes, wall-clock throughput and the modelled
+//! per-unit utilisation; the end-to-end benchmark records these in
+//! `BENCH_serve.json`.
+
+use crate::compiler::Program;
+use crate::config::AcceleratorConfig;
+use crate::exec::{utilisation_from_program, ExecOptions, ExecutionMode};
+use crate::report::{RunReport, UnitUtilisation};
+use crate::sim::Accelerator;
+use crate::{AccelError, Result};
+use snn_model::snn::SnnModel;
+use snn_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Options of a [`StreamServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Maximum number of queued inputs drained into one micro-batch.
+    pub max_batch: usize,
+    /// At which level of detail inferences execute.  The default is
+    /// [`ExecutionMode::CycleAccurate`]: the sparse engine is the faster
+    /// serving path *and* reports exact unit work; pick
+    /// [`ExecutionMode::Transaction`] to serve the functional model with
+    /// analytical timing only.
+    pub mode: ExecutionMode,
+    /// Execution-engine options applied to every inference.
+    pub exec: ExecOptions,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_batch: 8,
+            mode: ExecutionMode::CycleAccurate,
+            exec: ExecOptions::default(),
+        }
+    }
+}
+
+/// A pending inference: resolved by [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    receiver: mpsc::Receiver<Result<RunReport>>,
+}
+
+impl Ticket {
+    /// Blocks until the inference completes and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors, or [`AccelError::Serving`] when the
+    /// server shut down before this inference was dispatched.
+    pub fn wait(self) -> Result<RunReport> {
+        self.receiver.recv().map_err(|_| AccelError::Serving {
+            context: "server shut down before the inference completed".to_string(),
+        })?
+    }
+}
+
+struct Submission {
+    input: Tensor<f32>,
+    reply: mpsc::Sender<Result<RunReport>>,
+}
+
+#[derive(Default)]
+struct SubmissionQueue {
+    jobs: VecDeque<Submission>,
+    shutdown: bool,
+}
+
+struct StatsAccum {
+    completed: u64,
+    errors: u64,
+    batches: u64,
+    largest_batch: usize,
+}
+
+struct ServerShared {
+    accel: Accelerator,
+    model: SnnModel,
+    program: Program,
+    options: ServerOptions,
+    queue: Mutex<SubmissionQueue>,
+    ready: Condvar,
+    stats: Mutex<StatsAccum>,
+    started: Instant,
+}
+
+/// Snapshot of a server's serving statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Inferences completed successfully.
+    pub completed: u64,
+    /// Inferences that returned an error.
+    pub errors: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Largest micro-batch dispatched so far.
+    pub largest_batch: usize,
+    /// Configured micro-batch cap.
+    pub max_batch: usize,
+    /// Effective global thread budget the server draws from.
+    pub thread_budget: usize,
+    /// Wall-clock seconds since the server started.
+    pub elapsed_s: f64,
+    /// Modelled per-unit busy/idle occupancy of one inference (identical
+    /// for every inference of the compiled model).
+    pub utilisation: Vec<UnitUtilisation>,
+}
+
+impl ServerStats {
+    /// Completed inferences per wall-clock second since start-up.
+    pub fn throughput_ips(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.elapsed_s
+    }
+
+    /// Mean micro-batch size (`0.0` before the first batch).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        (self.completed + self.errors) as f64 / self.batches as f64
+    }
+}
+
+/// Streaming micro-batching inference server.  See the module docs.
+#[derive(Debug)]
+pub struct StreamServer {
+    shared: Arc<ServerShared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerShared")
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamServer {
+    /// Starts a server for `model` on an accelerator with `config` and
+    /// default [`ServerOptions`].  The model is compiled once, up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model cannot be mapped onto the
+    /// configuration.
+    pub fn start(config: AcceleratorConfig, model: SnnModel) -> Result<Self> {
+        Self::start_with(config, model, ServerOptions::default())
+    }
+
+    /// Starts a server with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamServer::start`].
+    pub fn start_with(
+        config: AcceleratorConfig,
+        model: SnnModel,
+        options: ServerOptions,
+    ) -> Result<Self> {
+        let accel = Accelerator::with_options(config, options.exec);
+        let program = accel.compile(&model)?;
+        let shared = Arc::new(ServerShared {
+            accel,
+            model,
+            program,
+            options,
+            queue: Mutex::new(SubmissionQueue::default()),
+            ready: Condvar::new(),
+            stats: Mutex::new(StatsAccum {
+                completed: 0,
+                errors: 0,
+                batches: 0,
+                largest_batch: 0,
+            }),
+            started: Instant::now(),
+        });
+        let dispatcher_shared = Arc::clone(&shared);
+        let dispatcher = thread::Builder::new()
+            .name("snn-serve-dispatch".to_string())
+            .spawn(move || dispatch_loop(&dispatcher_shared))
+            .expect("spawn dispatcher thread");
+        Ok(StreamServer {
+            shared,
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// Enqueues one input for inference and returns its [`Ticket`].
+    pub fn submit(&self, input: Tensor<f32>) -> Ticket {
+        let (reply, receiver) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("submission queue lock");
+            queue.jobs.push_back(Submission { input, reply });
+        }
+        self.shared.ready.notify_one();
+        Ticket { receiver }
+    }
+
+    /// Submits all `inputs` and waits for all results, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered; remaining inferences still
+    /// complete server-side.
+    pub fn run_all(&self, inputs: &[Tensor<f32>]) -> Result<Vec<RunReport>> {
+        let tickets: Vec<Ticket> = inputs.iter().map(|i| self.submit(i.clone())).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Snapshot of the serving statistics.
+    pub fn stats(&self) -> ServerStats {
+        let accum = self.shared.stats.lock().expect("server stats lock");
+        ServerStats {
+            completed: accum.completed,
+            errors: accum.errors,
+            batches: accum.batches,
+            largest_batch: accum.largest_batch,
+            max_batch: self.shared.options.max_batch,
+            thread_budget: snn_parallel::budget().total(),
+            elapsed_s: self.shared.started.elapsed().as_secs_f64(),
+            utilisation: utilisation_from_program(self.shared.accel.config(), &self.shared.program),
+        }
+    }
+
+    /// Drains the queue, stops the dispatcher and returns the final
+    /// statistics.  Queued-but-undispatched submissions are still served;
+    /// submissions after shutdown starts are not.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("submission queue lock");
+            queue.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            handle.join().expect("dispatcher thread");
+        }
+    }
+}
+
+impl Drop for StreamServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn dispatch_loop(shared: &ServerShared) {
+    let max_batch = shared.options.max_batch.max(1);
+    loop {
+        // Collect the next micro-batch: everything queued, capped.
+        let batch: Vec<Submission> = {
+            let mut queue = shared.queue.lock().expect("submission queue lock");
+            loop {
+                if !queue.jobs.is_empty() {
+                    let take = queue.jobs.len().min(max_batch);
+                    break queue.jobs.drain(..take).collect();
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.ready.wait(queue).expect("submission queue wait");
+            }
+        };
+
+        // Execute the micro-batch over the shared worker pool.
+        let threads = snn_parallel::budget().total().min(batch.len());
+        let reports = snn_parallel::par_map(&batch, threads, |_, submission| {
+            shared.accel.execute_compiled(
+                &shared.model,
+                &shared.program,
+                &submission.input,
+                shared.options.mode,
+                shared.options.exec,
+            )
+        });
+
+        let mut completed = 0u64;
+        let mut errors = 0u64;
+        for (submission, report) in batch.into_iter().zip(reports) {
+            if report.is_ok() {
+                completed += 1;
+            } else {
+                errors += 1;
+            }
+            // A dropped ticket just means the client stopped listening.
+            let _ = submission.reply.send(report);
+        }
+        let mut accum = shared.stats.lock().expect("server stats lock");
+        accum.completed += completed;
+        accum.errors += errors;
+        accum.batches += 1;
+        accum.largest_batch = accum.largest_batch.max((completed + errors) as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
+    use snn_model::params::Parameters;
+    use snn_model::zoo;
+
+    fn tiny_setup(time_steps: usize) -> (SnnModel, Vec<Tensor<f32>>) {
+        let net = zoo::tiny_cnn();
+        let params = Parameters::he_init(&net, 11).unwrap();
+        let inputs: Vec<Tensor<f32>> = (0..6)
+            .map(|i| {
+                let values: Vec<f32> = (0..144)
+                    .map(|j| ((i * 17 + j * 5) % 100) as f32 / 100.0)
+                    .collect();
+                Tensor::from_vec(vec![1, 12, 12], values).unwrap()
+            })
+            .collect();
+        let stats = CalibrationStats::collect(&net, &params, inputs.iter()).unwrap();
+        let model = convert(
+            &net,
+            &params,
+            &stats,
+            ConversionConfig {
+                weight_bits: 3,
+                time_steps,
+            },
+        )
+        .unwrap();
+        (model, inputs)
+    }
+
+    #[test]
+    fn served_reports_match_solo_runs_bit_exactly() {
+        let (model, inputs) = tiny_setup(4);
+        let config = AcceleratorConfig::default();
+        let server = StreamServer::start(config, model.clone()).unwrap();
+        let served = server.run_all(&inputs).unwrap();
+        let accel = Accelerator::new(config);
+        for (report, input) in served.iter().zip(&inputs) {
+            let solo = accel.run(&model, input).unwrap();
+            assert_eq!(report, &solo);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, inputs.len() as u64);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.batches >= 1);
+        assert!(stats.largest_batch <= stats.max_batch);
+        assert!(!stats.utilisation.is_empty());
+    }
+
+    #[test]
+    fn transaction_mode_matches_run_fast() {
+        let (model, inputs) = tiny_setup(3);
+        let config = AcceleratorConfig::default();
+        let server = StreamServer::start_with(
+            config,
+            model.clone(),
+            ServerOptions {
+                mode: ExecutionMode::Transaction,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let served = server.run_all(&inputs).unwrap();
+        let accel = Accelerator::new(config);
+        for (report, input) in served.iter().zip(&inputs) {
+            let solo = accel.run_fast(&model, input).unwrap();
+            assert_eq!(report, &solo);
+        }
+    }
+
+    #[test]
+    fn micro_batch_of_one_works() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start_with(
+            AcceleratorConfig::default(),
+            model,
+            ServerOptions {
+                max_batch: 1,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let served = server.run_all(&inputs[..2]).unwrap();
+        assert_eq!(served.len(), 2);
+        let stats = server.shutdown();
+        assert_eq!(stats.batches, 2);
+        assert!((stats.mean_batch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_inputs_error_without_stalling_the_server() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start(AcceleratorConfig::default(), model).unwrap();
+        let bad = server.submit(Tensor::filled(vec![1, 8, 8], 0.5f32));
+        let good = server.submit(inputs[0].clone());
+        assert!(bad.wait().is_err());
+        assert!(good.wait().is_ok());
+        let stats = server.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn unmappable_model_is_rejected_at_startup() {
+        let (model, _) = tiny_setup(3);
+        let config = AcceleratorConfig {
+            conv_units: 0,
+            ..AcceleratorConfig::default()
+        };
+        assert!(StreamServer::start(config, model).is_err());
+    }
+
+    #[test]
+    fn shutdown_before_dispatch_resolves_tickets_with_an_error_or_result() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start(AcceleratorConfig::default(), model).unwrap();
+        let ticket = server.submit(inputs[0].clone());
+        // Shutdown drains the queue first, so this ticket resolves with a
+        // report rather than hanging.
+        let stats = server.shutdown();
+        assert!(ticket.wait().is_ok());
+        assert_eq!(stats.completed, 1);
+    }
+}

@@ -1,7 +1,8 @@
 //! Top-level accelerator simulator.
 //!
 //! [`Accelerator`] owns a configuration, compiles converted SNN models onto
-//! it and executes inferences.  Two execution paths are provided:
+//! it and executes inferences through the pipelined execution engine in
+//! [`crate::exec`].  Two levels of detail are provided:
 //!
 //! * [`Accelerator::run`] — **unit-exact**: every layer is executed on the
 //!   bit-plane sparse processing-unit models
@@ -9,7 +10,7 @@
 //!   [`crate::linear::LinearUnit`]), activations move through the ping-pong
 //!   buffers, and exact work/operation counts are reported.  The units
 //!   traverse packed spike planes (word-level skip of silent regions,
-//!   output channels spread over worker threads) and *derive* their
+//!   output channels spread over the shared worker pool) and *derive* their
 //!   counters analytically from the static schedule plus plane popcounts;
 //!   property tests pin both accumulators and counters to the retained
 //!   counter-stepped models in [`crate::reference`].
@@ -19,22 +20,28 @@
 //!   (asserted by tests); use this for large models such as VGG-11 where
 //!   even the sparse engine is unnecessary.
 //!
-//! Batches of independent inputs can be dispatched over worker threads
+//! By default both paths execute **pipelined**: adjacent convolution →
+//! pooling layers overlap through bounded stage queues, drawing stage
+//! threads from the global [`snn_parallel::ThreadBudget`].  The strictly
+//! sequential layer loop remains available as the verification oracle via
+//! [`Accelerator::run_sequential`] / [`Accelerator::run_fast_sequential`]
+//! (or `ExecOptions { pipeline: false, .. }`); property tests pin the
+//! pipelined reports bit-identical to it.
+//!
+//! Batches of independent inputs can be dispatched over the worker pool
 //! with [`Accelerator::run_batch`] / [`Accelerator::run_fast_batch`]; each
 //! input produces exactly the report a solo [`Accelerator::run`] would.
+//! For a continuously fed submission queue with micro-batching, see
+//! [`crate::serve::StreamServer`].
 
 use crate::compiler::{self, Program};
-use crate::config::{AcceleratorConfig, MemoryOption};
-use crate::conv::ConvolutionUnit;
+use crate::config::AcceleratorConfig;
 use crate::cost;
-use crate::linear::LinearUnit;
-use crate::memory::{MemoryTraffic, PingPongBuffer};
-use crate::pool::PoolingUnit;
-use crate::report::{DesignReport, LayerExecution, RunReport};
+use crate::exec::{self, ExecOptions, ExecutionMode};
+use crate::report::{DesignReport, RunReport};
 use crate::timing;
-use crate::units::UnitStats;
-use crate::{AccelError, Result};
-use snn_model::snn::{requantize, SnnLayer, SnnModel};
+use crate::Result;
+use snn_model::snn::SnnModel;
 use snn_tensor::Tensor;
 
 /// The accelerator: a configuration plus the machinery to compile and run
@@ -42,17 +49,32 @@ use snn_tensor::Tensor;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Accelerator {
     config: AcceleratorConfig,
+    options: ExecOptions,
 }
 
 impl Accelerator {
-    /// Creates an accelerator with the given configuration.
+    /// Creates an accelerator with the given configuration and default
+    /// execution options (pipelining enabled).
     pub fn new(config: AcceleratorConfig) -> Self {
-        Accelerator { config }
+        Accelerator {
+            config,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// Creates an accelerator with explicit execution options.
+    pub fn with_options(config: AcceleratorConfig, options: ExecOptions) -> Self {
+        Accelerator { config, options }
     }
 
     /// The configuration.
     pub fn config(&self) -> &AcceleratorConfig {
         &self.config
+    }
+
+    /// The execution options.
+    pub fn options(&self) -> ExecOptions {
+        self.options
     }
 
     /// Compiles a model onto this accelerator.
@@ -82,7 +104,8 @@ impl Accelerator {
         })
     }
 
-    /// Runs one inference cycle-accurately on the processing-unit models.
+    /// Runs one inference unit-exactly on the processing-unit models,
+    /// pipelining adjacent stages where the thread budget allows.
     ///
     /// # Errors
     ///
@@ -90,8 +113,13 @@ impl Accelerator {
     /// configuration or the input shape does not match the network.
     pub fn run(&self, model: &SnnModel, input: &Tensor<f32>) -> Result<RunReport> {
         let program = self.compile(model)?;
-        let input_levels = model.encode_input(input)?;
-        self.execute(model, &program, input_levels, ExecutionMode::CycleAccurate)
+        self.execute_compiled(
+            model,
+            &program,
+            input,
+            ExecutionMode::CycleAccurate,
+            self.options,
+        )
     }
 
     /// Runs one inference at transaction level: functional values plus the
@@ -103,13 +131,53 @@ impl Accelerator {
     /// configuration or the input shape does not match the network.
     pub fn run_fast(&self, model: &SnnModel, input: &Tensor<f32>) -> Result<RunReport> {
         let program = self.compile(model)?;
-        let input_levels = model.encode_input(input)?;
-        self.execute(model, &program, input_levels, ExecutionMode::Transaction)
+        self.execute_compiled(
+            model,
+            &program,
+            input,
+            ExecutionMode::Transaction,
+            self.options,
+        )
+    }
+
+    /// The strictly sequential layer loop — the verification oracle the
+    /// pipelined [`Accelerator::run`] is pinned bit-identical to.
+    ///
+    /// # Errors
+    ///
+    /// See [`Accelerator::run`].
+    pub fn run_sequential(&self, model: &SnnModel, input: &Tensor<f32>) -> Result<RunReport> {
+        let program = self.compile(model)?;
+        let options = ExecOptions {
+            pipeline: false,
+            ..self.options
+        };
+        self.execute_compiled(
+            model,
+            &program,
+            input,
+            ExecutionMode::CycleAccurate,
+            options,
+        )
+    }
+
+    /// Sequential oracle for [`Accelerator::run_fast`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Accelerator::run_fast`].
+    pub fn run_fast_sequential(&self, model: &SnnModel, input: &Tensor<f32>) -> Result<RunReport> {
+        let program = self.compile(model)?;
+        let options = ExecOptions {
+            pipeline: false,
+            ..self.options
+        };
+        self.execute_compiled(model, &program, input, ExecutionMode::Transaction, options)
     }
 
     /// Runs one inference per input, unit-exact, spreading the batch over
-    /// worker threads.  The model is compiled once and shared; report `i`
-    /// is bit-identical to `self.run(model, &inputs[i])`.
+    /// the shared worker pool.  The model is compiled once and shared;
+    /// report `i` is bit-identical to `self.run(model, &inputs[i])`.
     ///
     /// # Errors
     ///
@@ -140,201 +208,37 @@ impl Accelerator {
         mode: ExecutionMode,
     ) -> Result<Vec<RunReport>> {
         let program = self.compile(model)?;
-        let threads = snn_parallel::default_threads().min(inputs.len().max(1));
+        // Batch workers and per-layer channel parallelism all draw from the
+        // same global budget — the pool bounds their combined concurrency,
+        // so batch x channels no longer multiplies thread counts (pipeline
+        // stage threads add at most budget - 1 more via leases).
+        let threads = snn_parallel::budget().total().min(inputs.len().max(1));
         snn_parallel::par_map(inputs, threads, |_, input| {
-            let levels = model.encode_input(input)?;
-            self.execute(model, &program, levels, mode)
+            self.execute_compiled(model, &program, input, mode, self.options)
         })
         .into_iter()
         .collect()
     }
 
-    fn execute(
+    /// Encodes one input and executes it over an already-compiled program
+    /// (shared by the batch paths and [`crate::serve::StreamServer`]).
+    pub(crate) fn execute_compiled(
         &self,
         model: &SnnModel,
         program: &Program,
-        input_levels: Tensor<i64>,
+        input: &Tensor<f32>,
         mode: ExecutionMode,
+        options: ExecOptions,
     ) -> Result<RunReport> {
-        let max_level = model.max_level();
-        let time_steps = model.time_steps();
-        let conv_unit = ConvolutionUnit::new(self.config.conv_geometry);
-        let pool_unit = PoolingUnit::new(self.config.pool_geometry);
-        let linear_unit = LinearUnit::new(self.config.linear_lanes);
-
-        // Activations live in the 2-D ping-pong buffer until the flatten
-        // step, then in the 1-D buffer.  We model both with one runtime
-        // buffer pair since only one is active at a time.
-        let mut buffer = PingPongBuffer::new();
-        buffer.load_input(input_levels);
-
-        let mut layers = Vec::with_capacity(program.steps.len());
-        let mut traffic = MemoryTraffic::default();
-
-        for (step, layer) in program.steps.iter().zip(model.layers()) {
-            let current = buffer.current()?.clone();
-            let (next, work) = match (layer, mode) {
-                (
-                    SnnLayer::Conv {
-                        weight_codes,
-                        bias_acc,
-                        stride,
-                        padding,
-                        requant,
-                    },
-                    ExecutionMode::CycleAccurate,
-                ) => {
-                    let result = conv_unit.run_layer(
-                        &current,
-                        weight_codes,
-                        bias_acc,
-                        time_steps,
-                        *stride,
-                        *padding,
-                    )?;
-                    let levels = apply_requant(&result.accumulators, *requant, max_level);
-                    (levels, result.stats)
-                }
-                (
-                    SnnLayer::Linear {
-                        weight_codes,
-                        bias_acc,
-                        requant,
-                    },
-                    ExecutionMode::CycleAccurate,
-                ) => {
-                    let result =
-                        linear_unit.run_layer(&current, weight_codes, bias_acc, time_steps)?;
-                    let levels = apply_requant(&result.accumulators, *requant, max_level);
-                    (levels, result.stats)
-                }
-                (SnnLayer::Pool { kind, window }, ExecutionMode::CycleAccurate) => {
-                    let result = pool_unit.run_layer(&current, *kind, *window, time_steps)?;
-                    (result.levels, result.stats)
-                }
-                (SnnLayer::Flatten, _) => {
-                    let volume = current.len();
-                    let flattened = current.reshape(vec![volume]).map_err(AccelError::Tensor)?;
-                    let work = UnitStats {
-                        cycles: volume as u64,
-                        activation_reads: volume as u64,
-                        output_writes: volume as u64,
-                        ..UnitStats::default()
-                    };
-                    (flattened, work)
-                }
-                // Transaction-level execution: functional math, no unit-level
-                // operation counting.
-                (layer, ExecutionMode::Transaction) => {
-                    let next = functional_layer(layer, &current, max_level)?;
-                    (next, UnitStats::default())
-                }
-            };
-
-            traffic.activation_reads += work.activation_reads;
-            traffic.weight_reads += work.kernel_reads;
-            traffic.activation_writes += work.output_writes;
-            if self.config.memory == MemoryOption::Dram {
-                traffic.dram_bits += step.weight_bits;
-            }
-
-            layers.push(LayerExecution {
-                index: step.index,
-                notation: step.notation.clone(),
-                kind: step.kind,
-                latency_cycles: step.timing.total_cycles(),
-                work,
-            });
-            buffer.write_and_swap(next);
-        }
-
-        let logits = buffer.current()?.clone();
-        let prediction = logits
-            .iter()
-            .enumerate()
-            .fold(
-                (0usize, i64::MIN),
-                |(bi, bv), (i, &v)| {
-                    if v > bv {
-                        (i, v)
-                    } else {
-                        (bi, bv)
-                    }
-                },
-            )
-            .0;
-
-        Ok(RunReport {
-            prediction,
-            logits: logits.into_vec(),
-            layers,
-            time_steps,
-            traffic,
-        })
+        let levels = model.encode_input(input)?;
+        exec::execute(&self.config, model, program, levels, mode, options)
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ExecutionMode {
-    CycleAccurate,
-    Transaction,
-}
-
-fn apply_requant(acc: &Tensor<i64>, requant: Option<f32>, max_level: i64) -> Tensor<i64> {
-    match requant {
-        Some(r) => acc.map(|&v| requantize(v, r, max_level)),
-        None => acc.clone(),
-    }
-}
-
-/// Functional (transaction-level) execution of one layer, shared with the
-/// integer reference model.
-fn functional_layer(
-    layer: &SnnLayer,
-    current: &Tensor<i64>,
-    max_level: i64,
-) -> Result<Tensor<i64>> {
-    use snn_model::layer::PoolKind;
-    use snn_tensor::ops;
-    let next = match layer {
-        SnnLayer::Conv {
-            weight_codes,
-            bias_acc,
-            stride,
-            padding,
-            requant,
-        } => {
-            let acc = ops::conv2d(current, weight_codes, Some(bias_acc), *stride, *padding)
-                .map_err(AccelError::Tensor)?;
-            apply_requant(&acc, *requant, max_level)
-        }
-        SnnLayer::Linear {
-            weight_codes,
-            bias_acc,
-            requant,
-        } => {
-            let acc =
-                ops::linear(current, weight_codes, Some(bias_acc)).map_err(AccelError::Tensor)?;
-            apply_requant(&acc, *requant, max_level)
-        }
-        SnnLayer::Pool { kind, window } => match kind {
-            PoolKind::Average => ops::avg_pool2d(current, *window).map_err(AccelError::Tensor)?,
-            PoolKind::Max => ops::max_pool2d(current, *window).map_err(AccelError::Tensor)?,
-        },
-        SnnLayer::Flatten => {
-            let volume = current.len();
-            current
-                .clone()
-                .reshape(vec![volume])
-                .map_err(AccelError::Tensor)?
-        }
-    };
-    Ok(next)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MemoryOption;
     use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
     use snn_model::params::Parameters;
     use snn_model::zoo;
@@ -389,6 +293,26 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_and_sequential_paths_are_bit_identical() {
+        // Force channel grouping so the fused conv -> pool pair actually
+        // pipelines (one narrow unit -> several sequential groups).
+        let (model, inputs) = tiny_setup(4);
+        let config = AcceleratorConfig {
+            conv_units: 1,
+            ..AcceleratorConfig::default()
+        };
+        let accel = Accelerator::new(config);
+        for input in &inputs {
+            let pipelined = accel.run(&model, input).unwrap();
+            let sequential = accel.run_sequential(&model, input).unwrap();
+            assert_eq!(pipelined, sequential);
+            let fast = accel.run_fast(&model, input).unwrap();
+            let fast_sequential = accel.run_fast_sequential(&model, input).unwrap();
+            assert_eq!(fast, fast_sequential);
+        }
+    }
+
+    #[test]
     fn latency_is_independent_of_the_input_data() {
         // The schedule is static: two different inputs must take exactly the
         // same number of cycles (only adder activity differs).
@@ -419,6 +343,19 @@ mod tests {
         assert!(report.total_work().adder_ops > 0);
         assert!(report.traffic.activation_reads > 0);
         assert_eq!(report.traffic.dram_bits, 0);
+    }
+
+    #[test]
+    fn report_records_thread_budget_and_utilisation() {
+        let (model, inputs) = tiny_setup(3);
+        let accel = Accelerator::new(AcceleratorConfig::default());
+        let report = accel.run(&model, &inputs[0]).unwrap();
+        assert_eq!(report.thread_budget, snn_parallel::budget().total());
+        assert!(!report.utilisation.is_empty());
+        for unit in &report.utilisation {
+            assert!(unit.busy_cycles <= unit.total_cycles);
+            assert!(unit.utilisation() <= 1.0);
+        }
     }
 
     #[test]
@@ -463,10 +400,7 @@ mod tests {
         assert_eq!(batch.len(), inputs.len());
         for (report, input) in batch.iter().zip(&inputs) {
             let solo = accel.run(&model, input).unwrap();
-            assert_eq!(report.logits, solo.logits);
-            assert_eq!(report.prediction, solo.prediction);
-            assert_eq!(report.total_cycles(), solo.total_cycles());
-            assert_eq!(report.total_work(), solo.total_work());
+            assert_eq!(report, &solo);
         }
         let fast_batch = accel.run_fast_batch(&model, &inputs).unwrap();
         for (fast, detailed) in fast_batch.iter().zip(&batch) {

@@ -104,6 +104,125 @@ pub fn channels_per_conv_unit(config: &AcceleratorConfig, w_out: usize) -> usize
     (config.conv_geometry.columns / w_out).max(1)
 }
 
+/// How a convolution layer's output channels are scheduled across the
+/// convolution units, including the **straggler group** that arises when
+/// `c_out` is not a multiple of `units * channels_per_unit`.
+///
+/// Every group costs the same `per_group_cycles` regardless of how many
+/// channels it carries (a pass streams all input rows through the adder
+/// array whether one channel or all of them are mapped), so the layer
+/// *makespan* is exactly `groups * per_group_cycles` — the straggler does
+/// not stretch it.  What the perfectly-balanced assumption got wrong is
+/// the **unit occupancy**: during the straggler pass only
+/// `ceil(straggler_channels / channels_per_unit)` units compute and the
+/// rest idle, which [`ConvGroupPlan::busy_unit_cycles`] and
+/// [`ConvGroupPlan::unit_utilisation`] now model.  This is what makes the
+/// pipelined executor's per-unit utilisation reports honest at uneven
+/// splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvGroupPlan {
+    /// Number of convolution units instantiated.
+    pub conv_units: usize,
+    /// Output channels that share one unit (rows packed side by side).
+    pub channels_per_unit: usize,
+    /// Sequential channel groups (passes), including the straggler.
+    pub groups: usize,
+    /// Channels in the final group when it is not full (`0` when the split
+    /// is perfectly balanced).
+    pub straggler_channels: usize,
+    /// Cycles of one group pass (independent of the group's occupancy).
+    pub per_group_cycles: u64,
+}
+
+impl ConvGroupPlan {
+    /// Builds the schedule for one convolution layer on `config`.
+    pub fn plan(
+        config: &AcceleratorConfig,
+        c_in: usize,
+        c_out: usize,
+        h_out: usize,
+        w_out: usize,
+        kernel: usize,
+        time_steps: usize,
+    ) -> Self {
+        let unit = ConvolutionUnit::new(config.conv_geometry);
+        // Work for a single output channel on a single unit.
+        let per_group_cycles = unit.layer_cycles(c_in, 1, h_out, w_out, kernel, time_steps);
+        let channels_per_unit = channels_per_conv_unit(config, w_out);
+        Self::for_schedule(
+            config.conv_units,
+            channels_per_unit,
+            c_out,
+            per_group_cycles,
+        )
+    }
+
+    /// Builds the schedule from already-computed quantities (used by the
+    /// execution engine, which reads them off a compiled program step).
+    pub fn for_schedule(
+        conv_units: usize,
+        channels_per_unit: usize,
+        c_out: usize,
+        per_group_cycles: u64,
+    ) -> Self {
+        let conv_units = conv_units.max(1);
+        let channels_per_unit = channels_per_unit.max(1);
+        let parallel = conv_units * channels_per_unit;
+        ConvGroupPlan {
+            conv_units,
+            channels_per_unit,
+            groups: c_out.div_ceil(parallel).max(1),
+            straggler_channels: c_out % parallel,
+            per_group_cycles,
+        }
+    }
+
+    /// Units that compute during the straggler pass (`conv_units` when the
+    /// split is balanced).
+    pub fn active_units_in_straggler(&self) -> usize {
+        if self.straggler_channels == 0 {
+            self.conv_units
+        } else {
+            self.straggler_channels
+                .div_ceil(self.channels_per_unit)
+                .min(self.conv_units)
+        }
+    }
+
+    /// Wall-clock cycles of the layer: every pass costs the same whether
+    /// full or straggling.
+    pub fn latency_cycles(&self) -> u64 {
+        self.groups as u64 * self.per_group_cycles
+    }
+
+    /// Unit-cycles actually spent computing, counting only the active
+    /// units of the straggler pass.
+    pub fn busy_unit_cycles(&self) -> u64 {
+        let full_groups = if self.straggler_channels == 0 {
+            self.groups
+        } else {
+            self.groups - 1
+        };
+        let active = full_groups * self.conv_units
+            + if self.straggler_channels == 0 {
+                0
+            } else {
+                self.active_units_in_straggler()
+            };
+        active as u64 * self.per_group_cycles
+    }
+
+    /// Fraction of the available unit-cycles spent computing over the
+    /// layer (`1.0` for a perfectly balanced split).
+    pub fn unit_utilisation(&self) -> f64 {
+        let available = (self.groups * self.conv_units) as u64 * self.per_group_cycles;
+        if available == 0 {
+            return 0.0;
+        }
+        self.busy_unit_cycles() as f64 / available as f64
+    }
+}
+
 /// Latency in cycles of one convolution layer on the configured accelerator.
 pub fn conv_layer_latency(
     config: &AcceleratorConfig,
@@ -114,14 +233,7 @@ pub fn conv_layer_latency(
     kernel: usize,
     time_steps: usize,
 ) -> u64 {
-    let unit = ConvolutionUnit::new(config.conv_geometry);
-    // Work for a single output channel on a single unit.
-    let per_channel = unit.layer_cycles(c_in, 1, h_out, w_out, kernel, time_steps);
-    // Output channels processed concurrently across all units.
-    let per_unit = channels_per_conv_unit(config, w_out);
-    let parallel = (config.conv_units * per_unit).max(1);
-    let groups = c_out.div_ceil(parallel) as u64;
-    groups * per_channel
+    ConvGroupPlan::plan(config, c_in, c_out, h_out, w_out, kernel, time_steps).latency_cycles()
 }
 
 /// Latency in cycles of one pooling layer (the pooling unit is not
@@ -300,6 +412,54 @@ mod tests {
         assert_eq!(channels_per_conv_unit(&cfg, 10), 3);
         // A 1x1 output (LeNet's third conv) packs 30 channels.
         assert_eq!(channels_per_conv_unit(&cfg, 1), 30);
+    }
+
+    #[test]
+    fn straggler_group_is_modelled_at_uneven_splits() {
+        // 7 output channels over 2 units x 3 channels each: two passes, the
+        // second carrying a single channel on a single unit.
+        let plan = ConvGroupPlan::for_schedule(2, 3, 7, 100);
+        assert_eq!(plan.groups, 2);
+        assert_eq!(plan.straggler_channels, 1);
+        assert_eq!(plan.active_units_in_straggler(), 1);
+        // The makespan is unchanged — a straggling pass costs a full pass —
+        // but only 3 of the 4 (unit, pass) slots compute.
+        assert_eq!(plan.latency_cycles(), 200);
+        assert_eq!(plan.busy_unit_cycles(), 300);
+        assert!((plan.unit_utilisation() - 0.75).abs() < 1e-12);
+
+        // 4 straggler channels over 2 units x 3: both units stay active.
+        let plan = ConvGroupPlan::for_schedule(2, 3, 10, 100);
+        assert_eq!(plan.groups, 2);
+        assert_eq!(plan.straggler_channels, 4);
+        assert_eq!(plan.active_units_in_straggler(), 2);
+        assert_eq!(plan.busy_unit_cycles(), 400);
+        assert!((plan.unit_utilisation() - 1.0).abs() < 1e-12);
+
+        // A perfectly balanced split reports full utilisation.
+        let plan = ConvGroupPlan::for_schedule(2, 3, 12, 100);
+        assert_eq!(plan.straggler_channels, 0);
+        assert_eq!(plan.active_units_in_straggler(), 2);
+        assert!((plan.unit_utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_plan_latency_matches_conv_layer_latency() {
+        let cfg = AcceleratorConfig::lenet_experiment(4);
+        // LeNet conv2: 6 -> 16 channels, 10x10 output, 5x5 kernel.
+        let plan = ConvGroupPlan::plan(&cfg, 6, 16, 10, 10, 5, 4);
+        assert_eq!(
+            plan.latency_cycles(),
+            conv_layer_latency(&cfg, 6, 16, 10, 10, 5, 4)
+        );
+        // X = 30 packs three 10-wide channels per unit; 4 units give
+        // parallel = 12, so 16 channels split 12 + 4: the straggler pass
+        // occupies only ceil(4 / 3) = 2 of the 4 units.
+        assert_eq!(plan.channels_per_unit, 3);
+        assert_eq!(plan.groups, 2);
+        assert_eq!(plan.straggler_channels, 4);
+        assert_eq!(plan.active_units_in_straggler(), 2);
+        assert!(plan.unit_utilisation() < 1.0);
     }
 
     #[test]

@@ -1,39 +1,366 @@
 //! # snn-parallel
 //!
-//! Minimal fork/join helpers built on `std::thread::scope`, used to
-//! parallelize output channels inside the processing-unit simulators and
-//! batches of inferences in the top-level simulator.
+//! A persistent worker pool with a global thread budget, used to
+//! parallelize output channels inside the processing-unit simulators,
+//! batches of inferences in the top-level simulator, and the stage threads
+//! of the pipelined execution engine.
 //!
 //! The container this workspace builds in has no registry access, so rayon
-//! cannot be used; these helpers cover the two shapes the simulator needs —
-//! mapping over a slice and processing disjoint mutable chunks — with
-//! deterministic output ordering (work is split into contiguous blocks, so
-//! results land exactly where a sequential loop would put them).
+//! cannot be used.  Earlier revisions spawned scoped threads on every
+//! `par_map`/`par_chunks_mut` call, which meant nested parallelism (a batch
+//! of inferences, each parallelizing its convolution channels) multiplied
+//! thread counts and oversubscribed many-core hosts.  This revision fixes
+//! that structurally:
+//!
+//! * **[`ThreadBudget`]** — one process-global budget (see [`budget`])
+//!   decides how many threads the whole simulator may keep busy.  It is
+//!   read once from the `SNN_THREADS` environment variable, falling back to
+//!   the machine's available parallelism (with a floor of two so pipelined
+//!   stage overlap is possible even on single-core hosts — stage threads
+//!   block on bounded queues, so two threads on one core interleave
+//!   safely).
+//! * **Persistent worker pool** — `total - 1` workers are spawned lazily on
+//!   first use and live for the rest of the process.  [`par_map`] and
+//!   [`par_chunks_mut`] split their input into blocks and submit them as
+//!   pool tasks via [`run_tasks`]; the calling thread *helps* by executing
+//!   queued tasks while it waits, so pool-side compute concurrency never
+//!   exceeds the budget no matter how deeply calls nest — a batch worker
+//!   that fans out over channels draws from the same queue it runs on.
+//! * **Stage leases** — pipeline stage threads (which spend part of their
+//!   life blocked on bounded queues) must not run *as* pool tasks or a
+//!   full pool could deadlock them against their consumers; instead they
+//!   reserve a [`StageLease`] from the budget and spawn a scoped thread.
+//!   At most `total - 1` leases exist at any time, so worst-case host
+//!   concurrency is bounded by `2 * total - 1` threads (pool + stages) —
+//!   a fixed bound, unlike the earlier `batch x channels` multiplication
+//!   that grew with the workload.
+//!
+//! Work is always split into contiguous blocks, so results land exactly
+//! where a sequential loop would put them and outputs are deterministic
+//! regardless of the number of workers.
+//!
+//! A task that panics does not poison the pool: the panic is caught in the
+//! worker, carried back to the submitting call, and resumed there.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
-/// Upper bound on worker threads, keeping spawn overhead bounded for the
-/// small layer workloads the simulator runs.
+/// Upper bound on pool worker threads, keeping memory overhead bounded for
+/// the small layer workloads the simulator runs.
 pub const MAX_THREADS: usize = 16;
 
-/// Rough number of inner-loop operations below which spawning scoped
-/// threads costs more than it saves; callers gate their `threads`
+/// Rough number of inner-loop operations below which splitting work into
+/// pool tasks costs more than it saves; callers gate their `threads`
 /// argument on a work estimate against this (shared so the processing
-/// units stay in sync — the ROADMAP tracks per-host calibration).
+/// units stay in sync — the dense/sparse gather threshold is calibrated
+/// the same way via `AcceleratorConfig`).
 pub const MIN_PARALLEL_WORK: u64 = 1 << 15;
 
-/// Number of worker threads to use by default: the machine's available
-/// parallelism capped at [`MAX_THREADS`].
-pub fn default_threads() -> usize {
-    thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(MAX_THREADS)
+/// Environment variable that pins the global thread budget (clamped to
+/// `1..=MAX_THREADS`), read once at first use.
+pub const THREADS_ENV: &str = "SNN_THREADS";
+
+// ---------------------------------------------------------------------------
+// Thread budget
+// ---------------------------------------------------------------------------
+
+/// The process-global thread budget: how many threads the simulator may
+/// keep busy in total, shared between the worker pool (data parallelism)
+/// and leased pipeline stage threads (layer overlap).
+#[derive(Debug)]
+pub struct ThreadBudget {
+    total: usize,
+    stage_leases: AtomicUsize,
 }
+
+impl ThreadBudget {
+    /// Creates a budget of `total` threads (clamped to `1..=MAX_THREADS`).
+    ///
+    /// Intended for tests; production code uses the global [`budget`].
+    pub fn new(total: usize) -> Self {
+        ThreadBudget {
+            total: total.clamp(1, MAX_THREADS),
+            stage_leases: AtomicUsize::new(0),
+        }
+    }
+
+    fn from_env() -> Self {
+        let total = match std::env::var(THREADS_ENV) {
+            Ok(v) => v.trim().parse::<usize>().unwrap_or(0),
+            Err(_) => 0,
+        };
+        if total > 0 {
+            return ThreadBudget::new(total);
+        }
+        let cores = thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        // Floor of two: the pipelined executor needs a second context to
+        // overlap stages, and stage threads block on bounded queues, so
+        // this never busy-spins a single core.  It also means single-core
+        // hosts split data-parallel loops in two; measured on the 1-core
+        // bench container this is slightly *faster* than the old per-call
+        // scoped spawns (BENCH_conv.json), and `SNN_THREADS=1` restores
+        // strictly sequential execution.
+        ThreadBudget::new(cores.max(2))
+    }
+
+    /// Total number of threads this budget allows.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of stage-thread leases currently outstanding.
+    pub fn stage_leases_in_flight(&self) -> usize {
+        self.stage_leases.load(Ordering::Acquire)
+    }
+
+    /// Tries to reserve `want` extra threads for pipeline stages.
+    ///
+    /// Grants all-or-nothing; at most `total - 1` stage threads can be
+    /// leased at any time (the calling thread itself is the other stage).
+    /// Returns `None` when the budget is exhausted — callers fall back to
+    /// sequential execution, which is always bit-identical.
+    pub fn try_lease_stage_threads(&self, want: usize) -> Option<StageLease<'_>> {
+        if want == 0 || self.total == 0 {
+            return None;
+        }
+        let cap = self.total.saturating_sub(1);
+        let mut current = self.stage_leases.load(Ordering::Acquire);
+        loop {
+            if current + want > cap {
+                return None;
+            }
+            match self.stage_leases.compare_exchange_weak(
+                current,
+                current + want,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Some(StageLease {
+                        budget: self,
+                        threads: want,
+                    })
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+/// A reservation of pipeline stage threads, returned to the budget on drop.
+#[derive(Debug)]
+pub struct StageLease<'a> {
+    budget: &'a ThreadBudget,
+    threads: usize,
+}
+
+impl StageLease<'_> {
+    /// Number of stage threads this lease grants.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Drop for StageLease<'_> {
+    fn drop(&mut self) {
+        self.budget
+            .stage_leases
+            .fetch_sub(self.threads, Ordering::AcqRel);
+    }
+}
+
+/// The process-global [`ThreadBudget`], initialized on first use from
+/// [`THREADS_ENV`] or the machine's available parallelism.
+pub fn budget() -> &'static ThreadBudget {
+    static BUDGET: OnceLock<ThreadBudget> = OnceLock::new();
+    BUDGET.get_or_init(ThreadBudget::from_env)
+}
+
+/// Number of worker threads to use by default: the global budget's total.
+///
+/// Retained for compatibility with earlier revisions; prefer
+/// [`budget`]`.total()` in new code.
+pub fn default_threads() -> usize {
+    budget().total()
+}
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A borrowed unit of work accepted by [`run_tasks`].
+pub type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+}
+
+fn pool() -> &'static PoolShared {
+    static POOL: OnceLock<&'static PoolShared> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+        }));
+        // The submitting thread always helps, so `total - 1` workers give a
+        // total compute concurrency equal to the budget.
+        for index in 0..budget().total().saturating_sub(1) {
+            thread::Builder::new()
+                .name(format!("snn-pool-{index}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+        }
+        shared
+    })
+}
+
+fn worker_loop(shared: &'static PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.job_ready.wait(queue).expect("pool queue wait");
+            }
+        };
+        // Jobs are wrapped in `catch_unwind` at submission, so this call
+        // never unwinds into the worker loop.
+        job();
+    }
+}
+
+struct ScopeState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn new(tasks: usize) -> Self {
+        ScopeState {
+            remaining: Mutex::new(tasks),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        *self.remaining.lock().expect("scope lock") == 0
+    }
+
+    fn finish_one(&self) {
+        let mut remaining = self.remaining.lock().expect("scope lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_finished(&self) {
+        let mut remaining = self.remaining.lock().expect("scope lock");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("scope wait");
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("scope panic lock");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn resume_panic(&self) {
+        if let Some(payload) = self.panic.lock().expect("scope panic lock").take() {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Erases the borrow lifetime of a task so it can sit in the pool's
+/// `'static` job queue.
+///
+/// SAFETY: sound only because [`run_tasks`] does not return until every
+/// submitted task has finished executing (the scope latch counts each
+/// wrapper down, including panicking ones), so no borrow held by the task
+/// is ever observable after it expires.  The transmute changes nothing but
+/// the lifetime parameter of the trait object.
+#[allow(unsafe_code)]
+fn erase_lifetime<'env>(task: Task<'env>) -> Job {
+    unsafe { std::mem::transmute::<Task<'env>, Job>(task) }
+}
+
+/// Runs a set of independent tasks on the shared worker pool and returns
+/// when all of them have finished.
+///
+/// The calling thread participates: while its tasks are pending it executes
+/// queued tasks itself (its own or other callers'), so concurrency stays
+/// within the global [`ThreadBudget`] even when `run_tasks` calls nest —
+/// e.g. a batch task that fans out over output channels.  Tasks must not
+/// block on anything except their own nested `run_tasks` calls; stage
+/// threads that block on queues take a [`StageLease`] instead.
+///
+/// If a task panics, the panic is re-raised on the calling thread after all
+/// tasks of this call have settled.
+pub fn run_tasks(tasks: Vec<Task<'_>>) {
+    if tasks.is_empty() {
+        return;
+    }
+    if tasks.len() == 1 || budget().total() == 1 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    let scope = Arc::new(ScopeState::new(tasks.len()));
+    let shared = pool();
+    {
+        let mut queue = shared.queue.lock().expect("pool queue lock");
+        for task in tasks {
+            let job = erase_lifetime(task);
+            let scope = Arc::clone(&scope);
+            queue.push_back(Box::new(move || {
+                if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(job)) {
+                    scope.record_panic(payload);
+                }
+                scope.finish_one();
+            }));
+        }
+    }
+    shared.job_ready.notify_all();
+    // Help while waiting: execute queued jobs until this scope completes.
+    // When the queue is momentarily empty, the remaining tasks of this
+    // scope are running on other threads, so blocking on the latch is safe.
+    loop {
+        if scope.finished() {
+            break;
+        }
+        let job = shared.queue.lock().expect("pool queue lock").pop_front();
+        match job {
+            Some(job) => job(),
+            None => scope.wait_finished(),
+        }
+    }
+    scope.resume_panic();
+}
+
+// ---------------------------------------------------------------------------
+// Data-parallel helpers
+// ---------------------------------------------------------------------------
 
 /// Splits `len` items into at most `threads` contiguous block ranges of
 /// near-equal size.  Returns `(start, end)` pairs covering `0..len`.
@@ -54,10 +381,10 @@ pub fn block_ranges(len: usize, threads: usize) -> Vec<(usize, usize)> {
     ranges
 }
 
-/// Maps `f` over `items` with up to `threads` scoped worker threads,
-/// preserving input order in the output.
+/// Maps `f` over `items` in up to `threads` contiguous blocks submitted to
+/// the shared worker pool, preserving input order in the output.
 ///
-/// With one thread (or one item) this degrades to a plain sequential map,
+/// With one block (or one item) this degrades to a plain sequential map,
 /// so callers can gate parallelism on a work estimate without duplicating
 /// the loop body.
 pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
@@ -71,22 +398,24 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let mut results: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
-    thread::scope(|scope| {
+    {
+        let f = &f;
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(ranges.len());
         // Ranges are contiguous from zero, so the result buffer can be
         // peeled off block by block.
         let mut tail: &mut [Option<U>] = &mut results;
         for &(start, end) in &ranges {
             let (block, rest) = tail.split_at_mut(end - start);
             tail = rest;
-            let f = &f;
-            scope.spawn(move || {
+            tasks.push(Box::new(move || {
                 for (offset, slot) in block.iter_mut().enumerate() {
                     let index = start + offset;
                     *slot = Some(f(index, &items[index]));
                 }
-            });
+            }));
         }
-    });
+        run_tasks(tasks);
+    }
     results
         .into_iter()
         .map(|slot| slot.expect("worker filled every slot"))
@@ -94,8 +423,8 @@ where
 }
 
 /// Processes `data` as consecutive chunks of `chunk_len` elements, calling
-/// `f(chunk_index, chunk)` for each, with chunks distributed over up to
-/// `threads` scoped worker threads.
+/// `f(chunk_index, chunk)` for each, with chunk blocks distributed over up
+/// to `threads` pool tasks.
 ///
 /// The final chunk may be shorter when `chunk_len` does not divide
 /// `data.len()`.  Chunks are disjoint, so the closure may freely mutate its
@@ -118,20 +447,20 @@ where
         }
         return;
     }
-    thread::scope(|scope| {
-        let mut tail = data;
-        for &(start, end) in &ranges {
-            let block_elems = ((end - start) * chunk_len).min(tail.len());
-            let (block, rest) = tail.split_at_mut(block_elems);
-            tail = rest;
-            let f = &f;
-            scope.spawn(move || {
-                for (offset, chunk) in block.chunks_mut(chunk_len).enumerate() {
-                    f(start + offset, chunk);
-                }
-            });
-        }
-    });
+    let f = &f;
+    let mut tasks: Vec<Task<'_>> = Vec::with_capacity(ranges.len());
+    let mut tail = data;
+    for &(start, end) in &ranges {
+        let block_elems = ((end - start) * chunk_len).min(tail.len());
+        let (block, rest) = tail.split_at_mut(block_elems);
+        tail = rest;
+        tasks.push(Box::new(move || {
+            for (offset, chunk) in block.chunks_mut(chunk_len).enumerate() {
+                f(start + offset, chunk);
+            }
+        }));
+    }
+    run_tasks(tasks);
 }
 
 #[cfg(test)]
@@ -199,5 +528,99 @@ mod tests {
         let t = default_threads();
         assert!(t >= 1);
         assert!(t <= MAX_THREADS);
+    }
+
+    #[test]
+    fn nested_par_map_draws_from_one_budget() {
+        // A batch that fans out over channels: the inner calls run on the
+        // same pool the outer call submitted to, so this must neither
+        // deadlock nor produce wrong results.
+        let batch: Vec<u64> = (0..8).collect();
+        let result = par_map(&batch, 8, |_, &item| {
+            let inner: Vec<u64> = (0..64).map(|c| item * 100 + c).collect();
+            par_map(&inner, 8, |_, &v| v * 2).iter().sum::<u64>()
+        });
+        let expected: Vec<u64> = batch
+            .iter()
+            .map(|&item| (0..64u64).map(|c| (item * 100 + c) * 2).sum())
+            .collect();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn concurrent_scopes_from_many_threads_complete() {
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                thread::spawn(move || {
+                    let items: Vec<u64> = (0..200).map(|i| i + t).collect();
+                    let doubled = par_map(&items, 4, |_, v| v * 2);
+                    assert_eq!(doubled[10], (10 + t) * 2);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("scope thread");
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller_and_do_not_poison_the_pool() {
+        let items: Vec<u32> = (0..50).collect();
+        let result = panic::catch_unwind(|| {
+            par_map(&items, 4, |_, &v| {
+                if v == 33 {
+                    panic!("boom at {v}");
+                }
+                v
+            })
+        });
+        assert!(result.is_err());
+        // The pool keeps working after a panicking scope.
+        let ok = par_map(&items, 4, |_, &v| v + 1);
+        assert_eq!(ok[49], 50);
+    }
+
+    #[test]
+    fn stage_leases_are_bounded_and_returned() {
+        let budget = ThreadBudget::new(3);
+        assert_eq!(budget.total(), 3);
+        let first = budget.try_lease_stage_threads(1).expect("first lease");
+        let second = budget.try_lease_stage_threads(1).expect("second lease");
+        // Cap is total - 1 = 2.
+        assert!(budget.try_lease_stage_threads(1).is_none());
+        assert_eq!(budget.stage_leases_in_flight(), 2);
+        drop(first);
+        assert_eq!(budget.stage_leases_in_flight(), 1);
+        let third = budget.try_lease_stage_threads(1).expect("slot freed");
+        assert_eq!(third.threads(), 1);
+        drop(third);
+        drop(second);
+        assert_eq!(budget.stage_leases_in_flight(), 0);
+    }
+
+    #[test]
+    fn lease_requests_are_all_or_nothing() {
+        let budget = ThreadBudget::new(4); // cap 3
+        let wide = budget.try_lease_stage_threads(3).expect("wide lease");
+        assert!(budget.try_lease_stage_threads(1).is_none());
+        drop(wide);
+        assert!(budget.try_lease_stage_threads(4).is_none()); // over cap
+        assert!(budget.try_lease_stage_threads(3).is_some());
+    }
+
+    #[test]
+    fn budget_clamps_to_supported_range() {
+        assert_eq!(ThreadBudget::new(0).total(), 1);
+        assert_eq!(ThreadBudget::new(1000).total(), MAX_THREADS);
+        // A single-thread budget grants no stage leases at all.
+        assert!(ThreadBudget::new(1).try_lease_stage_threads(1).is_none());
+    }
+
+    #[test]
+    fn global_budget_allows_stage_overlap() {
+        // The global budget has a floor of two, so the pipelined executor
+        // can always overlap at least one stage pair (unless leases are
+        // already out, which other tests release by then).
+        assert!(budget().total() >= 2);
     }
 }
