@@ -4,8 +4,8 @@
 //! against (Table III), plus a rate-encoded variant of our own accelerator
 //! used to quantify the benefit of radix encoding.
 //!
-//! * [`published`] — the operating points published by Ju et al. [12] and
-//!   Fang et al. [11] as they appear in Table III (latency, throughput,
+//! * [`published`] — the operating points published by Ju et al. \[12\] and
+//!   Fang et al. \[11\] as they appear in Table III (latency, throughput,
 //!   power, resources).  These are measured numbers from the respective
 //!   papers, not simulations.
 //! * [`rate_equivalent`] — a what-if model: the same hardware architecture

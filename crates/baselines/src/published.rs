@@ -2,7 +2,7 @@
 //! Table III.
 //!
 //! The values are taken verbatim from the paper's Table III (which in turn
-//! cites Ju et al. [12] and Fang et al. [11]); they describe physical FPGA
+//! cites Ju et al. \[12\] and Fang et al. \[11\]); they describe physical FPGA
 //! implementations, so this crate treats them as measured constants rather
 //! than trying to re-simulate third-party hardware.
 
@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// One accelerator operating point as reported in Table III.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PublishedResult {
-    /// Work / platform label, e.g. `"Ju et al. [12]"`.
+    /// Work / platform label, e.g. `"Ju et al. \[12\]"`.
     pub label: String,
     /// Dataset evaluated.
     pub dataset: String,
@@ -40,7 +40,7 @@ impl PublishedResult {
     }
 }
 
-/// Ju et al. [12]: SNN engine in the programmable logic of a Xilinx Zynq,
+/// Ju et al. \[12\]: SNN engine in the programmable logic of a Xilinx Zynq,
 /// MNIST CNN `28x28 – 64C5 – 2P – 64C5 – 2P – 128 – 10`.
 pub fn ju_et_al() -> PublishedResult {
     PublishedResult {
@@ -57,7 +57,7 @@ pub fn ju_et_al() -> PublishedResult {
     }
 }
 
-/// Fang et al. [11]: HLS-generated SNN accelerator, MNIST CNN
+/// Fang et al. \[11\]: HLS-generated SNN accelerator, MNIST CNN
 /// `28x28 – 32C3 – P2 – 32C3 – P2 – 256 – 10`.
 pub fn fang_et_al() -> PublishedResult {
     PublishedResult {

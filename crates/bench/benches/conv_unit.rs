@@ -8,13 +8,16 @@
 //!
 //! Besides the usual console output, the harness writes a machine-readable
 //! `BENCH_conv.json` summary to the workspace root with the
-//! sparse-vs-scalar speedup on the LeNet conv2 workload, so the perf
-//! trajectory of the hot path is tracked PR over PR.
+//! sparse-vs-scalar speedup on the LeNet conv2 workload and the row-band
+//! tiling overhead on a VGG-11-shaped layer (the cost of running a layer
+//! under the 8 KiB tiled activation-buffer budget instead of untiled), so
+//! the perf trajectory of the hot path is tracked PR over PR.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use snn_accel::config::{AcceleratorConfig, ArrayGeometry};
 use snn_accel::conv::ConvolutionUnit;
 use snn_accel::linear::LinearUnit;
+use snn_accel::memory::RowBand;
 use snn_accel::pool::PoolingUnit;
 use snn_accel::reference::ReferenceConvolutionUnit;
 use snn_model::layer::PoolKind;
@@ -92,6 +95,65 @@ fn bench_conv_unit(c: &mut Criterion) {
     group.finish();
 }
 
+/// VGG-11 conv2 (64 -> 128 channels, 16x16 maps, 3x3 kernel, padding 1):
+/// the whole layer versus the 4-row bands the tiling planner produces for
+/// it under the paper-scale 8 KiB activation-buffer budget.  The banded
+/// run includes the per-band input gather, i.e. it measures exactly the
+/// work the tiled executor performs.
+fn bench_tiled_conv(c: &mut Criterion) {
+    let (ci, h, w, co, k, t) = (64usize, 16usize, 16usize, 128usize, 3usize, 4usize);
+    let input = Tensor::from_vec(
+        vec![ci, h, w],
+        (0..ci * h * w).map(|v| ((v * 5) % 16) as i64).collect(),
+    )
+    .expect("input tensor");
+    let kernel = Tensor::from_vec(
+        vec![co, ci, k, k],
+        (0..co * ci * k * k).map(|v| ((v % 7) as i64) - 3).collect(),
+    )
+    .expect("kernel tensor");
+    let bias = Tensor::filled(vec![co], 0i64);
+    let unit = ConvolutionUnit::new(ArrayGeometry {
+        columns: 32,
+        rows: 3,
+    });
+    let mut group = c.benchmark_group("conv_unit_tiled");
+    group.bench_function("vgg_conv2_untiled", |b| {
+        b.iter(|| {
+            unit.run_layer(black_box(&input), black_box(&kernel), &bias, t, 1, 1)
+                .expect("untiled run")
+        });
+    });
+    group.bench_function("vgg_conv2_banded_4rows", |b| {
+        b.iter(|| {
+            let mut adder_ops = 0u64;
+            for lo in (0..h).step_by(4) {
+                let hi = (lo + 4).min(h);
+                let band = RowBand {
+                    out_lo: lo,
+                    out_hi: hi,
+                    in_lo: lo.saturating_sub(1),
+                    in_hi: (hi + 1).min(h),
+                };
+                let mut data = Vec::with_capacity(ci * band.in_rows() * w);
+                for ch in 0..ci {
+                    data.extend_from_slice(
+                        &input.as_slice()[ch * h * w + band.in_lo * w..ch * h * w + band.in_hi * w],
+                    );
+                }
+                let band_input =
+                    Tensor::from_vec(vec![ci, band.in_rows(), w], data).expect("band tensor");
+                let result = unit
+                    .run_layer_band(black_box(&band_input), &kernel, &bias, t, 1, 1, &band)
+                    .expect("banded run");
+                adder_ops += result.stats.adder_ops;
+            }
+            adder_ops
+        });
+    });
+    group.finish();
+}
+
 fn bench_pool_unit(c: &mut Criterion) {
     let input = Tensor::from_vec(
         vec![6, 28, 28],
@@ -130,7 +192,13 @@ fn bench_linear_unit(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_conv_unit, bench_pool_unit, bench_linear_unit);
+criterion_group!(
+    benches,
+    bench_conv_unit,
+    bench_tiled_conv,
+    bench_pool_unit,
+    bench_linear_unit
+);
 
 /// Runs the groups, then writes the `BENCH_conv.json` summary with the
 /// sparse-vs-scalar speedup per spike-train length.
@@ -154,9 +222,18 @@ fn main() {
         }
         speedups.push_str(&format!("\"T{t}\": {speedup:.3}"));
     }
+    let untiled = criterion
+        .result("conv_unit_tiled/vgg_conv2_untiled")
+        .expect("untiled result");
+    let banded = criterion
+        .result("conv_unit_tiled/vgg_conv2_banded_4rows")
+        .expect("banded result");
+    let overhead = banded.median_ns / untiled.median_ns;
+    println!("conv_unit_tiled: 8 KiB row-band execution costs {overhead:.3}x the untiled layer");
     let json = format!(
         "{{\n\"workload\": \"lenet_conv2_6x14x14_to_16ch_5x5\",\n\
          \"speedup_sparse_vs_scalar\": {{{speedups}}},\n\
+         \"tiling_overhead_vgg_conv2_8KiB\": {overhead:.3},\n\
          \"results\": {}\n}}\n",
         criterion.summary_json()
     );

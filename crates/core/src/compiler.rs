@@ -11,7 +11,7 @@
 //! and the parameters stay in the weight memory.
 
 use crate::config::{AcceleratorConfig, MemoryOption};
-use crate::memory::{ActivationBufferPlan, DramModel, WeightMemoryPlan};
+use crate::memory::{self, ActivationBufferPlan, DramModel, LayerTiling, WeightMemoryPlan};
 use crate::timing::{self, LayerTiming, StageKind};
 use crate::{AccelError, Result};
 use serde::{Deserialize, Serialize};
@@ -42,6 +42,10 @@ pub struct LayerProgram {
     pub timing: LayerTiming,
     /// Pooling layers: the pooling flavour.
     pub pool_kind: Option<PoolKind>,
+    /// How the layer's activations are tiled to fit the configured
+    /// [`AcceleratorConfig::activation_buffer_bytes`] budget; `None` when
+    /// the layer fits untiled (always `None` without a budget).
+    pub tiling: Option<LayerTiling>,
 }
 
 /// A compiled schedule for one network on one accelerator configuration.
@@ -174,7 +178,18 @@ pub fn compile(model: &SnnModel, config: &AcceleratorConfig) -> Result<Program> 
                 weight_fetch_cycles,
             },
             pool_kind,
+            tiling: None,
         });
+    }
+
+    // With an activation-buffer budget configured, plan row-band tiles for
+    // every layer whose working set exceeds it; compilation fails here —
+    // not at run time — when even a single-row tile cannot fit.
+    if let Some(budget) = config.activation_buffer_bytes {
+        let plan = memory::plan_network_tiles(net, time_steps, budget, config.linear_lanes)?;
+        for (step, tiling) in steps.iter_mut().zip(plan.layers) {
+            step.tiling = tiling;
+        }
     }
 
     Ok(Program {

@@ -84,6 +84,18 @@ pub struct AcceleratorConfig {
     /// harness) without a rebuild.  The default of 0.5 reproduces the
     /// engine's original fixed `2 * nnz >= w_out` rule.
     pub dense_gather_threshold: f64,
+    /// On-chip activation-buffer budget in bytes, counting each activation
+    /// element as its `T`-bit radix code.  `None` sizes the ping-pong
+    /// buffers for the largest feature map (the paper's LeNet-class
+    /// configuration); `Some(budget)` makes the compiler plan **row-band
+    /// tiles** for every layer whose input + output working set exceeds
+    /// the budget (see [`crate::memory::plan_network_tiles`]), which is
+    /// what lets full-scale VGG-11 run through the cycle-accurate engine.
+    /// Results and reported [`crate::units::UnitStats`] are bit-identical
+    /// either way; compilation fails with
+    /// [`crate::AccelError::BufferBudget`] when even a single-row tile
+    /// cannot fit.
+    pub activation_buffer_bytes: Option<u64>,
 }
 
 impl Default for AcceleratorConfig {
@@ -105,6 +117,7 @@ impl Default for AcceleratorConfig {
             memory: MemoryOption::OnChip,
             dram_bus_bits: 64,
             dense_gather_threshold: DEFAULT_DENSE_GATHER_THRESHOLD,
+            activation_buffer_bytes: None,
         }
     }
 }
@@ -134,7 +147,7 @@ impl AcceleratorConfig {
         }
     }
 
-    /// The configuration used to deploy the CNN of Fang et al. [11]
+    /// The configuration used to deploy the CNN of Fang et al. \[11\]
     /// (Table III): four convolution units with a 3×3-kernel adder array at
     /// 200 MHz.
     pub fn fang_cnn_table3() -> Self {
@@ -169,6 +182,18 @@ impl AcceleratorConfig {
             memory: MemoryOption::Dram,
             dram_bus_bits: 64,
             dense_gather_threshold: DEFAULT_DENSE_GATHER_THRESHOLD,
+            activation_buffer_bytes: None,
+        }
+    }
+
+    /// The VGG-11 deployment of Table III with a paper-scale **tiled**
+    /// activation buffer: 8 KiB on chip, more than four times smaller than
+    /// VGG-11's largest untiled layer working set at `T = 4`, so every
+    /// oversized layer streams through row-band tiles.
+    pub fn vgg11_tiled() -> Self {
+        AcceleratorConfig {
+            activation_buffer_bytes: Some(8 * 1024),
+            ..AcceleratorConfig::vgg11_table3()
         }
     }
 
@@ -210,6 +235,12 @@ impl AcceleratorConfig {
                     "dense gather threshold {} must be a finite non-negative density",
                     self.dense_gather_threshold
                 ),
+            });
+        }
+        if self.activation_buffer_bytes == Some(0) {
+            return Err(AccelError::InvalidConfig {
+                context: "activation buffer budget must be non-zero (use None for untiled)"
+                    .to_string(),
             });
         }
         ArrayGeometry::new(self.conv_geometry.columns, self.conv_geometry.rows)?;

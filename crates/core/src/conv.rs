@@ -46,6 +46,7 @@
 //!   [`crate::reference::ReferenceConvolutionUnit`] exactly.
 
 use crate::config::ArrayGeometry;
+use crate::memory::RowBand;
 use crate::units::UnitStats;
 use crate::{AccelError, Result};
 use snn_tensor::{bitplane, ops, Tensor};
@@ -88,6 +89,28 @@ fn coverage_pairs(
             let i = (o * stride + k) as isize - padding as isize;
             if (0..input_extent as isize).contains(&i) {
                 pairs[i as usize].push((k, o));
+            }
+        }
+    }
+    pairs
+}
+
+/// Band-local row coverage: for each input row of the band (indexed
+/// relative to `band.in_lo`), the `(kernel row, band-local output row)`
+/// pairs it feeds.  With a band spanning the whole layer this reduces to
+/// [`coverage_pairs`] over the rows.
+fn band_row_coverage(
+    band: &RowBand,
+    kernel_rows: usize,
+    stride: usize,
+    padding: usize,
+) -> Vec<Vec<(usize, usize)>> {
+    let mut pairs = vec![Vec::new(); band.in_rows()];
+    for o in band.out_lo..band.out_hi {
+        for k in 0..kernel_rows {
+            let i = (o * stride + k) as isize - padding as isize;
+            if i >= band.in_lo as isize && i < band.in_hi as isize {
+                pairs[i as usize - band.in_lo].push((k, o - band.out_lo));
             }
         }
     }
@@ -166,7 +189,82 @@ impl ConvolutionUnit {
                     .to_string(),
             });
         }
-        let (c_in, h, w) = (in_dims[0], in_dims[1], in_dims[2]);
+        let (h, w) = (in_dims[1], in_dims[2]);
+        let (kr, kc) = (k_dims[2], k_dims[3]);
+        let (h_out, _w_out) = ops::conv2d_output_dims((h, w), (kr, kc), stride, padding)
+            .map_err(AccelError::Tensor)?;
+        self.run_layer_band(
+            input_levels,
+            kernel_codes,
+            bias_acc,
+            time_steps,
+            stride,
+            padding,
+            &RowBand {
+                out_lo: 0,
+                out_hi: h_out,
+                in_lo: 0,
+                in_hi: h,
+            },
+        )
+    }
+
+    /// Executes one **row-band tile** of a convolution layer.
+    ///
+    /// `band_levels` holds only the halo-extended input rows
+    /// `band.in_lo..band.in_hi` of the full feature map (all channels,
+    /// `[C, band.in_rows(), W]`); the result covers output rows
+    /// `band.out_lo..band.out_hi` (`[O, band.out_rows(), W_out]`).  The
+    /// bit planes are packed per tile, so only the band is ever resident —
+    /// this is the compute kernel of the tiled activation-buffer model
+    /// ([`crate::memory::plan_network_tiles`]).
+    ///
+    /// **Exactness contract:** accumulators are the same integer sums as
+    /// the untiled layer restricted to the band, and every counter is
+    /// defined so that summing over a partition of the output rows
+    /// reproduces [`ConvolutionUnit::run_layer`]'s counters bit-exactly;
+    /// the schedule's per-pass pipeline-fill cycles are charged to the
+    /// band containing output row zero.  Property tests pin both.
+    ///
+    /// **Caller contract on `in_hi`:** the unit does not know the full
+    /// image height, so it treats `band.in_hi` as the bottom of the
+    /// available data — input rows at or beyond `in_hi` contribute
+    /// nothing, exactly as rows beyond the image do.  It therefore cannot
+    /// detect a band whose `in_hi` stops short of rows that *do* exist in
+    /// the full map; supplying one silently drops their contributions.
+    /// Bands produced by [`crate::memory::plan_network_tiles`] always
+    /// extend `in_hi` to `min(needed, H)` and are safe; hand-built bands
+    /// must do the same.
+    ///
+    /// # Errors
+    ///
+    /// As [`ConvolutionUnit::run_layer`], plus
+    /// [`AccelError::UnsupportedLayer`] when `band_levels` does not match
+    /// the band's row count, the band is empty, or the band's input rows
+    /// start later than its first output row reads (the start is
+    /// checkable without the image height; the end is not — see the
+    /// caller contract above).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_layer_band(
+        &self,
+        band_levels: &Tensor<i64>,
+        kernel_codes: &Tensor<i64>,
+        bias_acc: &Tensor<i64>,
+        time_steps: usize,
+        stride: usize,
+        padding: usize,
+        band: &RowBand,
+    ) -> Result<ConvResult> {
+        let in_dims = band_levels.shape().dims();
+        let k_dims = kernel_codes.shape().dims();
+        if in_dims.len() != 3 || k_dims.len() != 4 {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: "convolution unit expects [C,H,W] inputs and [O,C,K,K] kernels"
+                    .to_string(),
+            });
+        }
+        let (c_in, band_h, w) = (in_dims[0], in_dims[1], in_dims[2]);
         let (c_out, kc_in, kr, kc) = (k_dims[0], k_dims[1], k_dims[2], k_dims[3]);
         if kc_in != c_in {
             return Err(AccelError::UnsupportedLayer {
@@ -194,16 +292,52 @@ impl ConvolutionUnit {
                 ),
             });
         }
-        let (h_out, w_out) = ops::conv2d_output_dims((h, w), (kr, kc), stride, padding)
-            .map_err(AccelError::Tensor)?;
+        if band.out_hi <= band.out_lo || band.in_hi <= band.in_lo {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!(
+                    "degenerate row band (out {}..{}, in {}..{})",
+                    band.out_lo, band.out_hi, band.in_lo, band.in_hi
+                ),
+            });
+        }
+        if band.in_rows() != band_h {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!(
+                    "band tensor has {band_h} input rows but the band spans {}..{}",
+                    band.in_lo, band.in_hi
+                ),
+            });
+        }
+        if band.in_lo > (band.out_lo * stride).saturating_sub(padding) {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!(
+                    "band input starts at row {} but output row {} reads from row {}",
+                    band.in_lo,
+                    band.out_lo,
+                    (band.out_lo * stride).saturating_sub(padding)
+                ),
+            });
+        }
+        if w + 2 * padding < kc {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!("kernel of {kc} columns does not fit a padded width of {w}"),
+            });
+        }
+        let w_out = (w + 2 * padding - kc) / stride.max(1) + 1;
+        let out_h = band.out_rows();
 
-        let in_data = input_levels.as_slice();
+        let in_data = band_levels.as_slice();
         let k_data = kernel_codes.as_slice();
         let mask = bitplane::level_mask(time_steps);
 
         // Which (kernel tap, output position) pairs each input coordinate
-        // feeds — shared by the statistics and the scatter loop.
-        let y_pairs = coverage_pairs(h, kr, h_out, stride, padding);
+        // feeds — shared by the statistics and the scatter loop.  Row
+        // coverage is band-local; column coverage spans the full width.
+        let y_pairs = band_row_coverage(band, kr, stride, padding);
         let x_pairs = coverage_pairs(w, kc, w_out, stride, padding);
 
         // --- Statistics: closed-form schedule counts plus one popcount
@@ -214,7 +348,7 @@ impl ConvolutionUnit {
                 if pairs_y.is_empty() {
                     continue;
                 }
-                let row = &in_data[ic * h * w + iy * w..ic * h * w + iy * w + w];
+                let row = &in_data[ic * band_h * w + iy * w..ic * band_h * w + iy * w + w];
                 let row_work: u64 = row
                     .iter()
                     .zip(&x_pairs)
@@ -225,7 +359,17 @@ impl ConvolutionUnit {
                 spike_work += pairs_y.len() as u64 * row_work;
             }
         }
-        let stats = self.derived_stats(c_in, c_out, h_out, w_out, kr, kc, time_steps, spike_work);
+        let stats = self.derived_stats(
+            c_in,
+            c_out,
+            out_h,
+            w_out,
+            kr,
+            kc,
+            time_steps,
+            spike_work,
+            band.is_first(),
+        );
 
         // --- Compute: build the planes' OR-reduction (occupancy) in one
         // pass, classify each non-silent row once (shared by every output
@@ -235,7 +379,7 @@ impl ConvolutionUnit {
         // avoids the store-to-load dependency chains scatter suffers when
         // nearly every pixel spikes.  Both paths add exactly the terms
         // `kernel x masked level`, so the choice never changes the result.
-        let occupancy = bitplane::Occupancy::from_levels(in_data, c_in * h, w, time_steps);
+        let occupancy = bitplane::Occupancy::from_levels(in_data, c_in * band_h, w, time_steps);
         struct SpikeRow {
             ic: usize,
             iy: usize,
@@ -251,7 +395,7 @@ impl ConvolutionUnit {
         let mut spike_rows: Vec<SpikeRow> = Vec::new();
         for ic in 0..c_in {
             for (iy, pairs_y) in y_pairs.iter().enumerate() {
-                let row_words = occupancy.row(ic * h + iy);
+                let row_words = occupancy.row(ic * band_h + iy);
                 let spike_count: usize = row_words
                     .iter()
                     .map(|word| word.count_ones() as usize)
@@ -266,12 +410,12 @@ impl ConvolutionUnit {
                 if dense {
                     padded = vec![0i64; w + 2 * padding];
                     bitplane::for_each_set_bit(row_words, |ix| {
-                        padded[padding + ix] = in_data[ic * h * w + iy * w + ix] & mask;
+                        padded[padding + ix] = in_data[ic * band_h * w + iy * w + ix] & mask;
                     });
                 } else {
                     spikes.reserve(spike_count);
                     bitplane::for_each_set_bit(row_words, |ix| {
-                        spikes.push((ix, in_data[ic * h * w + iy * w + ix] & mask));
+                        spikes.push((ix, in_data[ic * band_h * w + iy * w + ix] & mask));
                     });
                 }
                 spike_rows.push(SpikeRow {
@@ -284,8 +428,8 @@ impl ConvolutionUnit {
             }
         }
 
-        let mut accumulators = Tensor::filled(vec![c_out, h_out, w_out], 0i64);
-        let plane_len = h_out * w_out;
+        let mut accumulators = Tensor::filled(vec![c_out, out_h, w_out], 0i64);
+        let plane_len = out_h * w_out;
         let threads = if stats.adder_ops >= snn_parallel::MIN_PARALLEL_WORK {
             snn_parallel::default_threads().min(c_out)
         } else {
@@ -346,6 +490,9 @@ impl ConvolutionUnit {
     /// The single source of the closed-form cycle expression, shared by
     /// [`ConvolutionUnit::layer_cycles`] and the derived counters so the
     /// analytical timing model can never drift from the unit's reports.
+    /// For a row band, `first_band` controls whether the per-pass pipeline
+    /// fill is charged — it belongs to exactly one band per layer, so the
+    /// band cycle counts sum to the untiled expression.
     #[allow(clippy::too_many_arguments)]
     fn schedule_cycles(
         &self,
@@ -356,15 +503,17 @@ impl ConvolutionUnit {
         kr: usize,
         kc: usize,
         time_steps: usize,
+        first_band: bool,
     ) -> u64 {
         let passes = (c_out * time_steps * c_in) as u64;
+        let fill = if first_band { kr as u64 } else { 0 };
         // Per channel pass: pipeline fill + (1 load + Kc shifts) per slot.
-        passes * (kr as u64 + self.row_slots(h_out, w_out, kr) * (1 + kc as u64))
+        passes * (fill + self.row_slots(h_out, w_out, kr) * (1 + kc as u64))
     }
 
-    /// The full analytically derived counter set for a layer execution:
-    /// closed-form schedule counts plus the externally computed per-channel
-    /// adder activity (`spike_work`).
+    /// The full analytically derived counter set for one layer (or band)
+    /// execution: closed-form schedule counts plus the externally computed
+    /// per-channel adder activity (`spike_work`).
     #[allow(clippy::too_many_arguments)]
     fn derived_stats(
         &self,
@@ -376,11 +525,12 @@ impl ConvolutionUnit {
         kc: usize,
         time_steps: usize,
         spike_work: u64,
+        first_band: bool,
     ) -> UnitStats {
         let passes = (c_out * time_steps * c_in) as u64;
         let row_slots = self.row_slots(h_out, w_out, kr);
         UnitStats {
-            cycles: self.schedule_cycles(c_in, c_out, h_out, w_out, kr, kc, time_steps),
+            cycles: self.schedule_cycles(c_in, c_out, h_out, w_out, kr, kc, time_steps, first_band),
             adder_ops: c_out as u64 * spike_work,
             activation_reads: passes * row_slots,
             kernel_reads: passes * row_slots * kc as u64,
@@ -402,7 +552,7 @@ impl ConvolutionUnit {
         kernel: usize,
         time_steps: usize,
     ) -> u64 {
-        self.schedule_cycles(c_in, c_out, h_out, w_out, kernel, kernel, time_steps)
+        self.schedule_cycles(c_in, c_out, h_out, w_out, kernel, kernel, time_steps, true)
     }
 }
 
@@ -607,6 +757,65 @@ mod tests {
                 .unwrap();
             assert_eq!(tuned.accumulators, default.accumulators, "thr={threshold}");
             assert_eq!(tuned.stats, default.stats, "thr={threshold}");
+        }
+    }
+
+    #[test]
+    fn row_bands_sum_to_the_untiled_layer() {
+        use crate::memory::RowBand;
+        let input = Tensor::from_vec(
+            vec![2, 9, 7],
+            (0..2 * 9 * 7).map(|v| ((v * 11) % 16) as i64).collect(),
+        )
+        .unwrap();
+        let kernel = Tensor::from_vec(
+            vec![3, 2, 3, 3],
+            (0..54).map(|v| ((v % 7) as i64) - 3).collect(),
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(vec![3], vec![2i64, -1, 4]).unwrap();
+        let u = unit(4, 3);
+        for (stride, padding, t, rows) in [(1, 0, 4, 2), (2, 1, 3, 1), (1, 2, 5, 3), (3, 0, 2, 1)] {
+            let whole = u
+                .run_layer(&input, &kernel, &bias, t, stride, padding)
+                .unwrap();
+            let dims = whole.accumulators.shape().dims().to_vec();
+            let (h_out, w_out) = (dims[1], dims[2]);
+            let h = input.shape().dims()[1];
+            let mut summed = UnitStats::default();
+            let mut stitched = Tensor::filled(dims.clone(), 0i64);
+            for lo in (0..h_out).step_by(rows) {
+                let hi = (lo + rows).min(h_out);
+                let in_lo = (lo * stride).saturating_sub(padding);
+                let in_hi = ((hi - 1) * stride + 3).saturating_sub(padding).min(h);
+                let band = RowBand {
+                    out_lo: lo,
+                    out_hi: hi,
+                    in_lo,
+                    in_hi,
+                };
+                // Gather the halo-extended input band.
+                let mut band_data = Vec::new();
+                for c in 0..2 {
+                    band_data.extend_from_slice(
+                        &input.as_slice()[c * h * 7 + in_lo * 7..c * h * 7 + in_hi * 7],
+                    );
+                }
+                let band_input = Tensor::from_vec(vec![2, in_hi - in_lo, 7], band_data).unwrap();
+                let part = u
+                    .run_layer_band(&band_input, &kernel, &bias, t, stride, padding, &band)
+                    .unwrap();
+                summed += part.stats;
+                for oc in 0..dims[0] {
+                    let src = part.accumulators.as_slice();
+                    let dst = stitched.as_mut_slice();
+                    let bh = hi - lo;
+                    dst[oc * h_out * w_out + lo * w_out..oc * h_out * w_out + hi * w_out]
+                        .copy_from_slice(&src[oc * bh * w_out..(oc + 1) * bh * w_out]);
+                }
+            }
+            assert_eq!(stitched, whole.accumulators, "s={stride} p={padding} t={t}");
+            assert_eq!(summed, whole.stats, "s={stride} p={padding} t={t}");
         }
     }
 

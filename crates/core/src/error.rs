@@ -27,6 +27,27 @@ pub enum AccelError {
         /// Human-readable description.
         context: String,
     },
+    /// The activation-buffer budget is too small to hold even the smallest
+    /// possible tile of a layer (one output row of a convolution/pooling
+    /// layer, or one lane group of a fully-connected layer, plus the input
+    /// tile it needs).
+    BufferBudget {
+        /// Index of the layer that does not fit.
+        layer: usize,
+        /// Bytes the smallest tile of that layer requires.
+        required_bytes: u64,
+        /// The configured budget in bytes.
+        budget_bytes: u64,
+    },
+    /// The streaming server's bounded submission queue was full and the
+    /// admission policy rejected the request (see
+    /// [`crate::serve::ServerOptions::queue_capacity`]).
+    QueueFull {
+        /// Submissions waiting in the queue when the request arrived.
+        queued: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for AccelError {
@@ -41,6 +62,19 @@ impl fmt::Display for AccelError {
             AccelError::Model(e) => write!(f, "model error: {e}"),
             AccelError::Tensor(e) => write!(f, "tensor error: {e}"),
             AccelError::Serving { context } => write!(f, "serving error: {context}"),
+            AccelError::BufferBudget {
+                layer,
+                required_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "layer {layer} needs at least {required_bytes} activation-buffer bytes \
+                 but the budget is {budget_bytes}"
+            ),
+            AccelError::QueueFull { queued, capacity } => write!(
+                f,
+                "submission queue is full ({queued} queued, capacity {capacity})"
+            ),
         }
     }
 }

@@ -11,9 +11,9 @@
 //!   *fused pair*: a producer stage computes the convolution one channel
 //!   group at a time (the same `units × channels_per_unit` groups the
 //!   hardware schedule uses, straggler included) and hands each finished
-//!   group to the pooling stage through a **bounded SPSC queue**
-//!   ([`BoundedQueue`]), so adjacent layers overlap on the host exactly
-//!   where they overlap on chip.  All other layers run as single stages.
+//!   group to the pooling stage through a **bounded SPSC queue**, so
+//!   adjacent layers overlap on the host exactly where they overlap on
+//!   chip.  All other layers run as single stages.
 //! * The producer stage runs on a scoped thread reserved through
 //!   [`snn_parallel::ThreadBudget::try_lease_stage_threads`]; when the
 //!   budget is exhausted the pair silently degrades to the sequential
@@ -31,12 +31,27 @@
 //! schedule ([`utilisation_from_program`], straggler-aware via
 //! [`crate::timing::ConvGroupPlan`]) and feed the
 //! [`RunReport::utilisation`] field and the serving benchmarks.
+//!
+//! # Tiled activation buffers
+//!
+//! When the compiled program carries a tile plan
+//! ([`crate::memory::plan_network_tiles`], driven by
+//! [`AcceleratorConfig::activation_buffer_bytes`]), layers whose working
+//! set exceeds the budget execute **tile by tile**: convolution and
+//! pooling stages gather one halo-extended row band at a time (the
+//! bit-plane packing happens per band inside the units), fully-connected
+//! stages stage lane-aligned output chunks, and a fused conv → pool pair
+//! streams `(row band × channel group)` items — not just channel groups —
+//! through its bounded queue, so the conv output of a VGG-scale layer is
+//! never resident as a whole on the modelled chip.  Every per-tile counter
+//! sums to exactly the untiled layer's counters, so the tiled
+//! [`RunReport`] stays bit-identical to the untiled sequential oracle.
 
 use crate::compiler::{LayerProgram, Program};
 use crate::config::{AcceleratorConfig, MemoryOption};
 use crate::conv::ConvolutionUnit;
 use crate::linear::LinearUnit;
-use crate::memory::{MemoryTraffic, PingPongBuffer};
+use crate::memory::{LayerTiling, MemoryTraffic, PingPongBuffer, RowBand};
 use crate::pool::PoolingUnit;
 use crate::report::{LayerExecution, RunReport, UnitUtilisation};
 use crate::timing::{ConvGroupPlan, StageKind};
@@ -227,40 +242,49 @@ pub(crate) fn execute(
         let step = &program.steps[index];
 
         // Fused stage pair: convolution feeding pooling through the queue.
-        // Overlap needs more than one channel group and a stage thread from
-        // the shared budget; otherwise fall back to the sequential path,
-        // which is bit-identical.
+        // Overlap needs more than one streamed item (channel groups and/or
+        // row bands) and a stage thread from the shared budget; otherwise
+        // fall back to the sequential path, which is bit-identical.
         if options.pipeline
             && index + 1 < program.steps.len()
             && step.kind == StageKind::Convolution
             && program.steps[index + 1].kind == StageKind::Pooling
-            && step.channel_groups > 1
         {
-            if let Some(lease) = snn_parallel::budget().try_lease_stage_threads(1) {
-                let pool_step = &program.steps[index + 1];
-                // Stream exactly the hardware's channel groups: one pass
-                // carries `units x channels_per_unit` output channels, the
-                // final (straggler) group whatever remains.
-                let group_size = (step.channels_per_unit * config.conv_units).max(1);
-                let (pooled, conv_work, pool_work) = run_fused_conv_pool(
-                    &units,
-                    &current,
-                    &model_layers[index],
-                    &model_layers[index + 1],
-                    step,
-                    pool_step,
-                    group_size,
-                    time_steps,
-                    max_level,
-                    mode,
-                    options.queue_capacity,
-                )?;
-                drop(lease);
-                record_layer(&mut layers, &mut traffic, config, step, conv_work);
-                record_layer(&mut layers, &mut traffic, config, pool_step, pool_work);
-                buffer.write_and_swap(pooled);
-                index += 2;
-                continue;
+            let window = match &model_layers[index + 1] {
+                SnnLayer::Pool { window, .. } => *window,
+                _ => 1,
+            };
+            let pool_tiled = program.steps[index + 1].tiling.is_some();
+            if let Some(bands) = fused_band_list(step, window, pool_tiled, mode) {
+                if step.channel_groups > 1 || bands.len() > 1 {
+                    if let Some(lease) = snn_parallel::budget().try_lease_stage_threads(1) {
+                        let pool_step = &program.steps[index + 1];
+                        // Stream exactly the hardware's channel groups: one
+                        // pass carries `units x channels_per_unit` output
+                        // channels, the final (straggler) group whatever
+                        // remains — per row band when the layer is tiled.
+                        let group_size = (step.channels_per_unit * config.conv_units).max(1);
+                        let (pooled, conv_work, pool_work) = run_fused_conv_pool(
+                            &units,
+                            &current,
+                            &model_layers[index],
+                            &model_layers[index + 1],
+                            pool_step,
+                            &bands,
+                            group_size,
+                            time_steps,
+                            max_level,
+                            mode,
+                            options.queue_capacity,
+                        )?;
+                        drop(lease);
+                        record_layer(&mut layers, &mut traffic, config, step, conv_work);
+                        record_layer(&mut layers, &mut traffic, config, pool_step, pool_work);
+                        buffer.write_and_swap(pooled);
+                        index += 2;
+                        continue;
+                    }
+                }
             }
         }
 
@@ -268,6 +292,7 @@ pub(crate) fn execute(
         let (next, work) = run_single_layer(
             &units,
             &model_layers[index],
+            step,
             &current,
             time_steps,
             max_level,
@@ -327,10 +352,46 @@ fn record_layer(
     });
 }
 
-/// Executes one layer as a single stage (the original sequential step).
+/// Copies the input rows `lo..hi` of a `[C, H, W]` feature map into a
+/// fresh `[C, hi - lo, W]` band tensor — the modelled tile load into the
+/// activation buffer's read half.
+fn copy_row_band(levels: &Tensor<i64>, lo: usize, hi: usize) -> Result<Tensor<i64>> {
+    let dims = levels.shape().dims();
+    if dims.len() != 3 || hi > dims[1] || lo >= hi {
+        return Err(AccelError::UnsupportedLayer {
+            layer: 0,
+            context: format!("row band {lo}..{hi} outside a {dims:?} feature map"),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let src = levels.as_slice();
+    let mut data = Vec::with_capacity(c * (hi - lo) * w);
+    for ch in 0..c {
+        data.extend_from_slice(&src[ch * h * w + lo * w..ch * h * w + hi * w]);
+    }
+    Tensor::from_vec(vec![c, hi - lo, w], data).map_err(AccelError::Tensor)
+}
+
+/// Writes a `[C, bh, W]` band of output rows into a `[C, H, W]` map at row
+/// offset `out_lo` — the modelled drain of the buffer's write half.
+fn write_row_band(dst: &mut Tensor<i64>, band: &Tensor<i64>, out_lo: usize) {
+    let dims = dst.shape().dims().to_vec();
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let bh = band.shape().dims()[1];
+    let src = band.as_slice();
+    let out = dst.as_mut_slice();
+    for ch in 0..c {
+        out[ch * h * w + out_lo * w..ch * h * w + (out_lo + bh) * w]
+            .copy_from_slice(&src[ch * bh * w..(ch + 1) * bh * w]);
+    }
+}
+
+/// Executes one layer as a single stage (the original sequential step),
+/// tile by tile when the compiled step carries a tiling.
 fn run_single_layer(
     units: &Units,
     layer: &SnnLayer,
+    step: &LayerProgram,
     current: &Tensor<i64>,
     time_steps: usize,
     max_level: i64,
@@ -347,6 +408,29 @@ fn run_single_layer(
             },
             ExecutionMode::CycleAccurate,
         ) => {
+            if let Some(LayerTiling::RowBands { bands, .. }) = &step.tiling {
+                let mut levels = Tensor::filled(step.out_shape.clone(), 0i64);
+                let mut work = UnitStats::default();
+                for band in bands {
+                    let band_input = copy_row_band(current, band.in_lo, band.in_hi)?;
+                    let result = units.conv.run_layer_band(
+                        &band_input,
+                        weight_codes,
+                        bias_acc,
+                        time_steps,
+                        *stride,
+                        *padding,
+                        band,
+                    )?;
+                    work += result.stats;
+                    write_row_band(
+                        &mut levels,
+                        &apply_requant(&result.accumulators, *requant, max_level),
+                        band.out_lo,
+                    );
+                }
+                return Ok((levels, work));
+            }
             let result = units.conv.run_layer(
                 current,
                 weight_codes,
@@ -366,13 +450,37 @@ fn run_single_layer(
             },
             ExecutionMode::CycleAccurate,
         ) => {
-            let result = units
-                .linear
-                .run_layer(current, weight_codes, bias_acc, time_steps)?;
+            let result = if let Some(LayerTiling::OutputChunks { chunk }) = &step.tiling {
+                units.linear.run_layer_chunked(
+                    current,
+                    weight_codes,
+                    bias_acc,
+                    time_steps,
+                    *chunk,
+                )?
+            } else {
+                units
+                    .linear
+                    .run_layer(current, weight_codes, bias_acc, time_steps)?
+            };
             let levels = apply_requant(&result.accumulators, *requant, max_level);
             Ok((levels, result.stats))
         }
         (SnnLayer::Pool { kind, window }, ExecutionMode::CycleAccurate) => {
+            if let Some(LayerTiling::RowBands { bands, .. }) = &step.tiling {
+                let mut levels = Tensor::filled(step.out_shape.clone(), 0i64);
+                let mut work = UnitStats::default();
+                for band in bands {
+                    let band_input = copy_row_band(current, band.in_lo, band.in_hi)?;
+                    let result =
+                        units
+                            .pool
+                            .run_layer_band(&band_input, *kind, *window, time_steps, band)?;
+                    work += result.stats;
+                    write_row_band(&mut levels, &result.levels, band.out_lo);
+                }
+                return Ok((levels, work));
+            }
             let result = units.pool.run_layer(current, *kind, *window, time_steps)?;
             Ok((result.levels, result.stats))
         }
@@ -399,25 +507,63 @@ fn run_single_layer(
     }
 }
 
-/// Executes a fused convolution → pooling stage pair with channel-group
-/// overlap.
+/// The row bands a fused conv → pool pair streams through its queue.
 ///
-/// The producer (convolution stage, scoped thread) computes one channel
-/// group per pass — slicing the kernel and bias exactly along the
-/// hardware's group boundaries — and pushes the requantized group levels
-/// into the bounded queue; the consumer (pooling stage, calling thread)
-/// pools each group as it arrives and writes it into the output tensor at
-/// its channel offset.  Both the accumulators and every `UnitStats`
-/// counter are linear in the output channels, so the summed group results
-/// are bit-identical to the whole-layer sequential execution.
+/// A tiled convolution step streams its planner bands when every band is
+/// aligned to the pooling window (each band then pools independently);
+/// unaligned bands return `None`, which makes the caller fall back to the
+/// bit-identical sequential tiled path.  An untiled conv step streams one
+/// band covering the whole layer — but only while the pooling step is
+/// untiled too: with an untiled producer and a tiled consumer, a streamed
+/// item would be a whole-height channel group, i.e. a working set the tile
+/// plan just ruled out, so that pair also falls back.  At transaction
+/// level tiling is ignored entirely and the full band always streams.
+fn fused_band_list(
+    conv_step: &LayerProgram,
+    window: usize,
+    pool_tiled: bool,
+    mode: ExecutionMode,
+) -> Option<Vec<RowBand>> {
+    let full = RowBand {
+        out_lo: 0,
+        out_hi: conv_step.out_shape[1],
+        in_lo: 0,
+        in_hi: conv_step.in_shape[1],
+    };
+    match (&conv_step.tiling, mode) {
+        (Some(LayerTiling::RowBands { bands, .. }), ExecutionMode::CycleAccurate) => {
+            if window > 0 && bands.iter().all(|b| b.out_rows() % window == 0) {
+                Some(bands.clone())
+            } else {
+                None
+            }
+        }
+        (None, ExecutionMode::CycleAccurate) if pool_tiled => None,
+        _ => Some(vec![full]),
+    }
+}
+
+/// Executes a fused convolution → pooling stage pair with channel-group
+/// and row-band overlap.
+///
+/// The producer (convolution stage, scoped thread) walks the row bands in
+/// order and, per band, computes one channel group per pass — slicing the
+/// kernel and bias exactly along the hardware's group boundaries — then
+/// pushes each requantized `(band × group)` tile into the bounded queue;
+/// the consumer (pooling stage, calling thread) pools each tile as it
+/// arrives and writes it into the output tensor at its channel and row
+/// offset.  Accumulators and every `UnitStats` counter are linear in the
+/// output channels and partition over the output rows (the pipeline-fill
+/// cycles belong to the band containing row zero), so the summed tile
+/// results are bit-identical to the whole-layer sequential execution.
 #[allow(clippy::too_many_arguments)]
 fn run_fused_conv_pool(
     units: &Units,
     input: &Tensor<i64>,
     conv_layer: &SnnLayer,
     pool_layer: &SnnLayer,
-    conv_step: &LayerProgram,
     pool_step: &LayerProgram,
+    bands: &[RowBand],
     group_size: usize,
     time_steps: usize,
     max_level: i64,
@@ -433,7 +579,7 @@ fn run_fused_conv_pool(
     } = conv_layer
     else {
         return Err(AccelError::UnsupportedLayer {
-            layer: conv_step.index,
+            layer: pool_step.index.saturating_sub(1),
             context: "fused pair expects a convolution producer".to_string(),
         });
     };
@@ -445,11 +591,13 @@ fn run_fused_conv_pool(
     };
 
     let c_out = weight_codes.shape().dims()[0];
+    let in_h = input.shape().dims()[1];
     let pool_dims = pool_step.out_shape.clone();
-    let pool_plane = pool_dims[1] * pool_dims[2];
+    let (pool_h, pool_w) = (pool_dims[1], pool_dims[2]);
     let mut pooled = Tensor::filled(pool_dims, 0i64);
 
-    let queue: BoundedQueue<(usize, Tensor<i64>)> = BoundedQueue::new(queue_capacity);
+    // Queue items: (channel offset, pooled row offset, conv band levels).
+    let queue: BoundedQueue<(usize, usize, Tensor<i64>)> = BoundedQueue::new(queue_capacity);
     let mut conv_work: Result<UnitStats> = Ok(UnitStats::default());
     let mut pool_work: Result<UnitStats> = Ok(UnitStats::default());
 
@@ -458,25 +606,36 @@ fn run_fused_conv_pool(
         let producer = scope.spawn(move || {
             let run = || -> Result<UnitStats> {
                 let mut work = UnitStats::default();
-                for lo in (0..c_out).step_by(group_size.max(1)) {
-                    let hi = (lo + group_size).min(c_out);
-                    let (levels, stats) = conv_group(
-                        units,
-                        input,
-                        weight_codes,
-                        bias_acc,
-                        lo,
-                        hi,
-                        time_steps,
-                        *stride,
-                        *padding,
-                        *requant,
-                        max_level,
-                        mode,
-                    )?;
-                    work += stats;
-                    if !queue.push((lo, levels)) {
-                        break; // consumer closed the queue after an error
+                'bands: for band in bands {
+                    // Gather the band once; every channel group reuses it.
+                    let gathered;
+                    let band_input = if band.in_lo == 0 && band.in_hi == in_h {
+                        input
+                    } else {
+                        gathered = copy_row_band(input, band.in_lo, band.in_hi)?;
+                        &gathered
+                    };
+                    for lo in (0..c_out).step_by(group_size.max(1)) {
+                        let hi = (lo + group_size).min(c_out);
+                        let (levels, stats) = conv_band_group(
+                            units,
+                            band_input,
+                            weight_codes,
+                            bias_acc,
+                            lo,
+                            hi,
+                            time_steps,
+                            *stride,
+                            *padding,
+                            *requant,
+                            max_level,
+                            mode,
+                            band,
+                        )?;
+                        work += stats;
+                        if !queue.push((lo, band.out_lo / (*window).max(1), levels)) {
+                            break 'bands; // consumer closed after an error
+                        }
                     }
                 }
                 Ok(work)
@@ -489,12 +648,18 @@ fn run_fused_conv_pool(
         // Pooling stage on the calling thread.
         let consumed = (|| -> Result<UnitStats> {
             let mut work = UnitStats::default();
-            while let Some((lo, levels)) = queue.pop() {
+            while let Some((lo, row_lo, levels)) = queue.pop() {
                 let (chunk, stats) = pool_group(units, &levels, *kind, *window, time_steps, mode)?;
                 work += stats;
-                let data = chunk.as_slice();
-                let offset = lo * pool_plane;
-                pooled.as_mut_slice()[offset..offset + data.len()].copy_from_slice(data);
+                let c_dims = chunk.shape().dims();
+                let (g, bh) = (c_dims[0], c_dims[1]);
+                let src = chunk.as_slice();
+                let dst = pooled.as_mut_slice();
+                for c in 0..g {
+                    let plane = (lo + c) * pool_h * pool_w;
+                    dst[plane + row_lo * pool_w..plane + (row_lo + bh) * pool_w]
+                        .copy_from_slice(&src[c * bh * pool_w..(c + 1) * bh * pool_w]);
+                }
             }
             Ok(work)
         })();
@@ -511,12 +676,13 @@ fn run_fused_conv_pool(
     Ok((pooled, conv_work?, pool_work?))
 }
 
-/// Computes the convolution for output channels `lo..hi` (one channel
-/// group) and requantizes the accumulators to levels.
+/// Computes the convolution of one `(row band × channel group)` tile —
+/// output channels `lo..hi` over the band's output rows — and requantizes
+/// the accumulators to levels.
 #[allow(clippy::too_many_arguments)]
-fn conv_group(
+fn conv_band_group(
     units: &Units,
-    input: &Tensor<i64>,
+    band_input: &Tensor<i64>,
     weight_codes: &Tensor<i64>,
     bias_acc: &Tensor<i64>,
     lo: usize,
@@ -527,6 +693,7 @@ fn conv_group(
     requant: Option<f32>,
     max_level: i64,
     mode: ExecutionMode,
+    band: &RowBand,
 ) -> Result<(Tensor<i64>, UnitStats)> {
     let k_dims = weight_codes.shape().dims();
     let (c_in, kr, kc) = (k_dims[1], k_dims[2], k_dims[3]);
@@ -540,13 +707,13 @@ fn conv_group(
         .map_err(AccelError::Tensor)?;
     let (accumulators, stats) = match mode {
         ExecutionMode::CycleAccurate => {
-            let result = units
-                .conv
-                .run_layer(input, &kernel, &bias, time_steps, stride, padding)?;
+            let result = units.conv.run_layer_band(
+                band_input, &kernel, &bias, time_steps, stride, padding, band,
+            )?;
             (result.accumulators, result.stats)
         }
         ExecutionMode::Transaction => (
-            ops::conv2d(input, &kernel, Some(&bias), stride, padding)
+            ops::conv2d(band_input, &kernel, Some(&bias), stride, padding)
                 .map_err(AccelError::Tensor)?,
             UnitStats::default(),
         ),

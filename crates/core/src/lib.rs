@@ -14,7 +14,7 @@
 //!   the output logic.  The engines traverse the activations as packed
 //!   spike bit-planes, skipping silent regions a word at a time, and
 //!   derive the exact cycle and operation counts analytically; the
-//!   counter-stepped originals are retained in [`reference`] and property
+//!   counter-stepped originals are retained in [`mod@reference`] and property
 //!   tests assert bit-identical accumulators *and* counters.
 //! * **Analytical models** — [`timing`] derives layer latencies from the
 //!   loop hierarchy of Alg. 1, and [`cost`] estimates LUT/FF/BRAM usage and
@@ -27,9 +27,14 @@
 //! stages overlap through bounded queues, drawing threads from the global
 //! [`snn_parallel::ThreadBudget`]), and produces a [`report::RunReport`]
 //! with the prediction, latency, energy, memory traffic and per-unit
-//! utilisation — the quantities reported in the paper's evaluation.  For
-//! serving-scale traffic, [`serve::StreamServer`] micro-batches a
-//! submission queue over the same engine.
+//! utilisation — the quantities reported in the paper's evaluation.  Deep
+//! models run within a fixed on-chip budget: with
+//! [`config::AcceleratorConfig::activation_buffer_bytes`] set, the
+//! [`memory`] tiling planner splits oversized layers into halo-aware row
+//! bands that stream through the buffer pair, which is how full-scale
+//! VGG-11 executes cycle-accurately (bit-identical to the untiled
+//! oracle).  For serving-scale traffic, [`serve::StreamServer`]
+//! micro-batches a bounded submission queue over the same engine.
 //!
 //! # Example
 //!
@@ -56,7 +61,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod error;
 

@@ -166,6 +166,78 @@ impl LinearUnit {
         })
     }
 
+    /// Executes one fully-connected layer in **lane-aligned output
+    /// chunks** — the 1-D counterpart of the row-band tiling in
+    /// [`crate::memory::plan_network_tiles`].  The whole input vector
+    /// stays resident (every output needs every input) while only
+    /// `chunk_outputs` output neurons and their weight rows are staged at
+    /// a time, which is what bounds the 1-D activation buffer for
+    /// VGG-class classifier layers.
+    ///
+    /// `chunk_outputs` must be a multiple of the lane count (or cover all
+    /// outputs at once): each chunk then occupies a whole number of lane
+    /// groups, so the per-chunk cycle counts sum to exactly the untiled
+    /// schedule of [`LinearUnit::run_layer`].  Accumulators and all other
+    /// counters are bit-identical by linearity in the output neurons.
+    ///
+    /// # Errors
+    ///
+    /// As [`LinearUnit::run_layer`], plus
+    /// [`AccelError::UnsupportedLayer`] for a zero or misaligned chunk.
+    pub fn run_layer_chunked(
+        &self,
+        input_levels: &Tensor<i64>,
+        weight_codes: &Tensor<i64>,
+        bias_acc: &Tensor<i64>,
+        time_steps: usize,
+        chunk_outputs: usize,
+    ) -> Result<LinearResult> {
+        if weight_codes.shape().rank() != 2 {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: "linear unit expects [O, N] weights".to_string(),
+            });
+        }
+        let o = weight_codes.shape().dims()[0];
+        let n = weight_codes.shape().dims()[1];
+        if chunk_outputs == 0 || (!chunk_outputs.is_multiple_of(self.lanes) && chunk_outputs < o) {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!(
+                    "output chunk of {chunk_outputs} is not a multiple of the {} lanes",
+                    self.lanes
+                ),
+            });
+        }
+        if bias_acc.len() != o {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!(
+                    "chunked execution needs one bias per output ({o}), got {}",
+                    bias_acc.len()
+                ),
+            });
+        }
+        let w_data = weight_codes.as_slice();
+        let b_data = bias_acc.as_slice();
+        let mut accumulators = Vec::with_capacity(o);
+        let mut stats = UnitStats::default();
+        for lo in (0..o).step_by(chunk_outputs) {
+            let hi = (lo + chunk_outputs).min(o);
+            let weights = Tensor::from_vec(vec![hi - lo, n], w_data[lo * n..hi * n].to_vec())
+                .map_err(AccelError::Tensor)?;
+            let bias = Tensor::from_vec(vec![hi - lo], b_data[lo..hi].to_vec())
+                .map_err(AccelError::Tensor)?;
+            let part = self.run_layer(input_levels, &weights, &bias, time_steps)?;
+            stats += part.stats;
+            accumulators.extend_from_slice(part.accumulators.as_slice());
+        }
+        Ok(LinearResult {
+            accumulators: Tensor::from_vec(vec![o], accumulators).map_err(AccelError::Tensor)?,
+            stats,
+        })
+    }
+
     /// Closed-form cycle count of a fully-connected layer on this unit.
     pub fn layer_cycles(&self, inputs: usize, outputs: usize, time_steps: usize) -> u64 {
         (outputs.div_ceil(self.lanes) as u64) * (inputs as u64) * (time_steps as u64)
@@ -228,6 +300,47 @@ mod tests {
             .unwrap();
         assert_eq!(result.stats.adder_ops, 0);
         assert!(result.accumulators.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn lane_aligned_chunks_sum_to_the_untiled_layer() {
+        let input =
+            Tensor::from_vec(vec![23], (0..23).map(|v| ((v * 11) % 16) as i64).collect()).unwrap();
+        let weight = Tensor::from_vec(
+            vec![11, 23],
+            (0..11 * 23).map(|v| ((v % 7) as i64) - 3).collect(),
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(vec![11], (0..11).map(|v| v - 4).collect()).unwrap();
+        let unit = LinearUnit::new(2);
+        let whole = unit.run_layer(&input, &weight, &bias, 4).unwrap();
+        // Chunks of 4 outputs = two lane groups each, final chunk of 3.
+        let chunked = unit
+            .run_layer_chunked(&input, &weight, &bias, 4, 4)
+            .unwrap();
+        assert_eq!(chunked.accumulators, whole.accumulators);
+        assert_eq!(chunked.stats, whole.stats);
+        // A chunk covering every output is the untiled execution.
+        let all = unit
+            .run_layer_chunked(&input, &weight, &bias, 4, 16)
+            .unwrap();
+        assert_eq!(all.stats, whole.stats);
+    }
+
+    #[test]
+    fn misaligned_chunk_is_rejected() {
+        let input = Tensor::filled(vec![4], 1i64);
+        let weight = Tensor::filled(vec![8, 4], 1i64);
+        let bias = Tensor::filled(vec![8], 0i64);
+        let unit = LinearUnit::new(4);
+        assert!(matches!(
+            unit.run_layer_chunked(&input, &weight, &bias, 3, 0),
+            Err(AccelError::UnsupportedLayer { .. })
+        ));
+        assert!(matches!(
+            unit.run_layer_chunked(&input, &weight, &bias, 3, 6),
+            Err(AccelError::UnsupportedLayer { .. })
+        ));
     }
 
     #[test]

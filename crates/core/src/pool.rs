@@ -16,6 +16,7 @@
 //! engines also use for their derived statistics.
 
 use crate::config::ArrayGeometry;
+use crate::memory::RowBand;
 use crate::units::UnitStats;
 use crate::{AccelError, Result};
 use snn_model::layer::PoolKind;
@@ -103,6 +104,54 @@ impl PoolingUnit {
         Ok(PoolResult { levels, stats })
     }
 
+    /// Executes one **row-band tile** of a pooling layer.
+    ///
+    /// Pooling is non-overlapping and its schedule has no pipeline-fill
+    /// term, so a band is simply the layer restricted to the band's rows:
+    /// `band_levels` holds input rows `band.in_lo..band.in_hi` (which must
+    /// start at `band.out_lo * window`; the final band also carries any
+    /// trailing input rows a non-divisible height leaves unread, so the
+    /// streamed spike count — `adder_ops` — partitions exactly).  Counters
+    /// summed over a partition of the output rows reproduce
+    /// [`PoolingUnit::run_layer`]'s counters bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`PoolingUnit::run_layer`], plus [`AccelError::UnsupportedLayer`]
+    /// when the band tensor does not match the band's row range or the
+    /// band is not aligned to the pooling window.
+    pub fn run_layer_band(
+        &self,
+        band_levels: &Tensor<i64>,
+        kind: PoolKind,
+        window: usize,
+        time_steps: usize,
+        band: &RowBand,
+    ) -> Result<PoolResult> {
+        let dims = band_levels.shape().dims();
+        if dims.len() != 3 || dims[1] != band.in_rows() {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!(
+                    "pool band tensor {dims:?} does not span input rows {}..{}",
+                    band.in_lo, band.in_hi
+                ),
+            });
+        }
+        if band.in_lo != band.out_lo * window {
+            return Err(AccelError::UnsupportedLayer {
+                layer: 0,
+                context: format!(
+                    "pool band input starts at row {} but output row {} pools from row {}",
+                    band.in_lo,
+                    band.out_lo,
+                    band.out_lo * window
+                ),
+            });
+        }
+        self.run_layer(band_levels, kind, window, time_steps)
+    }
+
     /// Closed-form cycle count of a pooling layer on this unit.
     pub fn layer_cycles(
         &self,
@@ -175,6 +224,70 @@ mod tests {
         let input = Tensor::filled(vec![1, 4, 4], 3i64);
         let result = unit().run_layer(&input, PoolKind::Average, 2, 3).unwrap();
         assert_eq!(result.stats.kernel_reads, 0);
+    }
+
+    #[test]
+    fn row_bands_sum_to_the_untiled_layer() {
+        use crate::memory::RowBand;
+        // 9 input rows with a 2x2 window: the last band carries the
+        // trailing unread row so the streamed spike counts partition.
+        let input = Tensor::from_vec(
+            vec![3, 9, 8],
+            (0..3 * 9 * 8).map(|v| ((v * 13) % 16) as i64).collect(),
+        )
+        .unwrap();
+        let u = unit();
+        for kind in [PoolKind::Average, PoolKind::Max] {
+            let whole = u.run_layer(&input, kind, 2, 4).unwrap();
+            let dims = whole.levels.shape().dims().to_vec();
+            let (h_out, w_out) = (dims[1], dims[2]);
+            let mut summed = UnitStats::default();
+            let mut stitched = Tensor::filled(dims.clone(), 0i64);
+            for lo in (0..h_out).step_by(3) {
+                let hi = (lo + 3).min(h_out);
+                let band = RowBand {
+                    out_lo: lo,
+                    out_hi: hi,
+                    in_lo: lo * 2,
+                    in_hi: if hi == h_out { 9 } else { hi * 2 },
+                };
+                let mut band_data = Vec::new();
+                for c in 0..3 {
+                    band_data.extend_from_slice(
+                        &input.as_slice()[c * 9 * 8 + band.in_lo * 8..c * 9 * 8 + band.in_hi * 8],
+                    );
+                }
+                let band_input = Tensor::from_vec(vec![3, band.in_rows(), 8], band_data).unwrap();
+                let part = u.run_layer_band(&band_input, kind, 2, 4, &band).unwrap();
+                summed += part.stats;
+                for c in 0..3 {
+                    let bh = hi - lo;
+                    stitched.as_mut_slice()
+                        [c * h_out * w_out + lo * w_out..c * h_out * w_out + hi * w_out]
+                        .copy_from_slice(
+                            &part.levels.as_slice()[c * bh * w_out..(c + 1) * bh * w_out],
+                        );
+                }
+            }
+            assert_eq!(stitched, whole.levels, "{kind:?}");
+            assert_eq!(summed, whole.stats, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn misaligned_pool_band_is_rejected() {
+        use crate::memory::RowBand;
+        let input = Tensor::filled(vec![1, 4, 4], 1i64);
+        let band = RowBand {
+            out_lo: 1,
+            out_hi: 2,
+            in_lo: 1, // should be out_lo * window = 2
+            in_hi: 5,
+        };
+        assert!(matches!(
+            unit().run_layer_band(&input, PoolKind::Average, 2, 3, &band),
+            Err(AccelError::UnsupportedLayer { .. })
+        ));
     }
 
     #[test]

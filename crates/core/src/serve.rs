@@ -19,6 +19,19 @@
 //! inferences, micro-batch sizes, wall-clock throughput and the modelled
 //! per-unit utilisation; the end-to-end benchmark records these in
 //! `BENCH_serve.json`.
+//!
+//! # Admission policy
+//!
+//! The submission queue is **bounded** by
+//! [`ServerOptions::queue_capacity`] with a *reject-when-full* policy:
+//! [`StreamServer::submit`] never blocks the caller — when the queue
+//! already holds `queue_capacity` undispatched inputs the submission is
+//! rejected immediately with the typed [`AccelError::QueueFull`] (carrying
+//! the observed depth and the capacity) and counted in
+//! [`ServerStats::rejected`].  Rejection is load shedding, not failure:
+//! the client sees exactly which limit it hit and can retry, back off or
+//! route elsewhere, while the server's memory stays bounded no matter how
+//! fast clients submit — the property a network front-end needs.
 
 use crate::compiler::Program;
 use crate::config::AcceleratorConfig;
@@ -46,7 +59,17 @@ pub struct ServerOptions {
     pub mode: ExecutionMode,
     /// Execution-engine options applied to every inference.
     pub exec: ExecOptions,
+    /// Maximum undispatched submissions the queue holds before
+    /// [`StreamServer::submit`] starts rejecting with
+    /// [`AccelError::QueueFull`] (see the module docs on the admission
+    /// policy).  A capacity of `0` rejects every submission — useful to
+    /// drain a server without accepting new work.
+    pub queue_capacity: usize,
 }
+
+/// Default [`ServerOptions::queue_capacity`]: deep enough that a paced
+/// client never notices, small enough to bound memory under abuse.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 
 impl Default for ServerOptions {
     fn default() -> Self {
@@ -54,6 +77,7 @@ impl Default for ServerOptions {
             max_batch: 8,
             mode: ExecutionMode::CycleAccurate,
             exec: ExecOptions::default(),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
         }
     }
 }
@@ -94,6 +118,7 @@ struct StatsAccum {
     errors: u64,
     batches: u64,
     largest_batch: usize,
+    rejected: u64,
 }
 
 struct ServerShared {
@@ -118,8 +143,12 @@ pub struct ServerStats {
     pub batches: u64,
     /// Largest micro-batch dispatched so far.
     pub largest_batch: usize,
+    /// Submissions rejected by the bounded-queue admission policy.
+    pub rejected: u64,
     /// Configured micro-batch cap.
     pub max_batch: usize,
+    /// Configured submission-queue capacity.
+    pub queue_capacity: usize,
     /// Effective global thread budget the server draws from.
     pub thread_budget: usize,
     /// Wall-clock seconds since the server started.
@@ -198,6 +227,7 @@ impl StreamServer {
                 errors: 0,
                 batches: 0,
                 largest_batch: 0,
+                rejected: 0,
             }),
             started: Instant::now(),
         });
@@ -213,24 +243,54 @@ impl StreamServer {
     }
 
     /// Enqueues one input for inference and returns its [`Ticket`].
-    pub fn submit(&self, input: Tensor<f32>) -> Ticket {
+    ///
+    /// Never blocks: admission is governed by the bounded-queue policy in
+    /// the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::QueueFull`] when the submission queue already
+    /// holds [`ServerOptions::queue_capacity`] undispatched inputs (the
+    /// rejection is also counted in [`ServerStats::rejected`]), and
+    /// [`AccelError::Serving`] when the server has begun shutting down.
+    pub fn submit(&self, input: Tensor<f32>) -> Result<Ticket> {
         let (reply, receiver) = mpsc::channel();
         {
             let mut queue = self.shared.queue.lock().expect("submission queue lock");
+            if queue.shutdown {
+                return Err(AccelError::Serving {
+                    context: "server is shutting down and no longer accepts submissions"
+                        .to_string(),
+                });
+            }
+            if queue.jobs.len() >= self.shared.options.queue_capacity {
+                let queued = queue.jobs.len();
+                drop(queue);
+                let mut accum = self.shared.stats.lock().expect("server stats lock");
+                accum.rejected += 1;
+                return Err(AccelError::QueueFull {
+                    queued,
+                    capacity: self.shared.options.queue_capacity,
+                });
+            }
             queue.jobs.push_back(Submission { input, reply });
         }
         self.shared.ready.notify_one();
-        Ticket { receiver }
+        Ok(Ticket { receiver })
     }
 
     /// Submits all `inputs` and waits for all results, in order.
     ///
     /// # Errors
     ///
-    /// Returns the first error encountered; remaining inferences still
-    /// complete server-side.
+    /// Returns the first error encountered — including an admission
+    /// rejection, which cancels the not-yet-submitted remainder; already
+    /// accepted inferences still complete server-side.
     pub fn run_all(&self, inputs: &[Tensor<f32>]) -> Result<Vec<RunReport>> {
-        let tickets: Vec<Ticket> = inputs.iter().map(|i| self.submit(i.clone())).collect();
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|i| self.submit(i.clone()))
+            .collect::<Result<_>>()?;
         tickets.into_iter().map(Ticket::wait).collect()
     }
 
@@ -242,7 +302,9 @@ impl StreamServer {
             errors: accum.errors,
             batches: accum.batches,
             largest_batch: accum.largest_batch,
+            rejected: accum.rejected,
             max_batch: self.shared.options.max_batch,
+            queue_capacity: self.shared.options.queue_capacity,
             thread_budget: snn_parallel::budget().total(),
             elapsed_s: self.shared.started.elapsed().as_secs_f64(),
             utilisation: utilisation_from_program(self.shared.accel.config(), &self.shared.program),
@@ -419,8 +481,10 @@ mod tests {
     fn bad_inputs_error_without_stalling_the_server() {
         let (model, inputs) = tiny_setup(3);
         let server = StreamServer::start(AcceleratorConfig::default(), model).unwrap();
-        let bad = server.submit(Tensor::filled(vec![1, 8, 8], 0.5f32));
-        let good = server.submit(inputs[0].clone());
+        let bad = server
+            .submit(Tensor::filled(vec![1, 8, 8], 0.5f32))
+            .unwrap();
+        let good = server.submit(inputs[0].clone()).unwrap();
         assert!(bad.wait().is_err());
         assert!(good.wait().is_ok());
         let stats = server.stats();
@@ -442,11 +506,49 @@ mod tests {
     fn shutdown_before_dispatch_resolves_tickets_with_an_error_or_result() {
         let (model, inputs) = tiny_setup(3);
         let server = StreamServer::start(AcceleratorConfig::default(), model).unwrap();
-        let ticket = server.submit(inputs[0].clone());
+        let ticket = server.submit(inputs[0].clone()).unwrap();
         // Shutdown drains the queue first, so this ticket resolves with a
         // report rather than hanging.
         let stats = server.shutdown();
         assert!(ticket.wait().is_ok());
         assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_every_submission_with_a_typed_error() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start_with(
+            AcceleratorConfig::default(),
+            model,
+            ServerOptions {
+                queue_capacity: 0,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..3 {
+            match server.submit(inputs[0].clone()) {
+                Err(AccelError::QueueFull { queued, capacity }) => {
+                    assert_eq!(queued, 0);
+                    assert_eq!(capacity, 0);
+                }
+                other => panic!("expected QueueFull, got {other:?}"),
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.queue_capacity, 0);
+    }
+
+    #[test]
+    fn default_capacity_admits_normal_traffic_without_rejections() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start(AcceleratorConfig::default(), model).unwrap();
+        let served = server.run_all(&inputs).unwrap();
+        assert_eq!(served.len(), inputs.len());
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.queue_capacity, DEFAULT_QUEUE_CAPACITY);
     }
 }

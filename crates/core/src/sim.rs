@@ -17,8 +17,14 @@
 //! * [`Accelerator::run_fast`] — **transaction-level**: activations are
 //!   computed with the functional integer model of `snn-model` and only the
 //!   analytical timing model is evaluated.  The results are bit-identical
-//!   (asserted by tests); use this for large models such as VGG-11 where
-//!   even the sparse engine is unnecessary.
+//!   (asserted by tests); use this when unit-level operation counts are not
+//!   needed.
+//!
+//! Depth no longer limits the unit-exact path: with
+//! [`AcceleratorConfig::activation_buffer_bytes`] set, the compiler plans
+//! row-band tiles ([`crate::memory::plan_network_tiles`]) and
+//! [`Accelerator::run`] executes full-scale VGG-11 within a paper-scale
+//! on-chip budget, tile by tile, with an unchanged (bit-identical) report.
 //!
 //! By default both paths execute **pipelined**: adjacent convolution →
 //! pooling layers overlap through bounded stage queues, drawing stage

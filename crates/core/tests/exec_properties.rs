@@ -227,7 +227,7 @@ proptest! {
         let server = StreamServer::start_with(config, model.clone(), ServerOptions {
             max_batch,
             mode,
-            exec: ExecOptions::default(),
+            ..ServerOptions::default()
         }).unwrap();
         let served = server.run_all(&inputs).unwrap();
         let stats = server.shutdown();

@@ -13,7 +13,7 @@
 //!   requires on the order of hundreds of time steps, which is why
 //!   rate-coded accelerators need very long spike trains.
 //! * [`radix`] — the emerging *radix encoding* of Wang et al. (reference
-//!   [6] of the paper): the spike at time step `t` carries a weight of
+//!   \[6\] of the paper): the spike at time step `t` carries a weight of
 //!   `2^(T-1-t)`, so a train of length `T` encodes `T` bits of activation
 //!   resolution.  This is the scheme the accelerator is designed around;
 //!   the hardware accounts for the position weighting with a single left

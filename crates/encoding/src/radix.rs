@@ -1,5 +1,5 @@
 //! Radix encoding — the emerging neural encoding scheme the accelerator is
-//! built for (reference [6] of the paper).
+//! built for (reference \[6\] of the paper).
 //!
 //! An activation `a ∈ [0, 1]` is quantized to an integer level
 //! `round(a * (2^T - 1))` and transmitted as its binary expansion, most

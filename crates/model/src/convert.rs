@@ -1,7 +1,7 @@
 //! ANN-to-SNN conversion with radix encoding.
 //!
 //! The paper obtains its SNN models by training an equivalent ANN and
-//! transferring the parameters (Section IV-A, reference [14]).  Conversion
+//! transferring the parameters (Section IV-A, reference \[14\]).  Conversion
 //! involves three steps, all implemented here:
 //!
 //! 1. **Weight quantization** — the floating-point weights are quantized to

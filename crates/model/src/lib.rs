@@ -6,13 +6,13 @@
 //! The accelerator in the paper does not train networks: SNN models are
 //! obtained by training an equivalent ANN, quantizing its parameters to
 //! 3 bits and transferring them to a radix-encoded SNN (Section IV-A,
-//! reference [14]).  This crate provides every piece of that flow:
+//! reference \[14\]).  This crate provides every piece of that flow:
 //!
 //! * [`layer::LayerSpec`] / [`network::NetworkSpec`] — declarative
 //!   descriptions of the feed-forward CNN topologies the accelerator
 //!   supports (convolution, pooling, flatten, fully-connected).
 //! * [`zoo`] — the concrete models of the paper: LeNet-5, the CNNs of
-//!   Fang et al. [11] and Ju et al. [12], and VGG-11.
+//!   Fang et al. \[11\] and Ju et al. \[12\], and VGG-11.
 //! * [`params::Parameters`] — floating-point weights (randomly initialised
 //!   or produced by `snn-train`), and their 3-bit quantized counterpart
 //!   [`params::QuantizedParameters`].

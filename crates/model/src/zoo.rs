@@ -2,9 +2,9 @@
 //!
 //! * [`lenet5`] — `32x32x1 – 6C5 – P2 – 16C5 – P2 – 120C5 – 120 – 84 – 10`
 //!   (Section IV-A).
-//! * [`fang_cnn`] — the convolutional SNN of Fang et al. [11]:
+//! * [`fang_cnn`] — the convolutional SNN of Fang et al. \[11\]:
 //!   `28x28 – 32C3 – P2 – 32C3 – P2 – 256 – 10` (Table III, footnote 2).
-//! * [`ju_cnn`] — the CNN of Ju et al. [12]:
+//! * [`ju_cnn`] — the CNN of Ju et al. \[12\]:
 //!   `28x28 – 64C5 – 2P – 64C5 – 2P – 128 – 10` (Table III, footnote 1).
 //! * [`vgg11`] — VGG-11 with 28.5 M parameters for CIFAR-100
 //!   (Section IV-A / Table III, last row).
@@ -33,7 +33,7 @@ pub fn lenet5() -> NetworkSpec {
     .expect("LeNet-5 topology is valid")
 }
 
-/// The convolutional SNN of Fang et al. [11] used for the Table III
+/// The convolutional SNN of Fang et al. \[11\] used for the Table III
 /// comparison: `28x28 – 32C3 – P2 – 32C3 – P2 – 256 – 10`.
 pub fn fang_cnn() -> NetworkSpec {
     NetworkSpec::new(
@@ -52,7 +52,7 @@ pub fn fang_cnn() -> NetworkSpec {
     .expect("Fang CNN topology is valid")
 }
 
-/// The CNN of Ju et al. [12] used for the Table III comparison:
+/// The CNN of Ju et al. \[12\] used for the Table III comparison:
 /// `28x28 – 64C5 – 2P – 64C5 – 2P – 128 – 10` (padded 5×5 convolutions).
 pub fn ju_cnn() -> NetworkSpec {
     NetworkSpec::new(
@@ -99,6 +99,14 @@ pub fn vgg11(num_classes: usize) -> NetworkSpec {
         ],
     )
     .expect("VGG-11 topology is valid")
+}
+
+/// VGG-11 for CIFAR-10 — the ten-class deployment the tiled
+/// activation-buffer runs and the CI smoke use.  Identical topology to
+/// [`vgg11`] (28.5 M parameters, eight 3×3 convolutions, three
+/// fully-connected layers); only the classifier width differs.
+pub fn vgg11_cifar10() -> NetworkSpec {
+    vgg11(10)
 }
 
 /// A miniature CNN (`12x12x1 – 4C3 – P2 – 5x5x4 – 20 – 10`) used by unit

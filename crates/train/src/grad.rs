@@ -30,7 +30,7 @@ pub struct LinearGrads {
     pub bias: Tensor<f32>,
 }
 
-/// Backward pass of [`ops::conv2d`].
+/// Backward pass of [`snn_tensor::ops::conv2d`].
 ///
 /// # Errors
 ///
@@ -96,7 +96,7 @@ pub fn conv2d_backward(
     })
 }
 
-/// Backward pass of [`ops::linear`].
+/// Backward pass of [`snn_tensor::ops::linear`].
 ///
 /// # Errors
 ///

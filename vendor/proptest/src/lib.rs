@@ -192,7 +192,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: a fixed size or a range of sizes.
+    /// Length specification for [`vec()`]: a fixed size or a range of sizes.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
