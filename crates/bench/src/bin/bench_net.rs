@@ -1,0 +1,215 @@
+//! Multi-connection loopback load generator for the `snn-net` TCP
+//! front-end: measures end-to-end serving throughput and latency
+//! percentiles **at the system boundary** — sockets, framing and the
+//! micro-batching server included — and writes `BENCH_net.json` at the
+//! workspace root so the network-serving trajectory is tracked PR over PR
+//! alongside `BENCH_conv.json` and `BENCH_serve.json`.
+//!
+//! Two phases:
+//!
+//! 1. **Throughput** — `CONNECTIONS` client threads each stream
+//!    `REQUESTS_PER_CONNECTION` LeNet inferences over its own TCP
+//!    connection; per-request wall-clock latencies give p50/p99.
+//! 2. **Backpressure** — a burst against a one-slot queue forces the
+//!    admission policy to shed load; the summary records how many REJECTED
+//!    frames came back and a sample retry-after hint, proving the hint
+//!    path end to end.
+
+use snn_accel::config::AcceleratorConfig;
+use snn_accel::serve::ServerOptions;
+use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
+use snn_model::params::Parameters;
+use snn_model::snn::SnnModel;
+use snn_model::zoo;
+use snn_net::{NetClient, NetError, NetOptions, NetServer};
+use snn_tensor::Tensor;
+use std::time::Instant;
+
+const CONNECTIONS: usize = 4;
+const REQUESTS_PER_CONNECTION: usize = 16;
+const BURST_CONNECTIONS: usize = 4;
+const BURST_REQUESTS: usize = 25;
+
+fn lenet_model() -> (SnnModel, Vec<Tensor<f32>>) {
+    let net = zoo::lenet5();
+    let params = Parameters::he_init(&net, 7).expect("parameters");
+    let inputs: Vec<Tensor<f32>> = (0..CONNECTIONS)
+        .map(|b| {
+            let values: Vec<f32> = (0..1024)
+                .map(|j| (((j * 13 + b * 101) % 97) as f32) / 96.0)
+                .collect();
+            Tensor::from_vec(vec![1, 32, 32], values).expect("input")
+        })
+        .collect();
+    let stats = CalibrationStats::collect(&net, &params, inputs.iter()).expect("calibration");
+    let model = convert(
+        &net,
+        &params,
+        &stats,
+        ConversionConfig {
+            weight_bits: 3,
+            time_steps: 4,
+        },
+    )
+    .expect("conversion");
+    (model, inputs)
+}
+
+fn percentile_us(sorted_ns: &[u64], pct: usize) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let index = (sorted_ns.len() - 1) * pct / 100;
+    sorted_ns[index] as f64 / 1000.0
+}
+
+fn main() {
+    let (model, inputs) = lenet_model();
+    let config = AcceleratorConfig::lenet_table3();
+
+    // Phase 1: steady-state throughput over loopback.
+    let server = NetServer::bind("127.0.0.1:0", config, model.clone(), NetOptions::default())
+        .expect("bind server");
+    let addr = server.local_addr();
+    // Warm up the pool, the compiled program and the connection path.
+    let mut warm = NetClient::connect(addr).expect("warmup connect");
+    warm.infer(&inputs[0]).expect("warmup inference");
+    drop(warm);
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..CONNECTIONS)
+        .map(|c| {
+            let input = inputs[c % inputs.len()].clone();
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let mut latencies_ns = Vec::with_capacity(REQUESTS_PER_CONNECTION);
+                for _ in 0..REQUESTS_PER_CONNECTION {
+                    let t0 = Instant::now();
+                    client.infer(&input).expect("inference");
+                    latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                }
+                latencies_ns
+            })
+        })
+        .collect();
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    for worker in workers {
+        latencies_ns.extend(worker.join().expect("load thread"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let total_requests = latencies_ns.len();
+    let ips = total_requests as f64 / elapsed;
+    latencies_ns.sort_unstable();
+    let p50_us = percentile_us(&latencies_ns, 50);
+    let p99_us = percentile_us(&latencies_ns, 99);
+    let mean_us =
+        latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len().max(1) as f64 / 1000.0;
+    let stats = server.shutdown();
+    println!(
+        "net: {total_requests} LeNet inferences over {CONNECTIONS} TCP connections: \
+         {ips:.1} inf/s, p50 {p50_us:.0} us, p99 {p99_us:.0} us (thread budget {})",
+        stats.server.thread_budget
+    );
+    assert_eq!(
+        stats.server.completed,
+        (total_requests + 1) as u64,
+        "every request (plus warmup) must complete"
+    );
+
+    // Phase 2: forced backpressure against a one-slot queue.
+    let tight = NetServer::bind(
+        "127.0.0.1:0",
+        config,
+        model,
+        NetOptions {
+            server: ServerOptions {
+                max_batch: 1,
+                queue_capacity: 1,
+                ..ServerOptions::default()
+            },
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind backpressure server");
+    let tight_addr = tight.local_addr();
+    let burst: Vec<_> = (0..BURST_CONNECTIONS)
+        .map(|c| {
+            let input = inputs[c % inputs.len()].clone();
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(tight_addr).expect("connect");
+                let mut rejections = 0u64;
+                let mut hint_ms = 0u64;
+                for _ in 0..BURST_REQUESTS {
+                    match client.infer(&input) {
+                        Ok(_) => {}
+                        Err(NetError::Rejected(reply)) => {
+                            rejections += 1;
+                            hint_ms = hint_ms.max(reply.retry_after_ms);
+                        }
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                }
+                (rejections, hint_ms)
+            })
+        })
+        .collect();
+    let mut rejections = 0u64;
+    let mut hint_ms = 0u64;
+    for worker in burst {
+        let (r, h) = worker.join().expect("burst thread");
+        rejections += r;
+        hint_ms = hint_ms.max(h);
+    }
+    let tight_stats = tight.shutdown();
+    println!(
+        "backpressure: {rejections}/{} requests shed by the one-slot queue, \
+         sample retry-after hint {hint_ms} ms",
+        BURST_CONNECTIONS * BURST_REQUESTS
+    );
+    assert_eq!(tight_stats.server.rejected, rejections);
+    // The phase exists to prove the REJECTED/hint path end to end; a run
+    // in which the burst never overflowed the one-slot queue proved
+    // nothing and must fail loudly rather than record a vacuous summary.
+    assert!(
+        rejections > 0,
+        "the burst must force at least one QueueFull rejection"
+    );
+    assert!(hint_ms >= 1, "a rejection must carry a positive retry hint");
+
+    let utilisation: Vec<String> = stats
+        .server
+        .utilisation
+        .iter()
+        .map(|u| {
+            format!(
+                "\"{:?}\": {{\"units\": {}, \"busy_cycles\": {}, \"total_cycles\": {}, \
+                 \"utilisation\": {:.4}}}",
+                u.kind,
+                u.units,
+                u.busy_cycles,
+                u.total_cycles,
+                u.utilisation()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\
+         \"workload\": \"lenet5_T4_tcp_loopback\",\n\
+         \"connections\": {CONNECTIONS},\n\
+         \"requests\": {total_requests},\n\
+         \"thread_budget\": {},\n\
+         \"inferences_per_sec\": {{\"tcp_loopback\": {ips:.2}}},\n\
+         \"latency\": {{\"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}, \
+         \"mean_us\": {mean_us:.1}}},\n\
+         \"backpressure\": {{\"burst_requests\": {}, \"rejections\": {rejections}, \
+         \"retry_hint_sample\": {hint_ms}}},\n\
+         \"unit_utilisation\": {{{}}}\n\
+         }}\n",
+        stats.server.thread_budget,
+        BURST_CONNECTIONS * BURST_REQUESTS,
+        utilisation.join(", ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    std::fs::write(path, &json).expect("write BENCH_net.json");
+    println!("wrote {path}");
+}

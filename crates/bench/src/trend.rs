@@ -7,7 +7,8 @@
 //! external dependencies (the container has no registry access).  Metrics
 //! are classified by their key path:
 //!
-//! * `*_ns` — durations, **lower** is better;
+//! * `*_ns`, `*_us`, `*_ms` — durations (and latency percentiles like the
+//!   `p50_us`/`p99_us` of `BENCH_net.json`), **lower** is better;
 //! * `*speedup*`, `*per_sec*` paths and `utilisation` leaf keys —
 //!   ratios/rates, **higher** is better;
 //! * everything else (sample counts, batch sizes, cycle counts — including
@@ -241,7 +242,7 @@ pub fn parse_metrics(text: &str) -> Result<Vec<Metric>, String> {
         // (`.../busy_cycles`, `.../total_cycles`) are informational.
         let leaf = id.rsplit('/').next().unwrap_or(id.as_str()).to_string();
         let higher = id.contains("speedup") || id.contains("per_sec") || leaf == "utilisation";
-        let lower = id.ends_with("_ns");
+        let lower = id.ends_with("_ns") || id.ends_with("_us") || id.ends_with("_ms");
         if higher || lower {
             metrics.push(Metric {
                 id,
@@ -391,8 +392,34 @@ mod tests {
     }
 
     #[test]
+    fn latency_percentiles_are_lower_is_better() {
+        let metrics = parse_metrics(
+            r#"{"latency": {"p50_us": 900.0, "p99_us": 2100.0, "mean_us": 1000.0},
+                "warmup_ms": 12.0, "samples": 64}"#,
+        )
+        .unwrap();
+        for id in [
+            "latency/p50_us",
+            "latency/p99_us",
+            "latency/mean_us",
+            "warmup_ms",
+        ] {
+            let metric = metrics
+                .iter()
+                .find(|m| m.id == id)
+                .unwrap_or_else(|| panic!("missing {id}: {metrics:?}"));
+            assert!(!metric.higher_is_better, "{id} must be lower-is-better");
+        }
+        assert!(metrics.iter().all(|m| m.id != "samples"));
+    }
+
+    #[test]
     fn committed_summaries_parse() {
-        for path in ["../../BENCH_conv.json", "../../BENCH_serve.json"] {
+        for path in [
+            "../../BENCH_conv.json",
+            "../../BENCH_serve.json",
+            "../../BENCH_net.json",
+        ] {
             let full = format!("{}/{}", env!("CARGO_MANIFEST_DIR"), path);
             if let Ok(text) = std::fs::read_to_string(&full) {
                 let metrics = parse_metrics(&text).unwrap();

@@ -50,6 +50,17 @@ pub enum AccelError {
     },
 }
 
+impl AccelError {
+    /// Whether this error is *load shedding* rather than failure: the
+    /// request was well-formed but the server chose not to admit it right
+    /// now.  Transport layers map these to typed REJECTED replies with a
+    /// retry-after hint instead of error replies, and clients should back
+    /// off and retry rather than give up.
+    pub fn is_backpressure(&self) -> bool {
+        matches!(self, AccelError::QueueFull { .. })
+    }
+}
+
 impl fmt::Display for AccelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -111,6 +122,23 @@ mod tests {
             context: "zero convolution units".into(),
         };
         assert!(err.to_string().contains("zero convolution units"));
+    }
+
+    #[test]
+    fn only_queue_full_is_backpressure() {
+        assert!(AccelError::QueueFull {
+            queued: 4,
+            capacity: 4
+        }
+        .is_backpressure());
+        assert!(!AccelError::Serving {
+            context: "shutting down".into()
+        }
+        .is_backpressure());
+        assert!(!AccelError::InvalidConfig {
+            context: "nope".into()
+        }
+        .is_backpressure());
     }
 
     #[test]

@@ -32,6 +32,9 @@
 //! the client sees exactly which limit it hit and can retry, back off or
 //! route elsewhere, while the server's memory stays bounded no matter how
 //! fast clients submit — the property a network front-end needs.
+//! [`StreamServer::queue_snapshot`] exposes the live queue depth and the
+//! recent drain rate so that front-end (`snn-net`) can attach a concrete
+//! *retry-after* hint to every rejection.
 
 use crate::compiler::Program;
 use crate::config::AcceleratorConfig;
@@ -62,8 +65,10 @@ pub struct ServerOptions {
     /// Maximum undispatched submissions the queue holds before
     /// [`StreamServer::submit`] starts rejecting with
     /// [`AccelError::QueueFull`] (see the module docs on the admission
-    /// policy).  A capacity of `0` rejects every submission — useful to
-    /// drain a server without accepting new work.
+    /// policy).  Must be at least `1`: a zero capacity would reject every
+    /// submission, so [`StreamServer::start_with`] refuses it with the
+    /// typed [`AccelError::InvalidConfig`] instead of starting a server
+    /// that can never serve (use [`StreamServer::shutdown`] to drain).
     pub queue_capacity: usize,
 }
 
@@ -113,12 +118,20 @@ struct SubmissionQueue {
     shutdown: bool,
 }
 
+/// How many recent micro-batch completions the drain-rate window keeps
+/// (the "recent" in [`QueueSnapshot::drain_rate_ips`]).
+pub const DRAIN_WINDOW_BATCHES: usize = 32;
+
 struct StatsAccum {
     completed: u64,
     errors: u64,
     batches: u64,
     largest_batch: usize,
     rejected: u64,
+    /// `(completion instant, inferences settled)` of the most recent
+    /// micro-batches, capped at [`DRAIN_WINDOW_BATCHES`] entries — the
+    /// basis of the *recent* drain rate in [`QueueSnapshot`].
+    recent: VecDeque<(Instant, u64)>,
 }
 
 struct ServerShared {
@@ -145,6 +158,8 @@ pub struct ServerStats {
     pub largest_batch: usize,
     /// Submissions rejected by the bounded-queue admission policy.
     pub rejected: u64,
+    /// Live queue-depth / drain-rate snapshot (see [`QueueSnapshot`]).
+    pub queue: QueueSnapshot,
     /// Configured micro-batch cap.
     pub max_batch: usize,
     /// Configured submission-queue capacity.
@@ -173,6 +188,62 @@ impl ServerStats {
             return 0.0;
         }
         (self.completed + self.errors) as f64 / self.batches as f64
+    }
+}
+
+/// Fallback retry hint when a server has not yet drained anything, so no
+/// drain rate is measurable (milliseconds).
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 100;
+
+/// Upper clamp of [`QueueSnapshot::retry_after_ms`] (one minute).
+pub const MAX_RETRY_AFTER_MS: u64 = 60_000;
+
+/// A cheap point-in-time view of the submission queue's load: how deep it
+/// is, how big it may grow, and how fast the dispatcher has recently been
+/// draining it.
+///
+/// Produced by [`StreamServer::queue_snapshot`] (two short lock holds, no
+/// allocation) and embedded in [`ServerStats::queue`].  This is the signal
+/// a network front-end turns into *retry-after* hints on rejected
+/// submissions, closing the loop on the reject-when-full admission policy:
+/// a shed client learns not just that the server is full but when capacity
+/// is likely to reappear.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueSnapshot {
+    /// Submissions currently queued and not yet dispatched.
+    pub depth: usize,
+    /// Configured queue capacity ([`ServerOptions::queue_capacity`]).
+    pub capacity: usize,
+    /// Recent drain rate in inferences per second: inferences settled
+    /// across the last [`DRAIN_WINDOW_BATCHES`] micro-batches divided by
+    /// the span between the oldest and newest of those completions — a
+    /// completion-to-completion measure, so idle periods do not decay it
+    /// (falling back to the lifetime average, and `0.0` before anything
+    /// has been served).
+    pub drain_rate_ips: f64,
+}
+
+impl QueueSnapshot {
+    /// Whether the next submission would be rejected.
+    pub fn is_full(&self) -> bool {
+        self.depth >= self.capacity
+    }
+
+    /// Milliseconds a rejected client should wait before retrying: the time
+    /// the dispatcher needs to drain the current queue depth at the recent
+    /// drain rate, clamped to `1..=`[`MAX_RETRY_AFTER_MS`].
+    ///
+    /// Returns `0` when the queue is empty (retry immediately) and
+    /// [`DEFAULT_RETRY_AFTER_MS`] when no drain rate is measurable yet.
+    pub fn retry_after_ms(&self) -> u64 {
+        if self.depth == 0 {
+            return 0;
+        }
+        if self.drain_rate_ips <= 0.0 {
+            return DEFAULT_RETRY_AFTER_MS;
+        }
+        let ms = (self.depth as f64 / self.drain_rate_ips * 1000.0).ceil() as u64;
+        ms.clamp(1, MAX_RETRY_AFTER_MS)
     }
 }
 
@@ -207,12 +278,29 @@ impl StreamServer {
     ///
     /// # Errors
     ///
-    /// See [`StreamServer::start`].
+    /// Returns [`AccelError::InvalidConfig`] for degenerate options — a
+    /// `max_batch` of `0` (the dispatcher could never drain a micro-batch)
+    /// or a `queue_capacity` of `0` (every submission would be rejected) —
+    /// and otherwise the errors of [`StreamServer::start`].
     pub fn start_with(
         config: AcceleratorConfig,
         model: SnnModel,
         options: ServerOptions,
     ) -> Result<Self> {
+        if options.max_batch == 0 {
+            return Err(AccelError::InvalidConfig {
+                context: "ServerOptions::max_batch is 0: the dispatcher could never drain \
+                          a micro-batch"
+                    .to_string(),
+            });
+        }
+        if options.queue_capacity == 0 {
+            return Err(AccelError::InvalidConfig {
+                context: "ServerOptions::queue_capacity is 0: every submission would be \
+                          rejected (shut the server down to drain it instead)"
+                    .to_string(),
+            });
+        }
         let accel = Accelerator::with_options(config, options.exec);
         let program = accel.compile(&model)?;
         let shared = Arc::new(ServerShared {
@@ -228,6 +316,7 @@ impl StreamServer {
                 batches: 0,
                 largest_batch: 0,
                 rejected: 0,
+                recent: VecDeque::new(),
             }),
             started: Instant::now(),
         });
@@ -294,8 +383,29 @@ impl StreamServer {
         tickets.into_iter().map(Ticket::wait).collect()
     }
 
+    /// Cheap point-in-time queue-load snapshot: depth, capacity and the
+    /// recent drain rate — the inputs of a retry-after hint.  Takes the
+    /// queue and stats locks briefly (never both at once) and allocates
+    /// nothing.
+    pub fn queue_snapshot(&self) -> QueueSnapshot {
+        let depth = self
+            .shared
+            .queue
+            .lock()
+            .expect("submission queue lock")
+            .jobs
+            .len();
+        let accum = self.shared.stats.lock().expect("server stats lock");
+        QueueSnapshot {
+            depth,
+            capacity: self.shared.options.queue_capacity,
+            drain_rate_ips: drain_rate_ips(&accum, &self.shared.started),
+        }
+    }
+
     /// Snapshot of the serving statistics.
     pub fn stats(&self) -> ServerStats {
+        let queue = self.queue_snapshot();
         let accum = self.shared.stats.lock().expect("server stats lock");
         ServerStats {
             completed: accum.completed,
@@ -303,6 +413,7 @@ impl StreamServer {
             batches: accum.batches,
             largest_batch: accum.largest_batch,
             rejected: accum.rejected,
+            queue,
             max_batch: self.shared.options.max_batch,
             queue_capacity: self.shared.options.queue_capacity,
             thread_budget: snn_parallel::budget().total(),
@@ -337,6 +448,34 @@ impl Drop for StreamServer {
     }
 }
 
+/// Recent drain rate in inferences/second, measured **completion to
+/// completion** across the window: the inferences settled after the oldest
+/// windowed batch, divided by the span between the oldest and newest batch
+/// completions.  Anchoring both ends on completions (rather than on "now")
+/// keeps the rate a measure of how fast the dispatcher drains *when it is
+/// draining* — an idle lull must not decay it, or the retry-after hints
+/// derived from it would balloon after every quiet period.  Falls back to
+/// the lifetime average (fewer than two windowed batches) and then `0.0`.
+fn drain_rate_ips(accum: &StatsAccum, started: &Instant) -> f64 {
+    if let (Some(&(oldest, oldest_items)), Some(&(newest, _))) =
+        (accum.recent.front(), accum.recent.back())
+    {
+        let span = newest.duration_since(oldest).as_secs_f64();
+        // The oldest record marks the window start; its items settled at
+        // (not during) the measured span.
+        let items: u64 = accum.recent.iter().map(|&(_, n)| n).sum::<u64>() - oldest_items;
+        if span > 0.0 && items > 0 {
+            return items as f64 / span;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let settled = accum.completed + accum.errors;
+    if elapsed > 0.0 && settled > 0 {
+        return settled as f64 / elapsed;
+    }
+    0.0
+}
+
 fn dispatch_loop(shared: &ServerShared) {
     let max_batch = shared.options.max_batch.max(1);
     loop {
@@ -367,22 +506,25 @@ fn dispatch_loop(shared: &ServerShared) {
             )
         });
 
-        let mut completed = 0u64;
-        let mut errors = 0u64;
-        for (submission, report) in batch.into_iter().zip(reports) {
-            if report.is_ok() {
-                completed += 1;
-            } else {
-                errors += 1;
+        let completed = reports.iter().filter(|r| r.is_ok()).count() as u64;
+        let errors = reports.len() as u64 - completed;
+        // Count before replying, so a client that has its result in hand
+        // is guaranteed to find it reflected in the server statistics.
+        {
+            let mut accum = shared.stats.lock().expect("server stats lock");
+            accum.completed += completed;
+            accum.errors += errors;
+            accum.batches += 1;
+            accum.largest_batch = accum.largest_batch.max((completed + errors) as usize);
+            accum.recent.push_back((Instant::now(), completed + errors));
+            if accum.recent.len() > DRAIN_WINDOW_BATCHES {
+                accum.recent.pop_front();
             }
+        }
+        for (submission, report) in batch.into_iter().zip(reports) {
             // A dropped ticket just means the client stopped listening.
             let _ = submission.reply.send(report);
         }
-        let mut accum = shared.stats.lock().expect("server stats lock");
-        accum.completed += completed;
-        accum.errors += errors;
-        accum.batches += 1;
-        accum.largest_batch = accum.largest_batch.max((completed + errors) as usize);
     }
 }
 
@@ -515,30 +657,120 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_rejects_every_submission_with_a_typed_error() {
+    fn degenerate_options_are_rejected_at_construction() {
+        for options in [
+            ServerOptions {
+                queue_capacity: 0,
+                ..ServerOptions::default()
+            },
+            ServerOptions {
+                max_batch: 0,
+                ..ServerOptions::default()
+            },
+        ] {
+            let (model, _) = tiny_setup(3);
+            match StreamServer::start_with(AcceleratorConfig::default(), model, options) {
+                Err(AccelError::InvalidConfig { context }) => {
+                    assert!(context.contains("ServerOptions"), "context: {context}");
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_typed_error_and_counts() {
         let (model, inputs) = tiny_setup(3);
         let server = StreamServer::start_with(
             AcceleratorConfig::default(),
             model,
             ServerOptions {
-                queue_capacity: 0,
+                max_batch: 1,
+                queue_capacity: 1,
                 ..ServerOptions::default()
             },
         )
         .unwrap();
-        for _ in 0..3 {
+        // Submitting is orders of magnitude faster than inference, so a
+        // tight loop must fill the one-slot queue long before the bounded
+        // attempt cap: once the dispatcher is busy with an earlier input
+        // and one more waits, the next submission is shed.
+        let mut tickets = Vec::new();
+        let mut rejection = None;
+        for _ in 0..10_000 {
             match server.submit(inputs[0].clone()) {
-                Err(AccelError::QueueFull { queued, capacity }) => {
-                    assert_eq!(queued, 0);
-                    assert_eq!(capacity, 0);
+                Ok(ticket) => tickets.push(ticket),
+                Err(err) => {
+                    rejection = Some(err);
+                    break;
                 }
-                other => panic!("expected QueueFull, got {other:?}"),
             }
         }
+        match rejection.expect("a rejection within the attempt cap") {
+            AccelError::QueueFull { queued, capacity } => {
+                assert_eq!(queued, 1);
+                assert_eq!(capacity, 1);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // A full queue yields a positive retry hint.
+        let snapshot = server.queue_snapshot();
+        assert_eq!(snapshot.capacity, 1);
+        if snapshot.is_full() {
+            assert!(snapshot.retry_after_ms() >= 1);
+        }
+        // Accepted inferences still complete.
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
         let stats = server.shutdown();
-        assert_eq!(stats.rejected, 3);
-        assert_eq!(stats.completed, 0);
-        assert_eq!(stats.queue_capacity, 0);
+        assert!(stats.rejected >= 1);
+        assert!(stats.completed >= 1);
+    }
+
+    #[test]
+    fn queue_snapshot_reports_depth_capacity_and_drain_rate() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start(AcceleratorConfig::default(), model).unwrap();
+        let before = server.queue_snapshot();
+        assert_eq!(before.capacity, DEFAULT_QUEUE_CAPACITY);
+        assert!(!before.is_full());
+        assert_eq!(before.retry_after_ms(), 0, "empty queue: retry now");
+        server.run_all(&inputs).unwrap();
+        let after = server.queue_snapshot();
+        assert_eq!(after.depth, 0, "run_all drained everything");
+        assert!(after.drain_rate_ips > 0.0, "served work implies a rate");
+        let stats = server.shutdown();
+        assert_eq!(stats.queue.capacity, DEFAULT_QUEUE_CAPACITY);
+    }
+
+    #[test]
+    fn retry_hint_math_covers_the_fallbacks() {
+        let empty = QueueSnapshot {
+            depth: 0,
+            capacity: 8,
+            drain_rate_ips: 100.0,
+        };
+        assert_eq!(empty.retry_after_ms(), 0);
+        let unmeasured = QueueSnapshot {
+            depth: 3,
+            capacity: 8,
+            drain_rate_ips: 0.0,
+        };
+        assert_eq!(unmeasured.retry_after_ms(), DEFAULT_RETRY_AFTER_MS);
+        let typical = QueueSnapshot {
+            depth: 5,
+            capacity: 8,
+            drain_rate_ips: 50.0,
+        };
+        // 5 inferences at 50/s = 100 ms.
+        assert_eq!(typical.retry_after_ms(), 100);
+        let glacial = QueueSnapshot {
+            depth: 1000,
+            capacity: 1000,
+            drain_rate_ips: 0.001,
+        };
+        assert_eq!(glacial.retry_after_ms(), MAX_RETRY_AFTER_MS);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Pure-Rust client for the `snn-net` protocol.
+//!
+//! [`NetClient`] speaks framed requests over one blocking TCP connection;
+//! [`scrape_stats`] performs the plaintext `STATS` one-shot that a
+//! dependency-free scraper (or `nc`) would.
+
+use crate::error::NetError;
+use crate::protocol::{Frame, InferRequest, ScoreReply, STATS_LINE};
+use snn_tensor::Tensor;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How long a client waits on a single reply before giving up — generous,
+/// because a cycle-accurate inference behind a deep queue is slow, but
+/// finite, so a wedged server cannot hang the client forever.
+pub const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A blocking client connection to a [`crate::server::NetServer`].
+///
+/// Any transport or protocol error **poisons** the connection: after a
+/// timeout the stream may still carry the late reply to the failed
+/// exchange, so silently reusing it would hand that stale frame to the
+/// next request.  A poisoned client fails every further call with
+/// [`NetError::Poisoned`]; reconnect instead.  Typed replies (scores,
+/// rejections, server errors) leave the stream in sync and do not poison.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    /// Resolved peer address, kept so [`NetClient::infer_with_retry`] can
+    /// reconnect after a connection-scope rejection (the server hangs up
+    /// after shedding a connection).
+    addr: std::net::SocketAddr,
+    buf: Vec<u8>,
+    poisoned: bool,
+}
+
+impl NetClient {
+    /// Connects to a serving front-end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(REPLY_TIMEOUT))?;
+        let addr = stream.peer_addr()?;
+        Ok(NetClient {
+            stream,
+            addr,
+            buf: Vec::new(),
+            poisoned: false,
+        })
+    }
+
+    /// Submits one inference and blocks for its scores.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Rejected`] when the server shed the request under load
+    /// (check [`NetError::retry_after_ms`] and back off),
+    /// [`NetError::Remote`] for request failures,
+    /// [`NetError::Protocol`] locally when the tensor violates a wire
+    /// limit (see [`InferRequest::validate`]), and transport errors
+    /// otherwise.
+    pub fn infer(&mut self, input: &Tensor<f32>) -> Result<ScoreReply, NetError> {
+        let request = InferRequest::from_tensor(input);
+        // Fail limit violations (oversized tensors, rank) locally with the
+        // same typed error the server's decoder would raise, instead of
+        // having the server kill the connection over them.
+        request.validate()?;
+        match self.roundtrip(&Frame::Infer(request))? {
+            Frame::Scores(reply) => Ok(reply),
+            Frame::Rejected(reply) => Err(NetError::Rejected(reply)),
+            Frame::Error(reply) => Err(NetError::Remote {
+                code: reply.code,
+                message: reply.message,
+            }),
+            _ => Err(NetError::Protocol(
+                crate::protocol::ProtocolError::Malformed(
+                    "unexpected reply frame to an inference request".to_string(),
+                ),
+            )),
+        }
+    }
+
+    /// Submits one inference, retrying after the server's hint on each
+    /// backpressure rejection, up to `attempts` tries total.
+    ///
+    /// Connection-scope rejections (the server's worker set was saturated,
+    /// [`crate::protocol::reject_scope::CONNECTIONS`]) close the shed
+    /// connection server-side, so the helper reconnects before those
+    /// retries; queue-scope rejections retry on the same connection.
+    ///
+    /// # Errors
+    ///
+    /// The final rejection when every attempt was shed, or any
+    /// non-backpressure error immediately.
+    pub fn infer_with_retry(
+        &mut self,
+        input: &Tensor<f32>,
+        attempts: usize,
+    ) -> Result<ScoreReply, NetError> {
+        let attempts = attempts.max(1);
+        for attempt in 1..=attempts {
+            match self.infer(input) {
+                Err(err) if err.is_backpressure() => {
+                    if attempt == attempts {
+                        // Out of attempts: return the rejection in hand
+                        // instead of sleeping through a hint we will never
+                        // act on.
+                        return Err(err);
+                    }
+                    let reconnect = matches!(
+                        &err,
+                        NetError::Rejected(reply)
+                            if reply.scope == crate::protocol::reject_scope::CONNECTIONS
+                    );
+                    let wait = err.retry_after_ms().unwrap_or(1);
+                    std::thread::sleep(Duration::from_millis(wait));
+                    if reconnect {
+                        *self = NetClient::connect(self.addr)?;
+                    }
+                }
+                other => return other,
+            }
+        }
+        unreachable!("every attempt either returned or slept toward the next")
+    }
+
+    /// Fetches the server's plaintext counters over the framed protocol
+    /// (the connection stays usable afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors.
+    pub fn stats_text(&mut self) -> Result<String, NetError> {
+        match self.roundtrip(&Frame::StatsRequest)? {
+            Frame::StatsText(text) => Ok(text),
+            Frame::Rejected(reply) => Err(NetError::Rejected(reply)),
+            Frame::Error(reply) => Err(NetError::Remote {
+                code: reply.code,
+                message: reply.message,
+            }),
+            _ => Err(NetError::Protocol(
+                crate::protocol::ProtocolError::Malformed(
+                    "unexpected reply frame to a stats request".to_string(),
+                ),
+            )),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &Frame) -> Result<Frame, NetError> {
+        if self.poisoned {
+            return Err(NetError::Poisoned);
+        }
+        match self.exchange(request) {
+            Ok(frame) => Ok(frame),
+            Err(err) => {
+                // The stream may hold (or later receive) a reply we can no
+                // longer pair with its request; never reuse it.
+                self.poisoned = true;
+                Err(err)
+            }
+        }
+    }
+
+    fn exchange(&mut self, request: &Frame) -> Result<Frame, NetError> {
+        request.write_to(&mut self.stream)?;
+        self.read_frame()
+    }
+
+    fn read_frame(&mut self) -> Result<Frame, NetError> {
+        let mut scratch = [0u8; 8192];
+        loop {
+            if let Some((frame, used)) = Frame::decode(&self.buf)? {
+                self.buf.drain(..used);
+                return Ok(frame);
+            }
+            match self.stream.read(&mut scratch)? {
+                0 => return Err(NetError::Disconnected),
+                n => self.buf.extend_from_slice(&scratch[..n]),
+            }
+        }
+    }
+}
+
+/// One-shot plaintext scrape: connects, sends the ASCII `STATS` line and
+/// reads until the server closes — exactly what `echo STATS | nc` does.
+///
+/// # Errors
+///
+/// [`NetError::Rejected`] when the server shed the connection under load
+/// (it answers with a framed REJECTED before the plaintext line is
+/// processed), [`NetError::Protocol`] for a non-text reply, and socket
+/// errors otherwise.
+pub fn scrape_stats<A: ToSocketAddrs>(addr: A) -> Result<String, NetError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(REPLY_TIMEOUT))?;
+    // One write: a Nagle-delayed lone terminator would stall the server,
+    // which cannot answer until the full line arrives.
+    let mut line = STATS_LINE.to_vec();
+    line.push(b'\n');
+    stream.write_all(&line)?;
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply)?;
+    // A saturated server sheds the connection with a framed REJECTED
+    // before ever seeing the plaintext request — surface it typed instead
+    // of returning binary bytes as "stats text".
+    if reply.starts_with(&crate::protocol::MAGIC) {
+        return match Frame::decode(&reply)? {
+            Some((Frame::Rejected(rejected), _)) => Err(NetError::Rejected(rejected)),
+            _ => Err(NetError::Protocol(
+                crate::protocol::ProtocolError::Malformed(
+                    "framed reply to a plaintext stats request".to_string(),
+                ),
+            )),
+        };
+    }
+    String::from_utf8(reply).map_err(|_| {
+        NetError::Protocol(crate::protocol::ProtocolError::Malformed(
+            "stats reply is not UTF-8".to_string(),
+        ))
+    })
+}

@@ -1,0 +1,140 @@
+//! The error type shared by the `snn-net` server and client.
+
+use crate::protocol::{ProtocolError, RejectReply};
+use snn_accel::AccelError;
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong speaking the `snn-net` protocol.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket-level failure.
+    Io(io::Error),
+    /// The byte stream violated the frame protocol.
+    Protocol(ProtocolError),
+    /// The server shed this request under load; carries the typed
+    /// [`RejectReply`] with its retry-after hint.  This is backpressure,
+    /// not failure — see [`NetError::is_backpressure`].
+    Rejected(RejectReply),
+    /// The server answered with an error reply.
+    Remote {
+        /// Machine-readable cause (see [`crate::protocol::error_code`]).
+        code: u16,
+        /// Human-readable description from the server.
+        message: String,
+    },
+    /// A local accelerator error (server-side construction, model
+    /// compilation, ...).
+    Accel(AccelError),
+    /// The peer closed the connection mid-exchange.
+    Disconnected,
+    /// A previous exchange on this connection failed mid-flight, so the
+    /// stream may carry a stale reply that cannot be paired with its
+    /// request any more; reconnect instead of reusing the client.
+    Poisoned,
+}
+
+impl NetError {
+    /// Whether this error is load shedding with a retry hint rather than a
+    /// failure (mirrors [`AccelError::is_backpressure`] across the wire).
+    pub fn is_backpressure(&self) -> bool {
+        matches!(self, NetError::Rejected(_))
+    }
+
+    /// The server's retry-after hint in milliseconds, when this is a
+    /// backpressure rejection.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            NetError::Rejected(reply) => Some(reply.retry_after_ms),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol error: {e}"),
+            NetError::Rejected(reply) => write!(
+                f,
+                "rejected under load (scope {}, {}/{} in use): retry after {} ms",
+                reply.scope, reply.queued, reply.capacity, reply.retry_after_ms
+            ),
+            NetError::Remote { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            NetError::Accel(e) => write!(f, "accelerator error: {e}"),
+            NetError::Disconnected => write!(f, "peer closed the connection mid-exchange"),
+            NetError::Poisoned => write!(
+                f,
+                "connection poisoned by an earlier failed exchange; reconnect"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Protocol(e) => Some(e),
+            NetError::Accel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for NetError {
+    fn from(e: ProtocolError) -> Self {
+        NetError::Protocol(e)
+    }
+}
+
+impl From<AccelError> for NetError {
+    fn from(e: AccelError) -> Self {
+        NetError::Accel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejection_is_backpressure_with_a_hint() {
+        let err = NetError::Rejected(RejectReply {
+            scope: crate::protocol::reject_scope::QUEUE,
+            queued: 4,
+            capacity: 4,
+            retry_after_ms: 25,
+            drain_rate_mips: 1000,
+        });
+        assert!(err.is_backpressure());
+        assert_eq!(err.retry_after_ms(), Some(25));
+        assert!(err.to_string().contains("retry after 25 ms"));
+    }
+
+    #[test]
+    fn other_errors_are_not_backpressure() {
+        let err = NetError::Remote {
+            code: 1,
+            message: "bad shape".into(),
+        };
+        assert!(!err.is_backpressure());
+        assert_eq!(err.retry_after_ms(), None);
+        assert!(NetError::Disconnected.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

@@ -1,0 +1,39 @@
+//! # snn-net
+//!
+//! A TCP serving front-end for the SNN accelerator: the bridge between the
+//! in-process [`snn_accel::serve::StreamServer`] and the network, built on
+//! `std::net` only (the workspace has no registry access).
+//!
+//! Three pieces:
+//!
+//! * [`protocol`] — a length-prefixed, versioned binary frame codec
+//!   (inference request = encoded input tensor + options; response = class
+//!   scores + a `RunReport` summary), pure over byte slices and
+//!   property-tested: malformed, truncated or oversized input yields typed
+//!   [`protocol::ProtocolError`]s, never panics or unbounded buffering.
+//! * [`server`] — [`server::NetServer`]: an acceptor plus a
+//!   thread-per-connection worker set bounded by the shared
+//!   [`snn_parallel::ThreadBudget`] IO leases, graceful draining shutdown,
+//!   and **first-class backpressure**: queue-full and worker-saturated
+//!   conditions answer with typed REJECTED frames carrying a retry-after
+//!   hint computed from the live queue depth and drain rate.
+//! * [`client`] — [`client::NetClient`], the pure-Rust client used by the
+//!   tests, the `serve_tcp` example and the `bench_net` load generator,
+//!   plus [`client::scrape_stats`] for the plaintext `STATS` line.
+//!
+//! Scores received over TCP are **bit-identical** to the matching
+//! in-process `StreamServer::submit` call — the loopback test suite pins
+//! this, extending the repo's exactness ladder across the wire.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use client::{scrape_stats, NetClient};
+pub use error::NetError;
+pub use protocol::{Frame, ProtocolError};
+pub use server::{NetOptions, NetServer, NetStats};

@@ -1,0 +1,581 @@
+//! The TCP front-end: an acceptor plus a bounded thread-per-connection
+//! worker set over [`StreamServer`].
+//!
+//! [`NetServer::bind`] compiles the model once (via
+//! [`StreamServer::start_with`]), binds a listener and starts accepting.
+//! Each admitted connection gets a worker thread that decodes frames
+//! incrementally, submits inferences to the shared in-process server and
+//! writes replies back — so every score a TCP client receives is
+//! bit-identical to the matching in-process [`StreamServer::submit`].
+//!
+//! # Backpressure, end to end
+//!
+//! Load shedding is typed at both layers and always carries a retry hint
+//! computed from the live [`StreamServer::queue_snapshot`]:
+//!
+//! * **Submission queue full** — `submit` returns
+//!   [`snn_accel::AccelError::QueueFull`]; the worker answers with a
+//!   REJECTED frame (`scope = queue`) instead of an error, quoting the
+//!   observed depth, the capacity, and how long the dispatcher needs to
+//!   drain the backlog at its recent rate.
+//! * **Connection workers saturated** — worker threads are bounded by
+//!   [`snn_parallel::ThreadBudget::try_lease_io_threads`]; when no lease is
+//!   available the acceptor sheds the connection with a REJECTED frame
+//!   (`scope = connections`) before closing it.
+//!
+//! # Shutdown
+//!
+//! [`NetServer::shutdown`] stops the acceptor, lets every worker finish the
+//! requests it has already read (in-flight inferences drain; replies are
+//! written), joins them, and only then tears down the inner server — so a
+//! clean shutdown never drops an accepted request on the floor.
+
+use crate::error::NetError;
+use crate::protocol::{
+    error_code, probe_plaintext_stats, reject_scope, ErrorReply, Frame, PlaintextProbe,
+    RejectReply, ScoreReply,
+};
+use snn_accel::config::AcceleratorConfig;
+use snn_accel::serve::{QueueSnapshot, ServerOptions, ServerStats, StreamServer};
+use snn_accel::AccelError;
+use snn_model::snn::SnnModel;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Options of a [`NetServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetOptions {
+    /// Options of the inner [`StreamServer`] (micro-batching, queue
+    /// capacity, execution mode) — validated by its constructor.
+    pub server: ServerOptions,
+    /// How often blocked reads and the acceptor wake up to check for
+    /// shutdown; the latency ceiling of a graceful shutdown, not of
+    /// requests.
+    pub poll_interval: Duration,
+    /// A connection that has sent no complete request for this long is
+    /// closed and its IO lease reclaimed.  Without the deadline,
+    /// `io_lease_cap` silent sockets would pin every worker slot forever
+    /// and starve new connections while the server sits idle.
+    pub idle_timeout: Duration,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            server: ServerOptions::default(),
+            poll_interval: Duration::from_millis(20),
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// How long a reply write may block before the connection is declared
+/// dead.  A client that pipelines requests but never reads its replies
+/// fills the kernel send buffer; without this bound the worker would
+/// block in `write_all` forever, pinning its IO lease and wedging
+/// [`NetServer::shutdown`] on the join.  A partial write after a timeout
+/// leaves the stream desynchronized, so the worker closes it.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Cap on concurrent shed threads (each lives for at most ~300 ms while
+/// it writes one REJECTED frame).  Past the cap, surplus connections are
+/// dropped without a frame — under that much flood, typed rejection
+/// inevitably degrades to kernel-level drops anyway, but the acceptor
+/// itself never blocks on a shed peer.
+pub const MAX_SHED_THREADS: usize = 32;
+
+/// Floor of the retry-after hint on connection-scope rejections
+/// (milliseconds).  Leases free when a connection finishes or idles out —
+/// nothing the queue drain rate can predict — so the hint is a polite
+/// back-off floor rather than a measurement.
+pub const CONNECTIONS_RETRY_AFTER_MS: u64 = 100;
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    turned_away: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    stats_requests: AtomicU64,
+}
+
+/// Snapshot of a [`NetServer`]'s counters plus the inner serving stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetStats {
+    /// TCP connections accepted (admitted or shed).
+    pub accepted: u64,
+    /// Connections shed because no IO lease was available.
+    pub turned_away: u64,
+    /// Inference requests received over the wire.
+    pub requests: u64,
+    /// Connections terminated for violating the frame protocol.
+    pub protocol_errors: u64,
+    /// STATS requests served (framed or plaintext).
+    pub stats_requests: u64,
+    /// The inner [`StreamServer`] statistics (completed, rejected, queue
+    /// snapshot, per-unit utilisation, ...).
+    pub server: ServerStats,
+}
+
+struct NetShared {
+    server: StreamServer,
+    options: NetOptions,
+    shutdown: AtomicBool,
+    counters: Counters,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Short-lived shed threads currently writing REJECTED frames,
+    /// bounded at [`MAX_SHED_THREADS`].
+    sheds_in_flight: AtomicUsize,
+}
+
+/// A listening TCP serving front-end.  See the module docs.
+#[derive(Debug)]
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    acceptor: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl std::fmt::Debug for NetShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetShared")
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Compiles `model`, binds `addr` (use port `0` for an ephemeral port)
+    /// and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamServer::start_with`] errors (invalid options,
+    /// unmappable model) and socket errors from binding.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        config: AcceleratorConfig,
+        model: SnnModel,
+        options: NetOptions,
+    ) -> Result<Self, NetError> {
+        let server = StreamServer::start_with(config, model, options.server)?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(NetShared {
+            server,
+            options,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            workers: Mutex::new(Vec::new()),
+            sheds_in_flight: AtomicUsize::new(0),
+        });
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = thread::Builder::new()
+            .name("snn-net-accept".to_string())
+            .spawn(move || accept_loop(&acceptor_shared, &listener))?;
+        Ok(NetServer {
+            shared,
+            acceptor: Some(acceptor),
+            local_addr,
+        })
+    }
+
+    /// The bound address — where clients connect.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the front-end counters and the inner serving stats.
+    pub fn stats(&self) -> NetStats {
+        let c = &self.shared.counters;
+        NetStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            turned_away: c.turned_away.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            stats_requests: c.stats_requests.load(Ordering::Relaxed),
+            server: self.shared.server.stats(),
+        }
+    }
+
+    /// Gracefully shuts down: stop accepting, drain in-flight requests,
+    /// join every worker, and return the final statistics.
+    pub fn shutdown(mut self) -> NetStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // A panicked worker must not turn shutdown into a panic of its own
+        // (or a double-panic abort when this runs from Drop during
+        // unwinding): the join error is swallowed and teardown continues.
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let workers = std::mem::take(&mut *self.shared.workers.lock().expect("worker registry"));
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(shared: &Arc<NetShared>, listener: &TcpListener) {
+    let mut connection_index = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                admit(shared, stream, connection_index);
+                connection_index += 1;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(shared.options.poll_interval);
+            }
+            // Transient accept errors (ECONNABORTED etc.): keep listening.
+            Err(_) => thread::sleep(shared.options.poll_interval),
+        }
+    }
+}
+
+/// Hands an accepted connection to a leased worker thread, or sheds it
+/// with a typed REJECTED frame when the worker set is saturated.
+fn admit(shared: &Arc<NetShared>, stream: TcpStream, index: u64) {
+    let budget = snn_parallel::budget();
+    let Some(lease) = budget.try_lease_io_threads(1) else {
+        shared.counters.turned_away.fetch_add(1, Ordering::Relaxed);
+        spawn_shed(shared, stream);
+        return;
+    };
+    let conn_shared = Arc::clone(shared);
+    // A duplicate handle survives the closure taking the stream, so a
+    // failed spawn can still answer before hanging up.
+    let shed_handle = stream.try_clone();
+    let spawned = thread::Builder::new()
+        .name(format!("snn-net-conn-{index}"))
+        .spawn(move || {
+            // The lease lives exactly as long as the worker thread.
+            let _lease = lease;
+            run_connection(&conn_shared, stream);
+        });
+    match spawned {
+        Ok(handle) => {
+            let mut workers = shared.workers.lock().expect("worker registry");
+            // Finished workers have already released their lease; dropping
+            // their handles just detaches the dead threads.
+            workers.retain(|h| !h.is_finished());
+            workers.push(handle);
+        }
+        // Thread spawn fails exactly under resource exhaustion — the same
+        // saturation the lease guards against, so shed the same way.
+        Err(_) => {
+            shared.counters.turned_away.fetch_add(1, Ordering::Relaxed);
+            if let Ok(handle) = shed_handle {
+                spawn_shed(shared, handle);
+            }
+        }
+    }
+}
+
+/// Sheds a connection on a short-lived throwaway thread so the (blocking)
+/// REJECTED write and drain never stall the acceptor.  Thread count is
+/// bounded at [`MAX_SHED_THREADS`]; past the cap — or if the spawn itself
+/// fails — the connection is simply dropped.
+fn spawn_shed(shared: &Arc<NetShared>, stream: TcpStream) {
+    let admitted = shared
+        .sheds_in_flight
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            (n < MAX_SHED_THREADS).then_some(n + 1)
+        })
+        .is_ok();
+    if !admitted {
+        return;
+    }
+    let shed_shared = Arc::clone(shared);
+    let spawned = thread::Builder::new()
+        .name("snn-net-shed".to_string())
+        .spawn(move || {
+            shed(&shed_shared, stream);
+            shed_shared.sheds_in_flight.fetch_sub(1, Ordering::AcqRel);
+        });
+    if spawned.is_err() {
+        shared.sheds_in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Best-effort REJECTED reply for a connection that found no worker slot.
+fn shed(shared: &NetShared, mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let budget = snn_parallel::budget();
+    let snapshot = shared.server.queue_snapshot();
+    let reply = Frame::Rejected(RejectReply {
+        scope: reject_scope::CONNECTIONS,
+        queued: budget.io_leases_in_flight() as u64,
+        capacity: budget.io_lease_cap() as u64,
+        // Lease availability is not predicted by the queue drain rate, so
+        // the hint is floored at a polite back-off rather than the
+        // near-zero an empty queue would suggest.
+        retry_after_ms: snapshot.retry_after_ms().max(CONNECTIONS_RETRY_AFTER_MS),
+        drain_rate_mips: drain_rate_mips(&snapshot),
+    });
+    if reply.write_to(&mut stream).is_err() {
+        return;
+    }
+    // Half-close and briefly drain unread request bytes: closing with
+    // data pending in the receive buffer sends RST, which could destroy
+    // the REJECTED frame before the peer reads it.  The drain is
+    // deadline-bounded so a flooding peer cannot stall the acceptor.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let deadline = Instant::now() + Duration::from_millis(250);
+    let mut sink = [0u8; 1024];
+    while Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn drain_rate_mips(snapshot: &QueueSnapshot) -> u64 {
+    (snapshot.drain_rate_ips * 1000.0).round().max(0.0) as u64
+}
+
+fn run_connection(shared: &NetShared, mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.options.poll_interval));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 8192];
+    let mut last_request = Instant::now();
+    loop {
+        // Serve every complete request already buffered.
+        loop {
+            match probe_plaintext_stats(&buf) {
+                PlaintextProbe::Stats { consumed } => {
+                    buf.drain(..consumed);
+                    shared
+                        .counters
+                        .stats_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    // One-shot scrape, `nc`-style: reply and close.
+                    let _ = stream.write_all(render_stats(shared).as_bytes());
+                    return;
+                }
+                PlaintextProbe::NeedMore => break,
+                PlaintextProbe::NotStats => {}
+            }
+            match Frame::decode(&buf) {
+                Ok(Some((frame, used))) => {
+                    buf.drain(..used);
+                    if !handle_frame(shared, &mut stream, frame) {
+                        return;
+                    }
+                    // Stamp after serving, not at decode: the idle clock
+                    // must not tick while a slow inference is in flight,
+                    // or a request slower than the deadline would get its
+                    // own connection closed.
+                    last_request = Instant::now();
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = Frame::Error(ErrorReply {
+                        code: error_code::PROTOCOL,
+                        message: err.to_string(),
+                    })
+                    .write_to(&mut stream);
+                    return;
+                }
+            }
+        }
+        // Every already-read request has been answered; past this point a
+        // shutdown may close the connection without dropping work.
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // A peer that has sent no complete request within the idle
+        // deadline (at most a partial frame can be pending here) forfeits
+        // its worker slot — otherwise silent connections would pin every
+        // IO lease forever.
+        if last_request.elapsed() >= shared.options.idle_timeout {
+            return;
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves one decoded frame; returns whether the connection stays open.
+fn handle_frame(shared: &NetShared, stream: &mut TcpStream, frame: Frame) -> bool {
+    match frame {
+        Frame::Infer(request) => {
+            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+            let reply = infer_reply(shared, request);
+            let shutting_down = matches!(
+                &reply,
+                Frame::Error(ErrorReply { code, .. }) if *code == error_code::SHUTTING_DOWN
+            );
+            reply.write_to(stream).is_ok() && !shutting_down
+        }
+        Frame::StatsRequest => {
+            shared
+                .counters
+                .stats_requests
+                .fetch_add(1, Ordering::Relaxed);
+            Frame::StatsText(render_stats(shared))
+                .write_to(stream)
+                .is_ok()
+        }
+        // Server-bound traffic may only be requests.
+        Frame::Scores(_) | Frame::Rejected(_) | Frame::Error(_) | Frame::StatsText(_) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = Frame::Error(ErrorReply {
+                code: error_code::PROTOCOL,
+                message: "unexpected server-bound frame".to_string(),
+            })
+            .write_to(stream);
+            false
+        }
+    }
+}
+
+/// Executes one inference request end to end and builds its reply frame.
+fn infer_reply(shared: &NetShared, request: crate::protocol::InferRequest) -> Frame {
+    let tensor = match request.into_tensor() {
+        Ok(tensor) => tensor,
+        Err(err) => {
+            return Frame::Error(ErrorReply {
+                code: error_code::BAD_REQUEST,
+                message: err.to_string(),
+            })
+        }
+    };
+    match shared.server.submit(tensor) {
+        Ok(ticket) => match ticket.wait() {
+            Ok(report) => Frame::Scores(ScoreReply {
+                prediction: report.prediction as u32,
+                time_steps: report.time_steps as u32,
+                thread_budget: report.thread_budget as u32,
+                total_cycles: report.total_cycles(),
+                logits: report.logits,
+            }),
+            Err(err) => error_reply(&err),
+        },
+        Err(AccelError::QueueFull { queued, capacity }) => {
+            let snapshot = shared.server.queue_snapshot();
+            Frame::Rejected(RejectReply {
+                scope: reject_scope::QUEUE,
+                queued: queued as u64,
+                capacity: capacity as u64,
+                retry_after_ms: snapshot.retry_after_ms().max(1),
+                drain_rate_mips: drain_rate_mips(&snapshot),
+            })
+        }
+        Err(err) => error_reply(&err),
+    }
+}
+
+fn error_reply(err: &AccelError) -> Frame {
+    let code = if matches!(err, AccelError::Serving { .. }) {
+        error_code::SHUTTING_DOWN
+    } else {
+        error_code::BAD_REQUEST
+    };
+    Frame::Error(ErrorReply {
+        code,
+        message: err.to_string(),
+    })
+}
+
+/// Renders the serving counters as `key: value` plaintext for scrapers —
+/// the body of both the framed STATS reply and the plaintext `STATS` line.
+fn render_stats(shared: &NetShared) -> String {
+    let server = shared.server.stats();
+    let c = &shared.counters;
+    let budget = snn_parallel::budget();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "snn_net_protocol_version: {}\n",
+        crate::protocol::VERSION
+    ));
+    out.push_str(&format!("completed: {}\n", server.completed));
+    out.push_str(&format!("errors: {}\n", server.errors));
+    out.push_str(&format!("rejected: {}\n", server.rejected));
+    out.push_str(&format!("batches: {}\n", server.batches));
+    out.push_str(&format!("largest_batch: {}\n", server.largest_batch));
+    out.push_str(&format!("queue_depth: {}\n", server.queue.depth));
+    out.push_str(&format!("queue_capacity: {}\n", server.queue.capacity));
+    out.push_str(&format!(
+        "drain_rate_ips: {:.3}\n",
+        server.queue.drain_rate_ips
+    ));
+    out.push_str(&format!("throughput_ips: {:.3}\n", server.throughput_ips()));
+    out.push_str(&format!("thread_budget: {}\n", server.thread_budget));
+    out.push_str(&format!(
+        "connections_accepted: {}\n",
+        c.accepted.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "connections_turned_away: {}\n",
+        c.turned_away.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "requests: {}\n",
+        c.requests.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "protocol_errors: {}\n",
+        c.protocol_errors.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "stats_requests: {}\n",
+        c.stats_requests.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "io_leases_in_flight: {}\n",
+        budget.io_leases_in_flight()
+    ));
+    out.push_str(&format!("io_lease_cap: {}\n", budget.io_lease_cap()));
+    for unit in &server.utilisation {
+        out.push_str(&format!(
+            "unit[{:?}]: units={} busy_cycles={} total_cycles={} utilisation={:.4}\n",
+            unit.kind,
+            unit.units,
+            unit.busy_cycles,
+            unit.total_cycles,
+            unit.utilisation()
+        ));
+    }
+    out
+}

@@ -1,0 +1,151 @@
+//! Property tests for the frame codec: encoding and decoding are inverse,
+//! and arbitrary malformed, truncated or corrupted byte streams yield typed
+//! protocol errors (or a request for more bytes) — never panics, hangs or
+//! unbounded buffering.
+
+use proptest::prelude::*;
+use snn_net::protocol::{
+    error_code, reject_scope, ErrorReply, Frame, InferRequest, ProtocolError, RejectReply,
+    ScoreReply, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+};
+
+/// Deterministic pseudo-random f32 in [0, 1) from an index and seed.
+fn value(i: usize, seed: u64) -> f32 {
+    (((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 997) as f32) / 997.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn infer_frames_round_trip(
+        rank in 1usize..5,
+        dim in 1usize..6,
+        flags in 0u32..8,
+        seed in 0u64..10_000,
+    ) {
+        let shape: Vec<u32> = (0..rank).map(|r| ((dim + r) % 5 + 1) as u32).collect();
+        let volume: usize = shape.iter().map(|&d| d as usize).product();
+        let frame = Frame::Infer(InferRequest {
+            flags,
+            shape,
+            values: (0..volume).map(|i| value(i, seed)).collect(),
+        });
+        let bytes = frame.encode();
+        let (decoded, used) = Frame::decode(&bytes).unwrap().expect("complete frame");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn reply_frames_round_trip(
+        prediction in 0u32..100,
+        time_steps in 1u32..9,
+        cycles in 0u64..1_000_000_000,
+        logit_count in 0usize..16,
+        seed in 0u64..10_000,
+        retry in 0u64..100_000,
+    ) {
+        let frames = [
+            Frame::Scores(ScoreReply {
+                prediction,
+                time_steps,
+                thread_budget: 2,
+                total_cycles: cycles,
+                logits: (0..logit_count)
+                    .map(|i| (value(i, seed) * 2_000_000.0) as i64 - 1_000_000)
+                    .collect(),
+            }),
+            Frame::Rejected(RejectReply {
+                scope: reject_scope::QUEUE,
+                queued: cycles % 1024,
+                capacity: 1024,
+                retry_after_ms: retry,
+                drain_rate_mips: cycles % 9_999_999,
+            }),
+            Frame::Error(ErrorReply {
+                code: error_code::BAD_REQUEST,
+                message: format!("seed {seed} says no"),
+            }),
+            Frame::StatsRequest,
+            Frame::StatsText(format!("completed: {cycles}\nrejected: {retry}\n")),
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            let (decoded, used) = Frame::decode(&bytes).unwrap().expect("complete frame");
+            prop_assert_eq!(used, bytes.len());
+            prop_assert_eq!(decoded, frame);
+        }
+    }
+
+    /// Any strict prefix of a valid frame asks for more bytes — it never
+    /// parses to a frame and never errors, so a slow sender cannot confuse
+    /// the connection loop.
+    #[test]
+    fn truncated_frames_ask_for_more_bytes(
+        logit_count in 0usize..8,
+        cut_seed in 0u64..10_000,
+    ) {
+        let bytes = Frame::Scores(ScoreReply {
+            prediction: 1,
+            time_steps: 4,
+            thread_budget: 2,
+            total_cycles: 99,
+            logits: (0..logit_count).map(|i| i as i64 * 3 - 7).collect(),
+        })
+        .encode();
+        let cut = (cut_seed as usize) % bytes.len();
+        prop_assert_eq!(Frame::decode(&bytes[..cut]).unwrap(), None);
+    }
+
+    /// Arbitrary bytes never panic the decoder, and whatever it consumes
+    /// stays within the buffer.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255u8, 0..64)) {
+        match Frame::decode(&bytes) {
+            Ok(Some((_frame, used))) => prop_assert!(used <= bytes.len()),
+            Ok(None) => {}
+            Err(_) => {}
+        }
+    }
+
+    /// Flipping any single byte of a valid frame either still decodes (the
+    /// flip hit a don't-care bit of a value field) or yields a typed error
+    /// or a request for more bytes — never a panic.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        pos_seed in 0u64..10_000,
+        flip in 1u8..=255u8,
+    ) {
+        let mut bytes = Frame::Infer(InferRequest {
+            flags: 0,
+            shape: vec![2, 3],
+            values: (0..6).map(|i| value(i, 42)).collect(),
+        })
+        .encode();
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= flip;
+        match Frame::decode(&bytes) {
+            Ok(Some((_frame, used))) => prop_assert!(used <= bytes.len()),
+            Ok(None) => {}
+            Err(_) => {}
+        }
+    }
+
+    /// A header that declares an oversized payload is rejected from the
+    /// header alone — no amount of trailing data is ever awaited.
+    #[test]
+    fn oversized_headers_error_before_any_payload(extra in 0u64..u32::MAX as u64 - MAX_PAYLOAD as u64) {
+        let declared = (MAX_PAYLOAD as u64 + 1 + extra) as u32;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&1u16.to_le_bytes());
+        header.extend_from_slice(&declared.to_le_bytes());
+        let oversized = matches!(
+            Frame::decode(&header),
+            Err(ProtocolError::Oversized { .. })
+        );
+        prop_assert!(oversized);
+    }
+}

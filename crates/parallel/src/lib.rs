@@ -34,6 +34,12 @@
 //!   concurrency is bounded by `2 * total - 1` threads (pool + stages) —
 //!   a fixed bound, unlike the earlier `batch x channels` multiplication
 //!   that grew with the workload.
+//! * **IO leases** — network connection workers (the `snn-net` front-end)
+//!   spend their life blocked on sockets and only *submit* compute through
+//!   the serving queue, so they do not consume the compute budget; they
+//!   reserve an [`IoLease`] instead, bounded at [`IO_LEASE_FACTOR`] leases
+//!   per budgeted thread so a connection flood cannot grow threads without
+//!   limit.
 //!
 //! Work is always split into contiguous blocks, so results land exactly
 //! where a sequential loop would put them and outputs are deterministic
@@ -67,6 +73,13 @@ pub const MIN_PARALLEL_WORK: u64 = 1 << 15;
 /// `1..=MAX_THREADS`), read once at first use.
 pub const THREADS_ENV: &str = "SNN_THREADS";
 
+/// How many **IO-bound** threads may be leased per budgeted compute thread
+/// (see [`ThreadBudget::try_lease_io_threads`]).  Connection workers spend
+/// almost all of their life blocked on sockets, so they can outnumber the
+/// compute budget without oversubscribing cores — the factor only bounds
+/// thread-stack and descriptor usage to a fixed multiple of the budget.
+pub const IO_LEASE_FACTOR: usize = 4;
+
 // ---------------------------------------------------------------------------
 // Thread budget
 // ---------------------------------------------------------------------------
@@ -78,6 +91,7 @@ pub const THREADS_ENV: &str = "SNN_THREADS";
 pub struct ThreadBudget {
     total: usize,
     stage_leases: AtomicUsize,
+    io_leases: AtomicUsize,
 }
 
 impl ThreadBudget {
@@ -88,6 +102,7 @@ impl ThreadBudget {
         ThreadBudget {
             total: total.clamp(1, MAX_THREADS),
             stage_leases: AtomicUsize::new(0),
+            io_leases: AtomicUsize::new(0),
         }
     }
 
@@ -129,29 +144,66 @@ impl ThreadBudget {
     /// Returns `None` when the budget is exhausted — callers fall back to
     /// sequential execution, which is always bit-identical.
     pub fn try_lease_stage_threads(&self, want: usize) -> Option<StageLease<'_>> {
-        if want == 0 || self.total == 0 {
+        let cap = self.total.saturating_sub(1);
+        if !try_reserve(&self.stage_leases, cap, want) {
             return None;
         }
-        let cap = self.total.saturating_sub(1);
-        let mut current = self.stage_leases.load(Ordering::Acquire);
-        loop {
-            if current + want > cap {
-                return None;
-            }
-            match self.stage_leases.compare_exchange_weak(
-                current,
-                current + want,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
-                    return Some(StageLease {
-                        budget: self,
-                        threads: want,
-                    })
-                }
-                Err(observed) => current = observed,
-            }
+        Some(StageLease {
+            budget: self,
+            threads: want,
+        })
+    }
+
+    /// Number of IO-thread leases currently outstanding.
+    pub fn io_leases_in_flight(&self) -> usize {
+        self.io_leases.load(Ordering::Acquire)
+    }
+
+    /// Maximum number of IO threads this budget leases at once
+    /// ([`IO_LEASE_FACTOR`] per budgeted thread).
+    pub fn io_lease_cap(&self) -> usize {
+        self.total.saturating_mul(IO_LEASE_FACTOR)
+    }
+
+    /// Tries to reserve `want` threads for **IO-bound** work — e.g. network
+    /// connection handlers that block on sockets and only *submit* compute
+    /// through the bounded serving queue.
+    ///
+    /// IO threads do not draw down the compute budget (they are parked in
+    /// the kernel while the pool works), but they are still bounded — at
+    /// most [`ThreadBudget::io_lease_cap`] leases exist at any time, so a
+    /// connection flood cannot grow threads without limit.  Grants
+    /// all-or-nothing; `None` means the caller should shed the connection
+    /// with a retry hint rather than queue it.
+    pub fn try_lease_io_threads(&self, want: usize) -> Option<IoLease<'_>> {
+        if !try_reserve(&self.io_leases, self.io_lease_cap(), want) {
+            return None;
+        }
+        Some(IoLease {
+            budget: self,
+            threads: want,
+        })
+    }
+}
+
+/// All-or-nothing CAS reservation of `want` slots under `cap` outstanding.
+fn try_reserve(counter: &AtomicUsize, cap: usize, want: usize) -> bool {
+    if want == 0 || cap == 0 {
+        return false;
+    }
+    let mut current = counter.load(Ordering::Acquire);
+    loop {
+        if current + want > cap {
+            return false;
+        }
+        match counter.compare_exchange_weak(
+            current,
+            current + want,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return true,
+            Err(observed) => current = observed,
         }
     }
 }
@@ -174,6 +226,29 @@ impl Drop for StageLease<'_> {
     fn drop(&mut self) {
         self.budget
             .stage_leases
+            .fetch_sub(self.threads, Ordering::AcqRel);
+    }
+}
+
+/// A reservation of IO-bound threads (e.g. network connection workers),
+/// returned to the budget on drop.
+#[derive(Debug)]
+pub struct IoLease<'a> {
+    budget: &'a ThreadBudget,
+    threads: usize,
+}
+
+impl IoLease<'_> {
+    /// Number of IO threads this lease grants.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Drop for IoLease<'_> {
+    fn drop(&mut self) {
+        self.budget
+            .io_leases
             .fetch_sub(self.threads, Ordering::AcqRel);
     }
 }
@@ -606,6 +681,40 @@ mod tests {
         drop(wide);
         assert!(budget.try_lease_stage_threads(4).is_none()); // over cap
         assert!(budget.try_lease_stage_threads(3).is_some());
+    }
+
+    #[test]
+    fn io_leases_are_bounded_independently_of_stage_leases() {
+        let budget = ThreadBudget::new(2);
+        assert_eq!(budget.io_lease_cap(), 2 * IO_LEASE_FACTOR);
+        // Exhaust the stage-lease cap; IO leases are still available.
+        let stage = budget.try_lease_stage_threads(1).expect("stage lease");
+        assert!(budget.try_lease_stage_threads(1).is_none());
+        let mut held = Vec::new();
+        for _ in 0..budget.io_lease_cap() {
+            held.push(budget.try_lease_io_threads(1).expect("io lease"));
+        }
+        assert_eq!(budget.io_leases_in_flight(), budget.io_lease_cap());
+        assert!(budget.try_lease_io_threads(1).is_none());
+        // Returning one lease frees exactly one slot.
+        held.pop();
+        assert!(budget.try_lease_io_threads(1).is_some());
+        drop(held);
+        drop(stage);
+        assert_eq!(budget.io_leases_in_flight(), 0);
+        assert_eq!(budget.stage_leases_in_flight(), 0);
+    }
+
+    #[test]
+    fn io_lease_requests_are_all_or_nothing() {
+        let budget = ThreadBudget::new(1); // io cap = IO_LEASE_FACTOR
+        assert!(budget.try_lease_io_threads(0).is_none());
+        assert!(budget.try_lease_io_threads(IO_LEASE_FACTOR + 1).is_none());
+        let wide = budget
+            .try_lease_io_threads(IO_LEASE_FACTOR)
+            .expect("full-width lease");
+        assert_eq!(wide.threads(), IO_LEASE_FACTOR);
+        assert!(budget.try_lease_io_threads(1).is_none());
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Serving over TCP: start the `snn-net` front-end on a loopback port,
+//! drive it with the bundled client, scrape the plaintext counters, and
+//! shut down gracefully.
+//!
+//! ```sh
+//! cargo run --release --example serve_tcp
+//! ```
+
+use snn_accel::config::AcceleratorConfig;
+use snn_accel::serve::ServerOptions;
+use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
+use snn_model::params::Parameters;
+use snn_model::zoo;
+use snn_net::{scrape_stats, NetClient, NetOptions, NetServer};
+use snn_tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small converted SNN to serve.
+    let net = zoo::tiny_cnn();
+    let params = Parameters::he_init(&net, 11)?;
+    let inputs: Vec<Tensor<f32>> = (0..8)
+        .map(|i| {
+            let values: Vec<f32> = (0..144)
+                .map(|j| ((i * 29 + j * 7) % 100) as f32 / 100.0)
+                .collect();
+            Tensor::from_vec(vec![1, 12, 12], values).expect("input")
+        })
+        .collect();
+    let stats = CalibrationStats::collect(&net, &params, inputs.iter())?;
+    let model = convert(
+        &net,
+        &params,
+        &stats,
+        ConversionConfig {
+            weight_bits: 3,
+            time_steps: 4,
+        },
+    )?;
+
+    // Port 0 = ephemeral: the OS picks a free port, `local_addr` names it.
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        AcceleratorConfig::default(),
+        model,
+        NetOptions {
+            server: ServerOptions {
+                queue_capacity: 64,
+                ..ServerOptions::default()
+            },
+            ..NetOptions::default()
+        },
+    )?;
+    let addr = server.local_addr();
+    println!(
+        "serving on {addr} (protocol v{})",
+        snn_net::protocol::VERSION
+    );
+
+    // Drive it like a remote client would: framed requests over TCP.
+    let mut client = NetClient::connect(addr)?;
+    for (index, input) in inputs.iter().enumerate() {
+        match client.infer_with_retry(input, 5) {
+            Ok(reply) => println!(
+                "inference {index}: class {} in {} cycles (T = {}, logits {:?})",
+                reply.prediction, reply.total_cycles, reply.time_steps, reply.logits
+            ),
+            Err(err) if err.is_backpressure() => {
+                println!("inference {index}: shed even after retries ({err})")
+            }
+            Err(err) => return Err(err.into()),
+        }
+    }
+
+    // What a scraper sees: `echo STATS | nc` against the same port.
+    println!("\n--- plaintext STATS scrape ---");
+    print!("{}", scrape_stats(addr)?);
+
+    let final_stats = server.shutdown();
+    println!(
+        "--- shut down: {} completed, {} rejected, {} connections ---",
+        final_stats.server.completed, final_stats.server.rejected, final_stats.accepted
+    );
+    Ok(())
+}
