@@ -1,16 +1,21 @@
 //! Multi-connection loopback load generator for the `snn-net` TCP
 //! front-end: measures end-to-end serving throughput and latency
-//! percentiles **at the system boundary** — sockets, framing and the
-//! micro-batching server included — and writes `BENCH_net.json` at the
-//! workspace root so the network-serving trajectory is tracked PR over PR
-//! alongside `BENCH_conv.json` and `BENCH_serve.json`.
+//! percentiles **at the system boundary** — sockets, framing, the single
+//! reactor and the micro-batching server included — and writes
+//! `BENCH_net.json` at the workspace root so the network-serving
+//! trajectory is tracked PR over PR alongside `BENCH_conv.json` and
+//! `BENCH_serve.json`.
 //!
-//! Two phases:
+//! Three phases:
 //!
-//! 1. **Throughput** — `CONNECTIONS` client threads each stream
-//!    `REQUESTS_PER_CONNECTION` LeNet inferences over its own TCP
-//!    connection; per-request wall-clock latencies give p50/p99.
-//! 2. **Backpressure** — a burst against a one-slot queue forces the
+//! 1. **Latency probe** — one connection streams sequential LeNet
+//!    inferences; per-request wall-clock latencies give p50/p99 (the
+//!    figure a lone interactive client sees).
+//! 2. **Throughput** — `SNN_BENCH_CONNECTIONS` concurrent connections
+//!    (default 64 — far past the old thread-per-connection IO-lease cap;
+//!    the reactor holds them all on one thread) each **pipeline**
+//!    `REQUESTS_PER_CONNECTION` inferences over `NetClient::infer_many`.
+//! 3. **Backpressure** — a burst against a one-slot queue forces the
 //!    admission policy to shed load; the summary records how many REJECTED
 //!    frames came back and a sample retry-after hint, proving the hint
 //!    path end to end.
@@ -25,15 +30,26 @@ use snn_net::{NetClient, NetError, NetOptions, NetServer};
 use snn_tensor::Tensor;
 use std::time::Instant;
 
-const CONNECTIONS: usize = 4;
-const REQUESTS_PER_CONNECTION: usize = 16;
+/// Concurrent connections of the throughput phase; override with the
+/// `SNN_BENCH_CONNECTIONS` environment variable (CI runs the default).
+const DEFAULT_CONNECTIONS: usize = 64;
+const REQUESTS_PER_CONNECTION: usize = 4;
+const PROBE_REQUESTS: usize = 24;
 const BURST_CONNECTIONS: usize = 4;
 const BURST_REQUESTS: usize = 25;
 
-fn lenet_model() -> (SnnModel, Vec<Tensor<f32>>) {
+fn connections() -> usize {
+    std::env::var("SNN_BENCH_CONNECTIONS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(DEFAULT_CONNECTIONS)
+}
+
+fn lenet_model(inputs_wanted: usize) -> (SnnModel, Vec<Tensor<f32>>) {
     let net = zoo::lenet5();
     let params = Parameters::he_init(&net, 7).expect("parameters");
-    let inputs: Vec<Tensor<f32>> = (0..CONNECTIONS)
+    let inputs: Vec<Tensor<f32>> = (0..inputs_wanted.max(4))
         .map(|b| {
             let values: Vec<f32> = (0..1024)
                 .map(|j| (((j * 13 + b * 101) % 97) as f32) / 96.0)
@@ -41,7 +57,8 @@ fn lenet_model() -> (SnnModel, Vec<Tensor<f32>>) {
             Tensor::from_vec(vec![1, 32, 32], values).expect("input")
         })
         .collect();
-    let stats = CalibrationStats::collect(&net, &params, inputs.iter()).expect("calibration");
+    let stats =
+        CalibrationStats::collect(&net, &params, inputs.iter().take(4)).expect("calibration");
     let model = convert(
         &net,
         &params,
@@ -64,10 +81,10 @@ fn percentile_us(sorted_ns: &[u64], pct: usize) -> f64 {
 }
 
 fn main() {
-    let (model, inputs) = lenet_model();
+    let connections = connections();
+    let (model, inputs) = lenet_model(8);
     let config = AcceleratorConfig::lenet_table3();
 
-    // Phase 1: steady-state throughput over loopback.
     let server = NetServer::bind("127.0.0.1:0", config, model.clone(), NetOptions::default())
         .expect("bind server");
     let addr = server.local_addr();
@@ -76,47 +93,65 @@ fn main() {
     warm.infer(&inputs[0]).expect("warmup inference");
     drop(warm);
 
-    let started = Instant::now();
-    let workers: Vec<_> = (0..CONNECTIONS)
-        .map(|c| {
-            let input = inputs[c % inputs.len()].clone();
-            std::thread::spawn(move || {
-                let mut client = NetClient::connect(addr).expect("connect");
-                let mut latencies_ns = Vec::with_capacity(REQUESTS_PER_CONNECTION);
-                for _ in 0..REQUESTS_PER_CONNECTION {
-                    let t0 = Instant::now();
-                    client.infer(&input).expect("inference");
-                    latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                }
-                latencies_ns
-            })
-        })
-        .collect();
-    let mut latencies_ns: Vec<u64> = Vec::new();
-    for worker in workers {
-        latencies_ns.extend(worker.join().expect("load thread"));
+    // Phase 1: sequential latency probe over one connection.
+    let mut probe = NetClient::connect(addr).expect("probe connect");
+    let mut latencies_ns = Vec::with_capacity(PROBE_REQUESTS);
+    for i in 0..PROBE_REQUESTS {
+        let input = &inputs[i % inputs.len()];
+        let t0 = Instant::now();
+        probe.infer(input).expect("probe inference");
+        latencies_ns.push(t0.elapsed().as_nanos() as u64);
     }
-    let elapsed = started.elapsed().as_secs_f64();
-    let total_requests = latencies_ns.len();
-    let ips = total_requests as f64 / elapsed;
+    drop(probe);
     latencies_ns.sort_unstable();
     let p50_us = percentile_us(&latencies_ns, 50);
     let p99_us = percentile_us(&latencies_ns, 99);
     let mean_us =
         latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len().max(1) as f64 / 1000.0;
+
+    // Phase 2: pipelined throughput across many concurrent connections.
+    let started = Instant::now();
+    let workers: Vec<_> = (0..connections)
+        .map(|c| {
+            let batch: Vec<Tensor<f32>> = (0..REQUESTS_PER_CONNECTION)
+                .map(|r| inputs[(c + r) % inputs.len()].clone())
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let replies = client.infer_many(&batch).expect("pipelined batch");
+                let mut served = 0usize;
+                for reply in replies {
+                    reply.expect("inference succeeds");
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+    let mut total_requests = 0usize;
+    for worker in workers {
+        total_requests += worker.join().expect("load thread");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let ips = total_requests as f64 / elapsed;
     let stats = server.shutdown();
     println!(
-        "net: {total_requests} LeNet inferences over {CONNECTIONS} TCP connections: \
-         {ips:.1} inf/s, p50 {p50_us:.0} us, p99 {p99_us:.0} us (thread budget {})",
+        "net: {total_requests} LeNet inferences pipelined over {connections} TCP connections \
+         (depth {REQUESTS_PER_CONNECTION}): {ips:.1} inf/s; sequential probe p50 {p50_us:.0} us, \
+         p99 {p99_us:.0} us (thread budget {})",
         stats.server.thread_budget
     );
     assert_eq!(
         stats.server.completed,
-        (total_requests + 1) as u64,
-        "every request (plus warmup) must complete"
+        (total_requests + PROBE_REQUESTS + 1) as u64,
+        "every request (plus probe and warmup) must complete"
+    );
+    assert_eq!(
+        stats.turned_away, 0,
+        "the reactor must hold {connections} concurrent connections without shedding"
     );
 
-    // Phase 2: forced backpressure against a one-slot queue.
+    // Phase 3: forced backpressure against a one-slot queue.
     let tight = NetServer::bind(
         "127.0.0.1:0",
         config,
@@ -195,7 +230,8 @@ fn main() {
     let json = format!(
         "{{\n\
          \"workload\": \"lenet5_T4_tcp_loopback\",\n\
-         \"connections\": {CONNECTIONS},\n\
+         \"connections\": {connections},\n\
+         \"pipeline_depth\": {REQUESTS_PER_CONNECTION},\n\
          \"requests\": {total_requests},\n\
          \"thread_budget\": {},\n\
          \"inferences_per_sec\": {{\"tcp_loopback\": {ips:.2}}},\n\

@@ -33,8 +33,23 @@
 //! route elsewhere, while the server's memory stays bounded no matter how
 //! fast clients submit — the property a network front-end needs.
 //! [`StreamServer::queue_snapshot`] exposes the live queue depth and the
-//! recent drain rate so that front-end (`snn-net`) can attach a concrete
+//! recent drain rate (windowed over the last [`DRAIN_WINDOW_BATCHES`]
+//! micro-batches) so that front-end (`snn-net`) can attach a concrete
 //! *retry-after* hint to every rejection.
+//!
+//! # Completion paths
+//!
+//! Results come back one of two ways:
+//!
+//! * **Tickets** — [`StreamServer::submit`] returns a [`Ticket`] whose
+//!   [`Ticket::wait`] blocks a thread (or [`Ticket::try_wait`] polls).
+//! * **Completion queue** — [`StreamServer::submit_tagged`] delivers a
+//!   tagged [`Completion`] through a shared [`CompletionSink`] and then
+//!   invokes the sink's waker callback.  This is the path an event-driven
+//!   front-end uses: the `snn-net` reactor hands the dispatcher a waker
+//!   that writes one byte into its wake pipe, keeps hundreds of inferences
+//!   in flight across its connections, and never parks a thread per
+//!   request.  Both paths are bit-identical.
 
 use crate::compiler::Program;
 use crate::config::AcceleratorConfig;
@@ -45,6 +60,7 @@ use crate::{AccelError, Result};
 use snn_model::snn::SnnModel;
 use snn_tensor::Tensor;
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
@@ -87,7 +103,8 @@ impl Default for ServerOptions {
     }
 }
 
-/// A pending inference: resolved by [`Ticket::wait`].
+/// A pending inference: resolved by [`Ticket::wait`] (blocking) or polled
+/// with [`Ticket::try_wait`] (non-blocking).
 #[derive(Debug)]
 pub struct Ticket {
     receiver: mpsc::Receiver<Result<RunReport>>,
@@ -105,11 +122,77 @@ impl Ticket {
             context: "server shut down before the inference completed".to_string(),
         })?
     }
+
+    /// Non-blocking poll: returns the report if the inference has settled,
+    /// `None` while it is still queued or executing.
+    ///
+    /// The result is delivered **once**: after `try_wait` returns `Some`,
+    /// later calls (and [`Ticket::wait`]) see the ticket as dead and report
+    /// [`AccelError::Serving`].  Event loops that poll tickets should drop
+    /// the ticket on `Some`.
+    pub fn try_wait(&self) -> Option<Result<RunReport>> {
+        match self.receiver.try_recv() {
+            Ok(report) => Some(report),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(AccelError::Serving {
+                context: "server shut down before the inference completed".to_string(),
+            })),
+        }
+    }
+}
+
+/// A settled tagged submission, delivered through the channel half of a
+/// [`CompletionSink`] — the non-blocking counterpart of a [`Ticket`].
+#[derive(Debug)]
+pub struct Completion {
+    /// The caller-chosen tag passed to [`StreamServer::submit_tagged`].
+    pub tag: u64,
+    /// The inference outcome, bit-identical to what the matching
+    /// [`Ticket::wait`] would have returned.
+    pub result: Result<RunReport>,
+}
+
+/// The delivery side of the non-blocking completion path.
+///
+/// Built with [`CompletionSink::new`], which returns the sink (handed to
+/// [`StreamServer::submit_tagged`], clonable) and the receiver the caller
+/// drains.  When a tagged inference settles, the dispatcher pushes a
+/// [`Completion`] into the channel **and then** invokes the waker — so a
+/// reactor blocked in `poll(2)` can use the waker to write one byte into a
+/// wake pipe and is guaranteed to observe the completion after waking.  No
+/// thread ever blocks on a reply channel.
+#[derive(Clone)]
+pub struct CompletionSink {
+    sender: mpsc::Sender<Completion>,
+    waker: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl fmt::Debug for CompletionSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompletionSink").finish_non_exhaustive()
+    }
+}
+
+impl CompletionSink {
+    /// Creates a sink and its completion receiver.  `waker` is called by
+    /// the dispatcher thread after every completion it enqueues; it must be
+    /// cheap and must not block (e.g. a non-blocking one-byte pipe write).
+    pub fn new(waker: Arc<dyn Fn() + Send + Sync>) -> (Self, mpsc::Receiver<Completion>) {
+        let (sender, receiver) = mpsc::channel();
+        (CompletionSink { sender, waker }, receiver)
+    }
+}
+
+enum ReplyTo {
+    /// Per-submission channel behind a [`Ticket`] (blocking callers).
+    Ticket(mpsc::Sender<Result<RunReport>>),
+    /// Shared completion queue with a tag (non-blocking callers).
+    Sink { tag: u64, sink: CompletionSink },
 }
 
 struct Submission {
     input: Tensor<f32>,
-    reply: mpsc::Sender<Result<RunReport>>,
+    reply: ReplyTo,
 }
 
 #[derive(Default)]
@@ -159,6 +242,13 @@ pub struct ServerStats {
     /// Submissions rejected by the bounded-queue admission policy.
     pub rejected: u64,
     /// Live queue-depth / drain-rate snapshot (see [`QueueSnapshot`]).
+    /// The drain rate is windowed over the most recent
+    /// [`DRAIN_WINDOW_BATCHES`] micro-batch completions, measured
+    /// completion-to-completion so idle lulls do not decay it; with fewer
+    /// than two windowed batches it falls back to the lifetime average.
+    /// Across successive snapshots the cumulative counters in this struct
+    /// (`completed`, `errors`, `batches`, `rejected`) are monotone
+    /// non-decreasing, and `queue.depth` never exceeds `queue.capacity`.
     pub queue: QueueSnapshot,
     /// Configured micro-batch cap.
     pub max_batch: usize,
@@ -344,6 +434,37 @@ impl StreamServer {
     /// [`AccelError::Serving`] when the server has begun shutting down.
     pub fn submit(&self, input: Tensor<f32>) -> Result<Ticket> {
         let (reply, receiver) = mpsc::channel();
+        self.enqueue(input, ReplyTo::Ticket(reply))?;
+        Ok(Ticket { receiver })
+    }
+
+    /// Enqueues one input whose result is delivered as a [`Completion`]
+    /// carrying `tag` through `sink`'s channel — the **non-blocking**
+    /// completion path: no thread waits on a ticket; the dispatcher pushes
+    /// the completion and invokes the sink's waker.  This is how an
+    /// event-loop front-end (the `snn-net` reactor) keeps many inferences
+    /// in flight per connection without parking a thread on each.
+    ///
+    /// Admission is identical to [`StreamServer::submit`] — same bounded
+    /// queue, same typed rejections — and results are bit-identical to the
+    /// matching blocking call.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::QueueFull`] and [`AccelError::Serving`] exactly as
+    /// [`StreamServer::submit`]; a rejected submission produces **no**
+    /// completion, so callers settle the request from the error in hand.
+    pub fn submit_tagged(&self, input: Tensor<f32>, tag: u64, sink: &CompletionSink) -> Result<()> {
+        self.enqueue(
+            input,
+            ReplyTo::Sink {
+                tag,
+                sink: sink.clone(),
+            },
+        )
+    }
+
+    fn enqueue(&self, input: Tensor<f32>, reply: ReplyTo) -> Result<()> {
         {
             let mut queue = self.shared.queue.lock().expect("submission queue lock");
             if queue.shutdown {
@@ -365,7 +486,7 @@ impl StreamServer {
             queue.jobs.push_back(Submission { input, reply });
         }
         self.shared.ready.notify_one();
-        Ok(Ticket { receiver })
+        Ok(())
     }
 
     /// Submits all `inputs` and waits for all results, in order.
@@ -522,8 +643,26 @@ fn dispatch_loop(shared: &ServerShared) {
             }
         }
         for (submission, report) in batch.into_iter().zip(reports) {
-            // A dropped ticket just means the client stopped listening.
-            let _ = submission.reply.send(report);
+            match submission.reply {
+                // A dropped ticket just means the client stopped listening.
+                ReplyTo::Ticket(reply) => {
+                    let _ = reply.send(report);
+                }
+                // Waker strictly after the send: a reactor woken by the
+                // pipe byte must find the completion already queued.
+                ReplyTo::Sink { tag, sink } => {
+                    if sink
+                        .sender
+                        .send(Completion {
+                            tag,
+                            result: report,
+                        })
+                        .is_ok()
+                    {
+                        (sink.waker)();
+                    }
+                }
+            }
         }
     }
 }
@@ -771,6 +910,144 @@ mod tests {
             drain_rate_ips: 0.001,
         };
         assert_eq!(glacial.retry_after_ms(), MAX_RETRY_AFTER_MS);
+    }
+
+    #[test]
+    fn try_wait_polls_without_blocking_and_matches_wait() {
+        let (model, inputs) = tiny_setup(3);
+        let config = AcceleratorConfig::default();
+        let server = StreamServer::start(config, model.clone()).unwrap();
+        let ticket = server.submit(inputs[0].clone()).unwrap();
+        // Poll until it settles (bounded, far beyond any plausible run).
+        let mut polled = None;
+        for _ in 0..20_000 {
+            if let Some(result) = ticket.try_wait() {
+                polled = Some(result);
+                break;
+            }
+            thread::sleep(std::time::Duration::from_micros(200));
+        }
+        let report = polled
+            .expect("inference settles within the poll cap")
+            .unwrap();
+        let solo = Accelerator::new(config).run(&model, &inputs[0]).unwrap();
+        assert_eq!(report, solo, "polled result equals the blocking oracle");
+        // The result was delivered once; the drained ticket is dead.
+        match ticket.try_wait() {
+            Some(Err(AccelError::Serving { .. })) => {}
+            other => panic!("expected a dead ticket, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn tagged_submissions_complete_through_the_sink_with_a_wake_per_completion() {
+        let (model, inputs) = tiny_setup(3);
+        let config = AcceleratorConfig::default();
+        let server = StreamServer::start(config, model.clone()).unwrap();
+        let wakes = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let wakes_in_waker = Arc::clone(&wakes);
+        let (sink, completions) = CompletionSink::new(Arc::new(move || {
+            wakes_in_waker.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }));
+        for (tag, input) in inputs.iter().enumerate() {
+            server
+                .submit_tagged(input.clone(), tag as u64, &sink)
+                .unwrap();
+        }
+        let mut seen = vec![false; inputs.len()];
+        let accel = Accelerator::new(config);
+        for _ in 0..inputs.len() {
+            let completion = completions
+                .recv_timeout(std::time::Duration::from_secs(60))
+                .expect("completion arrives");
+            let tag = completion.tag as usize;
+            assert!(!seen[tag], "tag {tag} delivered twice");
+            seen[tag] = true;
+            let report = completion.result.unwrap();
+            let solo = accel.run(&model, &inputs[tag]).unwrap();
+            assert_eq!(report, solo, "tagged result equals the solo oracle");
+        }
+        assert!(seen.iter().all(|&s| s), "every tag completed");
+        assert_eq!(
+            wakes.load(std::sync::atomic::Ordering::SeqCst),
+            inputs.len(),
+            "one wake per completion, sent after the enqueue"
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, inputs.len() as u64);
+    }
+
+    #[test]
+    fn tagged_rejections_produce_no_completion() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start_with(
+            AcceleratorConfig::default(),
+            model,
+            ServerOptions {
+                max_batch: 1,
+                queue_capacity: 1,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let (sink, completions) = CompletionSink::new(Arc::new(|| {}));
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for tag in 0..10_000 {
+            match server.submit_tagged(inputs[0].clone(), tag, &sink) {
+                Ok(()) => accepted += 1,
+                Err(AccelError::QueueFull { .. }) => {
+                    rejected += 1;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejected >= 1, "the one-slot queue must shed");
+        // Exactly the accepted submissions complete; the rejection never
+        // surfaces in the completion channel.
+        let mut settled = 0u64;
+        while let Ok(completion) = completions.recv_timeout(std::time::Duration::from_secs(60)) {
+            completion.result.unwrap();
+            settled += 1;
+            if settled == accepted {
+                break;
+            }
+        }
+        assert_eq!(settled, accepted);
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshots_and_stats_are_monotone_under_load() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start(AcceleratorConfig::default(), model).unwrap();
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .cycle()
+            .take(12)
+            .map(|input| server.submit(input.clone()).unwrap())
+            .collect();
+        // Interleave snapshots with the draining queue: the cumulative
+        // counters never step backwards and the live depth stays within the
+        // configured bound at every observation.
+        let mut last = server.stats();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+            let snapshot = server.queue_snapshot();
+            assert!(snapshot.depth <= snapshot.capacity);
+            assert_eq!(snapshot.capacity, DEFAULT_QUEUE_CAPACITY);
+            let stats = server.stats();
+            assert!(stats.completed >= last.completed, "completed is monotone");
+            assert!(stats.errors >= last.errors, "errors is monotone");
+            assert!(stats.batches >= last.batches, "batches is monotone");
+            assert!(stats.rejected >= last.rejected, "rejected is monotone");
+            assert!(stats.elapsed_s >= last.elapsed_s, "elapsed is monotone");
+            last = stats;
+        }
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.completed, 12);
     }
 
     #[test]

@@ -110,6 +110,7 @@ mod tests {
     #[test]
     fn rejection_is_backpressure_with_a_hint() {
         let err = NetError::Rejected(RejectReply {
+            request_id: 3,
             scope: crate::protocol::reject_scope::QUEUE,
             queued: 4,
             capacity: 4,

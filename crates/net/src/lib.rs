@@ -2,28 +2,40 @@
 //!
 //! A TCP serving front-end for the SNN accelerator: the bridge between the
 //! in-process [`snn_accel::serve::StreamServer`] and the network, built on
-//! `std::net` only (the workspace has no registry access).
+//! `std::net` plus a handful of hand-bound syscalls (the workspace has no
+//! registry access).
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`protocol`] — a length-prefixed, versioned binary frame codec
-//!   (inference request = encoded input tensor + options; response = class
-//!   scores + a `RunReport` summary), pure over byte slices and
-//!   property-tested: malformed, truncated or oversized input yields typed
-//!   [`protocol::ProtocolError`]s, never panics or unbounded buffering.
-//! * [`server`] — [`server::NetServer`]: an acceptor plus a
-//!   thread-per-connection worker set bounded by the shared
-//!   [`snn_parallel::ThreadBudget`] IO leases, graceful draining shutdown,
-//!   and **first-class backpressure**: queue-full and worker-saturated
+//!   (inference request = request id + encoded input tensor; response =
+//!   class scores + a `RunReport` summary, echoing the id), pure over byte
+//!   slices and property-tested: malformed, truncated or oversized input
+//!   yields typed [`protocol::ProtocolError`]s, never panics or unbounded
+//!   buffering.  Version 2 added per-connection request pipelining
+//!   (request-id correlation, completion-order replies) and a
+//!   content-negotiation byte on STATS (plaintext or Prometheus).
+//! * [`sys`] — the only `unsafe` in the crate: minimal `extern "C"`
+//!   bindings for `poll(2)`, `fcntl(2)` and a self-pipe (Linux), behind
+//!   safe wrappers.
+//! * [`server`] — [`server::NetServer`]: a **single-reactor** event loop
+//!   that owns every connection on non-blocking sockets — incremental
+//!   decode from per-connection read buffers, write queues flushed on
+//!   writability, inference completions delivered through
+//!   [`snn_accel::serve::StreamServer::submit_tagged`]'s completion queue
+//!   and a wake pipe.  No thread per connection, no blocked waits, and
+//!   **first-class backpressure**: queue-full and connection-cap
 //!   conditions answer with typed REJECTED frames carrying a retry-after
 //!   hint computed from the live queue depth and drain rate.
-//! * [`client`] — [`client::NetClient`], the pure-Rust client used by the
-//!   tests, the `serve_tcp` example and the `bench_net` load generator,
-//!   plus [`client::scrape_stats`] for the plaintext `STATS` line.
+//! * [`client`] — [`client::NetClient`] (pipelined `infer_many`, jittered
+//!   [`client::BackoffPolicy`] retries), [`client::NetPool`] connection
+//!   pooling, plus [`client::scrape_stats`] for the plaintext `STATS`
+//!   line.
 //!
 //! Scores received over TCP are **bit-identical** to the matching
 //! in-process `StreamServer::submit` call — the loopback test suite pins
-//! this, extending the repo's exactness ladder across the wire.
+//! this (pipelined or not), extending the repo's exactness ladder across
+//! the wire.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -32,8 +44,9 @@ pub mod client;
 pub mod error;
 pub mod protocol;
 pub mod server;
+pub mod sys;
 
-pub use client::{scrape_stats, NetClient};
+pub use client::{scrape_stats, BackoffPolicy, NetClient, NetPool};
 pub use error::NetError;
 pub use protocol::{Frame, ProtocolError};
 pub use server::{NetOptions, NetServer, NetStats};

@@ -17,12 +17,23 @@
 //!
 //! | kind | direction | payload |
 //! | --- | --- | --- |
-//! | `INFER` (1) | client → server | flags, tensor shape + `f32` values |
-//! | `SCORES` (2) | server → client | prediction, logits, report summary |
-//! | `REJECTED` (3) | server → client | load-shed scope, queue depth/capacity, retry-after hint, drain rate |
-//! | `ERROR` (4) | server → client | error code + message |
-//! | `STATS_REQUEST` (5) | client → server | empty |
-//! | `STATS_TEXT` (6) | server → client | plaintext counters |
+//! | `INFER` (1) | client → server | request id, flags, tensor shape + `f32` values |
+//! | `SCORES` (2) | server → client | request id, prediction, logits, report summary |
+//! | `REJECTED` (3) | server → client | request id, load-shed scope, queue depth/capacity, retry-after hint, drain rate |
+//! | `ERROR` (4) | server → client | request id, error code + message |
+//! | `STATS_REQUEST` (5) | client → server | content-negotiation format byte |
+//! | `STATS_TEXT` (6) | server → client | plaintext or Prometheus counters |
+//!
+//! # Request pipelining
+//!
+//! Version 2 prefixes every request/response payload with a **request id**
+//! (`u64`, chosen by the client, unique per connection).  A client may keep
+//! any number of INFER frames in flight on one connection; the server
+//! answers **in completion order**, echoing each request's id in its
+//! SCORES/REJECTED/ERROR reply so the client can correlate out-of-order
+//! responses.  Replies the server originates without a request (a
+//! connection-scope REJECTED, a protocol-error ERROR) carry
+//! [`NO_REQUEST_ID`].
 //!
 //! Scrapers that do not speak the framing can send the ASCII line `STATS\n`
 //! instead (detected before frame decoding because it cannot collide with
@@ -36,8 +47,14 @@ use std::io::{self, Write};
 /// Leading bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"SNNF";
 
-/// Protocol version this build speaks.
-pub const VERSION: u16 = 1;
+/// Protocol version this build speaks.  Version 2 added the request-id
+/// field to the INFER/SCORES/REJECTED/ERROR payloads (per-connection
+/// pipelining) and the content-negotiation byte to STATS_REQUEST.
+pub const VERSION: u16 = 2;
+
+/// Request id carried by server-originated replies that answer no specific
+/// request (connection-scope rejections, protocol errors).
+pub const NO_REQUEST_ID: u64 = u64::MAX;
 
 /// Bytes of the fixed frame header (magic + version + kind + length).
 pub const HEADER_LEN: usize = 12;
@@ -110,6 +127,15 @@ pub mod reject_scope {
     pub const CONNECTIONS: u16 = 2;
 }
 
+/// Content-negotiation formats carried by a [`Frame::StatsRequest`].
+pub mod stats_format {
+    /// Plaintext `key: value` lines (the default).
+    pub const TEXT: u8 = 0;
+    /// Prometheus exposition format: `# TYPE` lines plus `snn_`-prefixed
+    /// metric names, ready for a Prometheus scrape endpoint.
+    pub const PROMETHEUS: u8 = 1;
+}
+
 /// Error codes carried by an [`ErrorReply`].
 pub mod error_code {
     /// The request was structurally valid but could not be executed
@@ -124,8 +150,13 @@ pub mod error_code {
 /// An inference request: an encoded input tensor plus option flags.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferRequest {
-    /// Request option flags; no flags are defined in version 1, clients
-    /// must send `0` and servers ignore unknown bits.
+    /// Client-chosen correlation id, echoed verbatim in the reply.  Must be
+    /// unique among this connection's in-flight requests (and not
+    /// [`NO_REQUEST_ID`]); reusing an id makes replies ambiguous to the
+    /// client, the server does not police it.
+    pub request_id: u64,
+    /// Request option flags; no flags are defined yet, clients must send
+    /// `0` and servers ignore unknown bits.
     pub flags: u32,
     /// Tensor shape, outermost dimension first.
     pub shape: Vec<u32>,
@@ -134,9 +165,10 @@ pub struct InferRequest {
 }
 
 impl InferRequest {
-    /// Packages a tensor for the wire.
-    pub fn from_tensor(tensor: &Tensor<f32>) -> Self {
+    /// Packages a tensor for the wire under a correlation id.
+    pub fn from_tensor(request_id: u64, tensor: &Tensor<f32>) -> Self {
         InferRequest {
+            request_id,
             flags: 0,
             shape: tensor.shape().dims().iter().map(|&d| d as u32).collect(),
             values: tensor.as_slice().to_vec(),
@@ -169,8 +201,8 @@ impl InferRequest {
 
     /// Byte length of this request's encoded payload.
     fn payload_len(&self) -> usize {
-        // flags + rank + dims + count + values.
-        4 + 4 + 4 * self.shape.len() + 4 + 4 * self.values.len()
+        // request id + flags + rank + dims + count + values.
+        8 + 4 + 4 + 4 * self.shape.len() + 4 + 4 * self.values.len()
     }
 
     /// Checks this request against every limit the receiving decoder will
@@ -217,6 +249,8 @@ impl InferRequest {
 /// Class scores plus a summary of the server-side `RunReport`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScoreReply {
+    /// Echo of the [`InferRequest::request_id`] this reply answers.
+    pub request_id: u64,
     /// Predicted class (argmax of `logits`).
     pub prediction: u32,
     /// Spike-train length the inference used.
@@ -232,6 +266,9 @@ pub struct ScoreReply {
 /// Typed load-shedding reply: the request was fine, the server is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RejectReply {
+    /// Echo of the shed request's id, or [`NO_REQUEST_ID`] when the whole
+    /// connection was shed before any request existed.
+    pub request_id: u64,
     /// What was saturated — see [`reject_scope`].
     pub scope: u16,
     /// Items waiting when the request was shed (queued submissions, or
@@ -250,6 +287,9 @@ pub struct RejectReply {
 /// A request-level failure (not load shedding) — see [`error_code`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorReply {
+    /// Echo of the failed request's id, or [`NO_REQUEST_ID`] for
+    /// connection-level failures (protocol violations).
+    pub request_id: u64,
     /// Machine-readable cause.
     pub code: u16,
     /// Human-readable description.
@@ -267,9 +307,13 @@ pub enum Frame {
     Rejected(RejectReply),
     /// Failure reply.
     Error(ErrorReply),
-    /// Request for the serving counters.
-    StatsRequest,
-    /// Plaintext serving counters.
+    /// Request for the serving counters in a [`stats_format`].
+    StatsRequest {
+        /// Requested exposition format (see [`stats_format`]); an empty
+        /// payload decodes as [`stats_format::TEXT`].
+        format: u8,
+    },
+    /// Serving counters rendered in the requested format.
     StatsText(String),
 }
 
@@ -287,7 +331,7 @@ impl Frame {
             Frame::Scores(_) => KIND_SCORES,
             Frame::Rejected(_) => KIND_REJECTED,
             Frame::Error(_) => KIND_ERROR,
-            Frame::StatsRequest => KIND_STATS_REQUEST,
+            Frame::StatsRequest { .. } => KIND_STATS_REQUEST,
             Frame::StatsText(_) => KIND_STATS_TEXT,
         }
     }
@@ -296,6 +340,7 @@ impl Frame {
         let mut p = Vec::new();
         match self {
             Frame::Infer(req) => {
+                p.extend_from_slice(&req.request_id.to_le_bytes());
                 put_u32(&mut p, req.flags);
                 put_u32(&mut p, req.shape.len() as u32);
                 for &dim in &req.shape {
@@ -307,6 +352,7 @@ impl Frame {
                 }
             }
             Frame::Scores(reply) => {
+                p.extend_from_slice(&reply.request_id.to_le_bytes());
                 put_u32(&mut p, reply.prediction);
                 put_u32(&mut p, reply.time_steps);
                 put_u32(&mut p, reply.thread_budget);
@@ -317,6 +363,7 @@ impl Frame {
                 }
             }
             Frame::Rejected(reply) => {
+                p.extend_from_slice(&reply.request_id.to_le_bytes());
                 put_u16(&mut p, reply.scope);
                 p.extend_from_slice(&reply.queued.to_le_bytes());
                 p.extend_from_slice(&reply.capacity.to_le_bytes());
@@ -324,11 +371,14 @@ impl Frame {
                 p.extend_from_slice(&reply.drain_rate_mips.to_le_bytes());
             }
             Frame::Error(reply) => {
+                p.extend_from_slice(&reply.request_id.to_le_bytes());
                 put_u16(&mut p, reply.code);
                 put_u32(&mut p, reply.message.len() as u32);
                 p.extend_from_slice(reply.message.as_bytes());
             }
-            Frame::StatsRequest => {}
+            Frame::StatsRequest { format } => {
+                p.push(*format);
+            }
             Frame::StatsText(text) => {
                 put_u32(&mut p, text.len() as u32);
                 p.extend_from_slice(text.as_bytes());
@@ -423,6 +473,7 @@ fn parse_payload(kind: u16, payload: &[u8]) -> Result<Frame, ProtocolError> {
     let mut r = PayloadReader::new(payload);
     let frame = match kind {
         KIND_INFER => {
+            let request_id = u64::from_le_bytes(r.array()?);
             let flags = r.u32()?;
             let rank = r.u32()? as usize;
             if rank > MAX_RANK {
@@ -461,12 +512,14 @@ fn parse_payload(kind: u16, payload: &[u8]) -> Result<Frame, ProtocolError> {
                 values.push(f32::from_le_bytes(r.array()?));
             }
             Frame::Infer(InferRequest {
+                request_id,
                 flags,
                 shape,
                 values,
             })
         }
         KIND_SCORES => {
+            let request_id = u64::from_le_bytes(r.array()?);
             let prediction = r.u32()?;
             let time_steps = r.u32()?;
             let thread_budget = r.u32()?;
@@ -482,6 +535,7 @@ fn parse_payload(kind: u16, payload: &[u8]) -> Result<Frame, ProtocolError> {
                 logits.push(i64::from_le_bytes(r.array()?));
             }
             Frame::Scores(ScoreReply {
+                request_id,
                 prediction,
                 time_steps,
                 thread_budget,
@@ -490,6 +544,7 @@ fn parse_payload(kind: u16, payload: &[u8]) -> Result<Frame, ProtocolError> {
             })
         }
         KIND_REJECTED => Frame::Rejected(RejectReply {
+            request_id: u64::from_le_bytes(r.array()?),
             scope: r.u16()?,
             queued: u64::from_le_bytes(r.array()?),
             capacity: u64::from_le_bytes(r.array()?),
@@ -497,11 +552,29 @@ fn parse_payload(kind: u16, payload: &[u8]) -> Result<Frame, ProtocolError> {
             drain_rate_mips: u64::from_le_bytes(r.array()?),
         }),
         KIND_ERROR => {
+            let request_id = u64::from_le_bytes(r.array()?);
             let code = r.u16()?;
             let message = r.string()?;
-            Frame::Error(ErrorReply { code, message })
+            Frame::Error(ErrorReply {
+                request_id,
+                code,
+                message,
+            })
         }
-        KIND_STATS_REQUEST => Frame::StatsRequest,
+        // An empty payload is TEXT — the format byte is optional so the
+        // cheapest possible scraper request stays one bare header.
+        KIND_STATS_REQUEST if payload.is_empty() => Frame::StatsRequest {
+            format: stats_format::TEXT,
+        },
+        KIND_STATS_REQUEST => {
+            let format = r.array::<1>()?[0];
+            if format > stats_format::PROMETHEUS {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown stats format {format}"
+                )));
+            }
+            Frame::StatsRequest { format }
+        }
         KIND_STATS_TEXT => Frame::StatsText(r.string()?),
         other => return Err(ProtocolError::UnknownKind(other)),
     };
@@ -630,11 +703,13 @@ mod tests {
     #[test]
     fn every_frame_kind_round_trips() {
         roundtrip(Frame::Infer(InferRequest {
+            request_id: 41,
             flags: 0,
             shape: vec![1, 4, 4],
             values: (0..16).map(|i| i as f32 / 16.0).collect(),
         }));
         roundtrip(Frame::Scores(ScoreReply {
+            request_id: 41,
             prediction: 3,
             time_steps: 4,
             thread_budget: 2,
@@ -642,6 +717,7 @@ mod tests {
             logits: vec![-5, 0, 7, 99],
         }));
         roundtrip(Frame::Rejected(RejectReply {
+            request_id: NO_REQUEST_ID,
             scope: reject_scope::QUEUE,
             queued: 8,
             capacity: 8,
@@ -649,16 +725,52 @@ mod tests {
             drain_rate_mips: 2_400_000,
         }));
         roundtrip(Frame::Error(ErrorReply {
+            request_id: 7,
             code: error_code::BAD_REQUEST,
             message: "shape [9] is not the model input".to_string(),
         }));
-        roundtrip(Frame::StatsRequest);
+        roundtrip(Frame::StatsRequest {
+            format: stats_format::TEXT,
+        });
+        roundtrip(Frame::StatsRequest {
+            format: stats_format::PROMETHEUS,
+        });
         roundtrip(Frame::StatsText("completed: 7\n".to_string()));
+    }
+
+    #[test]
+    fn empty_stats_request_payload_decodes_as_text() {
+        // A bare v2 header with kind STATS_REQUEST and no payload is the
+        // cheapest scraper request; it negotiates the plaintext format.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&5u16.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let (frame, used) = Frame::decode(&bytes).unwrap().expect("complete frame");
+        assert_eq!(used, bytes.len());
+        assert_eq!(
+            frame,
+            Frame::StatsRequest {
+                format: stats_format::TEXT
+            }
+        );
+        // Unknown negotiation bytes are typed errors, not silent fallbacks.
+        let mut unknown = Frame::StatsRequest {
+            format: stats_format::PROMETHEUS,
+        }
+        .encode();
+        unknown[HEADER_LEN] = 9;
+        assert!(matches!(
+            Frame::decode(&unknown),
+            Err(ProtocolError::Malformed(_))
+        ));
     }
 
     #[test]
     fn incremental_prefixes_ask_for_more() {
         let bytes = Frame::Scores(ScoreReply {
+            request_id: 3,
             prediction: 1,
             time_steps: 3,
             thread_budget: 2,
@@ -688,16 +800,22 @@ mod tests {
         ));
     }
 
+    fn stats_request() -> Frame {
+        Frame::StatsRequest {
+            format: stats_format::TEXT,
+        }
+    }
+
     #[test]
     fn version_kind_and_size_limits_are_enforced() {
-        let mut wrong_version = Frame::StatsRequest.encode();
+        let mut wrong_version = stats_request().encode();
         wrong_version[4] = 9;
         assert_eq!(
             Frame::decode(&wrong_version).unwrap_err(),
             ProtocolError::Version(9)
         );
 
-        let mut wrong_kind = Frame::StatsRequest.encode();
+        let mut wrong_kind = stats_request().encode();
         wrong_kind[6] = 77;
         assert_eq!(
             Frame::decode(&wrong_kind).unwrap_err(),
@@ -717,8 +835,8 @@ mod tests {
 
     #[test]
     fn trailing_payload_bytes_are_malformed() {
-        let mut bytes = Frame::StatsRequest.encode();
-        bytes[8] = 1; // declare a 1-byte payload
+        let mut bytes = stats_request().encode();
+        bytes[8] = 2; // declare a 2-byte payload: format byte + trailing
         bytes.push(0);
         assert!(matches!(
             Frame::decode(&bytes),
@@ -729,13 +847,14 @@ mod tests {
     #[test]
     fn infer_shape_volume_must_match_value_count() {
         let frame = Frame::Infer(InferRequest {
+            request_id: 1,
             flags: 0,
             shape: vec![2, 3],
             values: vec![0.0; 6],
         });
         let mut bytes = frame.encode();
-        // Corrupt one shape dimension (offset: header + flags + rank).
-        bytes[HEADER_LEN + 8] = 5;
+        // Corrupt one shape dimension (offset: header + id + flags + rank).
+        bytes[HEADER_LEN + 16] = 5;
         assert!(matches!(
             Frame::decode(&bytes),
             Err(ProtocolError::Malformed(_))
@@ -764,18 +883,21 @@ mod tests {
     #[test]
     fn validate_enforces_the_decoder_limits_client_side() {
         let fine = InferRequest {
+            request_id: 1,
             flags: 0,
             shape: vec![1, 4, 4],
             values: vec![0.0; 16],
         };
         assert!(fine.validate().is_ok());
         let deep = InferRequest {
+            request_id: 2,
             flags: 0,
             shape: vec![1; MAX_RANK + 1],
             values: vec![0.0],
         };
         assert!(matches!(deep.validate(), Err(ProtocolError::Malformed(_))));
         let mismatched = InferRequest {
+            request_id: 3,
             flags: 0,
             shape: vec![3],
             values: vec![0.0; 2],
@@ -788,6 +910,7 @@ mod tests {
         // the same typed error the server would raise.
         let over = MAX_PAYLOAD / 4 + 1; // one element past the payload cap
         let huge = InferRequest {
+            request_id: 4,
             flags: 0,
             shape: vec![over as u32],
             values: vec![0.0; over],
@@ -799,9 +922,11 @@ mod tests {
     #[test]
     fn infer_request_round_trips_through_a_tensor() {
         let tensor = Tensor::from_vec(vec![2, 2], vec![0.1f32, 0.2, 0.3, 0.4]).unwrap();
-        let req = InferRequest::from_tensor(&tensor);
+        let req = InferRequest::from_tensor(9, &tensor);
+        assert_eq!(req.request_id, 9);
         assert_eq!(req.to_tensor().unwrap(), tensor);
         let broken = InferRequest {
+            request_id: 0,
             flags: 0,
             shape: vec![3],
             values: vec![1.0, 2.0],

@@ -1,48 +1,77 @@
-//! The TCP front-end: an acceptor plus a bounded thread-per-connection
-//! worker set over [`StreamServer`].
+//! The TCP front-end: a single readiness-driven **reactor** thread over
+//! [`StreamServer`]'s non-blocking completion queue.
 //!
 //! [`NetServer::bind`] compiles the model once (via
-//! [`StreamServer::start_with`]), binds a listener and starts accepting.
-//! Each admitted connection gets a worker thread that decodes frames
-//! incrementally, submits inferences to the shared in-process server and
-//! writes replies back — so every score a TCP client receives is
-//! bit-identical to the matching in-process [`StreamServer::submit`].
+//! [`StreamServer::start_with`]), binds a listener and spawns one reactor
+//! thread that owns *every* connection.  The reactor parks in `poll(2)`
+//! ([`crate::sys`]) watching the listener, a wake pipe and all connection
+//! sockets; nothing in the front-end ever blocks on a peer:
+//!
+//! * **Reads** are non-blocking into a per-connection buffer; complete
+//!   frames are decoded incrementally and INFER requests are submitted
+//!   through [`StreamServer::submit_tagged`] — so one connection can have
+//!   any number of requests in flight (pipelining).
+//! * **Completions** come back over an mpsc channel; the dispatcher wakes
+//!   the reactor through the pipe, and replies are written in **completion
+//!   order**, each echoing its request id for client-side correlation.
+//! * **Writes** go through a per-connection write queue flushed on
+//!   writability, so a stalled reader delays only its own replies — every
+//!   other connection keeps flowing.  A reader that outgrows the
+//!   write-buffer cap, or whose kernel buffer accepts nothing for the
+//!   whole [`WRITE_STALL_TIMEOUT`], is disconnected.
+//!
+//! Scores on the wire remain bit-identical to the matching in-process
+//! [`StreamServer::submit`] (loopback suite), pipelined or not.
 //!
 //! # Backpressure, end to end
 //!
 //! Load shedding is typed at both layers and always carries a retry hint
 //! computed from the live [`StreamServer::queue_snapshot`]:
 //!
-//! * **Submission queue full** — `submit` returns
-//!   [`snn_accel::AccelError::QueueFull`]; the worker answers with a
-//!   REJECTED frame (`scope = queue`) instead of an error, quoting the
-//!   observed depth, the capacity, and how long the dispatcher needs to
-//!   drain the backlog at its recent rate.
-//! * **Connection workers saturated** — worker threads are bounded by
-//!   [`snn_parallel::ThreadBudget::try_lease_io_threads`]; when no lease is
-//!   available the acceptor sheds the connection with a REJECTED frame
-//!   (`scope = connections`) before closing it.
+//! * **Submission queue full** — `submit_tagged` returns
+//!   [`snn_accel::AccelError::QueueFull`]; the reactor answers that request
+//!   with a REJECTED frame (`scope = queue`) echoing its id and quoting
+//!   the observed depth, the capacity, and how long the dispatcher needs
+//!   to drain the backlog at its recent rate.  Other pipelined requests on
+//!   the same connection are untouched.
+//! * **Connection cap reached** — the reactor owns at most
+//!   [`NetOptions::max_connections`] sockets; a connection past the cap is
+//!   shed with a REJECTED frame (`scope = connections`) queued on its
+//!   write buffer and closed once flushed — no thread is spawned, the
+//!   acceptor never blocks.
+//!
+//! The IO story of `snn_parallel` shrank accordingly: instead of one
+//! [`snn_parallel::IoLease`] per connection, the front-end holds exactly
+//! **one** lease for the reactor thread (the dispatcher inside
+//! [`StreamServer`] is the other IO-adjacent thread); connection scaling
+//! is bounded by `max_connections`, not by threads.
 //!
 //! # Shutdown
 //!
-//! [`NetServer::shutdown`] stops the acceptor, lets every worker finish the
-//! requests it has already read (in-flight inferences drain; replies are
-//! written), joins them, and only then tears down the inner server — so a
-//! clean shutdown never drops an accepted request on the floor.
+//! [`NetServer::shutdown`] wakes the reactor, which stops accepting and
+//! reading, submits any complete frames already buffered, waits for every
+//! in-flight inference to complete, flushes all write queues (bounded by
+//! [`SHUTDOWN_DRAIN_GRACE`]) and exits; only then is the inner server torn
+//! down — a clean shutdown never drops a request it has already read.
 
 use crate::error::NetError;
 use crate::protocol::{
-    error_code, probe_plaintext_stats, reject_scope, ErrorReply, Frame, PlaintextProbe,
-    RejectReply, ScoreReply,
+    error_code, probe_plaintext_stats, reject_scope, stats_format, ErrorReply, Frame,
+    PlaintextProbe, RejectReply, ScoreReply, NO_REQUEST_ID,
 };
+use crate::sys::{poll_fds, PollFd, WakePipe, POLLIN, POLLOUT};
 use snn_accel::config::AcceleratorConfig;
-use snn_accel::serve::{QueueSnapshot, ServerOptions, ServerStats, StreamServer};
+use snn_accel::serve::{
+    Completion, CompletionSink, QueueSnapshot, ServerOptions, ServerStats, StreamServer,
+};
 use snn_accel::AccelError;
 use snn_model::snn::SnnModel;
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -52,15 +81,21 @@ pub struct NetOptions {
     /// Options of the inner [`StreamServer`] (micro-batching, queue
     /// capacity, execution mode) — validated by its constructor.
     pub server: ServerOptions,
-    /// How often blocked reads and the acceptor wake up to check for
-    /// shutdown; the latency ceiling of a graceful shutdown, not of
-    /// requests.
+    /// Upper bound of one `poll(2)` sleep: the granularity of idle-timeout
+    /// sweeps and the latency ceiling of noticing a shutdown — not of
+    /// requests, which wake the reactor through the pipe.
     pub poll_interval: Duration,
-    /// A connection that has sent no complete request for this long is
-    /// closed and its IO lease reclaimed.  Without the deadline,
-    /// `io_lease_cap` silent sockets would pin every worker slot forever
-    /// and starve new connections while the server sits idle.
+    /// A connection that has sent no complete request (and has none in
+    /// flight) for this long is closed and its slot reclaimed.  Without
+    /// the deadline, `max_connections` silent sockets would pin every slot
+    /// forever and starve new connections while the server sits idle.
     pub idle_timeout: Duration,
+    /// Most connections the reactor owns at once.  Past the cap a new
+    /// connection is shed with a typed REJECTED frame (`scope =
+    /// connections`).  Must be at least 1 ([`NetServer::bind`] rejects 0
+    /// with a typed error).  Connections are state, not threads, so this
+    /// can comfortably sit far above the old per-connection worker cap.
+    pub max_connections: usize,
 }
 
 impl Default for NetOptions {
@@ -69,29 +104,56 @@ impl Default for NetOptions {
             server: ServerOptions::default(),
             poll_interval: Duration::from_millis(20),
             idle_timeout: Duration::from_secs(60),
+            max_connections: 256,
         }
     }
 }
 
-/// How long a reply write may block before the connection is declared
-/// dead.  A client that pipelines requests but never reads its replies
-/// fills the kernel send buffer; without this bound the worker would
-/// block in `write_all` forever, pinning its IO lease and wedging
-/// [`NetServer::shutdown`] on the join.  A partial write after a timeout
-/// leaves the stream desynchronized, so the worker closes it.
-pub const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Cap on one connection's queued-but-unwritten reply bytes.  A client
+/// that pipelines requests and never reads its replies grows its write
+/// queue; past this bound the reactor declares the reader dead and closes
+/// the connection instead of buffering without limit.  Generous: a SCORES
+/// reply is ~100 bytes, so this is tens of thousands of unread replies.
+pub const MAX_WRITE_BUFFER: usize = 4 << 20;
 
-/// Cap on concurrent shed threads (each lives for at most ~300 ms while
-/// it writes one REJECTED frame).  Past the cap, surplus connections are
-/// dropped without a frame — under that much flood, typed rejection
-/// inevitably degrades to kernel-level drops anyway, but the acceptor
-/// itself never blocks on a shed peer.
-pub const MAX_SHED_THREADS: usize = 32;
+/// How long a connection's write queue may sit non-empty **without the
+/// kernel accepting a single byte** before the reader is declared dead
+/// and the connection closed.  The peer's receive buffer being full for
+/// this long means nobody is reading; without the bound, a reader stalled
+/// *below* [`MAX_WRITE_BUFFER`] would pin its connection slot forever
+/// (the reactor equivalent of the old per-connection write timeout).
+/// Any write progress restarts the window.
+pub const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Most bytes the reactor reads from one socket in one readiness round —
+/// a fairness bound so a firehose peer cannot starve its neighbours
+/// between polls.  The remainder stays in the kernel buffer and the
+/// socket simply polls readable again.
+pub const READ_BURST: usize = 256 << 10;
+
+/// How long a reactor-wide draining shutdown may keep waiting on
+/// in-flight inferences and unflushed replies before giving up on the
+/// laggards.  Also the per-connection bound of the [`ConnState::Draining`]
+/// phase (terminal reply queued, in-flight completions still landing).
+pub const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_secs(10);
+
+/// How long a connection that has been answered and half-closed (error
+/// replies, plaintext stats, sheds) is kept around to drain the peer's
+/// unread bytes — closing with data pending in the receive buffer sends
+/// RST, which could destroy the reply before the peer reads it.
+pub const CLOSE_LINGER: Duration = Duration::from_millis(250);
+
+/// Cap on connections in the shed/close pipeline (REJECTED queued, write
+/// flushing, linger) beyond [`NetOptions::max_connections`].  Past it,
+/// surplus connections are dropped without a frame — under that much flood
+/// typed rejection inevitably degrades to kernel-level drops anyway, but
+/// the reactor itself never blocks and its memory stays bounded.
+pub const MAX_SHED_CONNECTIONS: usize = 64;
 
 /// Floor of the retry-after hint on connection-scope rejections
-/// (milliseconds).  Leases free when a connection finishes or idles out —
-/// nothing the queue drain rate can predict — so the hint is a polite
-/// back-off floor rather than a measurement.
+/// (milliseconds).  Connection slots free when a peer disconnects or
+/// idles out — nothing the queue drain rate can predict — so the hint is
+/// a polite back-off floor rather than a measurement.
 pub const CONNECTIONS_RETRY_AFTER_MS: u64 = 100;
 
 #[derive(Default)]
@@ -101,6 +163,7 @@ struct Counters {
     requests: AtomicU64,
     protocol_errors: AtomicU64,
     stats_requests: AtomicU64,
+    open_connections: AtomicUsize,
 }
 
 /// Snapshot of a [`NetServer`]'s counters plus the inner serving stats.
@@ -108,7 +171,7 @@ struct Counters {
 pub struct NetStats {
     /// TCP connections accepted (admitted or shed).
     pub accepted: u64,
-    /// Connections shed because no IO lease was available.
+    /// Connections shed because the reactor was at `max_connections`.
     pub turned_away: u64,
     /// Inference requests received over the wire.
     pub requests: u64,
@@ -116,6 +179,8 @@ pub struct NetStats {
     pub protocol_errors: u64,
     /// STATS requests served (framed or plaintext).
     pub stats_requests: u64,
+    /// Connections the reactor currently owns.
+    pub open_connections: u64,
     /// The inner [`StreamServer`] statistics (completed, rejected, queue
     /// snapshot, per-unit utilisation, ...).
     pub server: ServerStats,
@@ -126,17 +191,14 @@ struct NetShared {
     options: NetOptions,
     shutdown: AtomicBool,
     counters: Counters,
-    workers: Mutex<Vec<JoinHandle<()>>>,
-    /// Short-lived shed threads currently writing REJECTED frames,
-    /// bounded at [`MAX_SHED_THREADS`].
-    sheds_in_flight: AtomicUsize,
+    wake: Arc<WakePipe>,
 }
 
 /// A listening TCP serving front-end.  See the module docs.
 #[derive(Debug)]
 pub struct NetServer {
     shared: Arc<NetShared>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     local_addr: SocketAddr,
 }
 
@@ -150,37 +212,56 @@ impl std::fmt::Debug for NetShared {
 
 impl NetServer {
     /// Compiles `model`, binds `addr` (use port `0` for an ephemeral port)
-    /// and starts serving.
+    /// and starts the reactor.
     ///
     /// # Errors
     ///
     /// Propagates [`StreamServer::start_with`] errors (invalid options,
-    /// unmappable model) and socket errors from binding.
+    /// unmappable model), rejects `max_connections == 0` with a typed
+    /// [`snn_accel::AccelError::InvalidConfig`], and propagates socket /
+    /// pipe errors.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         config: AcceleratorConfig,
         model: SnnModel,
         options: NetOptions,
     ) -> Result<Self, NetError> {
+        if options.max_connections == 0 {
+            return Err(NetError::Accel(AccelError::InvalidConfig {
+                context: "NetOptions::max_connections is 0: every connection would be shed"
+                    .to_string(),
+            }));
+        }
         let server = StreamServer::start_with(config, model, options.server)?;
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let wake = Arc::new(WakePipe::new()?);
         let shared = Arc::new(NetShared {
             server,
             options,
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
-            workers: Mutex::new(Vec::new()),
-            sheds_in_flight: AtomicUsize::new(0),
+            wake: Arc::clone(&wake),
         });
-        let acceptor_shared = Arc::clone(&shared);
-        let acceptor = thread::Builder::new()
-            .name("snn-net-accept".to_string())
-            .spawn(move || accept_loop(&acceptor_shared, &listener))?;
+        let completion_wake = Arc::clone(&wake);
+        let (sink, completions) = CompletionSink::new(Arc::new(move || completion_wake.wake()));
+        // The reactor is the front-end's only thread; it blocks in poll(2),
+        // not on a core, so it draws an IO lease rather than compute budget
+        // (the StreamServer dispatcher is accounted the same way).
+        let lease = snn_parallel::budget().try_lease_io_threads(1);
+        let reactor_shared = Arc::clone(&shared);
+        let reactor = thread::Builder::new()
+            .name("snn-net-reactor".to_string())
+            .spawn(move || {
+                // The lease (when the budget had one left) lives exactly as
+                // long as the reactor thread.
+                let _lease = lease;
+                Reactor::new(&reactor_shared, listener, completions, sink).run();
+            })?;
         Ok(NetServer {
             shared,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             local_addr,
         })
     }
@@ -199,12 +280,13 @@ impl NetServer {
             requests: c.requests.load(Ordering::Relaxed),
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
             stats_requests: c.stats_requests.load(Ordering::Relaxed),
+            open_connections: c.open_connections.load(Ordering::Relaxed) as u64,
             server: self.shared.server.stats(),
         }
     }
 
     /// Gracefully shuts down: stop accepting, drain in-flight requests,
-    /// join every worker, and return the final statistics.
+    /// flush replies, join the reactor, and return the final statistics.
     pub fn shutdown(mut self) -> NetStats {
         self.stop();
         self.stats()
@@ -212,14 +294,11 @@ impl NetServer {
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        // A panicked worker must not turn shutdown into a panic of its own
-        // (or a double-panic abort when this runs from Drop during
+        self.shared.wake.wake();
+        // A panicked reactor must not turn shutdown into a panic of its
+        // own (or a double-panic abort when this runs from Drop during
         // unwinding): the join error is swallowed and teardown continues.
-        if let Some(handle) = self.acceptor.take() {
-            let _ = handle.join();
-        }
-        let workers = std::mem::take(&mut *self.shared.workers.lock().expect("worker registry"));
-        for handle in workers {
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
     }
@@ -231,123 +310,613 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop(shared: &Arc<NetShared>, listener: &TcpListener) {
-    let mut connection_index = 0u64;
-    loop {
-        if shared.shutdown.load(Ordering::Acquire) {
+// ---------------------------------------------------------------------------
+// The reactor
+// ---------------------------------------------------------------------------
+
+/// Lifecycle of one reactor-owned connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Serving requests.
+    Open,
+    /// A terminal reply (error / plaintext stats / shed) is queued: flush
+    /// the write buffer, then half-close and move to [`ConnState::Linger`].
+    Draining,
+    /// Write side closed; discard the peer's unread bytes until EOF or the
+    /// deadline so the kernel does not RST our last reply away.
+    Linger,
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Bytes read but not yet decoded (at most a partial frame after each
+    /// processing pass).
+    rbuf: Vec<u8>,
+    /// Encoded replies not yet accepted by the kernel.
+    wbuf: Vec<u8>,
+    /// Tagged inferences submitted for this connection and not yet
+    /// completed.
+    in_flight: usize,
+    /// The peer half-closed its sending side; serve what is in flight,
+    /// flush, then close.
+    peer_eof: bool,
+    /// Wall-clock of the last complete request or completion (the idle
+    /// clock must not tick while work is in flight).
+    last_activity: Instant,
+    /// Hard deadline for [`ConnState::Draining`]/[`ConnState::Linger`].
+    deadline: Option<Instant>,
+    /// Since when the write queue has been non-empty with the kernel
+    /// accepting nothing (see [`WRITE_STALL_TIMEOUT`]).
+    stalled_since: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            state: ConnState::Open,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            in_flight: 0,
+            peer_eof: false,
+            last_activity: Instant::now(),
+            deadline: None,
+            stalled_since: None,
+        }
+    }
+
+    /// Queues an encoded reply for the writability path.
+    fn queue_frame(&mut self, frame: &Frame) {
+        self.wbuf.extend_from_slice(&frame.encode());
+    }
+
+    /// Marks the connection terminally answered: finish in-flight work,
+    /// flush, half-close, linger, close.  The drain phase gets the full
+    /// flush grace (in-flight completions are still landing); the linger
+    /// after the half-close is short.
+    fn begin_drain(&mut self) {
+        if self.state == ConnState::Open {
+            self.state = ConnState::Draining;
+            self.deadline = Some(Instant::now() + SHUTDOWN_DRAIN_GRACE);
+        }
+    }
+
+    /// Non-blocking read burst into the read buffer (discarded on non-Open
+    /// states, where only EOF matters).  Returns `true` when the
+    /// connection is dead and must be closed.
+    fn read_step(&mut self) -> bool {
+        let discard = self.state != ConnState::Open;
+        let mut scratch = [0u8; 8192];
+        let mut total = 0usize;
+        loop {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    if !discard {
+                        self.rbuf.extend_from_slice(&scratch[..n]);
+                    }
+                    total += n;
+                    // Fairness: leave the rest in the kernel buffer and
+                    // let the socket poll readable again next round.
+                    if total >= READ_BURST {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return true,
+            }
+        }
+        // EOF during a linger means the peer has nothing more in flight
+        // that a close could RST away.
+        self.peer_eof && self.state != ConnState::Open
+    }
+
+    /// Writes as much queued reply data as the kernel accepts.  Returns
+    /// `true` when the connection is dead and must be closed.
+    fn flush_step(&mut self) -> bool {
+        let mut wrote = 0usize;
+        while !self.wbuf.is_empty() {
+            match self.stream.write(&self.wbuf) {
+                Ok(0) => return true,
+                Ok(n) => {
+                    self.wbuf.drain(..n);
+                    wrote += n;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return true,
+            }
+        }
+        // Write-stall clock: runs while bytes are queued and the kernel
+        // accepts none of them, restarts on any progress.
+        if self.wbuf.is_empty() {
+            self.stalled_since = None;
+        } else if wrote > 0 || self.stalled_since.is_none() {
+            self.stalled_since = Some(Instant::now());
+        }
+        if self.wbuf.len() > MAX_WRITE_BUFFER {
+            // The peer has stopped reading; buffering further replies for
+            // it would trade one slow socket for unbounded memory.
+            return true;
+        }
+        if self.wbuf.is_empty() && self.in_flight == 0 && self.state == ConnState::Draining {
+            // Every reply flushed: half-close and linger briefly so the
+            // FIN (not an RST) is what the peer observes after our last
+            // frame.
+            let _ = self.stream.shutdown(Shutdown::Write);
+            self.state = ConnState::Linger;
+            self.deadline = Some(Instant::now() + CLOSE_LINGER);
+            if self.peer_eof {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Which poll events this connection currently needs.
+    fn events(&self) -> i16 {
+        let mut events = 0;
+        // Reads stay registered on non-Open states too: draining the
+        // peer's backlog prevents an RST from destroying the queued reply.
+        if !self.peer_eof {
+            events |= POLLIN;
+        }
+        if !self.wbuf.is_empty() {
+            events |= POLLOUT;
+        }
+        events
+    }
+}
+
+/// A submitted-but-uncompleted inference: which connection asked, under
+/// which wire request id.
+struct Pending {
+    token: u64,
+    request_id: u64,
+}
+
+struct Reactor<'a> {
+    shared: &'a Arc<NetShared>,
+    listener: TcpListener,
+    completions: mpsc::Receiver<Completion>,
+    sink: CompletionSink,
+    conns: HashMap<u64, Conn>,
+    /// Tag of every in-flight tagged submission → its origin.
+    pending: HashMap<u64, Pending>,
+    next_token: u64,
+    next_tag: u64,
+    /// Set once when a shutdown is observed: already-buffered complete
+    /// frames are submitted one final time, then reads stop.
+    drain_started: bool,
+}
+
+impl<'a> Reactor<'a> {
+    fn new(
+        shared: &'a Arc<NetShared>,
+        listener: TcpListener,
+        completions: mpsc::Receiver<Completion>,
+        sink: CompletionSink,
+    ) -> Self {
+        Reactor {
+            shared,
+            listener,
+            completions,
+            sink,
+            conns: HashMap::new(),
+            pending: HashMap::new(),
+            next_token: 0,
+            next_tag: 0,
+            drain_started: false,
+        }
+    }
+
+    fn run(mut self) {
+        let mut drain_deadline: Option<Instant> = None;
+        loop {
+            let draining = self.shared.shutdown.load(Ordering::Acquire);
+            if draining {
+                if !self.drain_started {
+                    self.drain_started = true;
+                    drain_deadline = Some(Instant::now() + SHUTDOWN_DRAIN_GRACE);
+                    // Serve every complete frame already read off a socket,
+                    // then stop reading: accepted work drains, new work is
+                    // no longer admitted.
+                    let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                    for token in tokens {
+                        self.process_rbuf(token);
+                    }
+                }
+                let flushed = self.conns.values().all(|conn| conn.wbuf.is_empty());
+                if (self.pending.is_empty() && flushed)
+                    || drain_deadline.is_some_and(|d| Instant::now() >= d)
+                {
+                    return;
+                }
+            }
+
+            // --- build the poll set ----------------------------------
+            let mut fds = Vec::with_capacity(2 + self.conns.len());
+            fds.push(PollFd::new(self.shared.wake.read_fd(), POLLIN));
+            let listener_slot = if draining {
+                None
+            } else {
+                fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+                Some(fds.len() - 1)
+            };
+            let base = fds.len();
+            let mut order: Vec<u64> = Vec::with_capacity(self.conns.len());
+            for (&token, conn) in &self.conns {
+                let events = if draining {
+                    // During shutdown only flushes matter.
+                    if conn.wbuf.is_empty() {
+                        0
+                    } else {
+                        POLLOUT
+                    }
+                } else {
+                    conn.events()
+                };
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                order.push(token);
+            }
+
+            if poll_fds(&mut fds, self.shared.options.poll_interval).is_err() {
+                // EINVAL/ENOMEM are not per-connection conditions; back off
+                // instead of spinning and try again.
+                thread::sleep(self.shared.options.poll_interval);
+                continue;
+            }
+
+            // --- dispatch readiness ----------------------------------
+            if fds[0].has(POLLIN) {
+                self.shared.wake.drain();
+            }
+            // Completions are drained unconditionally: try_recv is cheap
+            // and wake coalescing means byte counts carry no information.
+            self.drain_completions();
+            if let Some(slot) = listener_slot {
+                if fds[slot].has(POLLIN) {
+                    self.accept_ready();
+                }
+            }
+            for (offset, &token) in order.iter().enumerate() {
+                let slot = &fds[base + offset];
+                if slot.is_error() {
+                    self.close(token);
+                    continue;
+                }
+                if slot.has(POLLOUT) || slot.has(crate::sys::POLLHUP) {
+                    self.flush(token);
+                }
+                if slot.has(POLLIN | crate::sys::POLLHUP) && !draining {
+                    self.read_ready(token);
+                }
+            }
+            self.sweep();
+        }
+    }
+
+    /// Accepts every connection the listener has queued.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared
+                        .counters
+                        .accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.admit(stream);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                // Transient accept errors (ECONNABORTED etc.): the next
+                // readiness round retries.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
             return;
         }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
-                admit(shared, stream, connection_index);
-                connection_index += 1;
+        let open = self.open_count();
+        let admitted = open < self.shared.options.max_connections;
+        if !admitted {
+            self.shared
+                .counters
+                .turned_away
+                .fetch_add(1, Ordering::Relaxed);
+            // Sheds occupy close-pipeline slots (flush + linger), bounded
+            // separately from serving slots; past that bound the stream is
+            // simply dropped.
+            let draining = self.conns.len() - open;
+            if draining >= MAX_SHED_CONNECTIONS {
+                return;
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                thread::sleep(shared.options.poll_interval);
-            }
-            // Transient accept errors (ECONNABORTED etc.): keep listening.
-            Err(_) => thread::sleep(shared.options.poll_interval),
         }
+        let _ = stream.set_nodelay(true);
+        let mut conn = Conn::new(stream);
+        if !admitted {
+            // Shed without a thread: queue the typed REJECTED frame on the
+            // ordinary write path and close once it flushes.
+            let snapshot = self.shared.server.queue_snapshot();
+            conn.queue_frame(&Frame::Rejected(RejectReply {
+                request_id: NO_REQUEST_ID,
+                scope: reject_scope::CONNECTIONS,
+                queued: open as u64,
+                capacity: self.shared.options.max_connections as u64,
+                // Slot availability is not predicted by the queue drain
+                // rate, so the hint is floored at a polite back-off rather
+                // than the near-zero an empty queue would suggest.
+                retry_after_ms: snapshot.retry_after_ms().max(CONNECTIONS_RETRY_AFTER_MS),
+                drain_rate_mips: drain_rate_mips(&snapshot),
+            }));
+            conn.begin_drain();
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.conns.insert(token, conn);
+        if admitted {
+            self.shared
+                .counters
+                .open_connections
+                .store(self.open_count(), Ordering::Relaxed);
+        }
+        self.flush(token);
+    }
+
+    /// Admitted (non-shed) connections currently owned.
+    fn open_count(&self) -> usize {
+        self.conns
+            .values()
+            .filter(|c| c.state == ConnState::Open)
+            .count()
+    }
+
+    /// Non-blocking read burst followed by frame processing.
+    fn read_ready(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let was_open = conn.state == ConnState::Open;
+        if conn.read_step() {
+            self.close(token);
+            return;
+        }
+        if was_open {
+            self.process_rbuf(token);
+        }
+    }
+
+    /// Decodes and serves every complete request buffered for `token`.
+    fn process_rbuf(&mut self, token: u64) {
+        // Disjoint field borrows: the connection map and the pending map
+        // are used simultaneously below.
+        let Reactor {
+            shared,
+            conns,
+            pending,
+            next_tag,
+            sink,
+            ..
+        } = self;
+        let Some(conn) = conns.get_mut(&token) else {
+            return;
+        };
+        while conn.state == ConnState::Open {
+            match probe_plaintext_stats(&conn.rbuf) {
+                PlaintextProbe::Stats { consumed } => {
+                    conn.rbuf.drain(..consumed);
+                    shared
+                        .counters
+                        .stats_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    // One-shot scrape, `nc`-style: raw text (no framing),
+                    // then close.
+                    conn.wbuf
+                        .extend_from_slice(render_stats(shared, stats_format::TEXT).as_bytes());
+                    conn.begin_drain();
+                    break;
+                }
+                PlaintextProbe::NeedMore => break,
+                PlaintextProbe::NotStats => {}
+            }
+            match Frame::decode(&conn.rbuf) {
+                Ok(Some((frame, used))) => {
+                    conn.rbuf.drain(..used);
+                    handle_frame(shared, conn, pending, next_tag, sink, token, frame);
+                    conn.last_activity = Instant::now();
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    conn.queue_frame(&Frame::Error(ErrorReply {
+                        request_id: NO_REQUEST_ID,
+                        code: error_code::PROTOCOL,
+                        message: err.to_string(),
+                    }));
+                    conn.rbuf.clear();
+                    conn.begin_drain();
+                    break;
+                }
+            }
+        }
+        self.flush(token);
+    }
+
+    /// Hands every settled inference back to its connection, in completion
+    /// order.
+    fn drain_completions(&mut self) {
+        while let Ok(completion) = self.completions.try_recv() {
+            let Some(origin) = self.pending.remove(&completion.tag) else {
+                continue;
+            };
+            let Some(conn) = self.conns.get_mut(&origin.token) else {
+                // The connection died while its inference ran; the result
+                // has no reader.
+                continue;
+            };
+            conn.in_flight -= 1;
+            conn.last_activity = Instant::now();
+            let frame = match completion.result {
+                Ok(report) => Frame::Scores(ScoreReply {
+                    request_id: origin.request_id,
+                    prediction: report.prediction as u32,
+                    time_steps: report.time_steps as u32,
+                    thread_budget: report.thread_budget as u32,
+                    total_cycles: report.total_cycles(),
+                    logits: report.logits,
+                }),
+                Err(err) => error_reply(origin.request_id, &err),
+            };
+            conn.queue_frame(&frame);
+            self.flush(origin.token);
+        }
+    }
+
+    /// Writes as much queued reply data as the kernel accepts.
+    fn flush(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.flush_step() {
+            self.close(token);
+        }
+    }
+
+    /// Deadline enforcement: idle Open connections, stalled readers,
+    /// expired drains and lingers.
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        let idle = self.shared.options.idle_timeout;
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| {
+                // A reader whose kernel buffer has refused every byte for
+                // the whole stall window is gone, whatever the state.
+                let stalled = conn
+                    .stalled_since
+                    .is_some_and(|since| now.duration_since(since) >= WRITE_STALL_TIMEOUT);
+                stalled
+                    || match conn.state {
+                        ConnState::Open => {
+                            let idle_out = conn.in_flight == 0
+                                && conn.wbuf.is_empty()
+                                && now.duration_since(conn.last_activity) >= idle;
+                            // A peer that half-closed and has nothing in
+                            // flight or unflushed is simply finished.
+                            let finished =
+                                conn.peer_eof && conn.in_flight == 0 && conn.wbuf.is_empty();
+                            idle_out || finished
+                        }
+                        ConnState::Draining | ConnState::Linger => {
+                            conn.deadline.is_some_and(|deadline| now >= deadline)
+                        }
+                    }
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            self.close(token);
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if self.conns.remove(&token).is_some() {
+            self.shared
+                .counters
+                .open_connections
+                .store(self.open_count(), Ordering::Relaxed);
+        }
+        // Stale `pending` entries for this token self-clean: their
+        // completions arrive, find no connection, and are dropped.
     }
 }
 
-/// Hands an accepted connection to a leased worker thread, or sheds it
-/// with a typed REJECTED frame when the worker set is saturated.
-fn admit(shared: &Arc<NetShared>, stream: TcpStream, index: u64) {
-    let budget = snn_parallel::budget();
-    let Some(lease) = budget.try_lease_io_threads(1) else {
-        shared.counters.turned_away.fetch_add(1, Ordering::Relaxed);
-        spawn_shed(shared, stream);
-        return;
-    };
-    let conn_shared = Arc::clone(shared);
-    // A duplicate handle survives the closure taking the stream, so a
-    // failed spawn can still answer before hanging up.
-    let shed_handle = stream.try_clone();
-    let spawned = thread::Builder::new()
-        .name(format!("snn-net-conn-{index}"))
-        .spawn(move || {
-            // The lease lives exactly as long as the worker thread.
-            let _lease = lease;
-            run_connection(&conn_shared, stream);
-        });
-    match spawned {
-        Ok(handle) => {
-            let mut workers = shared.workers.lock().expect("worker registry");
-            // Finished workers have already released their lease; dropping
-            // their handles just detaches the dead threads.
-            workers.retain(|h| !h.is_finished());
-            workers.push(handle);
-        }
-        // Thread spawn fails exactly under resource exhaustion — the same
-        // saturation the lease guards against, so shed the same way.
-        Err(_) => {
-            shared.counters.turned_away.fetch_add(1, Ordering::Relaxed);
-            if let Ok(handle) = shed_handle {
-                spawn_shed(shared, handle);
+/// Serves one decoded client frame (reads already done, writes queued).
+fn handle_frame(
+    shared: &NetShared,
+    conn: &mut Conn,
+    pending: &mut HashMap<u64, Pending>,
+    next_tag: &mut u64,
+    sink: &CompletionSink,
+    token: u64,
+    frame: Frame,
+) {
+    match frame {
+        Frame::Infer(request) => {
+            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+            let request_id = request.request_id;
+            let tensor = match request.into_tensor() {
+                Ok(tensor) => tensor,
+                Err(err) => {
+                    conn.queue_frame(&Frame::Error(ErrorReply {
+                        request_id,
+                        code: error_code::BAD_REQUEST,
+                        message: err.to_string(),
+                    }));
+                    return;
+                }
+            };
+            let tag = *next_tag;
+            *next_tag += 1;
+            match shared.server.submit_tagged(tensor, tag, sink) {
+                Ok(()) => {
+                    pending.insert(tag, Pending { token, request_id });
+                    conn.in_flight += 1;
+                }
+                Err(AccelError::QueueFull { queued, capacity }) => {
+                    let snapshot = shared.server.queue_snapshot();
+                    conn.queue_frame(&Frame::Rejected(RejectReply {
+                        request_id,
+                        scope: reject_scope::QUEUE,
+                        queued: queued as u64,
+                        capacity: capacity as u64,
+                        retry_after_ms: snapshot.retry_after_ms().max(1),
+                        drain_rate_mips: drain_rate_mips(&snapshot),
+                    }));
+                }
+                Err(err) => {
+                    let reply = error_reply(request_id, &err);
+                    let shutting_down = matches!(
+                        &reply,
+                        Frame::Error(ErrorReply { code, .. }) if *code == error_code::SHUTTING_DOWN
+                    );
+                    conn.queue_frame(&reply);
+                    if shutting_down {
+                        conn.begin_drain();
+                    }
+                }
             }
         }
-    }
-}
-
-/// Sheds a connection on a short-lived throwaway thread so the (blocking)
-/// REJECTED write and drain never stall the acceptor.  Thread count is
-/// bounded at [`MAX_SHED_THREADS`]; past the cap — or if the spawn itself
-/// fails — the connection is simply dropped.
-fn spawn_shed(shared: &Arc<NetShared>, stream: TcpStream) {
-    let admitted = shared
-        .sheds_in_flight
-        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
-            (n < MAX_SHED_THREADS).then_some(n + 1)
-        })
-        .is_ok();
-    if !admitted {
-        return;
-    }
-    let shed_shared = Arc::clone(shared);
-    let spawned = thread::Builder::new()
-        .name("snn-net-shed".to_string())
-        .spawn(move || {
-            shed(&shed_shared, stream);
-            shed_shared.sheds_in_flight.fetch_sub(1, Ordering::AcqRel);
-        });
-    if spawned.is_err() {
-        shared.sheds_in_flight.fetch_sub(1, Ordering::AcqRel);
-    }
-}
-
-/// Best-effort REJECTED reply for a connection that found no worker slot.
-fn shed(shared: &NetShared, mut stream: TcpStream) {
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let budget = snn_parallel::budget();
-    let snapshot = shared.server.queue_snapshot();
-    let reply = Frame::Rejected(RejectReply {
-        scope: reject_scope::CONNECTIONS,
-        queued: budget.io_leases_in_flight() as u64,
-        capacity: budget.io_lease_cap() as u64,
-        // Lease availability is not predicted by the queue drain rate, so
-        // the hint is floored at a polite back-off rather than the
-        // near-zero an empty queue would suggest.
-        retry_after_ms: snapshot.retry_after_ms().max(CONNECTIONS_RETRY_AFTER_MS),
-        drain_rate_mips: drain_rate_mips(&snapshot),
-    });
-    if reply.write_to(&mut stream).is_err() {
-        return;
-    }
-    // Half-close and briefly drain unread request bytes: closing with
-    // data pending in the receive buffer sends RST, which could destroy
-    // the REJECTED frame before the peer reads it.  The drain is
-    // deadline-bounded so a flooding peer cannot stall the acceptor.
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let deadline = Instant::now() + Duration::from_millis(250);
-    let mut sink = [0u8; 1024];
-    while Instant::now() < deadline {
-        match stream.read(&mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
+        Frame::StatsRequest { format } => {
+            shared
+                .counters
+                .stats_requests
+                .fetch_add(1, Ordering::Relaxed);
+            conn.queue_frame(&Frame::StatsText(render_stats(shared, format)));
+        }
+        // Server-bound traffic may only be requests.
+        Frame::Scores(_) | Frame::Rejected(_) | Frame::Error(_) | Frame::StatsText(_) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            conn.queue_frame(&Frame::Error(ErrorReply {
+                request_id: NO_REQUEST_ID,
+                code: error_code::PROTOCOL,
+                message: "unexpected server-bound frame".to_string(),
+            }));
+            conn.begin_drain();
         }
     }
 }
@@ -356,174 +925,33 @@ fn drain_rate_mips(snapshot: &QueueSnapshot) -> u64 {
     (snapshot.drain_rate_ips * 1000.0).round().max(0.0) as u64
 }
 
-fn run_connection(shared: &NetShared, mut stream: TcpStream) {
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.options.poll_interval));
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let mut buf: Vec<u8> = Vec::new();
-    let mut scratch = [0u8; 8192];
-    let mut last_request = Instant::now();
-    loop {
-        // Serve every complete request already buffered.
-        loop {
-            match probe_plaintext_stats(&buf) {
-                PlaintextProbe::Stats { consumed } => {
-                    buf.drain(..consumed);
-                    shared
-                        .counters
-                        .stats_requests
-                        .fetch_add(1, Ordering::Relaxed);
-                    // One-shot scrape, `nc`-style: reply and close.
-                    let _ = stream.write_all(render_stats(shared).as_bytes());
-                    return;
-                }
-                PlaintextProbe::NeedMore => break,
-                PlaintextProbe::NotStats => {}
-            }
-            match Frame::decode(&buf) {
-                Ok(Some((frame, used))) => {
-                    buf.drain(..used);
-                    if !handle_frame(shared, &mut stream, frame) {
-                        return;
-                    }
-                    // Stamp after serving, not at decode: the idle clock
-                    // must not tick while a slow inference is in flight,
-                    // or a request slower than the deadline would get its
-                    // own connection closed.
-                    last_request = Instant::now();
-                }
-                Ok(None) => break,
-                Err(err) => {
-                    shared
-                        .counters
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
-                    let _ = Frame::Error(ErrorReply {
-                        code: error_code::PROTOCOL,
-                        message: err.to_string(),
-                    })
-                    .write_to(&mut stream);
-                    return;
-                }
-            }
-        }
-        // Every already-read request has been answered; past this point a
-        // shutdown may close the connection without dropping work.
-        if shared.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        // A peer that has sent no complete request within the idle
-        // deadline (at most a partial frame can be pending here) forfeits
-        // its worker slot — otherwise silent connections would pin every
-        // IO lease forever.
-        if last_request.elapsed() >= shared.options.idle_timeout {
-            return;
-        }
-        match stream.read(&mut scratch) {
-            Ok(0) => return,
-            Ok(n) => buf.extend_from_slice(&scratch[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
-                ) => {}
-            Err(_) => return,
-        }
-    }
-}
-
-/// Serves one decoded frame; returns whether the connection stays open.
-fn handle_frame(shared: &NetShared, stream: &mut TcpStream, frame: Frame) -> bool {
-    match frame {
-        Frame::Infer(request) => {
-            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-            let reply = infer_reply(shared, request);
-            let shutting_down = matches!(
-                &reply,
-                Frame::Error(ErrorReply { code, .. }) if *code == error_code::SHUTTING_DOWN
-            );
-            reply.write_to(stream).is_ok() && !shutting_down
-        }
-        Frame::StatsRequest => {
-            shared
-                .counters
-                .stats_requests
-                .fetch_add(1, Ordering::Relaxed);
-            Frame::StatsText(render_stats(shared))
-                .write_to(stream)
-                .is_ok()
-        }
-        // Server-bound traffic may only be requests.
-        Frame::Scores(_) | Frame::Rejected(_) | Frame::Error(_) | Frame::StatsText(_) => {
-            shared
-                .counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
-            let _ = Frame::Error(ErrorReply {
-                code: error_code::PROTOCOL,
-                message: "unexpected server-bound frame".to_string(),
-            })
-            .write_to(stream);
-            false
-        }
-    }
-}
-
-/// Executes one inference request end to end and builds its reply frame.
-fn infer_reply(shared: &NetShared, request: crate::protocol::InferRequest) -> Frame {
-    let tensor = match request.into_tensor() {
-        Ok(tensor) => tensor,
-        Err(err) => {
-            return Frame::Error(ErrorReply {
-                code: error_code::BAD_REQUEST,
-                message: err.to_string(),
-            })
-        }
-    };
-    match shared.server.submit(tensor) {
-        Ok(ticket) => match ticket.wait() {
-            Ok(report) => Frame::Scores(ScoreReply {
-                prediction: report.prediction as u32,
-                time_steps: report.time_steps as u32,
-                thread_budget: report.thread_budget as u32,
-                total_cycles: report.total_cycles(),
-                logits: report.logits,
-            }),
-            Err(err) => error_reply(&err),
-        },
-        Err(AccelError::QueueFull { queued, capacity }) => {
-            let snapshot = shared.server.queue_snapshot();
-            Frame::Rejected(RejectReply {
-                scope: reject_scope::QUEUE,
-                queued: queued as u64,
-                capacity: capacity as u64,
-                retry_after_ms: snapshot.retry_after_ms().max(1),
-                drain_rate_mips: drain_rate_mips(&snapshot),
-            })
-        }
-        Err(err) => error_reply(&err),
-    }
-}
-
-fn error_reply(err: &AccelError) -> Frame {
+fn error_reply(request_id: u64, err: &AccelError) -> Frame {
     let code = if matches!(err, AccelError::Serving { .. }) {
         error_code::SHUTTING_DOWN
     } else {
         error_code::BAD_REQUEST
     };
     Frame::Error(ErrorReply {
+        request_id,
         code,
         message: err.to_string(),
     })
 }
 
-/// Renders the serving counters as `key: value` plaintext for scrapers —
-/// the body of both the framed STATS reply and the plaintext `STATS` line.
-fn render_stats(shared: &NetShared) -> String {
+/// Renders the serving counters in the negotiated [`stats_format`] — the
+/// body of the framed STATS reply; the plaintext form also answers the
+/// `nc`-style `STATS` line.
+fn render_stats(shared: &NetShared, format: u8) -> String {
+    if format == stats_format::PROMETHEUS {
+        render_stats_prometheus(shared)
+    } else {
+        render_stats_text(shared)
+    }
+}
+
+fn render_stats_text(shared: &NetShared) -> String {
     let server = shared.server.stats();
     let c = &shared.counters;
-    let budget = snn_parallel::budget();
     let mut out = String::new();
     out.push_str(&format!(
         "snn_net_protocol_version: {}\n",
@@ -551,6 +979,14 @@ fn render_stats(shared: &NetShared) -> String {
         c.turned_away.load(Ordering::Relaxed)
     ));
     out.push_str(&format!(
+        "connections_open: {}\n",
+        c.open_connections.load(Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "connections_max: {}\n",
+        shared.options.max_connections
+    ));
+    out.push_str(&format!(
         "requests: {}\n",
         c.requests.load(Ordering::Relaxed)
     ));
@@ -562,11 +998,6 @@ fn render_stats(shared: &NetShared) -> String {
         "stats_requests: {}\n",
         c.stats_requests.load(Ordering::Relaxed)
     ));
-    out.push_str(&format!(
-        "io_leases_in_flight: {}\n",
-        budget.io_leases_in_flight()
-    ));
-    out.push_str(&format!("io_lease_cap: {}\n", budget.io_lease_cap()));
     for unit in &server.utilisation {
         out.push_str(&format!(
             "unit[{:?}]: units={} busy_cycles={} total_cycles={} utilisation={:.4}\n",
@@ -576,6 +1007,124 @@ fn render_stats(shared: &NetShared) -> String {
             unit.total_cycles,
             unit.utilisation()
         ));
+    }
+    out
+}
+
+/// Prometheus exposition: `# TYPE` metadata plus `snn_`-prefixed metric
+/// names, one sample per line — directly scrapeable.
+fn render_stats_prometheus(shared: &NetShared) -> String {
+    let server = shared.server.stats();
+    let c = &shared.counters;
+    let mut out = String::new();
+    let mut metric = |name: &str, kind: &str, value: String| {
+        out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+    };
+    metric(
+        "snn_net_protocol_version",
+        "gauge",
+        crate::protocol::VERSION.to_string(),
+    );
+    metric(
+        "snn_completed_total",
+        "counter",
+        server.completed.to_string(),
+    );
+    metric("snn_errors_total", "counter", server.errors.to_string());
+    metric("snn_rejected_total", "counter", server.rejected.to_string());
+    metric("snn_batches_total", "counter", server.batches.to_string());
+    metric(
+        "snn_largest_batch",
+        "gauge",
+        server.largest_batch.to_string(),
+    );
+    metric("snn_queue_depth", "gauge", server.queue.depth.to_string());
+    metric(
+        "snn_queue_capacity",
+        "gauge",
+        server.queue.capacity.to_string(),
+    );
+    metric(
+        "snn_drain_rate_ips",
+        "gauge",
+        format!("{:.3}", server.queue.drain_rate_ips),
+    );
+    metric(
+        "snn_throughput_ips",
+        "gauge",
+        format!("{:.3}", server.throughput_ips()),
+    );
+    metric(
+        "snn_thread_budget",
+        "gauge",
+        server.thread_budget.to_string(),
+    );
+    metric(
+        "snn_connections_accepted_total",
+        "counter",
+        c.accepted.load(Ordering::Relaxed).to_string(),
+    );
+    metric(
+        "snn_connections_turned_away_total",
+        "counter",
+        c.turned_away.load(Ordering::Relaxed).to_string(),
+    );
+    metric(
+        "snn_connections_open",
+        "gauge",
+        c.open_connections.load(Ordering::Relaxed).to_string(),
+    );
+    metric(
+        "snn_connections_max",
+        "gauge",
+        shared.options.max_connections.to_string(),
+    );
+    metric(
+        "snn_requests_total",
+        "counter",
+        c.requests.load(Ordering::Relaxed).to_string(),
+    );
+    metric(
+        "snn_protocol_errors_total",
+        "counter",
+        c.protocol_errors.load(Ordering::Relaxed).to_string(),
+    );
+    metric(
+        "snn_stats_requests_total",
+        "counter",
+        c.stats_requests.load(Ordering::Relaxed).to_string(),
+    );
+    for (name, kind, pick) in [
+        (
+            "snn_unit_count",
+            "gauge",
+            Box::new(|u: &snn_accel::report::UnitUtilisation| u.units.to_string())
+                as Box<dyn Fn(&snn_accel::report::UnitUtilisation) -> String>,
+        ),
+        (
+            "snn_unit_busy_cycles",
+            "gauge",
+            Box::new(|u| u.busy_cycles.to_string()),
+        ),
+        (
+            "snn_unit_total_cycles",
+            "gauge",
+            Box::new(|u| u.total_cycles.to_string()),
+        ),
+        (
+            "snn_unit_utilisation",
+            "gauge",
+            Box::new(|u| format!("{:.4}", u.utilisation())),
+        ),
+    ] {
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        for unit in &server.utilisation {
+            out.push_str(&format!(
+                "{name}{{unit=\"{:?}\"}} {}\n",
+                unit.kind,
+                pick(unit)
+            ));
+        }
     }
     out
 }

@@ -1,0 +1,277 @@
+//! Minimal `extern "C"` bindings for the readiness syscalls the reactor
+//! needs: `poll(2)`, `fcntl(2)` and `pipe(2)` — Linux only, no external
+//! crate (the workspace has no registry access, and vendoring all of libc
+//! for three syscalls would be absurd).
+//!
+//! Everything `unsafe` in `snn-net` lives in this module, behind safe
+//! wrappers:
+//!
+//! * [`poll_fds`] — block until any registered descriptor is ready (or a
+//!   timeout), the reactor's one blocking call.
+//! * [`WakePipe`] — a non-blocking self-pipe: any thread calls
+//!   [`WakePipe::wake`] to make a `poll` that watches the read end return
+//!   immediately.  This is how the serving dispatcher hands completions to
+//!   a reactor parked in `poll(2)`.
+//! * [`set_nonblocking`] — `fcntl(F_SETFL, O_NONBLOCK)` on a raw fd
+//!   (std covers sockets; the pipe ends need it done by hand).
+//!
+//! The constants are the Linux generic ABI values (asm-generic), which is
+//! the only platform this workspace targets (see CI).
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::{c_int, c_ulong, c_void};
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// `poll(2)` event: readable (or a peer hang-up made `read` return 0).
+pub const POLLIN: i16 = 0x001;
+/// `poll(2)` event: writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// `poll(2)` revent: error condition on the descriptor.
+pub const POLLERR: i16 = 0x008;
+/// `poll(2)` revent: peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// `poll(2)` revent: the descriptor is not open.
+pub const POLLNVAL: i16 = 0x020;
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const O_NONBLOCK: c_int = 0o4000;
+const EINTR: i32 = 4;
+
+/// One registered descriptor of a [`poll_fds`] call — ABI-identical to the
+/// kernel's `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch (negative entries are ignored by the
+    /// kernel, which is how unused slots are masked without reshuffling).
+    pub fd: RawFd,
+    /// Requested events (bitwise OR of [`POLLIN`] / [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, filled by the kernel ([`POLLERR`], [`POLLHUP`] and
+    /// [`POLLNVAL`] may appear even when not requested).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A slot watching `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the kernel reported any of `mask` on this slot.
+    pub fn has(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+
+    /// Whether the kernel reported an error-like condition — the
+    /// connection should be torn down.
+    pub fn is_error(&self) -> bool {
+        self.has(POLLERR | POLLNVAL)
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// Blocks until at least one slot in `fds` has a ready event, the timeout
+/// elapses, or a signal interrupts.  Returns how many slots have non-zero
+/// `revents` (`0` for timeout; an `EINTR` is reported as `0` so callers
+/// treat it as a spurious wake and re-loop).
+///
+/// # Errors
+///
+/// Propagates `poll(2)` failures other than `EINTR` (`EINVAL` for too many
+/// descriptors, `ENOMEM`).
+pub fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    let millis = timeout.as_millis().min(i32::MAX as u128) as c_int;
+    // SAFETY: `fds` is a valid, exclusively borrowed slice of repr(C)
+    // pollfd records; the kernel writes only within `fds.len()` entries.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, millis) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.raw_os_error() == Some(EINTR) {
+        return Ok(0);
+    }
+    Err(err)
+}
+
+/// Switches a raw descriptor to non-blocking mode via
+/// `fcntl(F_GETFL/F_SETFL)`.
+///
+/// # Errors
+///
+/// Propagates `fcntl(2)` failures (`EBADF` for a closed descriptor).
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: fcntl with GETFL/SETFL only reads/updates the file status
+    // flags of `fd`; an invalid fd yields -1/EBADF, not UB.
+    let flags = unsafe { fcntl(fd, F_GETFL) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let rc = unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// A self-pipe that wakes a reactor parked in [`poll_fds`].
+///
+/// Both ends are non-blocking.  [`WakePipe::wake`] writes one byte (from
+/// any thread — the write end is never closed while the pipe lives);
+/// the reactor registers [`WakePipe::read_fd`] with `POLLIN` and calls
+/// [`WakePipe::drain`] after every wake.  A full pipe is not an error:
+/// the reader is already guaranteed to wake, which is the only contract.
+#[derive(Debug)]
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+// SAFETY-free: raw fds are plain integers; the kernel serialises pipe
+// reads/writes, and wake/drain never touch shared Rust state.
+impl WakePipe {
+    /// Creates the pipe with both ends non-blocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `pipe(2)`/`fcntl(2)` failures (descriptor exhaustion).
+    pub fn new() -> io::Result<Self> {
+        let mut fds = [-1 as c_int; 2];
+        // SAFETY: `fds` is a valid 2-slot buffer, exactly what pipe(2)
+        // writes.
+        let rc = unsafe { pipe(fds.as_mut_ptr()) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let this = WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        };
+        set_nonblocking(this.read_fd)?;
+        set_nonblocking(this.write_fd)?;
+        Ok(this)
+    }
+
+    /// The end a reactor registers with [`POLLIN`].
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Makes any in-flight or future [`poll_fds`] on the read end return.
+    /// Never blocks: when the pipe buffer is full the wake is already
+    /// pending, so the failed write is deliberately ignored.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        // SAFETY: writes one byte from a live stack buffer to an fd this
+        // struct owns; O_NONBLOCK turns a full pipe into EAGAIN.
+        let _ = unsafe { write(self.write_fd, byte.as_ptr() as *const c_void, 1) };
+    }
+
+    /// Empties the pipe so the next [`poll_fds`] blocks again.  Coalesced
+    /// wakes are expected: callers must re-check *all* wake sources after
+    /// draining, not count bytes.
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            // SAFETY: reads into a live stack buffer from an owned fd;
+            // an empty non-blocking pipe returns -1/EAGAIN which ends the
+            // loop, as does EOF.
+            let n = unsafe { read(self.read_fd, sink.as_mut_ptr() as *mut c_void, sink.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        // SAFETY: closes the two fds this struct exclusively owns, once.
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pipe_wakes_a_poll_and_drains() {
+        let pipe = WakePipe::new().unwrap();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        // Nothing pending: a short poll times out.
+        assert_eq!(poll_fds(&mut fds, Duration::from_millis(10)).unwrap(), 0);
+        pipe.wake();
+        let ready = poll_fds(&mut fds, Duration::from_secs(5)).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].has(POLLIN));
+        pipe.drain();
+        fds[0].revents = 0;
+        assert_eq!(poll_fds(&mut fds, Duration::from_millis(10)).unwrap(), 0);
+    }
+
+    #[test]
+    fn wake_from_another_thread_unblocks_poll() {
+        let pipe = std::sync::Arc::new(WakePipe::new().unwrap());
+        let waker = std::sync::Arc::clone(&pipe);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let ready = poll_fds(&mut fds, Duration::from_secs(10)).unwrap();
+        assert_eq!(ready, 1, "the cross-thread wake must end the poll");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_wakes_never_block_even_with_a_full_pipe() {
+        let pipe = WakePipe::new().unwrap();
+        // A pipe buffer is 64 KiB by default; far overshoot it.
+        for _ in 0..100_000 {
+            pipe.wake();
+        }
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, Duration::from_secs(5)).unwrap(), 1);
+        pipe.drain();
+        fds[0].revents = 0;
+        assert_eq!(poll_fds(&mut fds, Duration::from_millis(10)).unwrap(), 0);
+    }
+
+    #[test]
+    fn negative_fds_are_ignored_slots() {
+        let pipe = WakePipe::new().unwrap();
+        pipe.wake();
+        let mut fds = [PollFd::new(-1, POLLIN), PollFd::new(pipe.read_fd(), POLLIN)];
+        let ready = poll_fds(&mut fds, Duration::from_secs(5)).unwrap();
+        assert_eq!(ready, 1);
+        assert!(!fds[0].has(POLLIN));
+        assert!(fds[1].has(POLLIN));
+    }
+
+    #[test]
+    fn set_nonblocking_rejects_a_closed_fd() {
+        // fd -1 is never valid.
+        assert!(set_nonblocking(-1).is_err());
+    }
+}

@@ -86,6 +86,37 @@ fn lenet_scores_over_tcp_match_in_process_submit_bit_exactly() {
     in_process.shutdown();
 }
 
+/// The pipelining acceptance pin: ten LeNet inferences **in flight at once
+/// on a single connection** come back correctly correlated and with logits
+/// bit-identical to the sequential in-process `StreamServer::submit`.
+#[test]
+fn pipelined_lenet_scores_on_one_connection_match_sequential_submit() {
+    let (model, inputs) = lenet_setup(2);
+    let config = AcceleratorConfig::lenet_table3();
+    let net_server =
+        NetServer::bind("127.0.0.1:0", config, model.clone(), NetOptions::default()).unwrap();
+    let in_process = StreamServer::start(config, model).unwrap();
+
+    // >= 8 in-flight requests on one connection (the acceptance floor).
+    let batch: Vec<Tensor<f32>> = (0..10).map(|i| inputs[i % inputs.len()].clone()).collect();
+    let mut client = NetClient::connect(net_server.local_addr()).unwrap();
+    let replies = client.infer_many(&batch).unwrap();
+    assert_eq!(replies.len(), batch.len());
+    for (reply, input) in replies.iter().zip(&batch) {
+        let wire = reply.as_ref().expect("pipelined inference succeeds");
+        let solo = in_process.submit(input.clone()).unwrap().wait().unwrap();
+        assert_eq!(wire.logits, solo.logits, "logits must be bit-identical");
+        assert_eq!(wire.prediction as usize, solo.prediction);
+        assert_eq!(wire.total_cycles, solo.total_cycles());
+    }
+    drop(client);
+    let stats = net_server.shutdown();
+    assert_eq!(stats.requests, batch.len() as u64);
+    assert_eq!(stats.server.completed, batch.len() as u64);
+    assert_eq!(stats.protocol_errors, 0);
+    in_process.shutdown();
+}
+
 #[test]
 fn many_requests_per_connection_and_stats_accumulate() {
     let (model, inputs) = tiny_setup(5);
@@ -223,7 +254,16 @@ fn backpressure_retry_helper_eventually_succeeds() {
         })
     };
     let mut client = NetClient::connect(addr).unwrap();
-    let reply = client.infer_with_retry(&inputs[0], 100).unwrap();
+    // A tight deterministic backoff keeps the test fast while still
+    // exercising the jittered-retry path end to end.
+    let policy = snn_net::BackoffPolicy {
+        base_ms: 2,
+        cap_ms: 50,
+        seed: 42,
+    };
+    let reply = client
+        .infer_with_retry_using(&inputs[0], 200, &policy)
+        .unwrap();
     assert!(!reply.logits.is_empty());
     stop.store(true, Ordering::Release);
     pressure.join().unwrap();
@@ -331,7 +371,7 @@ fn a_failed_exchange_poisons_the_client_connection() {
 }
 
 #[test]
-fn idle_connections_forfeit_their_worker_slot() {
+fn idle_connections_forfeit_their_slot() {
     let (model, inputs) = tiny_setup(1);
     let server = NetServer::bind(
         "127.0.0.1:0",
@@ -352,10 +392,109 @@ fn idle_connections_forfeit_their_worker_slot() {
         .unwrap();
     let mut scratch = [0u8; 16];
     assert_eq!(silent.read(&mut scratch).unwrap(), 0, "expected EOF");
-    // ...and its lease is back: a real client is admitted and served.
+    // ...and its slot is back: a real client is admitted and served.
     let mut client = NetClient::connect(addr).unwrap();
     assert!(client.infer(&inputs[0]).is_ok());
     server.shutdown();
+}
+
+/// Past `max_connections` the reactor sheds new connections with a typed
+/// REJECTED frame (`scope = connections`) — written non-blockingly, no
+/// thread spawned — and the slot frees once an admitted peer leaves.
+#[test]
+fn connection_cap_sheds_with_a_typed_rejection() {
+    let (model, inputs) = tiny_setup(1);
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        AcceleratorConfig::default(),
+        model,
+        NetOptions {
+            max_connections: 1,
+            poll_interval: std::time::Duration::from_millis(5),
+            ..NetOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    // Occupy the only slot with a served connection.
+    let mut first = NetClient::connect(addr).unwrap();
+    first.infer(&inputs[0]).unwrap();
+    // The second connection is shed: it sees one REJECTED frame, then EOF.
+    let mut second = NetClient::connect(addr).unwrap();
+    match second.infer(&inputs[0]) {
+        Err(NetError::Rejected(reply)) => {
+            assert_eq!(reply.scope, reject_scope::CONNECTIONS);
+            assert_eq!(reply.capacity, 1);
+            assert!(reply.retry_after_ms >= 1, "hint must be positive");
+        }
+        other => panic!("expected a connection-scope rejection, got {other:?}"),
+    }
+    // Free the slot; a new connection is admitted and served.
+    drop(first);
+    let mut retry = NetClient::connect(addr).unwrap();
+    let mut served = false;
+    for _ in 0..100 {
+        match retry.infer(&inputs[0]) {
+            Ok(_) => {
+                served = true;
+                break;
+            }
+            Err(err) if err.is_backpressure() => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                retry = NetClient::connect(addr).unwrap();
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(served, "the freed slot must admit a new connection");
+    let stats = server.shutdown();
+    assert!(stats.turned_away >= 1, "the shed must be counted");
+}
+
+/// The STATS content-negotiation byte: Prometheus exposition carries
+/// `# TYPE` metadata and `snn_`-prefixed samples that agree with the
+/// plaintext counters.
+#[test]
+fn stats_negotiation_serves_prometheus_exposition() {
+    let (model, inputs) = tiny_setup(2);
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        AcceleratorConfig::default(),
+        model,
+        NetOptions::default(),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    for input in &inputs {
+        client.infer(input).unwrap();
+    }
+    let text = client.stats_text().unwrap();
+    assert!(text.contains("completed: 2"), "plaintext: {text}");
+    let prom = client.stats_prometheus().unwrap();
+    assert!(
+        prom.contains("# TYPE snn_completed_total counter"),
+        "prometheus: {prom}"
+    );
+    assert!(
+        prom.contains("\nsnn_completed_total 2\n"),
+        "prometheus: {prom}"
+    );
+    assert!(prom.contains("# TYPE snn_queue_capacity gauge"));
+    assert!(
+        prom.contains("snn_unit_utilisation{unit=\"Convolution\"}"),
+        "per-unit samples must be labelled: {prom}"
+    );
+    // Every sample line belongs to a snn_-prefixed metric.
+    for line in prom.lines() {
+        assert!(
+            line.starts_with("# TYPE snn_") || line.starts_with("snn_"),
+            "stray exposition line: {line}"
+        );
+    }
+    // The connection survives both scrapes.
+    assert!(client.infer(&inputs[0]).is_ok());
+    let stats = server.shutdown();
+    assert_eq!(stats.stats_requests, 2);
 }
 
 #[test]

@@ -1,0 +1,216 @@
+//! Pipelined-connection tests for the reactor front-end.
+//!
+//! The pins: N interleaved INFER frames on **one** connection come back as
+//! N SCORES frames whose request ids correlate each reply to its request
+//! and whose logits are bit-identical to sequential in-process
+//! `StreamServer::submit` calls (property-tested over N and input
+//! mixtures); a connection that never reads its replies stalls only
+//! itself — the reactor keeps serving every other connection; and the
+//! connection pool recycles healthy connections.
+
+use proptest::prelude::*;
+use snn_accel::config::AcceleratorConfig;
+use snn_accel::serve::StreamServer;
+use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
+use snn_model::params::Parameters;
+use snn_model::zoo;
+use snn_net::protocol::Frame;
+use snn_net::{NetClient, NetOptions, NetPool, NetServer};
+use snn_tensor::Tensor;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+
+/// One shared server + oracle for every test in this file: the model
+/// compiles once, and the expected logits per input come from sequential
+/// in-process submissions (the reference the wire must match bit-for-bit).
+struct Setup {
+    /// Kept alive for the whole test binary; the reactor serves every
+    /// case.
+    _server: NetServer,
+    addr: SocketAddr,
+    inputs: Vec<Tensor<f32>>,
+    expected: Vec<Vec<i64>>,
+}
+
+fn setup() -> &'static Setup {
+    static SETUP: OnceLock<Setup> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let net = zoo::tiny_cnn();
+        let params = Parameters::he_init(&net, 11).unwrap();
+        let inputs: Vec<Tensor<f32>> = (0..4)
+            .map(|i| {
+                let values: Vec<f32> = (0..144)
+                    .map(|j| ((i * 31 + j * 7) % 100) as f32 / 100.0)
+                    .collect();
+                Tensor::from_vec(vec![1, 12, 12], values).unwrap()
+            })
+            .collect();
+        let stats = CalibrationStats::collect(&net, &params, inputs.iter()).unwrap();
+        let model = convert(
+            &net,
+            &params,
+            &stats,
+            ConversionConfig {
+                weight_bits: 3,
+                time_steps: 3,
+            },
+        )
+        .unwrap();
+        let config = AcceleratorConfig::default();
+        let in_process = StreamServer::start(config, model.clone()).unwrap();
+        let expected: Vec<Vec<i64>> = inputs
+            .iter()
+            .map(|input| {
+                in_process
+                    .submit(input.clone())
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+                    .logits
+            })
+            .collect();
+        in_process.shutdown();
+        let server = NetServer::bind("127.0.0.1:0", config, model, NetOptions::default()).unwrap();
+        let addr = server.local_addr();
+        Setup {
+            _server: server,
+            addr,
+            inputs,
+            expected,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// N interleaved in-flight requests on one connection (N spans the
+    /// acceptance floor of 8) return N correctly-correlated SCORES with
+    /// logits bit-identical to the sequential oracle.
+    #[test]
+    fn n_pipelined_requests_correlate_and_match_the_oracle(
+        n in 1usize..=12,
+        mix_seed in 0u64..10_000,
+    ) {
+        let setup = setup();
+        // A seed-chosen mixture of distinct inputs: correlation bugs
+        // cannot hide behind identical logits.
+        let picks: Vec<usize> = (0..n)
+            .map(|i| ((mix_seed as usize).wrapping_mul(31).wrapping_add(i * 7)) % setup.inputs.len())
+            .collect();
+        let batch: Vec<Tensor<f32>> =
+            picks.iter().map(|&p| setup.inputs[p].clone()).collect();
+        let mut client = NetClient::connect(setup.addr).unwrap();
+        let replies = client.infer_many(&batch).unwrap();
+        prop_assert_eq!(replies.len(), n);
+        for (reply, &pick) in replies.iter().zip(&picks) {
+            let scores = reply.as_ref().expect("pipelined inference succeeds");
+            prop_assert_eq!(
+                &scores.logits,
+                &setup.expected[pick],
+                "reply correlated to the wrong request or wrong logits"
+            );
+        }
+    }
+}
+
+/// A peer that pipelines a backlog and then never reads must not stall
+/// anyone else: while its replies sit unread, a second connection is
+/// served start-to-finish, and the stalled peer's replies are all intact
+/// once it finally reads.
+#[test]
+fn a_stalled_reader_never_blocks_other_connections() {
+    let setup = setup();
+    const BACKLOG: usize = 24;
+    // The slow reader: hand-rolled framing, writes its whole backlog,
+    // reads nothing yet.
+    let mut slow = TcpStream::connect(setup.addr).unwrap();
+    slow.set_nodelay(true).unwrap();
+    let mut burst = Vec::new();
+    for id in 0..BACKLOG as u64 {
+        let request = snn_net::protocol::InferRequest::from_tensor(
+            id,
+            &setup.inputs[(id as usize) % setup.inputs.len()],
+        );
+        burst.extend_from_slice(&Frame::Infer(request).encode());
+    }
+    slow.write_all(&burst).unwrap();
+    slow.flush().unwrap();
+
+    // Meanwhile a healthy connection is served promptly, repeatedly.
+    let mut healthy = NetClient::connect(setup.addr).unwrap();
+    for round in 0..4 {
+        let pick = round % setup.inputs.len();
+        let reply = healthy
+            .infer(&setup.inputs[pick])
+            .expect("the healthy connection must be served while the slow reader stalls");
+        assert_eq!(reply.logits, setup.expected[pick]);
+    }
+
+    // The slow reader finally reads: every reply arrived, correlated and
+    // bit-identical, despite the stall.
+    slow.set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .unwrap();
+    let mut seen = [false; BACKLOG];
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 8192];
+    while seen.iter().any(|&s| !s) {
+        if let Some((frame, used)) = Frame::decode(&buf).unwrap() {
+            buf.drain(..used);
+            match frame {
+                Frame::Scores(reply) => {
+                    let id = reply.request_id as usize;
+                    assert!(id < BACKLOG, "unknown request id {id}");
+                    assert!(!seen[id], "request id {id} answered twice");
+                    seen[id] = true;
+                    assert_eq!(
+                        reply.logits,
+                        setup.expected[id % setup.inputs.len()],
+                        "request {id}: logits must be bit-identical"
+                    );
+                }
+                other => panic!("unexpected frame for the slow reader: {other:?}"),
+            }
+            continue;
+        }
+        let n = std::io::Read::read(&mut slow, &mut scratch).unwrap();
+        assert!(n > 0, "server closed before all replies were read");
+        buf.extend_from_slice(&scratch[..n]);
+    }
+}
+
+/// The connection pool hands out warm connections, recycles healthy ones
+/// and serves concurrent borrowers.
+#[test]
+fn pool_recycles_connections_and_serves_concurrent_borrowers() {
+    let setup = setup();
+    let pool = NetPool::connect(setup.addr, snn_net::client::PoolOptions::default()).unwrap();
+    assert_eq!(pool.idle_connections(), 1, "the probe connection is warm");
+    // Sequential use recycles the single warm connection.
+    for round in 0..3 {
+        let pick = round % setup.inputs.len();
+        let reply = pool.infer(&setup.inputs[pick]).unwrap();
+        assert_eq!(reply.logits, setup.expected[pick]);
+        assert_eq!(pool.idle_connections(), 1, "healthy connection recycled");
+    }
+    // Concurrent borrowers: the pool dials extra connections on demand.
+    std::thread::scope(|scope| {
+        for worker in 0..3usize {
+            let pool = &pool;
+            scope.spawn(move || {
+                let pick = worker % setup.inputs.len();
+                let replies = pool
+                    .infer_many(&[setup.inputs[pick].clone(), setup.inputs[pick].clone()])
+                    .unwrap();
+                for reply in replies {
+                    assert_eq!(reply.unwrap().logits, setup.expected[pick]);
+                }
+            });
+        }
+    });
+    assert!(
+        pool.idle_connections() >= 1 && pool.idle_connections() <= 3,
+        "concurrent borrowers return their connections"
+    );
+}

@@ -22,11 +22,13 @@ proptest! {
         rank in 1usize..5,
         dim in 1usize..6,
         flags in 0u32..8,
+        request_id in 0u64..u64::MAX,
         seed in 0u64..10_000,
     ) {
         let shape: Vec<u32> = (0..rank).map(|r| ((dim + r) % 5 + 1) as u32).collect();
         let volume: usize = shape.iter().map(|&d| d as usize).product();
         let frame = Frame::Infer(InferRequest {
+            request_id,
             flags,
             shape,
             values: (0..volume).map(|i| value(i, seed)).collect(),
@@ -45,9 +47,12 @@ proptest! {
         logit_count in 0usize..16,
         seed in 0u64..10_000,
         retry in 0u64..100_000,
+        request_id in 0u64..u64::MAX,
+        format in 0u8..=1u8,
     ) {
         let frames = [
             Frame::Scores(ScoreReply {
+                request_id,
                 prediction,
                 time_steps,
                 thread_budget: 2,
@@ -57,6 +62,7 @@ proptest! {
                     .collect(),
             }),
             Frame::Rejected(RejectReply {
+                request_id,
                 scope: reject_scope::QUEUE,
                 queued: cycles % 1024,
                 capacity: 1024,
@@ -64,10 +70,11 @@ proptest! {
                 drain_rate_mips: cycles % 9_999_999,
             }),
             Frame::Error(ErrorReply {
+                request_id,
                 code: error_code::BAD_REQUEST,
                 message: format!("seed {seed} says no"),
             }),
-            Frame::StatsRequest,
+            Frame::StatsRequest { format },
             Frame::StatsText(format!("completed: {cycles}\nrejected: {retry}\n")),
         ];
         for frame in frames {
@@ -87,6 +94,7 @@ proptest! {
         cut_seed in 0u64..10_000,
     ) {
         let bytes = Frame::Scores(ScoreReply {
+            request_id: 77,
             prediction: 1,
             time_steps: 4,
             thread_budget: 2,
@@ -118,6 +126,7 @@ proptest! {
         flip in 1u8..=255u8,
     ) {
         let mut bytes = Frame::Infer(InferRequest {
+            request_id: 5,
             flags: 0,
             shape: vec![2, 3],
             values: (0..6).map(|i| value(i, 42)).collect(),

@@ -34,12 +34,15 @@
 //!   concurrency is bounded by `2 * total - 1` threads (pool + stages) —
 //!   a fixed bound, unlike the earlier `batch x channels` multiplication
 //!   that grew with the workload.
-//! * **IO leases** — network connection workers (the `snn-net` front-end)
-//!   spend their life blocked on sockets and only *submit* compute through
-//!   the serving queue, so they do not consume the compute budget; they
-//!   reserve an [`IoLease`] instead, bounded at [`IO_LEASE_FACTOR`] leases
-//!   per budgeted thread so a connection flood cannot grow threads without
-//!   limit.
+//! * **IO leases** — long-lived IO-bound threads (the `snn-net` reactor,
+//!   which parks in `poll(2)` over every connection; serving dispatchers)
+//!   spend their life blocked on descriptors and only *submit* compute
+//!   through the serving queue, so they do not consume the compute budget;
+//!   they reserve an [`IoLease`] instead, bounded at [`IO_LEASE_FACTOR`]
+//!   leases per budgeted thread.  Since the front-end moved to a
+//!   single-reactor design, connections are **state, not threads** — a
+//!   whole `NetServer` holds one lease, and connection counts are bounded
+//!   by its own `max_connections`, not by this cap.
 //!
 //! Work is always split into contiguous blocks, so results land exactly
 //! where a sequential loop would put them and outputs are deterministic
@@ -74,10 +77,12 @@ pub const MIN_PARALLEL_WORK: u64 = 1 << 15;
 pub const THREADS_ENV: &str = "SNN_THREADS";
 
 /// How many **IO-bound** threads may be leased per budgeted compute thread
-/// (see [`ThreadBudget::try_lease_io_threads`]).  Connection workers spend
-/// almost all of their life blocked on sockets, so they can outnumber the
+/// (see [`ThreadBudget::try_lease_io_threads`]).  IO threads spend almost
+/// all of their life blocked on descriptors, so they can outnumber the
 /// compute budget without oversubscribing cores — the factor only bounds
-/// thread-stack and descriptor usage to a fixed multiple of the budget.
+/// thread-stack usage to a fixed multiple of the budget.  The expected
+/// population is small and fixed: one reactor per network front-end plus
+/// one dispatcher per serving instance, not one thread per connection.
 pub const IO_LEASE_FACTOR: usize = 4;
 
 // ---------------------------------------------------------------------------
@@ -165,16 +170,16 @@ impl ThreadBudget {
         self.total.saturating_mul(IO_LEASE_FACTOR)
     }
 
-    /// Tries to reserve `want` threads for **IO-bound** work — e.g. network
-    /// connection handlers that block on sockets and only *submit* compute
-    /// through the bounded serving queue.
+    /// Tries to reserve `want` threads for **IO-bound** work — e.g. a
+    /// network reactor that parks in `poll(2)` over every connection and
+    /// only *submits* compute through the bounded serving queue.
     ///
     /// IO threads do not draw down the compute budget (they are parked in
     /// the kernel while the pool works), but they are still bounded — at
-    /// most [`ThreadBudget::io_lease_cap`] leases exist at any time, so a
-    /// connection flood cannot grow threads without limit.  Grants
-    /// all-or-nothing; `None` means the caller should shed the connection
-    /// with a retry hint rather than queue it.
+    /// most [`ThreadBudget::io_lease_cap`] leases exist at any time.
+    /// Grants all-or-nothing; `None` means the host already runs more
+    /// event loops than it has any use for, and the caller should degrade
+    /// (run leaseless or refuse to start) rather than spawn anyway.
     pub fn try_lease_io_threads(&self, want: usize) -> Option<IoLease<'_>> {
         if !try_reserve(&self.io_leases, self.io_lease_cap(), want) {
             return None;

@@ -1,6 +1,7 @@
-//! Serving over TCP: start the `snn-net` front-end on a loopback port,
-//! drive it with the bundled client, scrape the plaintext counters, and
-//! shut down gracefully.
+//! Serving over TCP: start the `snn-net` reactor front-end on a loopback
+//! port, drive it with a pooled client and a pipelined batch, scrape the
+//! counters in both plaintext and Prometheus form, and shut down
+//! gracefully.
 //!
 //! ```sh
 //! cargo run --release --example serve_tcp
@@ -11,7 +12,8 @@ use snn_accel::serve::ServerOptions;
 use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
 use snn_model::params::Parameters;
 use snn_model::zoo;
-use snn_net::{scrape_stats, NetClient, NetOptions, NetServer};
+use snn_net::client::PoolOptions;
+use snn_net::{scrape_stats, NetClient, NetOptions, NetPool, NetServer};
 use snn_tensor::Tensor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,19 +49,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 queue_capacity: 64,
                 ..ServerOptions::default()
             },
+            max_connections: 128,
             ..NetOptions::default()
         },
     )?;
     let addr = server.local_addr();
     println!(
-        "serving on {addr} (protocol v{})",
+        "serving on {addr} (protocol v{}, single-reactor)",
         snn_net::protocol::VERSION
     );
 
-    // Drive it like a remote client would: framed requests over TCP.
-    let mut client = NetClient::connect(addr)?;
-    for (index, input) in inputs.iter().enumerate() {
-        match client.infer_with_retry(input, 5) {
+    // A pooled client: connections are dialled on demand, recycled when
+    // healthy, and shed requests retry under jittered exponential backoff.
+    let pool = NetPool::connect(addr, PoolOptions::default())?;
+    for (index, input) in inputs.iter().take(4).enumerate() {
+        match pool.infer(input) {
             Ok(reply) => println!(
                 "inference {index}: class {} in {} cycles (T = {}, logits {:?})",
                 reply.prediction, reply.total_cycles, reply.time_steps, reply.logits
@@ -69,6 +73,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             Err(err) => return Err(err.into()),
         }
+    }
+
+    // Pipelining: the whole batch goes out before the first reply is read;
+    // the server answers in completion order, correlated by request id.
+    let mut pipelined = NetClient::connect(addr)?;
+    let replies = pipelined.infer_many(&inputs)?;
+    println!(
+        "\n--- pipelined batch of {} on one connection ---",
+        inputs.len()
+    );
+    for (index, reply) in replies.iter().enumerate() {
+        match reply {
+            Ok(scores) => println!("request {index}: class {}", scores.prediction),
+            Err(err) => println!("request {index}: {err}"),
+        }
+    }
+
+    // Counters in both negotiated formats on the same connection.
+    println!("\n--- Prometheus exposition (excerpt) ---");
+    let prom = pipelined.stats_prometheus()?;
+    for line in prom.lines().filter(|l| l.contains("snn_completed")) {
+        println!("{line}");
     }
 
     // What a scraper sees: `echo STATS | nc` against the same port.
