@@ -1,17 +1,18 @@
 //! Benchmark trend check: compares fresh `BENCH_*.json` summaries against
-//! the committed previous values and warns on >20 % regressions.
+//! the committed previous values; >20 % regressions warn, >50 % fail.
 //!
 //! ```text
 //! bench_trend <baseline.json> <current.json> [threshold]
 //! ```
 //!
-//! Per the roadmap the check is **non-blocking**: warnings are printed as
-//! GitHub `::warning::` annotations and the exit code is always zero, so
-//! noisy hosted runners cannot block merges while the numbers stabilise.
-//! A missing baseline (first run of a new summary) is reported and
-//! skipped.
+//! Two tiers: regressions past the warn threshold (default 20 %) are
+//! printed as GitHub `::warning::` annotations and stay non-blocking, so
+//! noisy hosted runners cannot block merges while the numbers stabilise —
+//! but a regression past [`FAIL_THRESHOLD`] (50 %) is far outside runner
+//! noise, prints a `::error::` annotation and exits non-zero.  A missing
+//! baseline (first run of a new summary) is reported and skipped.
 
-use snn_bench::trend::{compare, parse_metrics, DEFAULT_THRESHOLD};
+use snn_bench::trend::{compare, parse_metrics, DEFAULT_THRESHOLD, FAIL_THRESHOLD};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -55,14 +56,29 @@ fn main() {
             current.len(),
             100.0 * threshold
         );
-    } else {
-        for regression in &regressions {
+        return;
+    }
+    let mut failures = 0usize;
+    for regression in &regressions {
+        if regression.exceeds(FAIL_THRESHOLD) {
+            failures += 1;
+            println!("::error::bench-trend ({}): {regression}", args[2]);
+        } else {
             println!("::warning::bench-trend ({}): {regression}", args[2]);
         }
+    }
+    if failures > 0 {
         println!(
-            "bench-trend: {} metric(s) regressed by more than {:.0}% (non-blocking, see warnings)",
-            regressions.len(),
+            "bench-trend: {failures} metric(s) regressed by more than {:.0}% — failing the check              ({} more past the {:.0}% warning tier)",
+            100.0 * FAIL_THRESHOLD,
+            regressions.len() - failures,
             100.0 * threshold
         );
+        std::process::exit(1);
     }
+    println!(
+        "bench-trend: {} metric(s) regressed by more than {:.0}% (non-blocking, see warnings)",
+        regressions.len(),
+        100.0 * threshold
+    );
 }

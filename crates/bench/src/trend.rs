@@ -15,14 +15,21 @@
 //!   the `busy_cycles`/`total_cycles` siblings of a utilisation entry) is
 //!   informational and not compared.
 //!
-//! Per the roadmap, the check is **non-blocking** for now: the CI step
-//! prints GitHub warning annotations and always exits successfully, so
-//! noisy hosted runners cannot block merges while the numbers stabilise.
+//! The check is **two-tier**: regressions past [`DEFAULT_THRESHOLD`]
+//! (20 %) print GitHub warning annotations and stay non-blocking — noisy
+//! hosted runners cannot block merges while the numbers stabilise — but a
+//! regression past [`FAIL_THRESHOLD`] (50 %) is far outside runner noise
+//! and fails the step with an error annotation and a non-zero exit.
 
 use std::fmt;
 
 /// Fraction of change treated as a regression (20 %).
 pub const DEFAULT_THRESHOLD: f64 = 0.20;
+
+/// Fraction of change past which a regression **fails** the trend check
+/// instead of warning (50 %): hosted-runner noise explains a few tens of
+/// percent on micro-benchmarks, not a halving of throughput.
+pub const FAIL_THRESHOLD: f64 = 0.50;
 
 /// One comparable benchmark metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +55,18 @@ pub struct Regression {
     pub ratio: f64,
     /// Whether larger values are improvements for this metric.
     pub higher_is_better: bool,
+}
+
+impl Regression {
+    /// Whether this regression also crosses a harsher `threshold` (e.g.
+    /// [`FAIL_THRESHOLD`]) in its own worse-direction.
+    pub fn exceeds(&self, threshold: f64) -> bool {
+        if self.higher_is_better {
+            self.ratio < 1.0 - threshold
+        } else {
+            self.ratio > 1.0 + threshold
+        }
+    }
 }
 
 impl fmt::Display for Regression {
@@ -369,6 +388,29 @@ mod tests {
         for regression in &regressions {
             assert!(regression.to_string().contains(&regression.id));
         }
+    }
+
+    #[test]
+    fn fail_threshold_separates_warnings_from_hard_failures() {
+        let baseline = parse_metrics(SAMPLE).unwrap();
+        // -30% throughput: a warning-tier regression, not a failure.
+        // +120% latency: past the fail tier in the lower-is-better sense.
+        let current = SAMPLE
+            .replace("\"stream_server\": 2200.0", "\"stream_server\": 1540.0")
+            .replace("\"median_ns\": 450000.0", "\"median_ns\": 990000.0");
+        let current = parse_metrics(&current).unwrap();
+        let regressions = compare(&baseline, &current, DEFAULT_THRESHOLD);
+        assert_eq!(regressions.len(), 2);
+        let soft = regressions
+            .iter()
+            .find(|r| r.id.contains("stream_server"))
+            .unwrap();
+        assert!(!soft.exceeds(FAIL_THRESHOLD), "-30% stays a warning");
+        let hard = regressions
+            .iter()
+            .find(|r| r.id.contains("median_ns"))
+            .unwrap();
+        assert!(hard.exceeds(FAIL_THRESHOLD), "+120% must fail");
     }
 
     #[test]

@@ -48,6 +48,29 @@ pub enum AccelError {
         /// The configured queue capacity.
         capacity: usize,
     },
+    /// The execution engine panicked while computing this inference.  The
+    /// dispatcher catches the unwind at the micro-batch item boundary, so
+    /// only the poisoned submission fails — sibling items in the same
+    /// batch and the server itself keep running (counted in
+    /// [`crate::serve::ServerStats::panics`]).
+    EnginePanic {
+        /// The panic payload's message, when it carried one.
+        context: String,
+    },
+    /// The submission waited in the queue past its deadline and was shed
+    /// *before* compute (see
+    /// [`crate::serve::ServerOptions::max_queue_wait`] and the deadline
+    /// parameter of [`crate::serve::StreamServer::submit_within`]).
+    /// Shedding stale work is graceful degradation, not failure: like
+    /// [`AccelError::QueueFull`] this is backpressure and clients should
+    /// back off and resubmit (counted in
+    /// [`crate::serve::ServerStats::deadline_sheds`]).
+    DeadlineExceeded {
+        /// How long the submission sat in the queue, in milliseconds.
+        waited_ms: u64,
+        /// The deadline it missed, in milliseconds after submission.
+        deadline_ms: u64,
+    },
 }
 
 impl AccelError {
@@ -57,7 +80,10 @@ impl AccelError {
     /// retry-after hint instead of error replies, and clients should back
     /// off and retry rather than give up.
     pub fn is_backpressure(&self) -> bool {
-        matches!(self, AccelError::QueueFull { .. })
+        matches!(
+            self,
+            AccelError::QueueFull { .. } | AccelError::DeadlineExceeded { .. }
+        )
     }
 }
 
@@ -85,6 +111,17 @@ impl fmt::Display for AccelError {
             AccelError::QueueFull { queued, capacity } => write!(
                 f,
                 "submission queue is full ({queued} queued, capacity {capacity})"
+            ),
+            AccelError::EnginePanic { context } => {
+                write!(f, "execution engine panicked: {context}")
+            }
+            AccelError::DeadlineExceeded {
+                waited_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "request shed before compute: waited {waited_ms} ms in the queue, \
+                 deadline was {deadline_ms} ms"
             ),
         }
     }
@@ -125,10 +162,15 @@ mod tests {
     }
 
     #[test]
-    fn only_queue_full_is_backpressure() {
+    fn only_shedding_errors_are_backpressure() {
         assert!(AccelError::QueueFull {
             queued: 4,
             capacity: 4
+        }
+        .is_backpressure());
+        assert!(AccelError::DeadlineExceeded {
+            waited_ms: 40,
+            deadline_ms: 10
         }
         .is_backpressure());
         assert!(!AccelError::Serving {
@@ -139,6 +181,25 @@ mod tests {
             context: "nope".into()
         }
         .is_backpressure());
+        assert!(!AccelError::EnginePanic {
+            context: "index out of bounds".into()
+        }
+        .is_backpressure());
+    }
+
+    #[test]
+    fn panic_and_deadline_display_their_evidence() {
+        let panic = AccelError::EnginePanic {
+            context: "poisoned input".into(),
+        };
+        assert!(panic.to_string().contains("panicked"));
+        assert!(panic.to_string().contains("poisoned input"));
+        let shed = AccelError::DeadlineExceeded {
+            waited_ms: 120,
+            deadline_ms: 50,
+        };
+        assert!(shed.to_string().contains("120 ms"));
+        assert!(shed.to_string().contains("50 ms"));
     }
 
     #[test]

@@ -63,7 +63,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Options of a [`StreamServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +86,16 @@ pub struct ServerOptions {
     /// typed [`AccelError::InvalidConfig`] instead of starting a server
     /// that can never serve (use [`StreamServer::shutdown`] to drain).
     pub queue_capacity: usize,
+    /// Server-wide deadline on **queue wait**: a submission that has sat
+    /// undispatched for this long is shed *before* compute with the typed
+    /// [`AccelError::DeadlineExceeded`] (counted in
+    /// [`ServerStats::deadline_sheds`]) instead of being computed late for
+    /// a client that has given up.  `None` (the default) never sheds;
+    /// per-request deadlines passed to [`StreamServer::submit_within`]
+    /// tighten this bound but never loosen it.  A zero duration sheds
+    /// every queued submission — useful in tests, degenerate in
+    /// production.
+    pub max_queue_wait: Option<Duration>,
 }
 
 /// Default [`ServerOptions::queue_capacity`]: deep enough that a paced
@@ -99,6 +109,7 @@ impl Default for ServerOptions {
             mode: ExecutionMode::CycleAccurate,
             exec: ExecOptions::default(),
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            max_queue_wait: None,
         }
     }
 }
@@ -193,6 +204,40 @@ enum ReplyTo {
 struct Submission {
     input: Tensor<f32>,
     reply: ReplyTo,
+    /// When the submission entered the queue (the deadline's clock zero).
+    enqueued_at: Instant,
+    /// Effective queue-wait deadline: the tighter of the per-request
+    /// deadline and [`ServerOptions::max_queue_wait`], resolved at
+    /// admission.  `None` never expires.
+    deadline: Option<Duration>,
+}
+
+impl Submission {
+    /// Whether this submission's queue wait has reached its deadline at
+    /// `now` (a shed happens strictly before compute, so "reached" — not
+    /// "exceeded" — is the boundary: a zero deadline always sheds).
+    fn expired_at(&self, now: Instant) -> bool {
+        match self.deadline {
+            Some(deadline) => now.duration_since(self.enqueued_at) >= deadline,
+            None => false,
+        }
+    }
+
+    /// Delivers `result` to whichever completion path this submission
+    /// uses (dropped tickets and closed sinks just mean the client
+    /// stopped listening; the waker fires strictly after the send).
+    fn settle(self, result: Result<RunReport>) {
+        match self.reply {
+            ReplyTo::Ticket(reply) => {
+                let _ = reply.send(result);
+            }
+            ReplyTo::Sink { tag, sink } => {
+                if sink.sender.send(Completion { tag, result }).is_ok() {
+                    (sink.waker)();
+                }
+            }
+        }
+    }
 }
 
 #[derive(Default)]
@@ -211,6 +256,8 @@ struct StatsAccum {
     batches: u64,
     largest_batch: usize,
     rejected: u64,
+    panics: u64,
+    deadline_sheds: u64,
     /// `(completion instant, inferences settled)` of the most recent
     /// micro-batches, capped at [`DRAIN_WINDOW_BATCHES`] entries — the
     /// basis of the *recent* drain rate in [`QueueSnapshot`].
@@ -241,6 +288,16 @@ pub struct ServerStats {
     pub largest_batch: usize,
     /// Submissions rejected by the bounded-queue admission policy.
     pub rejected: u64,
+    /// Engine panics caught at the micro-batch item boundary: each one
+    /// failed exactly one inference with [`AccelError::EnginePanic`]
+    /// (also counted in `errors`) and left the dispatcher, its batch
+    /// siblings and the server running.
+    pub panics: u64,
+    /// Submissions shed from the queue before compute because their queue
+    /// wait reached its deadline (see [`ServerOptions::max_queue_wait`]);
+    /// like `rejected`, these are backpressure and are *not* counted in
+    /// `errors` or `completed`.
+    pub deadline_sheds: u64,
     /// Live queue-depth / drain-rate snapshot (see [`QueueSnapshot`]).
     /// The drain rate is windowed over the most recent
     /// [`DRAIN_WINDOW_BATCHES`] micro-batch completions, measured
@@ -406,6 +463,8 @@ impl StreamServer {
                 batches: 0,
                 largest_batch: 0,
                 rejected: 0,
+                panics: 0,
+                deadline_sheds: 0,
                 recent: VecDeque::new(),
             }),
             started: Instant::now(),
@@ -433,8 +492,24 @@ impl StreamServer {
     /// rejection is also counted in [`ServerStats::rejected`]), and
     /// [`AccelError::Serving`] when the server has begun shutting down.
     pub fn submit(&self, input: Tensor<f32>) -> Result<Ticket> {
+        self.submit_within(input, None)
+    }
+
+    /// Like [`StreamServer::submit`] with a per-request **queue-wait
+    /// deadline**: if the submission is still undispatched after
+    /// `deadline`, it is shed before compute and the ticket resolves with
+    /// [`AccelError::DeadlineExceeded`] (counted in
+    /// [`ServerStats::deadline_sheds`]).  The effective deadline is the
+    /// tighter of `deadline` and [`ServerOptions::max_queue_wait`]; `None`
+    /// defers entirely to the server-wide bound.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors exactly as [`StreamServer::submit`]; the deadline
+    /// only governs what happens after admission.
+    pub fn submit_within(&self, input: Tensor<f32>, deadline: Option<Duration>) -> Result<Ticket> {
         let (reply, receiver) = mpsc::channel();
-        self.enqueue(input, ReplyTo::Ticket(reply))?;
+        self.enqueue(input, ReplyTo::Ticket(reply), deadline)?;
         Ok(Ticket { receiver })
     }
 
@@ -455,16 +530,46 @@ impl StreamServer {
     /// [`StreamServer::submit`]; a rejected submission produces **no**
     /// completion, so callers settle the request from the error in hand.
     pub fn submit_tagged(&self, input: Tensor<f32>, tag: u64, sink: &CompletionSink) -> Result<()> {
+        self.submit_tagged_within(input, tag, sink, None)
+    }
+
+    /// Like [`StreamServer::submit_tagged`] with a per-request queue-wait
+    /// deadline (see [`StreamServer::submit_within`]).  An expired
+    /// submission **does** produce a completion — carrying
+    /// [`AccelError::DeadlineExceeded`] — because the front-end needs to
+    /// answer the request it already accepted.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors exactly as [`StreamServer::submit_tagged`].
+    pub fn submit_tagged_within(
+        &self,
+        input: Tensor<f32>,
+        tag: u64,
+        sink: &CompletionSink,
+        deadline: Option<Duration>,
+    ) -> Result<()> {
         self.enqueue(
             input,
             ReplyTo::Sink {
                 tag,
                 sink: sink.clone(),
             },
+            deadline,
         )
     }
 
-    fn enqueue(&self, input: Tensor<f32>, reply: ReplyTo) -> Result<()> {
+    fn enqueue(
+        &self,
+        input: Tensor<f32>,
+        reply: ReplyTo,
+        deadline: Option<Duration>,
+    ) -> Result<()> {
+        let deadline = match (deadline, self.shared.options.max_queue_wait) {
+            (Some(request), Some(server)) => Some(request.min(server)),
+            (Some(request), None) => Some(request),
+            (None, server) => server,
+        };
         {
             let mut queue = self.shared.queue.lock().expect("submission queue lock");
             if queue.shutdown {
@@ -483,7 +588,12 @@ impl StreamServer {
                     capacity: self.shared.options.queue_capacity,
                 });
             }
-            queue.jobs.push_back(Submission { input, reply });
+            queue.jobs.push_back(Submission {
+                input,
+                reply,
+                enqueued_at: Instant::now(),
+                deadline,
+            });
         }
         self.shared.ready.notify_one();
         Ok(())
@@ -534,6 +644,8 @@ impl StreamServer {
             batches: accum.batches,
             largest_batch: accum.largest_batch,
             rejected: accum.rejected,
+            panics: accum.panics,
+            deadline_sheds: accum.deadline_sheds,
             queue,
             max_batch: self.shared.options.max_batch,
             queue_capacity: self.shared.options.queue_capacity,
@@ -615,26 +727,67 @@ fn dispatch_loop(shared: &ServerShared) {
             }
         };
 
-        // Execute the micro-batch over the shared worker pool.
+        // Shed expired entries *before* compute: work the client has
+        // already given up on is answered with a typed error at queue
+        // cost, not computed late at full cost.
+        let now = Instant::now();
+        let (batch, expired): (Vec<Submission>, Vec<Submission>) =
+            batch.into_iter().partition(|s| !s.expired_at(now));
+        if !expired.is_empty() {
+            {
+                let mut accum = shared.stats.lock().expect("server stats lock");
+                accum.deadline_sheds += expired.len() as u64;
+            }
+            for submission in expired {
+                let waited_ms = now.duration_since(submission.enqueued_at).as_millis() as u64;
+                let deadline_ms = submission
+                    .deadline
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0);
+                submission.settle(Err(AccelError::DeadlineExceeded {
+                    waited_ms,
+                    deadline_ms,
+                }));
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
+        // Execute the micro-batch over the shared worker pool.  Each item
+        // runs under its own unwind guard: a panicking inference fails
+        // only itself with the typed `EnginePanic`, never the dispatcher
+        // (snn-parallel would otherwise re-raise the task panic here and
+        // kill the serving loop).
         let threads = snn_parallel::budget().total().min(batch.len());
         let reports = snn_parallel::par_map(&batch, threads, |_, submission| {
-            shared.accel.execute_compiled(
-                &shared.model,
-                &shared.program,
-                &submission.input,
-                shared.options.mode,
-                shared.options.exec,
-            )
+            snn_parallel::catch_panic_message(|| {
+                #[cfg(feature = "fault-injection")]
+                poison::check(&submission.input);
+                shared.accel.execute_compiled(
+                    &shared.model,
+                    &shared.program,
+                    &submission.input,
+                    shared.options.mode,
+                    shared.options.exec,
+                )
+            })
+            .unwrap_or_else(|message| Err(AccelError::EnginePanic { context: message }))
         });
 
         let completed = reports.iter().filter(|r| r.is_ok()).count() as u64;
         let errors = reports.len() as u64 - completed;
+        let panics = reports
+            .iter()
+            .filter(|r| matches!(r, Err(AccelError::EnginePanic { .. })))
+            .count() as u64;
         // Count before replying, so a client that has its result in hand
         // is guaranteed to find it reflected in the server statistics.
         {
             let mut accum = shared.stats.lock().expect("server stats lock");
             accum.completed += completed;
             accum.errors += errors;
+            accum.panics += panics;
             accum.batches += 1;
             accum.largest_batch = accum.largest_batch.max((completed + errors) as usize);
             accum.recent.push_back((Instant::now(), completed + errors));
@@ -643,26 +796,37 @@ fn dispatch_loop(shared: &ServerShared) {
             }
         }
         for (submission, report) in batch.into_iter().zip(reports) {
-            match submission.reply {
-                // A dropped ticket just means the client stopped listening.
-                ReplyTo::Ticket(reply) => {
-                    let _ = reply.send(report);
-                }
-                // Waker strictly after the send: a reactor woken by the
-                // pipe byte must find the completion already queued.
-                ReplyTo::Sink { tag, sink } => {
-                    if sink
-                        .sender
-                        .send(Completion {
-                            tag,
-                            result: report,
-                        })
-                        .is_ok()
-                    {
-                        (sink.waker)();
-                    }
-                }
-            }
+            // Waker strictly after the send (inside `settle`): a reactor
+            // woken by the pipe byte must find the completion queued.
+            submission.settle(report);
+        }
+    }
+}
+
+/// Deliberate crash trigger for fault-injection builds: an input whose
+/// first element is the [`poison::PILL_BITS`] sentinel makes the engine panic
+/// inside the micro-batch, exercising the `catch_unwind` isolation path
+/// end-to-end (including over the wire, since f32 bit patterns round-trip
+/// through the `snn-net` protocol).  Compiled only with the
+/// `fault-injection` feature; release builds pay nothing.
+#[cfg(feature = "fault-injection")]
+pub mod poison {
+    use snn_tensor::Tensor;
+
+    /// Bit pattern of the sentinel: a quiet NaN with a recognizable
+    /// payload, so no legitimate input (finite activations) collides.
+    pub const PILL_BITS: u32 = 0x7fc0_dead;
+
+    /// The poison-pill value a test writes into an input's first element.
+    pub fn pill() -> f32 {
+        f32::from_bits(PILL_BITS)
+    }
+
+    /// Panics when `input` leads with the sentinel.  Called inside the
+    /// dispatcher's per-item unwind guard.
+    pub(crate) fn check(input: &Tensor<f32>) {
+        if input.as_slice().first().map(|v| v.to_bits()) == Some(PILL_BITS) {
+            panic!("fault-injection poison pill in input");
         }
     }
 }
@@ -1048,6 +1212,118 @@ mod tests {
         }
         let final_stats = server.shutdown();
         assert_eq!(final_stats.completed, 12);
+    }
+
+    #[test]
+    fn zero_max_queue_wait_sheds_everything_before_compute() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start_with(
+            AcceleratorConfig::default(),
+            model,
+            ServerOptions {
+                max_queue_wait: Some(Duration::ZERO),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .take(3)
+            .map(|input| server.submit(input.clone()).unwrap())
+            .collect();
+        for ticket in tickets {
+            match ticket.wait() {
+                Err(AccelError::DeadlineExceeded { deadline_ms, .. }) => {
+                    assert_eq!(deadline_ms, 0);
+                }
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_sheds, 3);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.errors, 0, "sheds are backpressure, not errors");
+    }
+
+    #[test]
+    fn per_request_deadline_sheds_only_the_impatient_submission() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start(AcceleratorConfig::default(), model).unwrap();
+        // Keep the dispatcher busy so the impatient submission queues.
+        let busy = server.submit(inputs[0].clone()).unwrap();
+        let impatient = server
+            .submit_within(inputs[1].clone(), Some(Duration::ZERO))
+            .unwrap();
+        let patient = server.submit_within(inputs[2].clone(), None).unwrap();
+        busy.wait().unwrap();
+        match impatient.wait() {
+            Err(AccelError::DeadlineExceeded { .. }) => {}
+            // The dispatcher may have drained all three into the first
+            // micro-batch before the busy inference even started; in that
+            // case nothing waited and nothing sheds.  Accept either, but
+            // the patient submission must always complete.
+            Ok(_) => {}
+            other => panic!("expected DeadlineExceeded or a report, got {other:?}"),
+        }
+        patient.wait().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn tagged_deadline_sheds_deliver_a_completion() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start_with(
+            AcceleratorConfig::default(),
+            model,
+            ServerOptions {
+                max_queue_wait: Some(Duration::ZERO),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let (sink, completions) = CompletionSink::new(Arc::new(|| {}));
+        server
+            .submit_tagged_within(inputs[0].clone(), 7, &sink, None)
+            .unwrap();
+        let completion = completions
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("shed submissions still complete through the sink");
+        assert_eq!(completion.tag, 7);
+        match completion.result {
+            Err(AccelError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert!(stats.deadline_sheds >= 1);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn engine_panic_fails_one_item_and_the_server_survives() {
+        let (model, inputs) = tiny_setup(3);
+        let config = AcceleratorConfig::default();
+        let server = StreamServer::start(config, model.clone()).unwrap();
+        let mut poisoned_values = inputs[0].as_slice().to_vec();
+        poisoned_values[0] = poison::pill();
+        let poisoned = Tensor::from_vec(vec![1, 12, 12], poisoned_values).unwrap();
+        let bad = server.submit(poisoned).unwrap();
+        let good = server.submit(inputs[1].clone()).unwrap();
+        match bad.wait() {
+            Err(AccelError::EnginePanic { context }) => {
+                assert!(context.contains("poison pill"), "context: {context}");
+            }
+            other => panic!("expected EnginePanic, got {other:?}"),
+        }
+        // The sibling and a fresh submission both complete, bit-exactly.
+        let report = good.wait().unwrap();
+        let solo = Accelerator::new(config).run(&model, &inputs[1]).unwrap();
+        assert_eq!(report, solo);
+        let fresh = server.submit(inputs[2].clone()).unwrap();
+        fresh.wait().unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.errors, 1, "the panic counts as an error too");
+        assert_eq!(stats.completed, 2);
     }
 
     #[test]

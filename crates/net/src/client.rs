@@ -26,7 +26,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use snn_tensor::Tensor;
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -106,6 +106,10 @@ pub struct NetClient {
     buf: Vec<u8>,
     poisoned: bool,
     next_request_id: u64,
+    /// Current per-reply wait bound (see [`NetClient::set_reply_timeout`]);
+    /// quoted in [`NetError::Timeout`] and preserved across the reconnects
+    /// [`NetClient::infer_with_retry`] performs.
+    reply_timeout: Duration,
 }
 
 impl NetClient {
@@ -125,7 +129,23 @@ impl NetClient {
             buf: Vec::new(),
             poisoned: false,
             next_request_id: 0,
+            reply_timeout: REPLY_TIMEOUT,
         })
+    }
+
+    /// Replaces the default [`REPLY_TIMEOUT`] wait bound on every reply
+    /// read.  Expiry surfaces as the typed [`NetError::Timeout`] (and
+    /// poisons the connection — the late reply may still arrive), so an
+    /// impatient caller distinguishes "slow server" from transport
+    /// failure.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors ([`Duration::ZERO`] is rejected by the OS).
+    pub fn set_reply_timeout(&mut self, timeout: Duration) -> Result<(), NetError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.reply_timeout = timeout;
+        Ok(())
     }
 
     /// Whether an earlier failed exchange has poisoned this connection
@@ -185,6 +205,25 @@ impl NetClient {
         &mut self,
         inputs: &[Tensor<f32>],
     ) -> Result<Vec<Result<ScoreReply, NetError>>, NetError> {
+        self.infer_many_within(inputs, None)
+    }
+
+    /// [`NetClient::infer_many`] with a per-request **queue-wait
+    /// deadline** (milliseconds) attached to every request in the batch:
+    /// a request still queued server-side past the deadline is shed
+    /// *before compute* and its slot settles with [`NetError::Rejected`]
+    /// (`scope = deadline`, retry hint included) — bounded staleness
+    /// instead of a stale answer.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::infer_many`].
+    #[allow(clippy::type_complexity)]
+    pub fn infer_many_within(
+        &mut self,
+        inputs: &[Tensor<f32>],
+        deadline_ms: Option<u32>,
+    ) -> Result<Vec<Result<ScoreReply, NetError>>, NetError> {
         if self.poisoned {
             return Err(NetError::Poisoned);
         }
@@ -194,7 +233,10 @@ impl NetClient {
         let mut batch = Vec::new();
         let mut id_to_index: HashMap<u64, usize> = HashMap::with_capacity(inputs.len());
         for (index, input) in inputs.iter().enumerate() {
-            let request = InferRequest::from_tensor(self.next_id(), input);
+            let mut request = InferRequest::from_tensor(self.next_id(), input);
+            if let Some(ms) = deadline_ms {
+                request = request.with_deadline(ms);
+            }
             // Fail limit violations (oversized tensors, rank) locally with
             // the same typed error the server's decoder would raise —
             // before anything is sent, so the connection stays clean.
@@ -277,11 +319,14 @@ impl NetClient {
     /// full, [`crate::protocol::reject_scope::CONNECTIONS`]) close the
     /// shed connection server-side, so the helper reconnects before those
     /// retries; queue-scope rejections retry on the same connection.
+    /// Reply timeouts ([`NetError::Timeout`]) also retry — they poison the
+    /// connection (the late reply may still arrive on it), so those
+    /// retries always reconnect first.
     ///
     /// # Errors
     ///
-    /// The final rejection when every attempt was shed, or any
-    /// non-backpressure error immediately.
+    /// The final rejection or timeout when every attempt failed that way,
+    /// or any other error immediately.
     pub fn infer_with_retry(
         &mut self,
         input: &Tensor<f32>,
@@ -304,22 +349,31 @@ impl NetClient {
         let attempts = attempts.max(1);
         for attempt in 1..=attempts {
             match self.infer(input) {
-                Err(err) if err.is_backpressure() => {
+                Err(err) if err.is_backpressure() || matches!(err, NetError::Timeout { .. }) => {
                     if attempt == attempts {
                         // Out of attempts: return the rejection in hand
                         // instead of sleeping through a hint we will never
                         // act on.
                         return Err(err);
                     }
-                    let reconnect = matches!(
-                        &err,
-                        NetError::Rejected(reply)
-                            if reply.scope == crate::protocol::reject_scope::CONNECTIONS
-                    );
+                    // A connection-scope shed is closed server-side, and a
+                    // timeout poisons the stream client-side; both retries
+                    // need a fresh connection.  Queue-scope rejections
+                    // retry in place.
+                    let reconnect = matches!(err, NetError::Timeout { .. })
+                        || matches!(
+                            &err,
+                            NetError::Rejected(reply)
+                                if reply.scope == crate::protocol::reject_scope::CONNECTIONS
+                        );
                     let wait = policy.delay_ms(attempt, err.retry_after_ms());
                     std::thread::sleep(Duration::from_millis(wait));
                     if reconnect {
+                        let timeout = self.reply_timeout;
                         *self = NetClient::connect(self.addr)?;
+                        if timeout != REPLY_TIMEOUT {
+                            self.set_reply_timeout(timeout)?;
+                        }
                     }
                 }
                 other => return other,
@@ -394,9 +448,20 @@ impl NetClient {
                 self.buf.drain(..used);
                 return Ok(frame);
             }
-            match self.stream.read(&mut scratch)? {
-                0 => return Err(NetError::Disconnected),
-                n => self.buf.extend_from_slice(&scratch[..n]),
+            match self.stream.read(&mut scratch) {
+                Ok(0) => return Err(NetError::Disconnected),
+                Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
+                // The read timeout expiring is WouldBlock or TimedOut
+                // depending on platform; both mean "no reply in time",
+                // which gets its own type so callers can retry on a fresh
+                // connection instead of treating it as transport failure.
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Err(NetError::Timeout {
+                        waited: self.reply_timeout,
+                    })
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
             }
         }
     }

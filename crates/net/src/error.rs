@@ -26,6 +26,16 @@ pub enum NetError {
     /// A local accelerator error (server-side construction, model
     /// compilation, ...).
     Accel(AccelError),
+    /// No reply arrived within the client's reply timeout.  Distinct from
+    /// [`NetError::Io`] so callers can retry *deliberately*: the request
+    /// may still complete server-side, so the connection is poisoned (the
+    /// late reply could desynchronise the stream) and the retry must go
+    /// out on a fresh connection — which
+    /// [`crate::client::NetClient::infer_with_retry`] does.
+    Timeout {
+        /// How long the client waited before giving up.
+        waited: std::time::Duration,
+    },
     /// The peer closed the connection mid-exchange.
     Disconnected,
     /// A previous exchange on this connection failed mid-flight, so the
@@ -65,6 +75,11 @@ impl fmt::Display for NetError {
                 write!(f, "server error {code}: {message}")
             }
             NetError::Accel(e) => write!(f, "accelerator error: {e}"),
+            NetError::Timeout { waited } => write!(
+                f,
+                "no reply within {} ms; the connection is poisoned — reconnect to retry",
+                waited.as_millis()
+            ),
             NetError::Disconnected => write!(f, "peer closed the connection mid-exchange"),
             NetError::Poisoned => write!(
                 f,
@@ -131,6 +146,18 @@ mod tests {
         assert!(!err.is_backpressure());
         assert_eq!(err.retry_after_ms(), None);
         assert!(NetError::Disconnected.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn timeouts_are_typed_not_backpressure_and_name_the_wait() {
+        let err = NetError::Timeout {
+            waited: std::time::Duration::from_millis(1500),
+        };
+        assert!(!err.is_backpressure(), "a timeout carries no retry hint");
+        assert_eq!(err.retry_after_ms(), None);
+        let text = err.to_string();
+        assert!(text.contains("1500 ms"), "wait surfaced: {text}");
+        assert!(text.contains("reconnect"), "recovery action named: {text}");
     }
 
     #[test]

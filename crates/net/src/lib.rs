@@ -36,12 +36,21 @@
 //! in-process `StreamServer::submit` call — the loopback test suite pins
 //! this (pipelined or not), extending the repo's exactness ladder across
 //! the wire.
+//!
+//! With the `fault-injection` feature, the `fault` module arms a seeded
+//! `fault::FaultPlan` across the sys wrappers and connection I/O paths;
+//! the chaos suite (`tests/chaos.rs`) drives loopback traffic under
+//! generated fault schedules and pins that every request resolves to
+//! bit-exact SCORES or a typed error — never a hang, never a process
+//! panic.  Release builds compile none of it.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod client;
 pub mod error;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod protocol;
 pub mod server;
 pub mod sys;

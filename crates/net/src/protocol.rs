@@ -50,7 +50,10 @@ pub const MAGIC: [u8; 4] = *b"SNNF";
 /// Protocol version this build speaks.  Version 2 added the request-id
 /// field to the INFER/SCORES/REJECTED/ERROR payloads (per-connection
 /// pipelining) and the content-negotiation byte to STATS_REQUEST.
-pub const VERSION: u16 = 2;
+/// Version 3 defined the first INFER flag,
+/// [`infer_flags::HAS_DEADLINE`], whose presence appends a `u32`
+/// queue-wait deadline (milliseconds) to the INFER payload.
+pub const VERSION: u16 = 3;
 
 /// Request id carried by server-originated replies that answer no specific
 /// request (connection-scope rejections, protocol errors).
@@ -125,6 +128,18 @@ pub mod reject_scope {
     pub const QUEUE: u16 = 1;
     /// The connection-worker set was saturated (no IO lease available).
     pub const CONNECTIONS: u16 = 2;
+    /// The request waited in the submission queue past its deadline and
+    /// was shed before compute (see [`super::infer_flags::HAS_DEADLINE`]
+    /// and `ServerOptions::max_queue_wait`).
+    pub const DEADLINE: u16 = 3;
+}
+
+/// Bit flags carried by an [`InferRequest`] (see
+/// [`InferRequest::deadline_ms`]); servers ignore unknown bits.
+pub mod infer_flags {
+    /// The payload carries a `u32` queue-wait deadline in milliseconds
+    /// immediately after the flags word.
+    pub const HAS_DEADLINE: u32 = 1;
 }
 
 /// Content-negotiation formats carried by a [`Frame::StatsRequest`].
@@ -145,6 +160,9 @@ pub mod error_code {
     pub const SHUTTING_DOWN: u16 = 2;
     /// The peer violated the frame protocol.
     pub const PROTOCOL: u16 = 3;
+    /// The execution engine panicked on this request; the panic was
+    /// isolated to this inference and the server keeps serving.
+    pub const ENGINE_PANIC: u16 = 4;
 }
 
 /// An inference request: an encoded input tensor plus option flags.
@@ -155,9 +173,16 @@ pub struct InferRequest {
     /// [`NO_REQUEST_ID`]); reusing an id makes replies ambiguous to the
     /// client, the server does not police it.
     pub request_id: u64,
-    /// Request option flags; no flags are defined yet, clients must send
-    /// `0` and servers ignore unknown bits.
+    /// Request option flags (see [`infer_flags`]); the
+    /// [`infer_flags::HAS_DEADLINE`] bit is derived from `deadline_ms` at
+    /// encode time, servers ignore unknown bits.
     pub flags: u32,
+    /// Per-request **queue-wait deadline** in milliseconds: if the server
+    /// cannot start computing within this long of admission, it sheds the
+    /// request with a REJECTED frame of scope
+    /// [`reject_scope::DEADLINE`] instead of computing it late.  `None`
+    /// defers to the server-wide policy.
+    pub deadline_ms: Option<u32>,
     /// Tensor shape, outermost dimension first.
     pub shape: Vec<u32>,
     /// Row-major tensor values.
@@ -170,9 +195,16 @@ impl InferRequest {
         InferRequest {
             request_id,
             flags: 0,
+            deadline_ms: None,
             shape: tensor.shape().dims().iter().map(|&d| d as u32).collect(),
             values: tensor.as_slice().to_vec(),
         }
+    }
+
+    /// Attaches a queue-wait deadline (milliseconds) to this request.
+    pub fn with_deadline(mut self, deadline_ms: u32) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
     }
 
     /// Rebuilds the tensor on the receiving side, consuming the request —
@@ -201,8 +233,10 @@ impl InferRequest {
 
     /// Byte length of this request's encoded payload.
     fn payload_len(&self) -> usize {
-        // request id + flags + rank + dims + count + values.
-        8 + 4 + 4 + 4 * self.shape.len() + 4 + 4 * self.values.len()
+        // request id + flags + optional deadline + rank + dims + count +
+        // values.
+        let deadline = if self.deadline_ms.is_some() { 4 } else { 0 };
+        8 + 4 + deadline + 4 + 4 * self.shape.len() + 4 + 4 * self.values.len()
     }
 
     /// Checks this request against every limit the receiving decoder will
@@ -341,7 +375,14 @@ impl Frame {
         match self {
             Frame::Infer(req) => {
                 p.extend_from_slice(&req.request_id.to_le_bytes());
-                put_u32(&mut p, req.flags);
+                let mut flags = req.flags & !infer_flags::HAS_DEADLINE;
+                if req.deadline_ms.is_some() {
+                    flags |= infer_flags::HAS_DEADLINE;
+                }
+                put_u32(&mut p, flags);
+                if let Some(deadline_ms) = req.deadline_ms {
+                    put_u32(&mut p, deadline_ms);
+                }
                 put_u32(&mut p, req.shape.len() as u32);
                 for &dim in &req.shape {
                     put_u32(&mut p, dim);
@@ -475,6 +516,11 @@ fn parse_payload(kind: u16, payload: &[u8]) -> Result<Frame, ProtocolError> {
         KIND_INFER => {
             let request_id = u64::from_le_bytes(r.array()?);
             let flags = r.u32()?;
+            let deadline_ms = if flags & infer_flags::HAS_DEADLINE != 0 {
+                Some(r.u32()?)
+            } else {
+                None
+            };
             let rank = r.u32()? as usize;
             if rank > MAX_RANK {
                 return Err(ProtocolError::Malformed(format!(
@@ -513,7 +559,8 @@ fn parse_payload(kind: u16, payload: &[u8]) -> Result<Frame, ProtocolError> {
             }
             Frame::Infer(InferRequest {
                 request_id,
-                flags,
+                flags: flags & !infer_flags::HAS_DEADLINE,
+                deadline_ms,
                 shape,
                 values,
             })
@@ -705,6 +752,7 @@ mod tests {
         roundtrip(Frame::Infer(InferRequest {
             request_id: 41,
             flags: 0,
+            deadline_ms: None,
             shape: vec![1, 4, 4],
             values: (0..16).map(|i| i as f32 / 16.0).collect(),
         }));
@@ -736,6 +784,36 @@ mod tests {
             format: stats_format::PROMETHEUS,
         });
         roundtrip(Frame::StatsText("completed: 7\n".to_string()));
+    }
+
+    #[test]
+    fn deadline_travels_as_a_flag_plus_trailing_word() {
+        let tensor = Tensor::from_vec(vec![4], vec![0.25f32, 0.5, 0.75, 1.0]).unwrap();
+        let request = InferRequest::from_tensor(9, &tensor).with_deadline(250);
+        assert_eq!(request.deadline_ms, Some(250));
+        roundtrip(Frame::Infer(request.clone()));
+
+        // On the wire the deadline is the HAS_DEADLINE flag bit plus a u32
+        // right after the flags word; decode strips the bit back out of
+        // `flags` so it is pure option-surface, not caller state.
+        let bytes = Frame::Infer(request).encode();
+        let flags = u32::from_le_bytes(bytes[HEADER_LEN + 8..HEADER_LEN + 12].try_into().unwrap());
+        assert_eq!(flags & infer_flags::HAS_DEADLINE, infer_flags::HAS_DEADLINE);
+        let wire_deadline =
+            u32::from_le_bytes(bytes[HEADER_LEN + 12..HEADER_LEN + 16].try_into().unwrap());
+        assert_eq!(wire_deadline, 250);
+        let (decoded, _) = Frame::decode(&bytes).unwrap().expect("complete frame");
+        match decoded {
+            Frame::Infer(req) => {
+                assert_eq!(req.flags & infer_flags::HAS_DEADLINE, 0);
+                assert_eq!(req.deadline_ms, Some(250));
+            }
+            other => panic!("expected INFER, got {other:?}"),
+        }
+
+        // A deadline-free request encodes byte-identically to version 2.
+        let plain = Frame::Infer(InferRequest::from_tensor(9, &tensor)).encode();
+        assert_eq!(plain.len() + 4, bytes.len());
     }
 
     #[test]
@@ -849,6 +927,7 @@ mod tests {
         let frame = Frame::Infer(InferRequest {
             request_id: 1,
             flags: 0,
+            deadline_ms: None,
             shape: vec![2, 3],
             values: vec![0.0; 6],
         });
@@ -885,6 +964,7 @@ mod tests {
         let fine = InferRequest {
             request_id: 1,
             flags: 0,
+            deadline_ms: None,
             shape: vec![1, 4, 4],
             values: vec![0.0; 16],
         };
@@ -892,6 +972,7 @@ mod tests {
         let deep = InferRequest {
             request_id: 2,
             flags: 0,
+            deadline_ms: None,
             shape: vec![1; MAX_RANK + 1],
             values: vec![0.0],
         };
@@ -899,6 +980,7 @@ mod tests {
         let mismatched = InferRequest {
             request_id: 3,
             flags: 0,
+            deadline_ms: None,
             shape: vec![3],
             values: vec![0.0; 2],
         };
@@ -912,6 +994,7 @@ mod tests {
         let huge = InferRequest {
             request_id: 4,
             flags: 0,
+            deadline_ms: None,
             shape: vec![over as u32],
             values: vec![0.0; over],
         };
@@ -928,6 +1011,7 @@ mod tests {
         let broken = InferRequest {
             request_id: 0,
             flags: 0,
+            deadline_ms: None,
             shape: vec![3],
             values: vec![1.0, 2.0],
         };

@@ -67,7 +67,7 @@ use snn_accel::serve::{
 use snn_accel::AccelError;
 use snn_model::snn::SnnModel;
 use std::collections::HashMap;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -133,8 +133,9 @@ pub const READ_BURST: usize = 256 << 10;
 
 /// How long a reactor-wide draining shutdown may keep waiting on
 /// in-flight inferences and unflushed replies before giving up on the
-/// laggards.  Also the per-connection bound of the [`ConnState::Draining`]
-/// phase (terminal reply queued, in-flight completions still landing).
+/// laggards.  Also the per-connection bound of the draining phase of a
+/// terminally-answered connection (terminal reply queued, in-flight
+/// completions still landing).
 pub const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_secs(10);
 
 /// How long a connection that has been answered and half-closed (error
@@ -181,6 +182,11 @@ pub struct NetStats {
     pub stats_requests: u64,
     /// Connections the reactor currently owns.
     pub open_connections: u64,
+    /// `false` once the reactor thread has exited — normally (shutdown) or
+    /// abnormally (a reactor panic).  A supervisor that sees this `false`
+    /// on a server it has not shut down knows the front-end is dead even
+    /// though the process is alive; see [`NetServer::is_healthy`].
+    pub reactor_alive: bool,
     /// The inner [`StreamServer`] statistics (completed, rejected, queue
     /// snapshot, per-unit utilisation, ...).
     pub server: ServerStats,
@@ -190,8 +196,23 @@ struct NetShared {
     server: StreamServer,
     options: NetOptions,
     shutdown: AtomicBool,
+    /// Cleared by the reactor thread's drop guard on *any* exit path —
+    /// clean shutdown or panic — so health checks never dangle on a dead
+    /// event loop.
+    reactor_alive: AtomicBool,
     counters: Counters,
     wake: Arc<WakePipe>,
+}
+
+/// Flips [`NetShared::reactor_alive`] when the reactor thread exits, even
+/// by unwinding: the guard lives on the reactor's stack, so a panic
+/// anywhere in the event loop still reports the death.
+struct ReactorAliveGuard(Arc<NetShared>);
+
+impl Drop for ReactorAliveGuard {
+    fn drop(&mut self) {
+        self.0.reactor_alive.store(false, Ordering::Release);
+    }
 }
 
 /// A listening TCP serving front-end.  See the module docs.
@@ -241,6 +262,7 @@ impl NetServer {
             server,
             options,
             shutdown: AtomicBool::new(false),
+            reactor_alive: AtomicBool::new(true),
             counters: Counters::default(),
             wake: Arc::clone(&wake),
         });
@@ -255,8 +277,10 @@ impl NetServer {
             .name("snn-net-reactor".to_string())
             .spawn(move || {
                 // The lease (when the budget had one left) lives exactly as
-                // long as the reactor thread.
+                // long as the reactor thread; the alive guard reports the
+                // thread's death on every exit path, panics included.
                 let _lease = lease;
+                let _alive = ReactorAliveGuard(Arc::clone(&reactor_shared));
                 Reactor::new(&reactor_shared, listener, completions, sink).run();
             })?;
         Ok(NetServer {
@@ -281,8 +305,23 @@ impl NetServer {
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
             stats_requests: c.stats_requests.load(Ordering::Relaxed),
             open_connections: c.open_connections.load(Ordering::Relaxed) as u64,
+            reactor_alive: self.shared.reactor_alive.load(Ordering::Acquire),
             server: self.shared.server.stats(),
         }
+    }
+
+    /// `true` while the reactor thread is alive and the server has not
+    /// been told to shut down.
+    ///
+    /// The reactor is the front-end's only thread; if it dies (a panic in
+    /// the event loop — inference panics never reach it, they are isolated
+    /// inside the dispatcher), no connection will ever be served again
+    /// while the process looks healthy from the outside.  This is the
+    /// supervision signal: a monitor that sees `is_healthy() == false` on
+    /// a server it did not shut down should rebuild the front-end.
+    pub fn is_healthy(&self) -> bool {
+        self.shared.reactor_alive.load(Ordering::Acquire)
+            && !self.shared.shutdown.load(Ordering::Acquire)
     }
 
     /// Gracefully shuts down: stop accepting, drain in-flight requests,
@@ -382,6 +421,44 @@ impl Conn {
         }
     }
 
+    /// One socket read, routed through the fault injector when the
+    /// `fault-injection` feature is armed: short reads truncate the
+    /// scratch window to one byte, the error faults never touch the
+    /// socket.  Release builds compile down to the plain `read`.
+    fn socket_read(&mut self, scratch: &mut [u8]) -> io::Result<usize> {
+        #[cfg(feature = "fault-injection")]
+        {
+            use crate::fault::IoFault;
+            match crate::fault::read_fault() {
+                IoFault::None => self.stream.read(scratch),
+                IoFault::Short => self.stream.read(&mut scratch[..1]),
+                IoFault::WouldBlock => Err(io::Error::from(ErrorKind::WouldBlock)),
+                IoFault::Interrupted => Err(io::Error::from(ErrorKind::Interrupted)),
+                IoFault::Reset => Err(io::Error::from(ErrorKind::ConnectionReset)),
+            }
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        self.stream.read(scratch)
+    }
+
+    /// One socket write, routed through the fault injector exactly like
+    /// [`Conn::socket_read`] (short writes offer the kernel one byte).
+    fn socket_write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        #[cfg(feature = "fault-injection")]
+        {
+            use crate::fault::IoFault;
+            match crate::fault::write_fault() {
+                IoFault::None => self.stream.write(bytes),
+                IoFault::Short => self.stream.write(&bytes[..1]),
+                IoFault::WouldBlock => Err(io::Error::from(ErrorKind::WouldBlock)),
+                IoFault::Interrupted => Err(io::Error::from(ErrorKind::Interrupted)),
+                IoFault::Reset => Err(io::Error::from(ErrorKind::ConnectionReset)),
+            }
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        self.stream.write(bytes)
+    }
+
     /// Non-blocking read burst into the read buffer (discarded on non-Open
     /// states, where only EOF matters).  Returns `true` when the
     /// connection is dead and must be closed.
@@ -390,7 +467,7 @@ impl Conn {
         let mut scratch = [0u8; 8192];
         let mut total = 0usize;
         loop {
-            match self.stream.read(&mut scratch) {
+            match self.socket_read(&mut scratch) {
                 Ok(0) => {
                     self.peer_eof = true;
                     break;
@@ -421,7 +498,10 @@ impl Conn {
     fn flush_step(&mut self) -> bool {
         let mut wrote = 0usize;
         while !self.wbuf.is_empty() {
-            match self.stream.write(&self.wbuf) {
+            let queued = std::mem::take(&mut self.wbuf);
+            let result = self.socket_write(&queued);
+            self.wbuf = queued;
+            match result {
                 Ok(0) => return true,
                 Ok(n) => {
                     self.wbuf.drain(..n);
@@ -775,6 +855,20 @@ impl<'a> Reactor<'a> {
                     total_cycles: report.total_cycles(),
                     logits: report.logits,
                 }),
+                // A deadline shed is backpressure, not failure: the reply
+                // is a REJECTED frame (scope = deadline) quoting the live
+                // queue, so clients retry it exactly like a queue-full.
+                Err(AccelError::DeadlineExceeded { .. }) => {
+                    let snapshot = self.shared.server.queue_snapshot();
+                    Frame::Rejected(RejectReply {
+                        request_id: origin.request_id,
+                        scope: reject_scope::DEADLINE,
+                        queued: snapshot.depth as u64,
+                        capacity: snapshot.capacity as u64,
+                        retry_after_ms: snapshot.retry_after_ms().max(1),
+                        drain_rate_mips: drain_rate_mips(&snapshot),
+                    })
+                }
                 Err(err) => error_reply(origin.request_id, &err),
             };
             conn.queue_frame(&frame);
@@ -856,6 +950,9 @@ fn handle_frame(
         Frame::Infer(request) => {
             shared.counters.requests.fetch_add(1, Ordering::Relaxed);
             let request_id = request.request_id;
+            let deadline = request
+                .deadline_ms
+                .map(|ms| Duration::from_millis(u64::from(ms)));
             let tensor = match request.into_tensor() {
                 Ok(tensor) => tensor,
                 Err(err) => {
@@ -869,7 +966,10 @@ fn handle_frame(
             };
             let tag = *next_tag;
             *next_tag += 1;
-            match shared.server.submit_tagged(tensor, tag, sink) {
+            match shared
+                .server
+                .submit_tagged_within(tensor, tag, sink, deadline)
+            {
                 Ok(()) => {
                     pending.insert(tag, Pending { token, request_id });
                     conn.in_flight += 1;
@@ -926,10 +1026,13 @@ fn drain_rate_mips(snapshot: &QueueSnapshot) -> u64 {
 }
 
 fn error_reply(request_id: u64, err: &AccelError) -> Frame {
-    let code = if matches!(err, AccelError::Serving { .. }) {
-        error_code::SHUTTING_DOWN
-    } else {
-        error_code::BAD_REQUEST
+    let code = match err {
+        AccelError::Serving { .. } => error_code::SHUTTING_DOWN,
+        // The engine panicked on this one request; the panic was isolated
+        // inside the dispatcher and the server keeps serving — the code
+        // tells the client the input is poison, not the server.
+        AccelError::EnginePanic { .. } => error_code::ENGINE_PANIC,
+        _ => error_code::BAD_REQUEST,
     };
     Frame::Error(ErrorReply {
         request_id,
@@ -959,7 +1062,13 @@ fn render_stats_text(shared: &NetShared) -> String {
     ));
     out.push_str(&format!("completed: {}\n", server.completed));
     out.push_str(&format!("errors: {}\n", server.errors));
+    out.push_str(&format!("panics: {}\n", server.panics));
     out.push_str(&format!("rejected: {}\n", server.rejected));
+    out.push_str(&format!("deadline_sheds: {}\n", server.deadline_sheds));
+    out.push_str(&format!(
+        "reactor_alive: {}\n",
+        u8::from(shared.reactor_alive.load(Ordering::Acquire))
+    ));
     out.push_str(&format!("batches: {}\n", server.batches));
     out.push_str(&format!("largest_batch: {}\n", server.largest_batch));
     out.push_str(&format!("queue_depth: {}\n", server.queue.depth));
@@ -1031,7 +1140,18 @@ fn render_stats_prometheus(shared: &NetShared) -> String {
         server.completed.to_string(),
     );
     metric("snn_errors_total", "counter", server.errors.to_string());
+    metric("snn_panics_total", "counter", server.panics.to_string());
     metric("snn_rejected_total", "counter", server.rejected.to_string());
+    metric(
+        "snn_deadline_sheds_total",
+        "counter",
+        server.deadline_sheds.to_string(),
+    );
+    metric(
+        "snn_reactor_alive",
+        "gauge",
+        u8::from(shared.reactor_alive.load(Ordering::Acquire)).to_string(),
+    );
     metric("snn_batches_total", "counter", server.batches.to_string());
     metric(
         "snn_largest_batch",

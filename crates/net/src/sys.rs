@@ -97,7 +97,19 @@ extern "C" {
 /// Propagates `poll(2)` failures other than `EINTR` (`EINVAL` for too many
 /// descriptors, `ENOMEM`).
 pub fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
-    let millis = timeout.as_millis().min(i32::MAX as u128) as c_int;
+    #[cfg(feature = "fault-injection")]
+    if crate::fault::poll_spurious_wake() {
+        // Injected delayed readiness / EINTR: report a spurious timeout
+        // without consulting the kernel; callers re-loop.
+        return Ok(0);
+    }
+    // Round a nonzero timeout *up* to at least 1 ms: `as_millis` truncates,
+    // so a sub-millisecond duration would become 0 and turn every poll
+    // into a busy-spin.
+    let mut millis = timeout.as_millis().min(i32::MAX as u128) as c_int;
+    if millis == 0 && !timeout.is_zero() {
+        millis = 1;
+    }
     // SAFETY: `fds` is a valid, exclusively borrowed slice of repr(C)
     // pollfd records; the kernel writes only within `fds.len()` entries.
     let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, millis) };
@@ -178,6 +190,14 @@ impl WakePipe {
     /// Never blocks: when the pipe buffer is full the wake is already
     /// pending, so the failed write is deliberately ignored.
     pub fn wake(&self) {
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::drop_wake_byte() {
+            // Injected lost wake: safe to drop because the reactor drains
+            // its completion channel unconditionally every round and the
+            // poll interval bounds the sleep — the byte is an accelerant,
+            // not a correctness requirement (chaos.rs pins this).
+            return;
+        }
         let byte = [1u8];
         // SAFETY: writes one byte from a live stack buffer to an fd this
         // struct owns; O_NONBLOCK turns a full pipe into EAGAIN.
@@ -273,5 +293,33 @@ mod tests {
     fn set_nonblocking_rejects_a_closed_fd() {
         // fd -1 is never valid.
         assert!(set_nonblocking(-1).is_err());
+    }
+
+    #[test]
+    fn submillisecond_timeouts_round_up_instead_of_busy_spinning() {
+        // A nonzero timeout below 1 ms used to truncate to a zero-timeout
+        // poll; with nothing ready the call must now take at least ~1 ms
+        // (the rounded-up kernel timeout), not return instantly.  One
+        // iteration could be unlucky on a loaded host, so require only
+        // that the *sum* of many polls shows real sleeping.
+        let pipe = WakePipe::new().unwrap();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let start = std::time::Instant::now();
+        for _ in 0..20 {
+            fds[0].revents = 0;
+            assert_eq!(poll_fds(&mut fds, Duration::from_micros(100)).unwrap(), 0);
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(10),
+            "20 sub-ms polls finished in {:?}: the timeout truncated to 0",
+            start.elapsed()
+        );
+        // A genuinely zero timeout still returns immediately.
+        let start = std::time::Instant::now();
+        for _ in 0..100 {
+            fds[0].revents = 0;
+            poll_fds(&mut fds, Duration::ZERO).unwrap();
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
     }
 }

@@ -1,0 +1,75 @@
+//! Property tests for [`BackoffPolicy`]: every delay the policy can emit
+//! stays inside its declared bounds, schedules are a pure function of the
+//! seed, and a server's retry-after hint is honoured as a floor — the
+//! client never comes back earlier than half the hinted ceiling.
+
+use proptest::prelude::*;
+use snn_net::BackoffPolicy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever the inputs, a delay is within `1..=cap_ms` — the policy
+    /// can neither busy-retry (zero sleep) nor exceed its cap.
+    #[test]
+    fn delays_stay_within_one_and_the_cap(
+        base_ms in 1u64..10_000,
+        cap_ms in 1u64..120_000,
+        seed in 0u64..u64::MAX,
+        attempt in 1usize..64,
+        hint_draw in 0u64..400_000,
+    ) {
+        let policy = BackoffPolicy { base_ms, cap_ms, seed };
+        // Upper half of the draw means "no hint from the server".
+        let hint = (hint_draw < 200_000).then_some(hint_draw);
+        let delay = policy.delay_ms(attempt, hint);
+        prop_assert!(delay >= 1, "zero sleep would hammer the server");
+        prop_assert!(
+            delay <= cap_ms,
+            "delay {delay} above cap {cap_ms} (attempt {attempt}, hint {hint:?})"
+        );
+    }
+
+    /// The schedule is deterministic per `(policy, attempt, hint)` and
+    /// distinct seeds decorrelate: two clients shed together do not sleep
+    /// in lock-step.
+    #[test]
+    fn schedules_are_deterministic_per_seed(
+        seed in 0u64..u64::MAX,
+        hint in 10u64..10_000,
+    ) {
+        let policy = BackoffPolicy { base_ms: 25, cap_ms: 60_000, seed };
+        let schedule: Vec<u64> = (1..=8).map(|a| policy.delay_ms(a, Some(hint))).collect();
+        let replay: Vec<u64> = (1..=8).map(|a| policy.delay_ms(a, Some(hint))).collect();
+        // Same seed must replay exactly; adjacent seeds must decorrelate.
+        prop_assert_eq!(&schedule, &replay);
+        let other = BackoffPolicy { seed: seed.wrapping_add(1), ..policy };
+        let shifted: Vec<u64> = (1..=8).map(|a| other.delay_ms(a, Some(hint))).collect();
+        prop_assert_ne!(&schedule, &shifted);
+    }
+
+    /// A server hint is a **floor**, not a suggestion: the first retry
+    /// sleeps at least half the hinted ceiling (equal-jitter) and never
+    /// more than the hint itself, and later attempts only back off
+    /// further (their ceilings double from the hint).
+    #[test]
+    fn server_hints_floor_the_schedule(
+        hint in 2u64..50_000,
+        seed in 0u64..u64::MAX,
+        attempt in 1usize..16,
+    ) {
+        let policy = BackoffPolicy { base_ms: 1, cap_ms: 1 << 40, seed };
+        let first = policy.delay_ms(1, Some(hint));
+        prop_assert!(
+            (hint / 2..=hint).contains(&first),
+            "first retry {first} outside [{}, {hint}]",
+            hint / 2
+        );
+        let later = policy.delay_ms(attempt, Some(hint));
+        prop_assert!(
+            later >= hint / 2,
+            "attempt {attempt} slept {later}, below the hinted floor {}",
+            hint / 2
+        );
+    }
+}

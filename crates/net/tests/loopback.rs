@@ -470,6 +470,9 @@ fn stats_negotiation_serves_prometheus_exposition() {
     }
     let text = client.stats_text().unwrap();
     assert!(text.contains("completed: 2"), "plaintext: {text}");
+    assert!(text.contains("panics: 0"), "plaintext: {text}");
+    assert!(text.contains("deadline_sheds: 0"), "plaintext: {text}");
+    assert!(text.contains("reactor_alive: 1"), "plaintext: {text}");
     let prom = client.stats_prometheus().unwrap();
     assert!(
         prom.contains("# TYPE snn_completed_total counter"),
@@ -477,6 +480,20 @@ fn stats_negotiation_serves_prometheus_exposition() {
     );
     assert!(
         prom.contains("\nsnn_completed_total 2\n"),
+        "prometheus: {prom}"
+    );
+    // The supervision counters are first-class in both formats: a scrape
+    // can alert on engine panics and deadline sheds without new plumbing.
+    assert!(
+        prom.contains("# TYPE snn_panics_total counter\nsnn_panics_total 0\n"),
+        "prometheus: {prom}"
+    );
+    assert!(
+        prom.contains("# TYPE snn_deadline_sheds_total counter\nsnn_deadline_sheds_total 0\n"),
+        "prometheus: {prom}"
+    );
+    assert!(
+        prom.contains("# TYPE snn_reactor_alive gauge\nsnn_reactor_alive 1\n"),
         "prometheus: {prom}"
     );
     assert!(prom.contains("# TYPE snn_queue_capacity gauge"));

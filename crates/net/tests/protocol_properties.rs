@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use snn_net::protocol::{
-    error_code, reject_scope, ErrorReply, Frame, InferRequest, ProtocolError, RejectReply,
-    ScoreReply, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+    error_code, infer_flags, reject_scope, ErrorReply, Frame, InferRequest, ProtocolError,
+    RejectReply, ScoreReply, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
 };
 
 /// Deterministic pseudo-random f32 in [0, 1) from an index and seed.
@@ -22,14 +22,22 @@ proptest! {
         rank in 1usize..5,
         dim in 1usize..6,
         flags in 0u32..8,
+        deadline_draw in 0u32..240_000,
         request_id in 0u64..u64::MAX,
         seed in 0u64..10_000,
     ) {
+        // Upper half of the draw means "no deadline" — half the cases
+        // exercise the version-3 trailing word, half the bare payload.
+        let deadline_ms = (deadline_draw < 120_000).then_some(deadline_draw);
         let shape: Vec<u32> = (0..rank).map(|r| ((dim + r) % 5 + 1) as u32).collect();
         let volume: usize = shape.iter().map(|&d| d as usize).product();
+        // HAS_DEADLINE is derived from `deadline_ms` at encode time and
+        // stripped back out at decode, so the caller-visible flags never
+        // carry it.
         let frame = Frame::Infer(InferRequest {
             request_id,
-            flags,
+            flags: flags & !infer_flags::HAS_DEADLINE,
+            deadline_ms,
             shape,
             values: (0..volume).map(|i| value(i, seed)).collect(),
         });
@@ -128,6 +136,7 @@ proptest! {
         let mut bytes = Frame::Infer(InferRequest {
             request_id: 5,
             flags: 0,
+            deadline_ms: Some(40),
             shape: vec![2, 3],
             values: (0..6).map(|i| value(i, 42)).collect(),
         })

@@ -273,6 +273,32 @@ pub fn default_threads() -> usize {
     budget().total()
 }
 
+/// Runs `f` under `catch_unwind` and converts a panic into an `Err`
+/// carrying the panic payload's message — the isolation primitive a
+/// supervisor uses to fail *one* unit of work instead of unwinding into
+/// its own loop.
+///
+/// [`run_tasks`] deliberately re-raises task panics on the caller so
+/// library misuse stays loud; a serving dispatcher that must survive a
+/// poisoned input wraps the per-item body in `catch_panic_message` and
+/// maps the message to a typed error instead.  `&str` and `String`
+/// payloads (everything `panic!` produces) are extracted verbatim; other
+/// payload types degrade to a placeholder.
+pub fn catch_panic_message<T, F>(f: F) -> Result<T, String>
+where
+    F: FnOnce() -> T,
+{
+    panic::catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(message) = payload.downcast_ref::<&str>() {
+            (*message).to_string()
+        } else if let Some(message) = payload.downcast_ref::<String>() {
+            message.clone()
+        } else {
+            "panic payload of non-string type".to_string()
+        }
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Persistent worker pool
 // ---------------------------------------------------------------------------
@@ -658,6 +684,17 @@ mod tests {
         // The pool keeps working after a panicking scope.
         let ok = par_map(&items, 4, |_, &v| v + 1);
         assert_eq!(ok[49], 50);
+    }
+
+    #[test]
+    fn catch_panic_message_extracts_str_and_string_payloads() {
+        assert_eq!(catch_panic_message(|| 7), Ok(7));
+        let literal = catch_panic_message::<(), _>(|| panic!("static boom"));
+        assert_eq!(literal, Err("static boom".to_string()));
+        let formatted = catch_panic_message::<(), _>(|| panic!("boom {}", 42));
+        assert_eq!(formatted, Err("boom 42".to_string()));
+        let odd = catch_panic_message::<(), _>(|| panic::panic_any(17u32));
+        assert!(odd.unwrap_err().contains("non-string"));
     }
 
     #[test]
