@@ -1,0 +1,151 @@
+//! Calibrates [`AcceleratorConfig::dense_gather_threshold`] for the host:
+//! sweeps the sparse/dense gather crossover on LeNet-conv2-shaped layers
+//! across input spike densities and reports the threshold with the lowest
+//! total simulation time.
+//!
+//! The engine picks the dense row representation when a row's spike count
+//! reaches `threshold x row width`; where the crossover sits depends on how
+//! fast the host's dispatched `snn_tensor::simd` kernels run relative to
+//! the sparse scatter walk, so the right value is a per-host measurement,
+//! not a constant.  The committed default
+//! ([`snn_accel::config::DEFAULT_DENSE_GATHER_THRESHOLD`]) encodes the
+//! engine's original `2 x nnz >= width` rule; this binary says whether the
+//! current host agrees.
+//!
+//! Usage: `cargo run -p snn-bench --release --bin calibrate_threshold
+//! [iters]` — `iters` defaults to 12; CI runs a 2-iteration smoke.
+//!
+//! [`AcceleratorConfig::dense_gather_threshold`]:
+//!     snn_accel::config::AcceleratorConfig::dense_gather_threshold
+
+use snn_accel::config::{ArrayGeometry, DEFAULT_DENSE_GATHER_THRESHOLD};
+use snn_accel::conv::ConvolutionUnit;
+use snn_tensor::{simd, Tensor};
+use std::time::Instant;
+
+/// Spike densities swept: from CIFAR-style sparse feature maps to the
+/// near-dense early layers the paper's Table 2 profiles.
+const DENSITIES: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
+
+/// Candidate thresholds: 0.0 forces the dense gather for every non-silent
+/// row, 1.01 never takes it (a row cannot exceed 100 % density).
+const THRESHOLDS: [f64; 9] = [0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.01];
+
+const TIME_STEPS: usize = 4;
+
+/// LeNet-5 conv2 shapes: 6 -> 16 channels, 5x5 kernel, 14x14 maps.
+fn workload(density: f64) -> (Tensor<i64>, Tensor<i64>, Tensor<i64>) {
+    let max_level = (1u64 << TIME_STEPS) - 1;
+    let input = Tensor::from_vec(
+        vec![6, 14, 14],
+        (0..6 * 14 * 14)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(12345);
+                if (x % 1000) as f64 / 1000.0 < density {
+                    (((x >> 32) % max_level) + 1) as i64
+                } else {
+                    0
+                }
+            })
+            .collect(),
+    )
+    .expect("input tensor");
+    let kernel = Tensor::from_vec(
+        vec![16, 6, 5, 5],
+        (0..16 * 6 * 25).map(|v| ((v % 7) as i64) - 3).collect(),
+    )
+    .expect("kernel tensor");
+    let bias = Tensor::filled(vec![16], 0i64);
+    (input, kernel, bias)
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("iters must be a positive integer"))
+        .unwrap_or(12);
+
+    let workloads: Vec<_> = DENSITIES.iter().map(|&d| (d, workload(d))).collect();
+    let geometry = ArrayGeometry {
+        columns: 30,
+        rows: 5,
+    };
+
+    println!(
+        "dense-gather threshold calibration: LeNet conv2, T = {TIME_STEPS}, \
+         {iters} iters/point, simd level {}",
+        simd::active_level().name()
+    );
+    println!(
+        "{:>10} {:>12} {}",
+        "threshold",
+        "total[ms]",
+        DENSITIES
+            .iter()
+            .map(|d| format!("{:>9}", format!("d={d}")))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    // The threshold only moves work between the two gather paths; every
+    // swept point must reproduce the default unit's accumulators exactly.
+    let oracles: Vec<Tensor<i64>> = workloads
+        .iter()
+        .map(|(_, (input, kernel, bias))| {
+            ConvolutionUnit::new(geometry)
+                .run_layer(input, kernel, bias, TIME_STEPS, 1, 0)
+                .expect("oracle conv run")
+                .accumulators
+        })
+        .collect();
+
+    let mut best: Option<(f64, f64)> = None;
+    for &threshold in &THRESHOLDS {
+        let unit = ConvolutionUnit::with_threshold(geometry, threshold);
+        let mut per_density = Vec::with_capacity(DENSITIES.len());
+        let mut total = 0.0f64;
+        for ((_, (input, kernel, bias)), oracle) in workloads.iter().zip(&oracles) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                let result = unit
+                    .run_layer(input, kernel, bias, TIME_STEPS, 1, 0)
+                    .expect("conv unit run");
+                std::hint::black_box(&result.accumulators);
+                assert_eq!(oracle, &result.accumulators, "threshold {threshold}");
+            }
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            per_density.push(ms);
+            total += ms;
+        }
+        println!(
+            "{:>10.3} {:>12.2} {}",
+            threshold,
+            total,
+            per_density
+                .iter()
+                .map(|ms| format!("{ms:>9.2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        if best.is_none_or(|(_, t)| total < t) {
+            best = Some((threshold, total));
+        }
+    }
+
+    let (best_threshold, best_ms) = best.expect("at least one threshold measured");
+    println!(
+        "\nbest threshold on this host: {best_threshold} ({best_ms:.2} ms total); \
+         committed default: {DEFAULT_DENSE_GATHER_THRESHOLD}"
+    );
+    if (best_threshold - DEFAULT_DENSE_GATHER_THRESHOLD).abs() > 0.2 {
+        println!(
+            "note: the crossover is more than 0.2 away from the default — \
+             consider setting `dense_gather_threshold: {best_threshold}` in \
+             the AcceleratorConfig for deployments on hosts like this one"
+        );
+    } else {
+        println!("the default is within 0.2 of the measured crossover; keep it");
+    }
+}

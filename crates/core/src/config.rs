@@ -84,6 +84,19 @@ pub struct AcceleratorConfig {
     /// harness) without a rebuild.  The default of 0.5 reproduces the
     /// engine's original fixed `2 * nnz >= w_out` rule.
     pub dense_gather_threshold: f64,
+    /// Enable the **product-sparsity** prepass in the convolution engine
+    /// (after Prosperity, HPCA 2025): within each input channel of a band,
+    /// rows whose spike pattern contains another row's pattern (with equal
+    /// levels on the shared support) reuse that row's per-tap partial sums
+    /// and only add the difference bits.  Accumulators are bit-identical
+    /// either way; `adder_ops` shrinks to mirror the reused work and
+    /// [`crate::units::UnitStats::reused_partials`] /
+    /// [`crate::units::UnitStats::difference_bits`] report the reuse.  The
+    /// schedule counters (`cycles`, reads, writes) keep the baseline
+    /// static schedule — this models the op-count saving, not a retimed
+    /// pipeline.  Off by default.
+    #[serde(default)]
+    pub product_sparsity: bool,
     /// On-chip activation-buffer budget in bytes, counting each activation
     /// element as its `T`-bit radix code.  `None` sizes the ping-pong
     /// buffers for the largest feature map (the paper's LeNet-class
@@ -117,6 +130,7 @@ impl Default for AcceleratorConfig {
             memory: MemoryOption::OnChip,
             dram_bus_bits: 64,
             dense_gather_threshold: DEFAULT_DENSE_GATHER_THRESHOLD,
+            product_sparsity: false,
             activation_buffer_bytes: None,
         }
     }
@@ -182,6 +196,7 @@ impl AcceleratorConfig {
             memory: MemoryOption::Dram,
             dram_bus_bits: 64,
             dense_gather_threshold: DEFAULT_DENSE_GATHER_THRESHOLD,
+            product_sparsity: false,
             activation_buffer_bytes: None,
         }
     }

@@ -49,7 +49,8 @@ use crate::config::ArrayGeometry;
 use crate::memory::RowBand;
 use crate::units::UnitStats;
 use crate::{AccelError, Result};
-use snn_tensor::{bitplane, ops, Tensor};
+use snn_tensor::{bitplane, ops, simd, Tensor};
+use std::collections::HashMap;
 
 /// Output of a convolution-unit layer execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +71,9 @@ pub struct ConvolutionUnit {
     /// scatter.  Never affects results, only host throughput; see
     /// [`crate::config::AcceleratorConfig::dense_gather_threshold`].
     dense_gather_threshold: f64,
+    /// Enable the product-sparsity prepass (see
+    /// [`crate::config::AcceleratorConfig::product_sparsity`]).
+    product_sparsity: bool,
 }
 
 /// `(kernel index, output index)` pairs covering one input coordinate: all
@@ -117,6 +121,216 @@ fn band_row_coverage(
     pairs
 }
 
+/// One classified non-silent input row of the compute pass.
+struct SpikeRow {
+    ic: usize,
+    iy: usize,
+    /// `(ix, masked level)` of each spiking pixel, ascending by `ix`
+    /// (sparse rows always; dense rows only under product sparsity).
+    spikes: Vec<(usize, i64)>,
+    /// Masked level row with `padding` zeros on both sides (dense rows
+    /// only; empty when the sparse path is chosen).
+    padded: Vec<i64>,
+    /// Use the dense gather path for this row.
+    dense: bool,
+}
+
+/// Adds one row's contribution through one kernel row into `out_row`
+/// (length `w_out`), choosing the representation the row was classified
+/// for.  Every path adds exactly the terms `kernel x masked level`, so the
+/// choice never changes the result (wrapping `i64` adds commute).
+fn accumulate_row(
+    out_row: &mut [i64],
+    row: &SpikeRow,
+    k_row: &[i64],
+    x_pairs: &[Vec<(usize, usize)>],
+    stride: usize,
+) {
+    let w_out = out_row.len();
+    let kc = k_row.len();
+    if row.dense {
+        if stride == 1 {
+            // k-major dense gather: tap `kx` contributes
+            // `k_row[kx] * padded[kx..kx + w_out]` over contiguous output
+            // positions — one SIMD axpy per tap.
+            for (kx, &k) in k_row.iter().enumerate() {
+                simd::axpy_i64(out_row, &row.padded[kx..kx + w_out], k);
+            }
+        } else {
+            // Strided windows are not contiguous; dot each window.
+            for (ox, o) in out_row.iter_mut().enumerate() {
+                let window = &row.padded[ox * stride..ox * stride + kc];
+                *o += simd::dot_i64(window, k_row);
+            }
+        }
+    } else {
+        // Sparse scatter from the spiking pixels only.
+        for &(ix, level) in &row.spikes {
+            for &(kx, ox) in &x_pairs[ix] {
+                out_row[ox] += k_row[kx] * level;
+            }
+        }
+    }
+}
+
+/// Per-row product-sparsity link (see [`build_ps_plan`]).
+struct PsEntry {
+    /// Index (into the spike-row list) of the row whose correlation
+    /// vector this row reuses, when one was found.
+    parent: Option<usize>,
+    /// `(ix, masked level)` spikes of this row outside the parent's
+    /// support, ascending by `ix`.
+    diff: Vec<(usize, i64)>,
+    /// Kernel rows for which reuse applies: this row's taps that the
+    /// parent also computes (and therefore materializes).
+    reuse_kys: Vec<usize>,
+    /// Kernel rows whose correlation vector must be kept for children.
+    materialize: Vec<usize>,
+    /// Baseline adder work of computing this row fresh, per `(ky, oy)`
+    /// event and output channel: `sum popcount(level) * |x_pairs[ix]|`.
+    row_work: u64,
+    /// Adder work of scattering only the difference spikes.
+    diff_work: u64,
+    /// Total set bits across the difference spikes' levels.
+    diff_bits: u64,
+}
+
+/// Product-sparsity reuse plan for one band (Prosperity-style, applied to
+/// level rows): within each input channel, a row **B** is a *parent* of a
+/// row **A** when B's spike pattern is contained in A's with equal levels
+/// on B's support — then A's per-tap correlation vector is B's plus the
+/// scatter of the difference spikes, so A does `|diff|`-proportional work
+/// instead of `|A|`-proportional.  Containment is checked word-level on
+/// the occupancy rows first (`B & !A == 0`), then by one merge walk over
+/// the sparse forms.  Links are greedy: rows sort by `(nnz, index)` and
+/// each row adopts the largest earlier row that passes the check and the
+/// benefit gate `diff_work + 2 * w_out < row_work` (one `w_out` for the
+/// child's merge, one amortising the parent's).  The resulting `order`
+/// processes parents before children, so vectors exist when reused.
+struct PsPlan {
+    /// Processing order over the spike rows (parents first).
+    order: Vec<usize>,
+    /// One entry per spike row, same indexing as the spike-row list.
+    entries: Vec<PsEntry>,
+}
+
+/// Walks `child`'s spikes against `parent`'s (both ascending by position):
+/// returns the spikes of `child` outside `parent`'s support when every
+/// parent spike appears in `child` with an equal level, `None` otherwise.
+fn containment_diff(parent: &[(usize, i64)], child: &[(usize, i64)]) -> Option<Vec<(usize, i64)>> {
+    let mut diff = Vec::with_capacity(child.len().saturating_sub(parent.len()));
+    let mut pi = 0;
+    for &(ix, level) in child {
+        if pi < parent.len() && parent[pi].0 == ix {
+            if parent[pi].1 != level {
+                return None;
+            }
+            pi += 1;
+        } else {
+            diff.push((ix, level));
+        }
+    }
+    if pi == parent.len() {
+        Some(diff)
+    } else {
+        None
+    }
+}
+
+fn build_ps_plan(
+    spike_rows: &[SpikeRow],
+    occupancy: &bitplane::Occupancy,
+    band_h: usize,
+    y_pairs: &[Vec<(usize, usize)>],
+    x_pairs: &[Vec<(usize, usize)>],
+    w_out: usize,
+) -> PsPlan {
+    let work_of = |spikes: &[(usize, i64)]| -> (u64, u64) {
+        let mut work = 0u64;
+        let mut bits = 0u64;
+        for &(ix, level) in spikes {
+            let pop = u64::from(level.count_ones());
+            bits += pop;
+            work += pop * x_pairs[ix].len() as u64;
+        }
+        (work, bits)
+    };
+    let mut entries: Vec<PsEntry> = spike_rows
+        .iter()
+        .map(|row| {
+            let (row_work, _) = work_of(&row.spikes);
+            PsEntry {
+                parent: None,
+                diff: Vec::new(),
+                reuse_kys: Vec::new(),
+                materialize: Vec::new(),
+                row_work,
+                diff_work: 0,
+                diff_bits: 0,
+            }
+        })
+        .collect();
+    let mut order = Vec::with_capacity(spike_rows.len());
+
+    // Channel groups are contiguous: spike rows are built ic-major.
+    let mut start = 0;
+    while start < spike_rows.len() {
+        let ic = spike_rows[start].ic;
+        let mut end = start;
+        while end < spike_rows.len() && spike_rows[end].ic == ic {
+            end += 1;
+        }
+        // Parents-first order: ascending (nnz, index).
+        let mut sorted: Vec<usize> = (start..end).collect();
+        sorted.sort_by_key(|&j| (spike_rows[j].spikes.len(), j));
+        for (s, &j) in sorted.iter().enumerate() {
+            let child = &spike_rows[j];
+            let child_words = occupancy.row(child.ic * band_h + child.iy);
+            // Largest candidate first maximises the reused partial sum.
+            for &p in sorted[..s].iter().rev() {
+                let candidate = &spike_rows[p];
+                let parent_words = occupancy.row(candidate.ic * band_h + candidate.iy);
+                let contained = parent_words
+                    .iter()
+                    .zip(child_words)
+                    .all(|(&pw, &cw)| pw & !cw == 0);
+                if !contained {
+                    continue;
+                }
+                let Some(diff) = containment_diff(&candidate.spikes, &child.spikes) else {
+                    continue;
+                };
+                let (diff_work, diff_bits) = work_of(&diff);
+                if diff_work + 2 * w_out as u64 >= entries[j].row_work {
+                    continue; // reuse would not beat a fresh compute
+                }
+                let reuse_kys: Vec<usize> = y_pairs[child.iy]
+                    .iter()
+                    .map(|&(ky, _)| ky)
+                    .filter(|&ky| y_pairs[candidate.iy].iter().any(|&(pky, _)| pky == ky))
+                    .collect();
+                if reuse_kys.is_empty() {
+                    continue; // no shared tap: nothing to reuse
+                }
+                for &ky in &reuse_kys {
+                    if !entries[p].materialize.contains(&ky) {
+                        entries[p].materialize.push(ky);
+                    }
+                }
+                entries[j].parent = Some(p);
+                entries[j].diff = diff;
+                entries[j].reuse_kys = reuse_kys;
+                entries[j].diff_work = diff_work;
+                entries[j].diff_bits = diff_bits;
+                break;
+            }
+        }
+        order.extend_from_slice(&sorted);
+        start = end;
+    }
+    PsPlan { order, entries }
+}
+
 impl ConvolutionUnit {
     /// Creates a convolution unit with the given adder-array geometry and
     /// the default dense-gather threshold.
@@ -127,9 +341,20 @@ impl ConvolutionUnit {
     /// Creates a convolution unit with an explicit dense-gather threshold
     /// (see [`crate::config::AcceleratorConfig::dense_gather_threshold`]).
     pub fn with_threshold(geometry: ArrayGeometry, dense_gather_threshold: f64) -> Self {
+        Self::with_options(geometry, dense_gather_threshold, false)
+    }
+
+    /// Creates a convolution unit with every execution knob explicit:
+    /// dense-gather threshold and the product-sparsity prepass.
+    pub fn with_options(
+        geometry: ArrayGeometry,
+        dense_gather_threshold: f64,
+        product_sparsity: bool,
+    ) -> Self {
         ConvolutionUnit {
             geometry,
             dense_gather_threshold,
+            product_sparsity,
         }
     }
 
@@ -141,6 +366,11 @@ impl ConvolutionUnit {
     /// The configured dense-gather density threshold.
     pub fn dense_gather_threshold(&self) -> f64 {
         self.dense_gather_threshold
+    }
+
+    /// Whether the product-sparsity prepass is enabled.
+    pub fn product_sparsity(&self) -> bool {
+        self.product_sparsity
     }
 
     /// Number of column tiles needed for an output row of `width` values.
@@ -359,7 +589,7 @@ impl ConvolutionUnit {
                 spike_work += pairs_y.len() as u64 * row_work;
             }
         }
-        let stats = self.derived_stats(
+        let mut stats = self.derived_stats(
             c_in,
             c_out,
             out_h,
@@ -373,50 +603,44 @@ impl ConvolutionUnit {
 
         // --- Compute: build the planes' OR-reduction (occupancy) in one
         // pass, classify each non-silent row once (shared by every output
-        // channel), then accumulate one output channel per chunk.  Rows with few spikes use a scatter over the
-        // occupancy's set bits; saturated rows use a register-accumulated
-        // gather over a zero-padded copy of the masked level row, which
-        // avoids the store-to-load dependency chains scatter suffers when
-        // nearly every pixel spikes.  Both paths add exactly the terms
+        // channel), then accumulate one output channel per chunk.  Rows
+        // with few spikes use a scatter over the occupancy's set bits;
+        // saturated rows use a register-accumulated gather over a
+        // zero-padded copy of the masked level row, which avoids the
+        // store-to-load dependency chains scatter suffers when nearly
+        // every pixel spikes.  Both paths add exactly the terms
         // `kernel x masked level`, so the choice never changes the result.
         let occupancy = bitplane::Occupancy::from_levels(in_data, c_in * band_h, w, time_steps);
-        struct SpikeRow {
-            ic: usize,
-            iy: usize,
-            /// `(ix, masked level)` of each spiking pixel (sparse rows
-            /// only; empty when the dense path is chosen).
-            spikes: Vec<(usize, i64)>,
-            /// Masked level row with `padding` zeros on both sides (dense
-            /// rows only; empty when the sparse path is chosen).
-            padded: Vec<i64>,
-            /// Use the dense gather path for this row.
-            dense: bool,
-        }
         let mut spike_rows: Vec<SpikeRow> = Vec::new();
+        let mut positions: Vec<u32> = Vec::new();
         for ic in 0..c_in {
             for (iy, pairs_y) in y_pairs.iter().enumerate() {
                 let row_words = occupancy.row(ic * band_h + iy);
-                let spike_count: usize = row_words
-                    .iter()
-                    .map(|word| word.count_ones() as usize)
-                    .sum();
+                let spike_count = simd::popcount(row_words) as usize;
                 if pairs_y.is_empty() || spike_count == 0 {
                     continue; // word-level skip of silent rows
                 }
-                // Build only the representation the chosen path reads.
+                // Build only the representation the chosen path reads; the
+                // product-sparsity prepass compares rows by their
+                // `(position, level)` patterns, so it needs the sparse form
+                // even when the dense path computes the row.
+                let row_base = ic * band_h * w + iy * w;
                 let dense = spike_count as f64 >= self.dense_gather_threshold * w_out as f64;
+                positions.clear();
+                simd::collect_set_bits(row_words, 0, &mut positions);
                 let mut spikes = Vec::new();
                 let mut padded = Vec::new();
                 if dense {
                     padded = vec![0i64; w + 2 * padding];
-                    bitplane::for_each_set_bit(row_words, |ix| {
-                        padded[padding + ix] = in_data[ic * band_h * w + iy * w + ix] & mask;
-                    });
-                } else {
+                    for &ix in &positions {
+                        padded[padding + ix as usize] = in_data[row_base + ix as usize] & mask;
+                    }
+                }
+                if !dense || self.product_sparsity {
                     spikes.reserve(spike_count);
-                    bitplane::for_each_set_bit(row_words, |ix| {
-                        spikes.push((ix, in_data[ic * band_h * w + iy * w + ix] & mask));
-                    });
+                    for &ix in &positions {
+                        spikes.push((ix as usize, in_data[row_base + ix as usize] & mask));
+                    }
                 }
                 spike_rows.push(SpikeRow {
                     ic,
@@ -428,6 +652,44 @@ impl ConvolutionUnit {
             }
         }
 
+        // --- Product-sparsity prepass: link rows whose pattern contains
+        // another row's pattern, so children reuse the parent's per-tap
+        // correlation vector and only scatter the difference bits.  The
+        // plan depends only on the input, so it is shared by every output
+        // channel; `adder_ops` is re-derived to mirror the reduced work
+        // while the schedule counters keep the baseline static schedule.
+        let ps_plan = if self.product_sparsity {
+            let plan = build_ps_plan(&spike_rows, &occupancy, band_h, &y_pairs, &x_pairs, w_out);
+            let mut ps_spike_work = 0u64;
+            let mut reuse_events = 0u64;
+            let mut diff_bits = 0u64;
+            for (j, row) in spike_rows.iter().enumerate() {
+                let entry = &plan.entries[j];
+                for &(ky, _oy) in &y_pairs[row.iy] {
+                    if entry.reuse_kys.contains(&ky) {
+                        ps_spike_work += w_out as u64 + entry.diff_work;
+                        reuse_events += 1;
+                        diff_bits += entry.diff_bits;
+                    } else {
+                        ps_spike_work += entry.row_work;
+                        if entry.materialize.contains(&ky) {
+                            ps_spike_work += w_out as u64;
+                        }
+                    }
+                }
+            }
+            stats.adder_ops = c_out as u64 * ps_spike_work;
+            stats.reused_partials = c_out as u64 * reuse_events;
+            stats.difference_bits = c_out as u64 * diff_bits;
+            Some(plan)
+        } else {
+            None
+        };
+        let order: Vec<usize> = match &ps_plan {
+            Some(plan) => plan.order.clone(),
+            None => (0..spike_rows.len()).collect(),
+        };
+
         let mut accumulators = Tensor::filled(vec![c_out, out_h, w_out], 0i64);
         let plane_len = out_h * w_out;
         let threads = if stats.adder_ops >= snn_parallel::MIN_PARALLEL_WORK {
@@ -437,34 +699,51 @@ impl ConvolutionUnit {
         };
         let bias_data = bias_acc.as_slice();
         let spike_rows = &spike_rows;
+        let ps_plan = &ps_plan;
+        let order = &order;
+        let x_pairs = &x_pairs;
         snn_parallel::par_chunks_mut(
             accumulators.as_mut_slice(),
             plane_len,
             threads,
             |oc, out| {
-                for row in spike_rows {
+                // Correlation vectors kept for this channel's children,
+                // keyed by `(spike row index, kernel row)`.
+                let mut kept: HashMap<(usize, usize), Vec<i64>> = HashMap::new();
+                for &j in order {
+                    let row = &spike_rows[j];
+                    let entry = ps_plan.as_ref().map(|plan| &plan.entries[j]);
                     for &(ky, oy) in &y_pairs[row.iy] {
                         let k_base = ((oc * c_in + row.ic) * kr + ky) * kc;
                         let k_row = &k_data[k_base..k_base + kc];
                         let out_row = &mut out[oy * w_out..(oy + 1) * w_out];
-                        if row.dense {
-                            // Dense gather: every output position reads its
-                            // window from the padded level row.
-                            for (ox, o) in out_row.iter_mut().enumerate() {
-                                let window = &row.padded[ox * stride..ox * stride + kc];
-                                let mut sum = 0i64;
-                                for (&level, &k) in window.iter().zip(k_row) {
-                                    sum += level * k;
+                        match entry {
+                            Some(e) if e.reuse_kys.contains(&ky) => {
+                                // Child: parent's vector + difference bits.
+                                let parent = e.parent.expect("reuse implies a parent");
+                                let mut v = kept
+                                    .get(&(parent, ky))
+                                    .expect("plan order puts parents first")
+                                    .clone();
+                                for &(ix, level) in &e.diff {
+                                    for &(kx, ox) in &x_pairs[ix] {
+                                        v[ox] += k_row[kx] * level;
+                                    }
                                 }
-                                *o += sum;
-                            }
-                        } else {
-                            // Sparse scatter from the spiking pixels only.
-                            for &(ix, level) in &row.spikes {
-                                for &(kx, ox) in &x_pairs[ix] {
-                                    out_row[ox] += k_row[kx] * level;
+                                simd::axpy_i64(out_row, &v, 1);
+                                if e.materialize.contains(&ky) {
+                                    kept.insert((j, ky), v);
                                 }
                             }
+                            Some(e) if e.materialize.contains(&ky) => {
+                                // Parent: compute once into a scratch
+                                // vector, merge it, keep it for children.
+                                let mut v = vec![0i64; w_out];
+                                accumulate_row(&mut v, row, k_row, x_pairs, stride);
+                                simd::axpy_i64(out_row, &v, 1);
+                                kept.insert((j, ky), v);
+                            }
+                            _ => accumulate_row(out_row, row, k_row, x_pairs, stride),
                         }
                     }
                 }
@@ -535,6 +814,7 @@ impl ConvolutionUnit {
             activation_reads: passes * row_slots,
             kernel_reads: passes * row_slots * kc as u64,
             output_writes: (c_out * h_out * w_out) as u64,
+            ..UnitStats::default()
         }
     }
 

@@ -195,12 +195,13 @@ struct Units {
 impl Units {
     fn from_config(config: &AcceleratorConfig) -> Self {
         Units {
-            conv: ConvolutionUnit::with_threshold(
+            conv: ConvolutionUnit::with_options(
                 config.conv_geometry,
                 config.dense_gather_threshold,
+                config.product_sparsity,
             ),
             pool: PoolingUnit::new(config.pool_geometry),
-            linear: LinearUnit::new(config.linear_lanes),
+            linear: LinearUnit::with_threshold(config.linear_lanes, config.dense_gather_threshold),
         }
     }
 }

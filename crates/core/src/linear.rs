@@ -23,7 +23,7 @@
 
 use crate::units::UnitStats;
 use crate::{AccelError, Result};
-use snn_tensor::{bitplane, Tensor};
+use snn_tensor::{bitplane, simd, Tensor};
 
 /// Output of a linear-unit layer execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,25 +36,48 @@ pub struct LinearResult {
 }
 
 /// Bit-plane sparse model of the linear unit.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearUnit {
     lanes: usize,
+    /// Spike density (spiking neurons per input length) at or above which
+    /// the layer uses a dense dot product over the masked level vector
+    /// instead of the sparse gather.  Never affects results, only host
+    /// throughput (same contract as the convolution unit's threshold).
+    dense_gather_threshold: f64,
 }
 
 impl LinearUnit {
-    /// Creates a linear unit with `lanes` parallel output channels.
+    /// Creates a linear unit with `lanes` parallel output channels and the
+    /// default dense-gather threshold.
     ///
     /// # Panics
     ///
     /// Panics if `lanes` is zero.
     pub fn new(lanes: usize) -> Self {
+        Self::with_threshold(lanes, crate::config::DEFAULT_DENSE_GATHER_THRESHOLD)
+    }
+
+    /// Creates a linear unit with an explicit dense-gather threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn with_threshold(lanes: usize, dense_gather_threshold: f64) -> Self {
         assert!(lanes > 0, "linear unit needs at least one output lane");
-        LinearUnit { lanes }
+        LinearUnit {
+            lanes,
+            dense_gather_threshold,
+        }
     }
 
     /// Number of parallel output channels.
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// The configured dense-gather density threshold.
+    pub fn dense_gather_threshold(&self) -> f64 {
+        self.dense_gather_threshold
     }
 
     /// Executes one fully-connected layer.
@@ -113,12 +136,23 @@ impl LinearUnit {
         let mut total_popcount = 0u64;
         if n > 0 {
             let occupancy = bitplane::Occupancy::from_levels(in_data, 1, n, time_steps);
-            bitplane::for_each_set_bit(occupancy.row(0), |ni| {
+            bitplane::for_each_set_bit(occupancy.row(0), 0, |ni| {
                 let level = in_data[ni] & mask;
                 total_popcount += u64::from(level.count_ones());
                 spikes.push((ni, level));
             });
         }
+        // Saturated inputs pay for the sparse indirection without skipping
+        // much; switch to a dense SIMD dot over the masked level vector.
+        // Both paths sum exactly the terms `weight * masked_level` (silent
+        // neurons contribute zero terms), so the choice never changes the
+        // accumulators or the counters.
+        let dense = spikes.len() as f64 >= self.dense_gather_threshold * n as f64;
+        let masked_levels: Vec<i64> = if dense {
+            in_data.iter().map(|&v| v & mask).collect()
+        } else {
+            Vec::new()
+        };
 
         // Derived statistics: the schedule visits every (group, time step,
         // neuron) slot regardless of the data; only the adder activity is
@@ -132,6 +166,7 @@ impl LinearUnit {
             activation_reads: groups * slots,
             kernel_reads: o as u64 * slots,
             output_writes: o.min(bias_acc.len()) as u64,
+            ..UnitStats::default()
         };
 
         // Sparse accumulation, parallel over output channels when large.
@@ -144,15 +179,20 @@ impl LinearUnit {
         };
         let chunk = o.div_ceil(threads.max(1)).max(1);
         let spikes = &spikes;
+        let masked_levels = &masked_levels;
         snn_parallel::par_chunks_mut(&mut accumulators, chunk, threads, |chunk_index, out| {
             for (offset, acc) in out.iter_mut().enumerate() {
                 let oi = chunk_index * chunk + offset;
                 let row = &w_data[oi * n..oi * n + n];
-                let mut sum = 0i64;
-                for &(ni, level) in spikes {
-                    sum += row[ni] * level;
-                }
-                *acc = sum;
+                *acc = if dense {
+                    simd::dot_i64(masked_levels, row)
+                } else {
+                    let mut sum = 0i64;
+                    for &(ni, level) in spikes {
+                        sum += row[ni] * level;
+                    }
+                    sum
+                };
             }
         });
 

@@ -237,6 +237,7 @@ mod tests {
                         activation_reads: 10,
                         kernel_reads: 20,
                         output_writes: 5,
+                        ..UnitStats::default()
                     },
                 },
                 LayerExecution {
@@ -250,6 +251,7 @@ mod tests {
                         activation_reads: 5,
                         kernel_reads: 10,
                         output_writes: 10,
+                        ..UnitStats::default()
                     },
                 },
             ],

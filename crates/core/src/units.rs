@@ -35,6 +35,15 @@ pub struct UnitStats {
     pub kernel_reads: u64,
     /// Activation-buffer write operations (one output value each).
     pub output_writes: u64,
+    /// Partial sums reused through the product-sparsity prepass (one per
+    /// reused `(row, kernel row, output channel)` event; zero with the
+    /// prepass disabled).
+    #[serde(default)]
+    pub reused_partials: u64,
+    /// Spike bits scattered as pattern *differences* by reused rows —
+    /// the residual work the prepass could not share.
+    #[serde(default)]
+    pub difference_bits: u64,
 }
 
 impl UnitStats {
@@ -59,6 +68,8 @@ impl Add for UnitStats {
             activation_reads: self.activation_reads + rhs.activation_reads,
             kernel_reads: self.kernel_reads + rhs.kernel_reads,
             output_writes: self.output_writes + rhs.output_writes,
+            reused_partials: self.reused_partials + rhs.reused_partials,
+            difference_bits: self.difference_bits + rhs.difference_bits,
         }
     }
 }
@@ -81,6 +92,8 @@ mod tests {
             activation_reads: 2,
             kernel_reads: 3,
             output_writes: 1,
+            reused_partials: 4,
+            difference_bits: 6,
         };
         let b = UnitStats {
             cycles: 1,
@@ -88,10 +101,14 @@ mod tests {
             activation_reads: 1,
             kernel_reads: 1,
             output_writes: 1,
+            reused_partials: 1,
+            difference_bits: 1,
         };
         let sum = a + b;
         assert_eq!(sum.cycles, 11);
         assert_eq!(sum.total_memory_accesses(), 3 + 4 + 2);
+        assert_eq!(sum.reused_partials, 5);
+        assert_eq!(sum.difference_bits, 7);
         let mut acc = UnitStats::new();
         acc += a;
         acc += b;

@@ -45,14 +45,18 @@ pub fn popcount_levels(levels: &[i64]) -> u64 {
     levels.iter().map(|&v| v.count_ones() as u64).sum()
 }
 
-/// Calls `f(position)` for every set bit in the packed row `words`, in
-/// ascending position order.
-pub fn for_each_set_bit(words: &[u64], mut f: impl FnMut(usize)) {
+/// Calls `f(base + position)` for every set bit in the packed row
+/// `words`, in ascending position order.  `base` is the absolute index of
+/// bit 0 of `words[0]`, so band paths can traverse a sub-row slice
+/// without re-deriving `word_index * WORD_BITS` offsets at every call
+/// site — the same traversal contract the SIMD bitmask expansion
+/// ([`crate::simd::collect_set_bits`]) uses.
+pub fn for_each_set_bit(words: &[u64], base: usize, mut f: impl FnMut(usize)) {
     for (word_index, &word) in words.iter().enumerate() {
         let mut remaining = word;
         while remaining != 0 {
             let bit = remaining.trailing_zeros() as usize;
-            f(word_index * WORD_BITS + bit);
+            f(base + word_index * WORD_BITS + bit);
             remaining &= remaining - 1;
         }
     }
@@ -141,16 +145,13 @@ impl BitPlanes {
     pub fn plane_popcount(&self, t: usize) -> u64 {
         let start = t * self.rows * self.words_per_row;
         let end = start + self.rows * self.words_per_row;
-        self.data[start..end]
-            .iter()
-            .map(|w| w.count_ones() as u64)
-            .sum()
+        crate::simd::popcount(&self.data[start..end])
     }
 
     /// Total number of spikes across all planes — equivalently, the sum of
     /// `popcount(level & level_mask(T))` over all levels.
     pub fn popcount(&self) -> u64 {
-        self.data.iter().map(|w| w.count_ones() as u64).sum()
+        crate::simd::popcount(&self.data)
     }
 
     /// The OR-reduction of all planes: which positions spike at least once.
@@ -159,9 +160,7 @@ impl BitPlanes {
         let mut data = vec![0u64; per_plane];
         for t in 0..self.time_steps {
             let plane = &self.data[t * per_plane..(t + 1) * per_plane];
-            for (acc, &word) in data.iter_mut().zip(plane) {
-                *acc |= word;
-            }
+            crate::simd::or_accumulate(&mut data, plane);
         }
         Occupancy {
             rows: self.rows,
@@ -202,11 +201,7 @@ impl Occupancy {
         for row in 0..rows {
             let row_levels = &levels[row * width..(row + 1) * width];
             let row_words = &mut data[row * wpr..(row + 1) * wpr];
-            for (x, &level) in row_levels.iter().enumerate() {
-                if level & mask != 0 {
-                    row_words[x / WORD_BITS] |= 1u64 << (x % WORD_BITS);
-                }
-            }
+            crate::simd::pack_occupancy_row(row_levels, mask, row_words);
         }
         Occupancy {
             rows,
@@ -290,7 +285,7 @@ mod tests {
         let occ = planes.occupancy();
         let mut set = Vec::new();
         for row in 0..2 {
-            for_each_set_bit(occ.row(row), |x| set.push((row, x)));
+            for_each_set_bit(occ.row(row), 0, |x| set.push((row, x)));
         }
         assert_eq!(set, vec![(0, 1), (0, 2), (1, 0), (1, 3)]);
         assert!(!occ.row_is_silent(0));
@@ -313,8 +308,11 @@ mod tests {
         let levels: Vec<i64> = (0..130).map(|x| i64::from(x % 67 == 0)).collect();
         let planes = BitPlanes::pack(&levels, 1, 130, 1);
         let mut hits = Vec::new();
-        for_each_set_bit(planes.row(0, 0), |x| hits.push(x));
+        for_each_set_bit(planes.row(0, 0), 0, |x| hits.push(x));
         assert_eq!(hits, vec![0, 67]);
+        let mut offset_hits = Vec::new();
+        for_each_set_bit(planes.row(0, 0), 1000, |x| offset_hits.push(x));
+        assert_eq!(offset_hits, vec![1000, 1067]);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   planes of `u64` row words, the substrate of the sparse execution
 //!   engine in `snn-accel` (word-level skipping of silent regions and
 //!   one-pass popcounts for the data-dependent operation counters).
+//! * [`simd`] — runtime-dispatched word-level kernels (AVX2/SSE2 with an
+//!   always-compiled scalar oracle) behind the bit-plane engine's inner
+//!   loops: occupancy OR-reduction, plane popcount, bitmask expansion and
+//!   the dense gather/accumulate.  `SNN_SIMD=0` forces the scalar path.
 //!
 //! # Example
 //!
@@ -33,7 +37,10 @@
 //! # Ok::<(), snn_tensor::TensorError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module carries the only
+// `#[allow(unsafe_code)]` overrides in the workspace, scoped to the
+// feature-gated intrinsic wrappers that runtime dispatch proves sound.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -43,6 +50,7 @@ mod tensor;
 pub mod bitplane;
 pub mod ops;
 pub mod quant;
+pub mod simd;
 
 pub use error::TensorError;
 pub use shape::Shape;

@@ -1,0 +1,168 @@
+//! 256-bit AVX2 kernel implementations.
+//!
+//! Every function here is dispatched to only after
+//! `is_x86_feature_detected!("avx2")` succeeded (see
+//! [`super::active_level`]), which is what makes the `unsafe` blocks
+//! sound: the intrinsics are available on the running CPU, and every
+//! pointer stays inside the bounds of the borrowed slices.
+//!
+//! The integer arithmetic is exact: bitwise ops and popcounts are
+//! lane-width-independent, and the 64-bit multiply is composed from
+//! `vpmuludq` 32×32→64 partial products (`lo·lo + ((hi·lo + lo·hi) << 32)`),
+//! which is precisely the wrapping 64-bit product — so accumulators are
+//! bit-identical to the scalar oracle.
+
+#![allow(unsafe_code)]
+
+use super::scalar;
+use std::arch::x86_64::*;
+
+/// `acc[i] |= src[i]`, 4 words per iteration.
+pub fn or_accumulate(acc: &mut [u64], src: &[u64]) {
+    // SAFETY: dispatch guarantees AVX2; all loads/stores are within the
+    // equal-length slices.
+    unsafe { or_accumulate_impl(acc, src) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn or_accumulate_impl(acc: &mut [u64], src: &[u64]) {
+    let chunks = acc.len() / 4;
+    unsafe {
+        for i in 0..chunks {
+            let a = _mm256_loadu_si256(acc.as_ptr().add(i * 4).cast());
+            let s = _mm256_loadu_si256(src.as_ptr().add(i * 4).cast());
+            _mm256_storeu_si256(acc.as_mut_ptr().add(i * 4).cast(), _mm256_or_si256(a, s));
+        }
+    }
+    scalar::or_accumulate(&mut acc[chunks * 4..], &src[chunks * 4..]);
+}
+
+/// Harley-Seal-free nibble-LUT popcount: `vpshufb` counts each nibble,
+/// `vpsadbw` folds bytes into per-lane `u64` sums.
+pub fn popcount(words: &[u64]) -> u64 {
+    // SAFETY: dispatch guarantees AVX2; loads stay inside `words`.
+    unsafe { popcount_impl(words) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn popcount_impl(words: &[u64]) -> u64 {
+    let chunks = words.len() / 4;
+    let mut total;
+    unsafe {
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, // lane 0
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, // lane 1
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let zero = _mm256_setzero_si256();
+        let mut acc = zero;
+        for i in 0..chunks {
+            let v = _mm256_loadu_si256(words.as_ptr().add(i * 4).cast());
+            let lo = _mm256_and_si256(v, low_mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+            let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, zero));
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        total = lanes.iter().sum::<u64>();
+    }
+    total += scalar::popcount(&words[chunks * 4..]);
+    total
+}
+
+/// Packs one occupancy row 4 levels at a time: mask, compare against
+/// zero, and fold the 4-lane movemask into the packed word.
+pub fn pack_occupancy_row(levels: &[i64], mask: i64, out: &mut [u64]) {
+    // SAFETY: dispatch guarantees AVX2; loads stay inside `levels`, and
+    // the caller-checked `out` length covers every packed word written.
+    unsafe { pack_occupancy_row_impl(levels, mask, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn pack_occupancy_row_impl(levels: &[i64], mask: i64, out: &mut [u64]) {
+    let needed = levels.len().div_ceil(64).max(1);
+    for w in out.iter_mut().take(needed) {
+        *w = 0;
+    }
+    let quads = levels.len() / 4;
+    unsafe {
+        let vmask = _mm256_set1_epi64x(mask);
+        let zero = _mm256_setzero_si256();
+        for q in 0..quads {
+            let v = _mm256_loadu_si256(levels.as_ptr().add(q * 4).cast());
+            let masked = _mm256_and_si256(v, vmask);
+            // Lane is all-ones where the masked level equals zero; invert
+            // the movemask to get "spikes somewhere" per lane.
+            let is_zero = _mm256_cmpeq_epi64(masked, zero);
+            let bits = (!_mm256_movemask_pd(_mm256_castsi256_pd(is_zero)) & 0xf) as u64;
+            let base = q * 4;
+            out[base / 64] |= bits << (base % 64);
+        }
+    }
+    for (x, &level) in levels.iter().enumerate().skip(quads * 4) {
+        if level & mask != 0 {
+            out[x / 64] |= 1u64 << (x % 64);
+        }
+    }
+}
+
+/// Wrapping 64-bit product of two `i64` vectors:
+/// `lo·lo + ((hi·lo + lo·hi) << 32)` over unsigned 32-bit partials.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn mul_epi64(a: __m256i, b: __m256i) -> __m256i {
+    let a_hi = _mm256_srli_epi64(a, 32);
+    let b_hi = _mm256_srli_epi64(b, 32);
+    let lo = _mm256_mul_epu32(a, b);
+    let cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b), _mm256_mul_epu32(a, b_hi));
+    _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32))
+}
+
+/// `out[i] += c * x[i]`, 4 lanes per iteration.
+pub fn axpy_i64(out: &mut [i64], x: &[i64], c: i64) {
+    // SAFETY: dispatch guarantees AVX2; loads/stores stay inside the
+    // equal-length slices.
+    unsafe { axpy_impl(out, x, c) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_impl(out: &mut [i64], x: &[i64], c: i64) {
+    let chunks = out.len() / 4;
+    unsafe {
+        let vc = _mm256_set1_epi64x(c);
+        for i in 0..chunks {
+            let xv = _mm256_loadu_si256(x.as_ptr().add(i * 4).cast());
+            let ov = _mm256_loadu_si256(out.as_ptr().add(i * 4).cast());
+            let sum = _mm256_add_epi64(ov, mul_epi64(xv, vc));
+            _mm256_storeu_si256(out.as_mut_ptr().add(i * 4).cast(), sum);
+        }
+    }
+    scalar::axpy_i64(&mut out[chunks * 4..], &x[chunks * 4..], c);
+}
+
+/// Wrapping `i64` dot product, 4 lanes per iteration.
+pub fn dot_i64(a: &[i64], b: &[i64]) -> i64 {
+    // SAFETY: dispatch guarantees AVX2; loads stay inside the
+    // equal-length slices.
+    unsafe { dot_impl(a, b) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_impl(a: &[i64], b: &[i64]) -> i64 {
+    let chunks = a.len() / 4;
+    let mut total;
+    unsafe {
+        let mut acc = _mm256_setzero_si256();
+        for i in 0..chunks {
+            let av = _mm256_loadu_si256(a.as_ptr().add(i * 4).cast());
+            let bv = _mm256_loadu_si256(b.as_ptr().add(i * 4).cast());
+            acc = _mm256_add_epi64(acc, mul_epi64(av, bv));
+        }
+        let mut lanes = [0i64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        total = lanes.iter().fold(0i64, |s, &v| s.wrapping_add(v));
+    }
+    total = total.wrapping_add(scalar::dot_i64(&a[chunks * 4..], &b[chunks * 4..]));
+    total
+}
