@@ -3,11 +3,12 @@
 //! transaction-level modes, plus the analytical design-space evaluation
 //! used for Tables II and III.
 //!
-//! Besides the criterion groups, the harness runs a **serving scenario**:
-//! a batch of LeNet-5 inferences served through the streaming
-//! micro-batching server versus naive sequential `run_fast` per-input
-//! calls (compile + functional execution per call — what a client without
-//! the server would do).  The measured inferences/sec, speedup, thread
+//! Besides the criterion groups, the harness runs the **serving sweep**
+//! from [`snn_bench::serve_sweep`]: a batch of LeNet-5 inferences served
+//! through the streaming micro-batching server at 1, 2 and 4 replica
+//! engines versus naive sequential `run_fast` per-input calls (compile +
+//! functional execution per call — what a client without the server would
+//! do).  The measured inferences/sec, replica scaling, speedup, thread
 //! budget and modelled per-unit utilisation are written to
 //! `BENCH_serve.json` at the workspace root so the serving-throughput
 //! trajectory is tracked PR over PR alongside `BENCH_conv.json`.
@@ -15,16 +16,15 @@
 use criterion::{criterion_group, Criterion};
 use snn_accel::config::AcceleratorConfig;
 use snn_accel::cost;
-use snn_accel::serve::{ServerOptions, StreamServer};
 use snn_accel::sim::Accelerator;
 use snn_accel::timing::network_timing;
+use snn_bench::serve_sweep;
 use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
 use snn_model::params::Parameters;
 use snn_model::snn::SnnModel;
 use snn_model::zoo;
 use snn_tensor::Tensor;
 use std::hint::black_box;
-use std::time::Instant;
 
 fn tiny_model() -> (SnnModel, Tensor<f32>) {
     let net = zoo::tiny_cnn();
@@ -110,108 +110,16 @@ fn bench_design_space(c: &mut Criterion) {
     });
 }
 
-/// Measures the serving scenario and returns the `BENCH_serve.json` body.
-///
-/// Baseline: naive sequential `run_fast` per-input calls (per-call compile,
-/// functional transaction-level execution).  Contender: the streaming
-/// server, which compiles once and micro-batches submissions onto the
-/// pipelined bit-plane sparse engine — bit-identical logits (pinned by the
-/// `exec_properties` suite), exact unit work counts, and higher throughput.
-fn serving_scenario() -> String {
-    const BATCH: usize = 32;
-    const MICRO_BATCH: usize = 8;
-    const ROUNDS: usize = 3;
-
-    let (model, base_input) = lenet_model();
-    let config = AcceleratorConfig::lenet_table3();
-    let volume = base_input.len();
-    let inputs: Vec<Tensor<f32>> = (0..BATCH)
-        .map(|b| {
-            let values: Vec<f32> = (0..volume)
-                .map(|j| (((j * 13 + b * 101) % 97) as f32) / 96.0)
-                .collect();
-            Tensor::from_vec(vec![1, 32, 32], values).expect("serve input")
-        })
-        .collect();
-
-    // Naive baseline: one `run_fast` call per input, best of ROUNDS.
-    let accel = Accelerator::new(config);
-    accel.run_fast(&model, &inputs[0]).expect("warmup");
-    let mut naive_best = f64::INFINITY;
-    for _ in 0..ROUNDS {
-        let start = Instant::now();
-        for input in &inputs {
-            black_box(accel.run_fast(&model, input).expect("naive run_fast"));
-        }
-        naive_best = naive_best.min(start.elapsed().as_secs_f64());
-    }
-    let naive_ips = BATCH as f64 / naive_best;
-
-    // Streaming server: compile once, micro-batch onto the sparse engine.
-    let server = StreamServer::start_with(
-        config,
-        model,
-        ServerOptions {
-            max_batch: MICRO_BATCH,
-            ..ServerOptions::default()
-        },
-    )
-    .expect("start server");
-    server.run_all(&inputs[..2]).expect("server warmup");
-    let mut serve_best = f64::INFINITY;
-    for _ in 0..ROUNDS {
-        let start = Instant::now();
-        black_box(server.run_all(&inputs).expect("served batch"));
-        serve_best = serve_best.min(start.elapsed().as_secs_f64());
-    }
-    let serve_ips = BATCH as f64 / serve_best;
-    let stats = server.shutdown();
-    let speedup = serve_ips / naive_ips;
-    println!(
-        "serve: naive {naive_ips:.1} inf/s, stream server {serve_ips:.1} inf/s ({speedup:.2}x, \
-         thread budget {})",
-        stats.thread_budget
-    );
-
-    let utilisation: Vec<String> = stats
-        .utilisation
-        .iter()
-        .map(|u| {
-            format!(
-                "\"{:?}\": {{\"units\": {}, \"busy_cycles\": {}, \"total_cycles\": {}, \
-                 \"utilisation\": {:.4}}}",
-                u.kind,
-                u.units,
-                u.busy_cycles,
-                u.total_cycles,
-                u.utilisation()
-            )
-        })
-        .collect();
-    format!(
-        "\"workload\": \"lenet5_T4_batch{BATCH}\",\n\
-         \"batch\": {BATCH},\n\
-         \"micro_batch\": {MICRO_BATCH},\n\
-         \"thread_budget\": {},\n\
-         \"inferences_per_sec\": {{\"naive_run_fast\": {naive_ips:.2}, \
-         \"stream_server\": {serve_ips:.2}}},\n\
-         \"speedup_server_vs_naive\": {speedup:.3},\n\
-         \"unit_utilisation\": {{{}}}",
-        stats.thread_budget,
-        utilisation.join(", ")
-    )
-}
-
 criterion_group!(benches, bench_inference, bench_design_space);
 
-/// Runs the criterion groups, then the serving scenario, and writes the
-/// `BENCH_serve.json` summary.
+/// Runs the criterion groups, then the replica-sweep serving scenario,
+/// and writes the `BENCH_serve.json` summary.
 fn main() {
     let mut criterion = Criterion::default();
     benches(&mut criterion);
     criterion.final_summary();
 
-    let serve = serving_scenario();
+    let serve = serve_sweep::sweep_body();
     let json = format!(
         "{{\n{serve},\n\"results\": {}\n}}\n",
         criterion.summary_json()

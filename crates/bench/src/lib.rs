@@ -21,5 +21,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod serve_sweep;
 pub mod trend;
 pub mod workloads;

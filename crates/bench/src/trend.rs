@@ -9,8 +9,10 @@
 //!
 //! * `*_ns`, `*_us`, `*_ms` — durations (and latency percentiles like the
 //!   `p50_us`/`p99_us` of `BENCH_net.json`), **lower** is better;
-//! * `*speedup*`, `*per_sec*` paths and `utilisation` leaf keys —
-//!   ratios/rates, **higher** is better;
+//! * `*speedup*`, `*per_sec*` paths, path segments ending in `_ips`
+//!   (inferences per second, e.g. the `replica_throughput_ips` sweep of
+//!   `BENCH_serve.json`) and `utilisation` leaf keys — ratios/rates,
+//!   **higher** is better;
 //! * everything else (sample counts, batch sizes, cycle counts — including
 //!   the `busy_cycles`/`total_cycles` siblings of a utilisation entry) is
 //!   informational and not compared.
@@ -258,9 +260,15 @@ pub fn parse_metrics(text: &str) -> Result<Vec<Metric>, String> {
             }
         }
         // Only the `utilisation` leaf is a rate; its cycle-count siblings
-        // (`.../busy_cycles`, `.../total_cycles`) are informational.
+        // (`.../busy_cycles`, `.../total_cycles`) are informational.  An
+        // `_ips` suffix on any path segment marks a throughput rate — the
+        // segment may be a parent (`replica_throughput_ips/replicas_2`),
+        // so the whole path is checked, not just the leaf.
         let leaf = id.rsplit('/').next().unwrap_or(id.as_str()).to_string();
-        let higher = id.contains("speedup") || id.contains("per_sec") || leaf == "utilisation";
+        let higher = id.contains("speedup")
+            || id.contains("per_sec")
+            || id.split('/').any(|segment| segment.ends_with("_ips"))
+            || leaf == "utilisation";
         let lower = id.ends_with("_ns") || id.ends_with("_us") || id.ends_with("_ms");
         if higher || lower {
             metrics.push(Metric {
@@ -431,6 +439,42 @@ mod tests {
         )
         .unwrap();
         assert!(compare(&baseline, &trimmed, DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn ips_segments_are_higher_is_better_throughput_rates() {
+        let metrics = parse_metrics(
+            r#"{"replica_throughput_ips": {"replicas_1": 2000.0, "replicas_2": 2600.0},
+                "replica_speedup": {"replicas_2_vs_1": 1.3},
+                "drain_rate_ips": 512.0}"#,
+        )
+        .unwrap();
+        for id in [
+            "replica_throughput_ips/replicas_1",
+            "replica_throughput_ips/replicas_2",
+            "replica_speedup/replicas_2_vs_1",
+            "drain_rate_ips",
+        ] {
+            let metric = metrics
+                .iter()
+                .find(|m| m.id == id)
+                .unwrap_or_else(|| panic!("missing {id}: {metrics:?}"));
+            assert!(metric.higher_is_better, "{id} must be higher-is-better");
+        }
+        // A halved replica throughput regresses; a gained one does not.
+        let baseline = metrics;
+        let current = parse_metrics(
+            r#"{"replica_throughput_ips": {"replicas_1": 2100.0, "replicas_2": 1200.0},
+                "replica_speedup": {"replicas_2_vs_1": 0.57},
+                "drain_rate_ips": 600.0}"#,
+        )
+        .unwrap();
+        let regressions = compare(&baseline, &current, DEFAULT_THRESHOLD);
+        let ids: Vec<&str> = regressions.iter().map(|r| r.id.as_str()).collect();
+        assert!(ids.contains(&"replica_throughput_ips/replicas_2"));
+        assert!(ids.contains(&"replica_speedup/replicas_2_vs_1"));
+        assert!(!ids.contains(&"replica_throughput_ips/replicas_1"));
+        assert!(!ids.contains(&"drain_rate_ips"));
     }
 
     #[test]

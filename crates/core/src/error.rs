@@ -71,6 +71,20 @@ pub enum AccelError {
         /// The deadline it missed, in milliseconds after submission.
         deadline_ms: u64,
     },
+    /// The replica engine this submission was placed on died before
+    /// serving it: its dispatcher panicked outside the per-item guard, the
+    /// supervisor marked it unhealthy and settled every queued and
+    /// in-flight submission with this error.  Sibling replicas keep
+    /// serving (see [`crate::serve::ServerStats::healthy_replicas`]), so a
+    /// resubmission is rerouted to a healthy replica — but unlike
+    /// [`AccelError::QueueFull`] this is a failure, not backpressure: the
+    /// inference was admitted and then lost.
+    ReplicaDown {
+        /// Index of the replica that died.
+        replica: usize,
+        /// Human-readable description.
+        context: String,
+    },
 }
 
 impl AccelError {
@@ -123,6 +137,9 @@ impl fmt::Display for AccelError {
                 "request shed before compute: waited {waited_ms} ms in the queue, \
                  deadline was {deadline_ms} ms"
             ),
+            AccelError::ReplicaDown { replica, context } => {
+                write!(f, "replica {replica} is down: {context}")
+            }
         }
     }
 }
@@ -183,6 +200,13 @@ mod tests {
         .is_backpressure());
         assert!(!AccelError::EnginePanic {
             context: "index out of bounds".into()
+        }
+        .is_backpressure());
+        // A dead replica lost admitted work; retrying blindly without
+        // rerouting would be wrong, so it is a failure, not backpressure.
+        assert!(!AccelError::ReplicaDown {
+            replica: 1,
+            context: "dispatcher died".into()
         }
         .is_backpressure());
     }

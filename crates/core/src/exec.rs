@@ -84,6 +84,16 @@ pub struct ExecOptions {
     /// Depth of the bounded SPSC queue between fused stages, in channel
     /// groups (clamped to at least 1).
     pub queue_capacity: usize,
+    /// Per-call ceiling on the threads this execution may occupy: `0`
+    /// (the default) means "whatever the global
+    /// [`snn_parallel::ThreadBudget`] allows".  A replicated server sets
+    /// this to each replica's share of the budget so N replicas cannot
+    /// collectively oversubscribe the host; a cap of `1` additionally
+    /// disables the fused-pair stage thread (the pipeline falls back to
+    /// the bit-identical sequential path, since overlapping stages on a
+    /// single allotted thread buys nothing).  Results are bit-identical
+    /// for every value — the cap steers scheduling, never math.
+    pub thread_cap: usize,
 }
 
 impl Default for ExecOptions {
@@ -91,6 +101,7 @@ impl Default for ExecOptions {
         ExecOptions {
             pipeline: true,
             queue_capacity: 2,
+            thread_cap: 0,
         }
     }
 }
@@ -247,6 +258,7 @@ pub(crate) fn execute(
         // row bands) and a stage thread from the shared budget; otherwise
         // fall back to the sequential path, which is bit-identical.
         if options.pipeline
+            && options.thread_cap != 1
             && index + 1 < program.steps.len()
             && step.kind == StageKind::Convolution
             && program.steps[index + 1].kind == StageKind::Pooling

@@ -1,41 +1,47 @@
-//! Streaming batch server: a submission queue with micro-batching on top
-//! of the pipelined execution engine.
+//! Streaming batch serving: replica engines behind a queue-aware router.
 //!
-//! [`StreamServer`] owns one accelerator and one compiled model.  Clients
-//! [`StreamServer::submit`] inputs at any rate; a dispatcher thread drains
-//! the submission queue into micro-batches of up to
-//! [`ServerOptions::max_batch`] inputs and executes each batch over the
-//! shared worker pool — compiling once at start-up instead of per call,
-//! and (by default) serving on the **bit-plane sparse engine**, which is
-//! both unit-exact and measurably faster than the functional
-//! transaction-level path on radix workloads.  Every report a client
+//! [`StreamServer`] compiles one model **once** and serves it from
+//! [`ServerOptions::replicas`] independent engine replicas (default 1 —
+//! the single-engine server of old).  Each replica owns a bounded
+//! submission queue and a dispatcher thread that drains it into
+//! micro-batches of up to [`ServerOptions::max_batch`] inputs, executing
+//! each batch over its slice of the shared worker pool — compiling once at
+//! start-up instead of per call, and (by default) serving on the
+//! **bit-plane sparse engine**.  In front of the replicas sits a
+//! `router::Router` that places every submission by live per-replica
+//! queue snapshots: least depth first, recent drain rate as the tiebreak,
+//! sticky fallback when no snapshot is fresh.  Every report a client
 //! receives is bit-identical to the matching solo
-//! [`crate::sim::Accelerator`] call (pinned by property tests).
+//! [`crate::sim::Accelerator`] call **regardless of the replica count**
+//! (pinned by property tests).
 //!
 //! All parallelism — batch workers, per-layer channel fan-out and pipeline
 //! stage threads — draws from the single global
-//! [`snn_parallel::ThreadBudget`], so a server under heavy traffic cannot
-//! oversubscribe the host.  [`StreamServer::stats`] reports completed
-//! inferences, micro-batch sizes, wall-clock throughput and the modelled
-//! per-unit utilisation; the end-to-end benchmark records these in
-//! `BENCH_serve.json`.
+//! [`snn_parallel::ThreadBudget`], partitioned evenly between the
+//! replicas, so a server under heavy traffic cannot oversubscribe the
+//! host.  [`StreamServer::stats`] aggregates the per-replica counters
+//! (completed inferences, micro-batch sizes, wall-clock throughput,
+//! modelled per-unit utilisation) into one [`ServerStats`] view that also
+//! carries the per-replica slices; the end-to-end benchmark records these
+//! in `BENCH_serve.json`.
 //!
 //! # Admission policy
 //!
-//! The submission queue is **bounded** by
+//! Every submission queue is **bounded** by
 //! [`ServerOptions::queue_capacity`] with a *reject-when-full* policy:
-//! [`StreamServer::submit`] never blocks the caller — when the queue
-//! already holds `queue_capacity` undispatched inputs the submission is
-//! rejected immediately with the typed [`AccelError::QueueFull`] (carrying
-//! the observed depth and the capacity) and counted in
-//! [`ServerStats::rejected`].  Rejection is load shedding, not failure:
-//! the client sees exactly which limit it hit and can retry, back off or
-//! route elsewhere, while the server's memory stays bounded no matter how
-//! fast clients submit — the property a network front-end needs.
-//! [`StreamServer::queue_snapshot`] exposes the live queue depth and the
-//! recent drain rate (windowed over the last [`DRAIN_WINDOW_BATCHES`]
-//! micro-batches) so that front-end (`snn-net`) can attach a concrete
-//! *retry-after* hint to every rejection.
+//! [`StreamServer::submit`] never blocks the caller — the router spills a
+//! submission from a full replica to the next candidate, and only when
+//! **every** healthy replica is full is the submission rejected with the
+//! typed [`AccelError::QueueFull`] (carrying the aggregate depth and
+//! capacity) and counted in [`ServerStats::rejected`].  Rejection is load
+//! shedding, not failure: the client sees exactly which limit it hit and
+//! can retry, back off or route elsewhere, while the server's memory stays
+//! bounded no matter how fast clients submit — the property a network
+//! front-end needs.  [`StreamServer::queue_snapshot`] exposes the live
+//! aggregate queue depth and recent drain rate (windowed over the last
+//! [`DRAIN_WINDOW_BATCHES`] micro-batches per replica) so that front-end
+//! (`snn-net`) can attach a concrete *retry-after* hint to every
+//! rejection.
 //!
 //! # Completion paths
 //!
@@ -49,26 +55,50 @@
 //!   front-end uses: the `snn-net` reactor hands the dispatcher a waker
 //!   that writes one byte into its wake pipe, keeps hundreds of inferences
 //!   in flight across its connections, and never parks a thread per
-//!   request.  Both paths are bit-identical.
+//!   request.  Both paths are bit-identical, on every replica.
+//!
+//! # Graceful degradation
+//!
+//! Each replica's dispatcher runs under a supervisor: a panic that escapes
+//! the per-item unwind guard kills only that replica.  The supervisor
+//! marks it unhealthy, closes its queue, and settles its queued and
+//! in-flight submissions with the typed [`AccelError::ReplicaDown`] —
+//! those clients get an immediate answer and can resubmit, the router
+//! reroutes everything else to the surviving replicas, and
+//! [`ServerStats::healthy_replicas`] drops below
+//! [`ServerStats::replicas`]: healthy but degraded, not dead.  Only when
+//! the last replica dies do new submissions fail with
+//! [`AccelError::Serving`].
 
-use crate::compiler::Program;
+mod replica;
+pub mod router;
+mod stats;
+
+pub use stats::{
+    drain_rate, QueueSnapshot, ReplicaStats, ServerStats, DEFAULT_RETRY_AFTER_MS,
+    DRAIN_WINDOW_BATCHES, MAX_RETRY_AFTER_MS,
+};
+
 use crate::config::AcceleratorConfig;
 use crate::exec::{utilisation_from_program, ExecOptions, ExecutionMode};
-use crate::report::{RunReport, UnitUtilisation};
+use crate::report::RunReport;
 use crate::sim::Accelerator;
 use crate::{AccelError, Result};
+use replica::{relock, EngineShared, ReplicaShared, ReplyTo, Submission};
+use router::Router;
 use snn_model::snn::SnnModel;
 use snn_tensor::Tensor;
-use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Options of a [`StreamServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerOptions {
-    /// Maximum number of queued inputs drained into one micro-batch.
+    /// Maximum number of queued inputs drained into one micro-batch (per
+    /// replica).
     pub max_batch: usize,
     /// At which level of detail inferences execute.  The default is
     /// [`ExecutionMode::CycleAccurate`]: the sparse engine is the faster
@@ -76,15 +106,19 @@ pub struct ServerOptions {
     /// [`ExecutionMode::Transaction`] to serve the functional model with
     /// analytical timing only.
     pub mode: ExecutionMode,
-    /// Execution-engine options applied to every inference.
+    /// Execution-engine options applied to every inference.  The engine's
+    /// [`ExecOptions::thread_cap`] is set per replica to its share of the
+    /// global thread budget; the value given here is used for compilation
+    /// and as the base the per-replica cap overlays.
     pub exec: ExecOptions,
-    /// Maximum undispatched submissions the queue holds before
-    /// [`StreamServer::submit`] starts rejecting with
-    /// [`AccelError::QueueFull`] (see the module docs on the admission
-    /// policy).  Must be at least `1`: a zero capacity would reject every
-    /// submission, so [`StreamServer::start_with`] refuses it with the
-    /// typed [`AccelError::InvalidConfig`] instead of starting a server
-    /// that can never serve (use [`StreamServer::shutdown`] to drain).
+    /// Maximum undispatched submissions **each replica's** queue holds
+    /// before it refuses placements; when every healthy replica is full,
+    /// [`StreamServer::submit`] rejects with [`AccelError::QueueFull`]
+    /// (see the module docs on the admission policy).  Must be at least
+    /// `1`: a zero capacity would reject every submission, so
+    /// [`StreamServer::start_with`] refuses it with the typed
+    /// [`AccelError::InvalidConfig`] instead of starting a server that can
+    /// never serve (use [`StreamServer::shutdown`] to drain).
     pub queue_capacity: usize,
     /// Server-wide deadline on **queue wait**: a submission that has sat
     /// undispatched for this long is shed *before* compute with the typed
@@ -96,6 +130,13 @@ pub struct ServerOptions {
     /// every queued submission — useful in tests, degenerate in
     /// production.
     pub max_queue_wait: Option<Duration>,
+    /// How many engine replicas serve the compiled model (default 1).
+    /// Each replica gets its own dispatcher thread, bounded queue and an
+    /// even share of the global thread budget; the router places each
+    /// submission on the least-loaded healthy replica.  Results are
+    /// bit-identical for every value.  Must be at least `1`
+    /// ([`AccelError::InvalidConfig`] otherwise).
+    pub replicas: usize,
 }
 
 /// Default [`ServerOptions::queue_capacity`]: deep enough that a paced
@@ -110,6 +151,7 @@ impl Default for ServerOptions {
             exec: ExecOptions::default(),
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             max_queue_wait: None,
+            replicas: 1,
         }
     }
 }
@@ -174,8 +216,8 @@ pub struct Completion {
 /// thread ever blocks on a reply channel.
 #[derive(Clone)]
 pub struct CompletionSink {
-    sender: mpsc::Sender<Completion>,
-    waker: Arc<dyn Fn() + Send + Sync>,
+    pub(crate) sender: mpsc::Sender<Completion>,
+    pub(crate) waker: Arc<dyn Fn() + Send + Sync>,
 }
 
 impl fmt::Debug for CompletionSink {
@@ -194,217 +236,21 @@ impl CompletionSink {
     }
 }
 
-enum ReplyTo {
-    /// Per-submission channel behind a [`Ticket`] (blocking callers).
-    Ticket(mpsc::Sender<Result<RunReport>>),
-    /// Shared completion queue with a tag (non-blocking callers).
-    Sink { tag: u64, sink: CompletionSink },
-}
-
-struct Submission {
-    input: Tensor<f32>,
-    reply: ReplyTo,
-    /// When the submission entered the queue (the deadline's clock zero).
-    enqueued_at: Instant,
-    /// Effective queue-wait deadline: the tighter of the per-request
-    /// deadline and [`ServerOptions::max_queue_wait`], resolved at
-    /// admission.  `None` never expires.
-    deadline: Option<Duration>,
-}
-
-impl Submission {
-    /// Whether this submission's queue wait has reached its deadline at
-    /// `now` (a shed happens strictly before compute, so "reached" — not
-    /// "exceeded" — is the boundary: a zero deadline always sheds).
-    fn expired_at(&self, now: Instant) -> bool {
-        match self.deadline {
-            Some(deadline) => now.duration_since(self.enqueued_at) >= deadline,
-            None => false,
-        }
-    }
-
-    /// Delivers `result` to whichever completion path this submission
-    /// uses (dropped tickets and closed sinks just mean the client
-    /// stopped listening; the waker fires strictly after the send).
-    fn settle(self, result: Result<RunReport>) {
-        match self.reply {
-            ReplyTo::Ticket(reply) => {
-                let _ = reply.send(result);
-            }
-            ReplyTo::Sink { tag, sink } => {
-                if sink.sender.send(Completion { tag, result }).is_ok() {
-                    (sink.waker)();
-                }
-            }
-        }
-    }
-}
-
-#[derive(Default)]
-struct SubmissionQueue {
-    jobs: VecDeque<Submission>,
-    shutdown: bool,
-}
-
-/// How many recent micro-batch completions the drain-rate window keeps
-/// (the "recent" in [`QueueSnapshot::drain_rate_ips`]).
-pub const DRAIN_WINDOW_BATCHES: usize = 32;
-
-struct StatsAccum {
-    completed: u64,
-    errors: u64,
-    batches: u64,
-    largest_batch: usize,
-    rejected: u64,
-    panics: u64,
-    deadline_sheds: u64,
-    /// `(completion instant, inferences settled)` of the most recent
-    /// micro-batches, capped at [`DRAIN_WINDOW_BATCHES`] entries — the
-    /// basis of the *recent* drain rate in [`QueueSnapshot`].
-    recent: VecDeque<(Instant, u64)>,
-}
-
-struct ServerShared {
-    accel: Accelerator,
-    model: SnnModel,
-    program: Program,
-    options: ServerOptions,
-    queue: Mutex<SubmissionQueue>,
-    ready: Condvar,
-    stats: Mutex<StatsAccum>,
-    started: Instant,
-}
-
-/// Snapshot of a server's serving statistics.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ServerStats {
-    /// Inferences completed successfully.
-    pub completed: u64,
-    /// Inferences that returned an error.
-    pub errors: u64,
-    /// Micro-batches dispatched.
-    pub batches: u64,
-    /// Largest micro-batch dispatched so far.
-    pub largest_batch: usize,
-    /// Submissions rejected by the bounded-queue admission policy.
-    pub rejected: u64,
-    /// Engine panics caught at the micro-batch item boundary: each one
-    /// failed exactly one inference with [`AccelError::EnginePanic`]
-    /// (also counted in `errors`) and left the dispatcher, its batch
-    /// siblings and the server running.
-    pub panics: u64,
-    /// Submissions shed from the queue before compute because their queue
-    /// wait reached its deadline (see [`ServerOptions::max_queue_wait`]);
-    /// like `rejected`, these are backpressure and are *not* counted in
-    /// `errors` or `completed`.
-    pub deadline_sheds: u64,
-    /// Live queue-depth / drain-rate snapshot (see [`QueueSnapshot`]).
-    /// The drain rate is windowed over the most recent
-    /// [`DRAIN_WINDOW_BATCHES`] micro-batch completions, measured
-    /// completion-to-completion so idle lulls do not decay it; with fewer
-    /// than two windowed batches it falls back to the lifetime average.
-    /// Across successive snapshots the cumulative counters in this struct
-    /// (`completed`, `errors`, `batches`, `rejected`) are monotone
-    /// non-decreasing, and `queue.depth` never exceeds `queue.capacity`.
-    pub queue: QueueSnapshot,
-    /// Configured micro-batch cap.
-    pub max_batch: usize,
-    /// Configured submission-queue capacity.
-    pub queue_capacity: usize,
-    /// Effective global thread budget the server draws from.
-    pub thread_budget: usize,
-    /// Wall-clock seconds since the server started.
-    pub elapsed_s: f64,
-    /// Modelled per-unit busy/idle occupancy of one inference (identical
-    /// for every inference of the compiled model).
-    pub utilisation: Vec<UnitUtilisation>,
-}
-
-impl ServerStats {
-    /// Completed inferences per wall-clock second since start-up.
-    pub fn throughput_ips(&self) -> f64 {
-        if self.elapsed_s <= 0.0 {
-            return 0.0;
-        }
-        self.completed as f64 / self.elapsed_s
-    }
-
-    /// Mean micro-batch size (`0.0` before the first batch).
-    pub fn mean_batch(&self) -> f64 {
-        if self.batches == 0 {
-            return 0.0;
-        }
-        (self.completed + self.errors) as f64 / self.batches as f64
-    }
-}
-
-/// Fallback retry hint when a server has not yet drained anything, so no
-/// drain rate is measurable (milliseconds).
-pub const DEFAULT_RETRY_AFTER_MS: u64 = 100;
-
-/// Upper clamp of [`QueueSnapshot::retry_after_ms`] (one minute).
-pub const MAX_RETRY_AFTER_MS: u64 = 60_000;
-
-/// A cheap point-in-time view of the submission queue's load: how deep it
-/// is, how big it may grow, and how fast the dispatcher has recently been
-/// draining it.
-///
-/// Produced by [`StreamServer::queue_snapshot`] (two short lock holds, no
-/// allocation) and embedded in [`ServerStats::queue`].  This is the signal
-/// a network front-end turns into *retry-after* hints on rejected
-/// submissions, closing the loop on the reject-when-full admission policy:
-/// a shed client learns not just that the server is full but when capacity
-/// is likely to reappear.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct QueueSnapshot {
-    /// Submissions currently queued and not yet dispatched.
-    pub depth: usize,
-    /// Configured queue capacity ([`ServerOptions::queue_capacity`]).
-    pub capacity: usize,
-    /// Recent drain rate in inferences per second: inferences settled
-    /// across the last [`DRAIN_WINDOW_BATCHES`] micro-batches divided by
-    /// the span between the oldest and newest of those completions — a
-    /// completion-to-completion measure, so idle periods do not decay it
-    /// (falling back to the lifetime average, and `0.0` before anything
-    /// has been served).
-    pub drain_rate_ips: f64,
-}
-
-impl QueueSnapshot {
-    /// Whether the next submission would be rejected.
-    pub fn is_full(&self) -> bool {
-        self.depth >= self.capacity
-    }
-
-    /// Milliseconds a rejected client should wait before retrying: the time
-    /// the dispatcher needs to drain the current queue depth at the recent
-    /// drain rate, clamped to `1..=`[`MAX_RETRY_AFTER_MS`].
-    ///
-    /// Returns `0` when the queue is empty (retry immediately) and
-    /// [`DEFAULT_RETRY_AFTER_MS`] when no drain rate is measurable yet.
-    pub fn retry_after_ms(&self) -> u64 {
-        if self.depth == 0 {
-            return 0;
-        }
-        if self.drain_rate_ips <= 0.0 {
-            return DEFAULT_RETRY_AFTER_MS;
-        }
-        let ms = (self.depth as f64 / self.drain_rate_ips * 1000.0).ceil() as u64;
-        ms.clamp(1, MAX_RETRY_AFTER_MS)
-    }
-}
-
 /// Streaming micro-batching inference server.  See the module docs.
-#[derive(Debug)]
 pub struct StreamServer {
-    shared: Arc<ServerShared>,
-    dispatcher: Option<JoinHandle<()>>,
+    engine: Arc<EngineShared>,
+    router: Router,
+    replicas: Vec<Arc<ReplicaShared>>,
+    dispatchers: Vec<JoinHandle<()>>,
+    started: Instant,
+    shutting_down: AtomicBool,
 }
 
-impl std::fmt::Debug for ServerShared {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServerShared")
-            .field("options", &self.options)
+impl fmt::Debug for StreamServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamServer")
+            .field("options", &self.engine.options)
+            .field("replicas", &self.replicas.len())
             .finish_non_exhaustive()
     }
 }
@@ -421,14 +267,17 @@ impl StreamServer {
         Self::start_with(config, model, ServerOptions::default())
     }
 
-    /// Starts a server with explicit options.
+    /// Starts a server with explicit options: the model is compiled once
+    /// and [`ServerOptions::replicas`] engine replicas are spawned over
+    /// the shared program.
     ///
     /// # Errors
     ///
     /// Returns [`AccelError::InvalidConfig`] for degenerate options — a
-    /// `max_batch` of `0` (the dispatcher could never drain a micro-batch)
-    /// or a `queue_capacity` of `0` (every submission would be rejected) —
-    /// and otherwise the errors of [`StreamServer::start`].
+    /// `max_batch` of `0` (the dispatcher could never drain a micro-batch),
+    /// a `queue_capacity` of `0` (every submission would be rejected) or
+    /// `replicas` of `0` (no engine could ever serve) — and otherwise the
+    /// errors of [`StreamServer::start`].
     pub fn start_with(
         config: AcceleratorConfig,
         model: SnnModel,
@@ -448,49 +297,58 @@ impl StreamServer {
                     .to_string(),
             });
         }
+        if options.replicas == 0 {
+            return Err(AccelError::InvalidConfig {
+                context: "ServerOptions::replicas is 0: no engine replica could ever serve \
+                          a submission"
+                    .to_string(),
+            });
+        }
         let accel = Accelerator::with_options(config, options.exec);
         let program = accel.compile(&model)?;
-        let shared = Arc::new(ServerShared {
+        let engine = Arc::new(EngineShared {
             accel,
             model,
             program,
             options,
-            queue: Mutex::new(SubmissionQueue::default()),
-            ready: Condvar::new(),
-            stats: Mutex::new(StatsAccum {
-                completed: 0,
-                errors: 0,
-                batches: 0,
-                largest_batch: 0,
-                rejected: 0,
-                panics: 0,
-                deadline_sheds: 0,
-                recent: VecDeque::new(),
-            }),
-            started: Instant::now(),
         });
-        let dispatcher_shared = Arc::clone(&shared);
-        let dispatcher = thread::Builder::new()
-            .name("snn-serve-dispatch".to_string())
-            .spawn(move || dispatch_loop(&dispatcher_shared))
-            .expect("spawn dispatcher thread");
+        // Partition the global budget evenly; every replica gets at least
+        // one thread (oversubscription by at most replicas − budget when
+        // replicas exceed the budget, which serialises but stays correct).
+        let thread_share = (snn_parallel::budget().total() / options.replicas).max(1);
+        let mut replicas = Vec::with_capacity(options.replicas);
+        let mut dispatchers = Vec::with_capacity(options.replicas);
+        for index in 0..options.replicas {
+            let shared = Arc::new(ReplicaShared::new(index, Arc::clone(&engine), thread_share));
+            replicas.push(Arc::clone(&shared));
+            let handle = thread::Builder::new()
+                .name(format!("snn-serve-rep{index}"))
+                .spawn(move || replica::run(&shared))
+                .expect("spawn replica dispatcher thread");
+            dispatchers.push(handle);
+        }
         Ok(StreamServer {
-            shared,
-            dispatcher: Some(dispatcher),
+            engine,
+            router: Router::new(replicas.clone()),
+            replicas,
+            dispatchers,
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
         })
     }
 
     /// Enqueues one input for inference and returns its [`Ticket`].
     ///
     /// Never blocks: admission is governed by the bounded-queue policy in
-    /// the module docs.
+    /// the module docs; the router picks the least-loaded healthy replica.
     ///
     /// # Errors
     ///
-    /// Returns [`AccelError::QueueFull`] when the submission queue already
-    /// holds [`ServerOptions::queue_capacity`] undispatched inputs (the
-    /// rejection is also counted in [`ServerStats::rejected`]), and
-    /// [`AccelError::Serving`] when the server has begun shutting down.
+    /// Returns [`AccelError::QueueFull`] when every healthy replica's
+    /// queue already holds [`ServerOptions::queue_capacity`] undispatched
+    /// inputs (the rejection is also counted in [`ServerStats::rejected`]),
+    /// and [`AccelError::Serving`] when the server has begun shutting down
+    /// or no replica is healthy.
     pub fn submit(&self, input: Tensor<f32>) -> Result<Ticket> {
         self.submit_within(input, None)
     }
@@ -521,7 +379,7 @@ impl StreamServer {
     /// in flight per connection without parking a thread on each.
     ///
     /// Admission is identical to [`StreamServer::submit`] — same bounded
-    /// queue, same typed rejections — and results are bit-identical to the
+    /// queues, same typed rejections — and results are bit-identical to the
     /// matching blocking call.
     ///
     /// # Errors
@@ -565,38 +423,22 @@ impl StreamServer {
         reply: ReplyTo,
         deadline: Option<Duration>,
     ) -> Result<()> {
-        let deadline = match (deadline, self.shared.options.max_queue_wait) {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(AccelError::Serving {
+                context: "server is shutting down and no longer accepts submissions".to_string(),
+            });
+        }
+        let deadline = match (deadline, self.engine.options.max_queue_wait) {
             (Some(request), Some(server)) => Some(request.min(server)),
             (Some(request), None) => Some(request),
             (None, server) => server,
         };
-        {
-            let mut queue = self.shared.queue.lock().expect("submission queue lock");
-            if queue.shutdown {
-                return Err(AccelError::Serving {
-                    context: "server is shutting down and no longer accepts submissions"
-                        .to_string(),
-                });
-            }
-            if queue.jobs.len() >= self.shared.options.queue_capacity {
-                let queued = queue.jobs.len();
-                drop(queue);
-                let mut accum = self.shared.stats.lock().expect("server stats lock");
-                accum.rejected += 1;
-                return Err(AccelError::QueueFull {
-                    queued,
-                    capacity: self.shared.options.queue_capacity,
-                });
-            }
-            queue.jobs.push_back(Submission {
-                input,
-                reply,
-                enqueued_at: Instant::now(),
-                deadline,
-            });
-        }
-        self.shared.ready.notify_one();
-        Ok(())
+        self.router.place(Submission {
+            input,
+            reply,
+            enqueued_at: Instant::now(),
+            deadline,
+        })
     }
 
     /// Submits all `inputs` and waits for all results, in order.
@@ -614,63 +456,115 @@ impl StreamServer {
         tickets.into_iter().map(Ticket::wait).collect()
     }
 
-    /// Cheap point-in-time queue-load snapshot: depth, capacity and the
-    /// recent drain rate — the inputs of a retry-after hint.  Takes the
-    /// queue and stats locks briefly (never both at once) and allocates
-    /// nothing.
+    /// Cheap point-in-time queue-load snapshot aggregated over the
+    /// **healthy** replicas: depths, capacities and recent drain rates
+    /// summed — the inputs of a retry-after hint.  All zeros when no
+    /// replica is healthy.  Takes each replica's queue and stats locks
+    /// briefly (never both at once) and allocates nothing.
     pub fn queue_snapshot(&self) -> QueueSnapshot {
-        let depth = self
-            .shared
-            .queue
-            .lock()
-            .expect("submission queue lock")
-            .jobs
-            .len();
-        let accum = self.shared.stats.lock().expect("server stats lock");
-        QueueSnapshot {
-            depth,
-            capacity: self.shared.options.queue_capacity,
-            drain_rate_ips: drain_rate_ips(&accum, &self.shared.started),
+        let mut snapshot = QueueSnapshot {
+            depth: 0,
+            capacity: 0,
+            drain_rate_ips: 0.0,
+        };
+        for replica in &self.replicas {
+            if !replica.healthy.load(Ordering::SeqCst) {
+                continue;
+            }
+            snapshot.depth += relock(&replica.queue).jobs.len();
+            snapshot.capacity += self.engine.options.queue_capacity;
+            snapshot.drain_rate_ips += relock(&replica.stats).drain_rate_ips(replica.started);
         }
+        snapshot
     }
 
-    /// Snapshot of the serving statistics.
+    /// How many replica dispatchers are alive and accepting placements —
+    /// the lock-free health probe a front-end polls.
+    pub fn healthy_replicas(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.healthy.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Snapshot of the serving statistics: aggregate counters plus the
+    /// per-replica slices (see [`ServerStats`]).
     pub fn stats(&self) -> ServerStats {
-        let queue = self.queue_snapshot();
-        let accum = self.shared.stats.lock().expect("server stats lock");
+        let options = &self.engine.options;
+        let mut per_replica = Vec::with_capacity(self.replicas.len());
+        for replica in &self.replicas {
+            let healthy = replica.healthy.load(Ordering::SeqCst);
+            let depth = relock(&replica.queue).jobs.len();
+            let accum = relock(&replica.stats);
+            per_replica.push(ReplicaStats {
+                index: replica.index,
+                healthy,
+                completed: accum.completed,
+                errors: accum.errors,
+                batches: accum.batches,
+                largest_batch: accum.largest_batch,
+                panics: accum.panics,
+                deadline_sheds: accum.deadline_sheds,
+                queue: QueueSnapshot {
+                    depth,
+                    capacity: options.queue_capacity,
+                    drain_rate_ips: accum.drain_rate_ips(replica.started),
+                },
+            });
+        }
+        let healthy_replicas = per_replica.iter().filter(|r| r.healthy).count();
+        let mut queue = QueueSnapshot {
+            depth: 0,
+            capacity: 0,
+            drain_rate_ips: 0.0,
+        };
+        for r in per_replica.iter().filter(|r| r.healthy) {
+            queue.depth += r.queue.depth;
+            queue.capacity += r.queue.capacity;
+            queue.drain_rate_ips += r.queue.drain_rate_ips;
+        }
         ServerStats {
-            completed: accum.completed,
-            errors: accum.errors,
-            batches: accum.batches,
-            largest_batch: accum.largest_batch,
-            rejected: accum.rejected,
-            panics: accum.panics,
-            deadline_sheds: accum.deadline_sheds,
+            completed: per_replica.iter().map(|r| r.completed).sum(),
+            errors: per_replica.iter().map(|r| r.errors).sum(),
+            batches: per_replica.iter().map(|r| r.batches).sum(),
+            largest_batch: per_replica
+                .iter()
+                .map(|r| r.largest_batch)
+                .max()
+                .unwrap_or(0),
+            rejected: self.router.rejected.load(Ordering::SeqCst),
+            panics: per_replica.iter().map(|r| r.panics).sum(),
+            deadline_sheds: per_replica.iter().map(|r| r.deadline_sheds).sum(),
             queue,
-            max_batch: self.shared.options.max_batch,
-            queue_capacity: self.shared.options.queue_capacity,
+            max_batch: options.max_batch,
+            queue_capacity: options.queue_capacity,
+            replicas: self.replicas.len(),
+            healthy_replicas,
+            per_replica,
             thread_budget: snn_parallel::budget().total(),
-            elapsed_s: self.shared.started.elapsed().as_secs_f64(),
-            utilisation: utilisation_from_program(self.shared.accel.config(), &self.shared.program),
+            elapsed_s: self.started.elapsed().as_secs_f64(),
+            utilisation: utilisation_from_program(self.engine.accel.config(), &self.engine.program),
         }
     }
 
-    /// Drains the queue, stops the dispatcher and returns the final
-    /// statistics.  Queued-but-undispatched submissions are still served;
-    /// submissions after shutdown starts are not.
+    /// Drains the queues, stops every replica dispatcher and returns the
+    /// final statistics.  Queued-but-undispatched submissions are still
+    /// served; submissions after shutdown starts are not.
     pub fn shutdown(mut self) -> ServerStats {
         self.stop();
         self.stats()
     }
 
     fn stop(&mut self) {
-        {
-            let mut queue = self.shared.queue.lock().expect("submission queue lock");
-            queue.shutdown = true;
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for replica in &self.replicas {
+            replica.begin_shutdown();
         }
-        self.shared.ready.notify_all();
-        if let Some(handle) = self.dispatcher.take() {
-            handle.join().expect("dispatcher thread");
+        for handle in self.dispatchers.drain(..) {
+            // Replica panics are caught by the in-thread supervisor, so a
+            // join error would mean the supervisor itself died; nothing is
+            // left to salvage from that thread either way.
+            let _ = handle.join();
         }
     }
 }
@@ -681,152 +575,61 @@ impl Drop for StreamServer {
     }
 }
 
-/// Recent drain rate in inferences/second, measured **completion to
-/// completion** across the window: the inferences settled after the oldest
-/// windowed batch, divided by the span between the oldest and newest batch
-/// completions.  Anchoring both ends on completions (rather than on "now")
-/// keeps the rate a measure of how fast the dispatcher drains *when it is
-/// draining* — an idle lull must not decay it, or the retry-after hints
-/// derived from it would balloon after every quiet period.  Falls back to
-/// the lifetime average (fewer than two windowed batches) and then `0.0`.
-fn drain_rate_ips(accum: &StatsAccum, started: &Instant) -> f64 {
-    if let (Some(&(oldest, oldest_items)), Some(&(newest, _))) =
-        (accum.recent.front(), accum.recent.back())
-    {
-        let span = newest.duration_since(oldest).as_secs_f64();
-        // The oldest record marks the window start; its items settled at
-        // (not during) the measured span.
-        let items: u64 = accum.recent.iter().map(|&(_, n)| n).sum::<u64>() - oldest_items;
-        if span > 0.0 && items > 0 {
-            return items as f64 / span;
-        }
-    }
-    let elapsed = started.elapsed().as_secs_f64();
-    let settled = accum.completed + accum.errors;
-    if elapsed > 0.0 && settled > 0 {
-        return settled as f64 / elapsed;
-    }
-    0.0
-}
-
-fn dispatch_loop(shared: &ServerShared) {
-    let max_batch = shared.options.max_batch.max(1);
-    loop {
-        // Collect the next micro-batch: everything queued, capped.
-        let batch: Vec<Submission> = {
-            let mut queue = shared.queue.lock().expect("submission queue lock");
-            loop {
-                if !queue.jobs.is_empty() {
-                    let take = queue.jobs.len().min(max_batch);
-                    break queue.jobs.drain(..take).collect();
-                }
-                if queue.shutdown {
-                    return;
-                }
-                queue = shared.ready.wait(queue).expect("submission queue wait");
-            }
-        };
-
-        // Shed expired entries *before* compute: work the client has
-        // already given up on is answered with a typed error at queue
-        // cost, not computed late at full cost.
-        let now = Instant::now();
-        let (batch, expired): (Vec<Submission>, Vec<Submission>) =
-            batch.into_iter().partition(|s| !s.expired_at(now));
-        if !expired.is_empty() {
-            {
-                let mut accum = shared.stats.lock().expect("server stats lock");
-                accum.deadline_sheds += expired.len() as u64;
-            }
-            for submission in expired {
-                let waited_ms = now.duration_since(submission.enqueued_at).as_millis() as u64;
-                let deadline_ms = submission
-                    .deadline
-                    .map(|d| d.as_millis() as u64)
-                    .unwrap_or(0);
-                submission.settle(Err(AccelError::DeadlineExceeded {
-                    waited_ms,
-                    deadline_ms,
-                }));
-            }
-        }
-        if batch.is_empty() {
-            continue;
-        }
-
-        // Execute the micro-batch over the shared worker pool.  Each item
-        // runs under its own unwind guard: a panicking inference fails
-        // only itself with the typed `EnginePanic`, never the dispatcher
-        // (snn-parallel would otherwise re-raise the task panic here and
-        // kill the serving loop).
-        let threads = snn_parallel::budget().total().min(batch.len());
-        let reports = snn_parallel::par_map(&batch, threads, |_, submission| {
-            snn_parallel::catch_panic_message(|| {
-                #[cfg(feature = "fault-injection")]
-                poison::check(&submission.input);
-                shared.accel.execute_compiled(
-                    &shared.model,
-                    &shared.program,
-                    &submission.input,
-                    shared.options.mode,
-                    shared.options.exec,
-                )
-            })
-            .unwrap_or_else(|message| Err(AccelError::EnginePanic { context: message }))
-        });
-
-        let completed = reports.iter().filter(|r| r.is_ok()).count() as u64;
-        let errors = reports.len() as u64 - completed;
-        let panics = reports
-            .iter()
-            .filter(|r| matches!(r, Err(AccelError::EnginePanic { .. })))
-            .count() as u64;
-        // Count before replying, so a client that has its result in hand
-        // is guaranteed to find it reflected in the server statistics.
-        {
-            let mut accum = shared.stats.lock().expect("server stats lock");
-            accum.completed += completed;
-            accum.errors += errors;
-            accum.panics += panics;
-            accum.batches += 1;
-            accum.largest_batch = accum.largest_batch.max((completed + errors) as usize);
-            accum.recent.push_back((Instant::now(), completed + errors));
-            if accum.recent.len() > DRAIN_WINDOW_BATCHES {
-                accum.recent.pop_front();
-            }
-        }
-        for (submission, report) in batch.into_iter().zip(reports) {
-            // Waker strictly after the send (inside `settle`): a reactor
-            // woken by the pipe byte must find the completion queued.
-            submission.settle(report);
-        }
-    }
-}
-
-/// Deliberate crash trigger for fault-injection builds: an input whose
-/// first element is the [`poison::PILL_BITS`] sentinel makes the engine panic
-/// inside the micro-batch, exercising the `catch_unwind` isolation path
-/// end-to-end (including over the wire, since f32 bit patterns round-trip
-/// through the `snn-net` protocol).  Compiled only with the
-/// `fault-injection` feature; release builds pay nothing.
+/// Deliberate crash triggers for fault-injection builds.  Compiled only
+/// with the `fault-injection` feature; release builds pay nothing.
+///
+/// Two sentinels with distinct blast radii:
+///
+/// * the **poison pill** ([`poison::PILL_BITS`]) panics *inside* the
+///   micro-batch's per-item unwind guard, exercising the item-level
+///   `EnginePanic` isolation path — one inference fails, the replica
+///   survives;
+/// * the **kill pill** ([`poison::KILL_BITS`]) panics *outside* that
+///   guard, in the dispatcher itself, exercising the replica supervisor —
+///   the whole replica dies, its stranded submissions settle with
+///   [`AccelError::ReplicaDown`], and sibling replicas keep serving.
+///
+/// Both sentinels are quiet NaNs, so they round-trip bit-exactly through
+/// the `snn-net` wire protocol and can be injected by a remote chaos
+/// client.
 #[cfg(feature = "fault-injection")]
 pub mod poison {
     use snn_tensor::Tensor;
 
-    /// Bit pattern of the sentinel: a quiet NaN with a recognizable
-    /// payload, so no legitimate input (finite activations) collides.
+    /// Bit pattern of the per-item sentinel: a quiet NaN with a
+    /// recognizable payload, so no legitimate input (finite activations)
+    /// collides.
     pub const PILL_BITS: u32 = 0x7fc0_dead;
+
+    /// Bit pattern of the replica-killing sentinel (a different quiet-NaN
+    /// payload than [`PILL_BITS`]).
+    pub const KILL_BITS: u32 = 0x7fc1_dead;
 
     /// The poison-pill value a test writes into an input's first element.
     pub fn pill() -> f32 {
         f32::from_bits(PILL_BITS)
     }
 
-    /// Panics when `input` leads with the sentinel.  Called inside the
-    /// dispatcher's per-item unwind guard.
+    /// The kill-pill value a test writes into an input's first element to
+    /// bring down the whole replica that dequeues it.
+    pub fn kill_pill() -> f32 {
+        f32::from_bits(KILL_BITS)
+    }
+
+    /// Panics when `input` leads with the poison-pill sentinel.  Called
+    /// inside the dispatcher's per-item unwind guard.
     pub(crate) fn check(input: &Tensor<f32>) {
         if input.as_slice().first().map(|v| v.to_bits()) == Some(PILL_BITS) {
             panic!("fault-injection poison pill in input");
+        }
+    }
+
+    /// Panics when `input` leads with the kill-pill sentinel.  Called
+    /// **outside** the per-item guard, so the unwind escapes the dispatch
+    /// loop and lands in the replica supervisor.
+    pub(crate) fn check_kill(input: &Tensor<f32>) {
+        if input.as_slice().first().map(|v| v.to_bits()) == Some(KILL_BITS) {
+            panic!("fault-injection kill pill: replica dispatcher going down");
         }
     }
 }
@@ -880,6 +683,55 @@ mod tests {
         assert!(stats.batches >= 1);
         assert!(stats.largest_batch <= stats.max_batch);
         assert!(!stats.utilisation.is_empty());
+    }
+
+    #[test]
+    fn replicated_server_matches_single_replica_bit_exactly() {
+        let (model, inputs) = tiny_setup(3);
+        let config = AcceleratorConfig::default();
+        let solo = Accelerator::new(config);
+        let server = StreamServer::start_with(
+            config,
+            model.clone(),
+            ServerOptions {
+                replicas: 2,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let served = server.run_all(&inputs).unwrap();
+        for (report, input) in served.iter().zip(&inputs) {
+            assert_eq!(report, &solo.run(&model, input).unwrap());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.replicas, 2);
+        assert_eq!(stats.healthy_replicas, 2);
+        assert_eq!(stats.per_replica.len(), 2);
+        assert_eq!(stats.completed, inputs.len() as u64);
+        assert_eq!(
+            stats.per_replica.iter().map(|r| r.completed).sum::<u64>(),
+            stats.completed,
+            "aggregate counters are the sum of the replica slices"
+        );
+        assert!(stats.per_replica.iter().all(|r| r.healthy));
+    }
+
+    #[test]
+    fn zero_replicas_are_rejected_at_construction() {
+        let (model, _) = tiny_setup(3);
+        match StreamServer::start_with(
+            AcceleratorConfig::default(),
+            model,
+            ServerOptions {
+                replicas: 0,
+                ..ServerOptions::default()
+            },
+        ) {
+            Err(AccelError::InvalidConfig { context }) => {
+                assert!(context.contains("ServerOptions"), "context: {context}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1324,6 +1176,77 @@ mod tests {
         assert_eq!(stats.panics, 1);
         assert_eq!(stats.errors, 1, "the panic counts as an error too");
         assert_eq!(stats.completed, 2);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn killed_replica_strands_only_its_requests_while_the_sibling_serves() {
+        let (model, inputs) = tiny_setup(3);
+        let config = AcceleratorConfig::default();
+        let server = StreamServer::start_with(
+            config,
+            model.clone(),
+            ServerOptions {
+                replicas: 2,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let mut kill_values = inputs[0].as_slice().to_vec();
+        kill_values[0] = poison::kill_pill();
+        let kill = Tensor::from_vec(vec![1, 12, 12], kill_values).unwrap();
+        let doomed = server.submit(kill).unwrap();
+        match doomed.wait() {
+            Err(AccelError::ReplicaDown { replica, context }) => {
+                assert!(replica < 2, "replica index in range: {replica}");
+                assert!(context.contains("dispatcher died"), "context: {context}");
+            }
+            other => panic!("expected ReplicaDown, got {other:?}"),
+        }
+        // One replica is gone; the sibling keeps serving, bit-exactly.
+        assert_eq!(server.healthy_replicas(), 1);
+        let solo = Accelerator::new(config);
+        for input in &inputs {
+            let report = server.submit(input.clone()).unwrap().wait().unwrap();
+            assert_eq!(report, solo.run(&model, input).unwrap());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.replicas, 2);
+        assert_eq!(stats.healthy_replicas, 1);
+        assert_eq!(stats.completed, inputs.len() as u64);
+        assert_eq!(
+            stats.per_replica.iter().filter(|r| !r.healthy).count(),
+            1,
+            "exactly one replica died"
+        );
+        let dead = stats.per_replica.iter().find(|r| !r.healthy).unwrap();
+        assert_eq!(dead.queue.depth, 0, "the dead replica was drained");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn killing_the_last_replica_turns_new_submissions_into_serving_errors() {
+        let (model, inputs) = tiny_setup(3);
+        let server = StreamServer::start(AcceleratorConfig::default(), model).unwrap();
+        let mut kill_values = inputs[0].as_slice().to_vec();
+        kill_values[0] = poison::kill_pill();
+        let kill = Tensor::from_vec(vec![1, 12, 12], kill_values).unwrap();
+        let doomed = server.submit(kill).unwrap();
+        match doomed.wait() {
+            Err(AccelError::ReplicaDown { replica: 0, .. }) => {}
+            other => panic!("expected ReplicaDown, got {other:?}"),
+        }
+        assert_eq!(server.healthy_replicas(), 0);
+        let snapshot = server.queue_snapshot();
+        assert_eq!((snapshot.depth, snapshot.capacity), (0, 0));
+        match server.submit(inputs[1].clone()) {
+            Err(AccelError::Serving { context }) => {
+                assert!(context.contains("down"), "context: {context}");
+            }
+            other => panic!("expected Serving, got {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.healthy_replicas, 0);
     }
 
     #[test]

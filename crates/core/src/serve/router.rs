@@ -1,0 +1,266 @@
+//! The admission/routing layer in front of the replica engines.
+//!
+//! Every submission passes through one `Router`, which places it on a
+//! replica by **live queue snapshots**: least queue depth first, recent
+//! drain rate as the tiebreak (a faster-draining replica clears the same
+//! depth sooner), replica index as the final deterministic tiebreak.
+//! Snapshots are taken with `try_lock`, so the router never blocks behind
+//! a dispatcher holding its own queue lock; when a replica's lock is
+//! contended the router falls back to that replica's **cached** view and
+//! marks it stale.  When *no* candidate view is fresh the router goes
+//! **sticky** — it prefers the replica it chose last — because stale
+//! depths are better tie-broken by locality than trusted as rankings.
+//!
+//! The placement policy itself is the pure function [`preference_order`]
+//! over [`ReplicaView`]s, so property tests drive it with synthetic views
+//! (random arrival schedules, stale snapshots, dead replicas) without
+//! spinning up servers.
+//!
+//! Placement is *attempt, then spill*: the router walks the preference
+//! order calling each replica's bounded non-blocking enqueue, so a full
+//! or just-died replica makes the submission spill to the next candidate.
+//! Only when every healthy replica refuses does the caller see
+//! [`AccelError::QueueFull`] (aggregated over the healthy replicas), and
+//! only when no replica is healthy at all does it see the terminal
+//! [`AccelError::Serving`].
+
+use super::replica::{relock, EnqueueRejection, ReplicaShared, Submission};
+use crate::{AccelError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What the router knows about one replica at placement time — the input
+/// row of the placement policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaView {
+    /// Replica index (`0..ServerOptions::replicas`).
+    pub index: usize,
+    /// Whether the replica's dispatcher is alive; dead replicas are never
+    /// candidates.
+    pub healthy: bool,
+    /// Queue depth — live when `fresh`, the last observed value otherwise.
+    pub depth: usize,
+    /// The replica's configured queue capacity.
+    pub capacity: usize,
+    /// Recent drain rate in inferences/second (see
+    /// [`super::stats::drain_rate`]); `0.0` before anything has settled.
+    pub drain_rate_ips: f64,
+    /// Whether `depth` was observed under the queue lock during *this*
+    /// placement (`false` means the view is a stale cache).
+    pub fresh: bool,
+}
+
+impl ReplicaView {
+    fn is_candidate(&self) -> bool {
+        self.healthy && self.depth < self.capacity
+    }
+}
+
+/// The placement policy: returns the candidate replica indices in the
+/// order they should be tried.
+///
+/// Candidates are the healthy replicas whose (possibly stale) view shows
+/// spare capacity, ordered by least depth, then highest drain rate, then
+/// lowest index.  When no candidate's view is fresh, `sticky` (the
+/// previous choice) is promoted to the front if it is still a candidate:
+/// with nothing live to rank by, staying where the last request went
+/// beats shuffling on stale numbers.
+pub fn preference_order(views: &[ReplicaView], sticky: Option<usize>) -> Vec<usize> {
+    let mut order: Vec<usize> = views
+        .iter()
+        .filter(|v| v.is_candidate())
+        .map(|v| v.index)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let (va, vb) = (&views[a], &views[b]);
+        va.depth
+            .cmp(&vb.depth)
+            .then(
+                vb.drain_rate_ips
+                    .partial_cmp(&va.drain_rate_ips)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.cmp(&b))
+    });
+    let any_fresh_candidate = views.iter().any(|v| v.is_candidate() && v.fresh);
+    if !any_fresh_candidate {
+        if let Some(sticky) = sticky {
+            if let Some(position) = order.iter().position(|&i| i == sticky) {
+                let chosen = order.remove(position);
+                order.insert(0, chosen);
+            }
+        }
+    }
+    order
+}
+
+/// The replica [`preference_order`] would try first, if any.
+pub fn choose(views: &[ReplicaView], sticky: Option<usize>) -> Option<usize> {
+    preference_order(views, sticky).first().copied()
+}
+
+/// The router's memory between placements: the last observed view of each
+/// replica (used when a live snapshot is unavailable) and the last
+/// placement choice (the sticky anchor).
+struct RouterState {
+    cached_depth: Vec<usize>,
+    cached_rate: Vec<f64>,
+    last_choice: Option<usize>,
+}
+
+/// Places submissions onto replica engines.  One per server.
+pub(crate) struct Router {
+    replicas: Vec<Arc<ReplicaShared>>,
+    state: Mutex<RouterState>,
+    /// Submissions no healthy replica could admit (the server-level
+    /// rejected counter).
+    pub(crate) rejected: AtomicU64,
+}
+
+impl Router {
+    pub(crate) fn new(replicas: Vec<Arc<ReplicaShared>>) -> Self {
+        let count = replicas.len();
+        Router {
+            replicas,
+            state: Mutex::new(RouterState {
+                cached_depth: vec![0; count],
+                cached_rate: vec![0.0; count],
+                last_choice: None,
+            }),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds the live placement views, refreshing the cache where the
+    /// replica locks are uncontended.
+    fn observe(&self, state: &mut RouterState) -> Vec<ReplicaView> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .map(|(i, replica)| {
+                let healthy = replica.healthy.load(Ordering::SeqCst);
+                let mut fresh = false;
+                if let Ok(queue) = replica.queue.try_lock() {
+                    state.cached_depth[i] = queue.jobs.len();
+                    fresh = true;
+                }
+                if let Ok(stats) = replica.stats.try_lock() {
+                    state.cached_rate[i] = stats.drain_rate_ips(replica.started);
+                }
+                ReplicaView {
+                    index: i,
+                    healthy,
+                    depth: state.cached_depth[i],
+                    capacity: replica.engine.options.queue_capacity,
+                    drain_rate_ips: state.cached_rate[i],
+                    fresh,
+                }
+            })
+            .collect()
+    }
+
+    /// Routes one submission to a replica, spilling to the next candidate
+    /// on a full or dead replica.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::QueueFull`] when every healthy replica's queue is at
+    /// capacity (depth and capacity aggregated over the healthy replicas),
+    /// [`AccelError::Serving`] when no replica is healthy.
+    pub(crate) fn place(&self, mut submission: Submission) -> Result<()> {
+        let mut state = relock(&self.state);
+        let mut views = self.observe(&mut state);
+        let order = preference_order(&views, state.last_choice);
+        for index in order {
+            match self.replicas[index].try_enqueue(submission) {
+                Ok(()) => {
+                    state.cached_depth[index] += 1;
+                    state.last_choice = Some(index);
+                    return Ok(());
+                }
+                Err((returned, EnqueueRejection::Full { queued })) => {
+                    submission = returned;
+                    state.cached_depth[index] = queued;
+                    views[index].depth = queued;
+                }
+                Err((returned, EnqueueRejection::Down)) => {
+                    submission = returned;
+                    views[index].healthy = false;
+                }
+            }
+        }
+        if !views.iter().any(|v| v.healthy) {
+            return Err(AccelError::Serving {
+                context: "all replica engines are down; the server cannot serve until it is \
+                          restarted"
+                    .to_string(),
+            });
+        }
+        self.rejected.fetch_add(1, Ordering::SeqCst);
+        let queued = views.iter().filter(|v| v.healthy).map(|v| v.depth).sum();
+        let capacity = views.iter().filter(|v| v.healthy).map(|v| v.capacity).sum();
+        Err(AccelError::QueueFull { queued, capacity })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(index: usize, depth: usize, rate: f64, fresh: bool) -> ReplicaView {
+        ReplicaView {
+            index,
+            healthy: true,
+            depth,
+            capacity: 16,
+            drain_rate_ips: rate,
+            fresh,
+        }
+    }
+
+    #[test]
+    fn least_depth_wins() {
+        let views = [view(0, 3, 0.0, true), view(1, 1, 0.0, true)];
+        assert_eq!(choose(&views, None), Some(1));
+        assert_eq!(preference_order(&views, None), vec![1, 0]);
+    }
+
+    #[test]
+    fn drain_rate_breaks_depth_ties() {
+        let views = [view(0, 2, 10.0, true), view(1, 2, 40.0, true)];
+        assert_eq!(choose(&views, None), Some(1));
+    }
+
+    #[test]
+    fn index_breaks_full_ties_deterministically() {
+        let views = [view(0, 2, 5.0, true), view(1, 2, 5.0, true)];
+        assert_eq!(choose(&views, None), Some(0));
+    }
+
+    #[test]
+    fn unhealthy_and_full_replicas_are_never_candidates() {
+        let mut dead = view(0, 0, 100.0, true);
+        dead.healthy = false;
+        let mut full = view(1, 16, 100.0, true);
+        full.depth = full.capacity;
+        let alive = view(2, 9, 0.0, true);
+        assert_eq!(preference_order(&[dead, full, alive], None), vec![2]);
+        assert_eq!(choose(&[dead, full], None), None);
+    }
+
+    #[test]
+    fn stale_views_fall_back_to_sticky() {
+        // Replica 1 looks shallower, but neither view is fresh: stay with
+        // the previous choice instead of trusting stale depths.
+        let views = [view(0, 3, 0.0, false), view(1, 1, 0.0, false)];
+        assert_eq!(choose(&views, Some(0)), Some(0));
+        // With a fresh candidate the ranking wins again.
+        let views = [view(0, 3, 0.0, false), view(1, 1, 0.0, true)];
+        assert_eq!(choose(&views, Some(0)), Some(1));
+        // A sticky replica that is no longer a candidate cannot be chosen.
+        let mut dead = view(0, 3, 0.0, false);
+        dead.healthy = false;
+        let views = [dead, view(1, 1, 0.0, false)];
+        assert_eq!(choose(&views, Some(0)), Some(1));
+    }
+}

@@ -157,6 +157,7 @@ proptest! {
         let accel = Accelerator::with_options(config, ExecOptions {
             pipeline: true,
             queue_capacity,
+            ..ExecOptions::default()
         });
         let pipelined = accel.run(&model, &inputs[0]).unwrap();
         let sequential = accel.run_sequential(&model, &inputs[0]).unwrap();

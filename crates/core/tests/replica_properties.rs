@@ -1,0 +1,235 @@
+//! Property tests for the replicated serving layer.
+//!
+//! Two tiers:
+//!
+//! * **Correlation** — for every interleaving proptest generates
+//!   (submission permutation, replica count, micro-batch cap, mixed
+//!   ticket/tagged completion paths), every report an N-replica server
+//!   hands back is **bit-identical** to the same input served by a
+//!   replicas=1 server and by the solo sequential oracle.  Replication
+//!   must be invisible in the results.
+//! * **Placement** — the router's pure policy
+//!   ([`snn_accel::serve::router::preference_order`]) is driven with
+//!   synthetic views and simulated arrival schedules: placements always
+//!   land on a least-depth healthy candidate (drain rate and index only
+//!   break ties), so no replica's queue ever exceeds the least depth plus
+//!   the micro-batch slack at the moment it is chosen; stale snapshots
+//!   fall back to the sticky previous choice.
+
+use proptest::prelude::*;
+use snn_accel::config::AcceleratorConfig;
+use snn_accel::serve::router::{choose, preference_order, ReplicaView};
+use snn_accel::serve::{CompletionSink, ServerOptions, StreamServer, Ticket};
+use snn_accel::sim::Accelerator;
+use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
+use snn_model::params::Parameters;
+use snn_model::snn::SnnModel;
+use snn_model::zoo;
+use snn_tensor::Tensor;
+use std::sync::Arc;
+
+fn tiny_setup(seed: u64, time_steps: usize, count: usize) -> (SnnModel, Vec<Tensor<f32>>) {
+    let net = zoo::tiny_cnn();
+    let params = Parameters::he_init(&net, seed).unwrap();
+    let inputs: Vec<Tensor<f32>> = (0..count)
+        .map(|i| {
+            let values: Vec<f32> = (0..144)
+                .map(|j| {
+                    let x = (j as u64 * 2654435761).wrapping_add(seed + i as u64 * 7919);
+                    (x % 97) as f32 / 96.0
+                })
+                .collect();
+            Tensor::from_vec(vec![1, 12, 12], values).unwrap()
+        })
+        .collect();
+    let stats = CalibrationStats::collect(&net, &params, inputs.iter()).unwrap();
+    let model = convert(
+        &net,
+        &params,
+        &stats,
+        ConversionConfig {
+            weight_bits: 3,
+            time_steps,
+        },
+    )
+    .unwrap();
+    (model, inputs)
+}
+
+/// Turns proptest's raw keys into a permutation of `0..len` (sort indices
+/// by key, index as tiebreak) — the submission interleaving.
+fn permutation(keys: &[u64], len: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    order.sort_by_key(|&i| (keys.get(i).copied().unwrap_or(0), i));
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The correlation suite: an N-replica server's SCORES (full
+    /// `RunReport`s, logits included) are bit-identical to a replicas=1
+    /// server and the solo oracle for every generated interleaving of
+    /// submissions across both completion paths.
+    #[test]
+    fn replicated_reports_match_single_replica_for_every_interleaving(
+        replicas in 2usize..4,
+        max_batch in 1usize..4,
+        order_keys in proptest::collection::vec(0u64..1000, 8),
+        tagged_mask in 0u32..256,
+        time_steps in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (model, inputs) = tiny_setup(seed, time_steps, order_keys.len());
+        let config = AcceleratorConfig::default();
+
+        // Oracle 1: replicas = 1, same micro-batching options.
+        let single = StreamServer::start_with(config, model.clone(), ServerOptions {
+            max_batch,
+            ..ServerOptions::default()
+        }).unwrap();
+        let baseline = single.run_all(&inputs).unwrap();
+        single.shutdown();
+
+        // Oracle 2: solo sequential accelerator.
+        let solo = Accelerator::new(config);
+
+        // System under test: N replicas, submissions in a generated
+        // permutation, each through a generated completion path.
+        let server = StreamServer::start_with(config, model.clone(), ServerOptions {
+            max_batch,
+            replicas,
+            ..ServerOptions::default()
+        }).unwrap();
+        let (sink, completions) = CompletionSink::new(Arc::new(|| {}));
+        let mut tickets: Vec<(usize, Ticket)> = Vec::new();
+        let mut tagged = 0usize;
+        for &index in &permutation(&order_keys, inputs.len()) {
+            if tagged_mask & (1 << (index % 32)) != 0 {
+                server.submit_tagged(inputs[index].clone(), index as u64, &sink).unwrap();
+                tagged += 1;
+            } else {
+                tickets.push((index, server.submit(inputs[index].clone()).unwrap()));
+            }
+        }
+        let mut reports = vec![None; inputs.len()];
+        for (index, ticket) in tickets {
+            reports[index] = Some(ticket.wait().unwrap());
+        }
+        for _ in 0..tagged {
+            let completion = completions
+                .recv_timeout(std::time::Duration::from_secs(60))
+                .expect("tagged completion arrives");
+            reports[completion.tag as usize] = Some(completion.result.unwrap());
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.replicas, replicas);
+        prop_assert_eq!(stats.healthy_replicas, replicas);
+        prop_assert_eq!(stats.completed, inputs.len() as u64);
+        prop_assert_eq!(stats.errors, 0);
+
+        for (index, report) in reports.into_iter().enumerate() {
+            let report = report.expect("every submission settled");
+            prop_assert_eq!(&report, &baseline[index],
+                "replicas={} differs from replicas=1 at input {}", replicas, index);
+            prop_assert_eq!(&report, &solo.run(&model, &inputs[index]).unwrap());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Placement always lands on a candidate with the least observed
+    /// depth; drain rate and index only break ties among equal depths.
+    #[test]
+    fn choose_picks_a_least_depth_candidate(
+        depths in proptest::collection::vec(0usize..20, 1..6),
+        capacity in 1usize..24,
+        rates in proptest::collection::vec(0u32..1000, 6),
+        healthy_mask in 0u32..64,
+        fresh_mask in 0u32..64,
+        sticky in proptest::option::of(0usize..6),
+    ) {
+        let views: Vec<ReplicaView> = depths.iter().enumerate().map(|(i, &depth)| ReplicaView {
+            index: i,
+            healthy: healthy_mask & (1 << i) != 0,
+            depth,
+            capacity,
+            drain_rate_ips: f64::from(rates[i]) / 10.0,
+            fresh: fresh_mask & (1 << i) != 0,
+        }).collect();
+        let candidates: Vec<&ReplicaView> =
+            views.iter().filter(|v| v.healthy && v.depth < v.capacity).collect();
+        match choose(&views, sticky) {
+            None => prop_assert!(candidates.is_empty(),
+                "no choice only when no candidate exists"),
+            Some(chosen) => {
+                let view = &views[chosen];
+                prop_assert!(view.healthy && view.depth < view.capacity,
+                    "the choice must be a live, non-full candidate");
+                let least = candidates.iter().map(|v| v.depth).min().unwrap();
+                let any_fresh = candidates.iter().any(|v| v.fresh);
+                if any_fresh {
+                    prop_assert_eq!(view.depth, least,
+                        "with a fresh candidate, placement is least-depth");
+                } else if let Some(sticky) = sticky {
+                    // All views stale: sticky wins if it is a candidate.
+                    if candidates.iter().any(|v| v.index == sticky) {
+                        prop_assert_eq!(chosen, sticky);
+                    }
+                }
+            }
+        }
+        // The full preference order is a permutation of the candidates.
+        let order = preference_order(&views, sticky);
+        prop_assert_eq!(order.len(), candidates.len());
+    }
+
+    /// Arrival-schedule simulation: submissions arrive one at a time and
+    /// replicas drain micro-batches at random points.  Every placement
+    /// lands on a least-depth candidate, so immediately after it the
+    /// chosen replica's queue is within the micro-batch slack of the
+    /// least depth — queues stay balanced and no replica runs away.
+    #[test]
+    fn random_arrival_schedules_keep_queues_within_micro_batch_slack(
+        replicas in 2usize..5,
+        max_batch in 1usize..9,
+        // Events: Some(replica hint) drains that replica, None is an arrival.
+        events in proptest::collection::vec(
+            proptest::option::of(0usize..5), 1..200),
+    ) {
+        let capacity = 64usize;
+        let mut depths = vec![0usize; replicas];
+        for event in events {
+            match event {
+                Some(hint) => {
+                    let r = hint % replicas;
+                    depths[r] = depths[r].saturating_sub(max_batch);
+                }
+                None => {
+                    let views: Vec<ReplicaView> = depths.iter().enumerate()
+                        .map(|(i, &depth)| ReplicaView {
+                            index: i,
+                            healthy: true,
+                            depth,
+                            capacity,
+                            drain_rate_ips: 0.0,
+                            fresh: true,
+                        })
+                        .collect();
+                    let least = *depths.iter().min().unwrap();
+                    if least >= capacity {
+                        prop_assert_eq!(choose(&views, None), None);
+                        continue;
+                    }
+                    let chosen = choose(&views, None).expect("a candidate exists");
+                    prop_assert_eq!(depths[chosen], least, "least-depth placement");
+                    depths[chosen] += 1;
+                    prop_assert!(depths[chosen] <= least + max_batch.max(1),
+                        "placed queue within micro-batch slack of the least depth");
+                }
+            }
+        }
+    }
+}

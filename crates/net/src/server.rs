@@ -310,17 +310,22 @@ impl NetServer {
         }
     }
 
-    /// `true` while the reactor thread is alive and the server has not
-    /// been told to shut down.
+    /// `true` while the reactor thread is alive, at least one replica
+    /// engine is healthy, and the server has not been told to shut down.
     ///
     /// The reactor is the front-end's only thread; if it dies (a panic in
     /// the event loop — inference panics never reach it, they are isolated
     /// inside the dispatcher), no connection will ever be served again
-    /// while the process looks healthy from the outside.  This is the
-    /// supervision signal: a monitor that sees `is_healthy() == false` on
-    /// a server it did not shut down should rebuild the front-end.
+    /// while the process looks healthy from the outside.  Likewise, a
+    /// reactor with zero healthy replicas behind it can only reject.  A
+    /// *degraded* server — some but not all replicas down — still reports
+    /// healthy (the survivors serve); the per-replica stats expose the
+    /// degradation.  This is the supervision signal: a monitor that sees
+    /// `is_healthy() == false` on a server it did not shut down should
+    /// rebuild the front-end.
     pub fn is_healthy(&self) -> bool {
         self.shared.reactor_alive.load(Ordering::Acquire)
+            && self.shared.server.healthy_replicas() > 0
             && !self.shared.shutdown.load(Ordering::Acquire)
     }
 
@@ -1032,6 +1037,10 @@ fn error_reply(request_id: u64, err: &AccelError) -> Frame {
         // inside the dispatcher and the server keeps serving — the code
         // tells the client the input is poison, not the server.
         AccelError::EnginePanic { .. } => error_code::ENGINE_PANIC,
+        // The replica this request was placed on died before serving it;
+        // siblings keep serving, so the client should resubmit and let the
+        // router place the retry on a healthy replica.
+        AccelError::ReplicaDown { .. } => error_code::REPLICA_DOWN,
         _ => error_code::BAD_REQUEST,
     };
     Frame::Error(ErrorReply {
@@ -1069,6 +1078,8 @@ fn render_stats_text(shared: &NetShared) -> String {
         "reactor_alive: {}\n",
         u8::from(shared.reactor_alive.load(Ordering::Acquire))
     ));
+    out.push_str(&format!("replicas: {}\n", server.replicas));
+    out.push_str(&format!("replicas_healthy: {}\n", server.healthy_replicas));
     out.push_str(&format!("batches: {}\n", server.batches));
     out.push_str(&format!("largest_batch: {}\n", server.largest_batch));
     out.push_str(&format!("queue_depth: {}\n", server.queue.depth));
@@ -1107,6 +1118,21 @@ fn render_stats_text(shared: &NetShared) -> String {
         "stats_requests: {}\n",
         c.stats_requests.load(Ordering::Relaxed)
     ));
+    for replica in &server.per_replica {
+        out.push_str(&format!(
+            "replica[{}]: healthy={} completed={} errors={} batches={} panics={} \
+             deadline_sheds={} queue_depth={} drain_rate_ips={:.3}\n",
+            replica.index,
+            u8::from(replica.healthy),
+            replica.completed,
+            replica.errors,
+            replica.batches,
+            replica.panics,
+            replica.deadline_sheds,
+            replica.queue.depth,
+            replica.queue.drain_rate_ips
+        ));
+    }
     for unit in &server.utilisation {
         out.push_str(&format!(
             "unit[{:?}]: units={} busy_cycles={} total_cycles={} utilisation={:.4}\n",
@@ -1151,6 +1177,12 @@ fn render_stats_prometheus(shared: &NetShared) -> String {
         "snn_reactor_alive",
         "gauge",
         u8::from(shared.reactor_alive.load(Ordering::Acquire)).to_string(),
+    );
+    metric("snn_replicas", "gauge", server.replicas.to_string());
+    metric(
+        "snn_replicas_healthy",
+        "gauge",
+        server.healthy_replicas.to_string(),
     );
     metric("snn_batches_total", "counter", server.batches.to_string());
     metric(
@@ -1214,6 +1246,58 @@ fn render_stats_prometheus(shared: &NetShared) -> String {
         "counter",
         c.stats_requests.load(Ordering::Relaxed).to_string(),
     );
+    for (name, kind, pick) in [
+        (
+            "snn_replica_healthy",
+            "gauge",
+            Box::new(|r: &snn_accel::serve::ReplicaStats| u8::from(r.healthy).to_string())
+                as Box<dyn Fn(&snn_accel::serve::ReplicaStats) -> String>,
+        ),
+        (
+            "snn_replica_completed_total",
+            "counter",
+            Box::new(|r| r.completed.to_string()),
+        ),
+        (
+            "snn_replica_errors_total",
+            "counter",
+            Box::new(|r| r.errors.to_string()),
+        ),
+        (
+            "snn_replica_batches_total",
+            "counter",
+            Box::new(|r| r.batches.to_string()),
+        ),
+        (
+            "snn_replica_panics_total",
+            "counter",
+            Box::new(|r| r.panics.to_string()),
+        ),
+        (
+            "snn_replica_deadline_sheds_total",
+            "counter",
+            Box::new(|r| r.deadline_sheds.to_string()),
+        ),
+        (
+            "snn_replica_queue_depth",
+            "gauge",
+            Box::new(|r| r.queue.depth.to_string()),
+        ),
+        (
+            "snn_replica_drain_rate_ips",
+            "gauge",
+            Box::new(|r| format!("{:.3}", r.queue.drain_rate_ips)),
+        ),
+    ] {
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        for replica in &server.per_replica {
+            out.push_str(&format!(
+                "{name}{{replica=\"{}\"}} {}\n",
+                replica.index,
+                pick(replica)
+            ));
+        }
+    }
     for (name, kind, pick) in [
         (
             "snn_unit_count",

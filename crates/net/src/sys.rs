@@ -207,8 +207,14 @@ impl WakePipe {
     /// Empties the pipe so the next [`poll_fds`] blocks again.  Coalesced
     /// wakes are expected: callers must re-check *all* wake sources after
     /// draining, not count bytes.
+    ///
+    /// Slurps *all* pending bytes per readiness event: under a completion
+    /// storm every settled inference writes a wake byte, and a pipe holds
+    /// 64 KiB of them — the sink must be large enough that one drain is a
+    /// handful of `read(2)`s, not thousands (a 64-byte sink once meant a
+    /// 10 k-completion storm cost ~160 syscalls per poll round).
     pub fn drain(&self) {
-        let mut sink = [0u8; 64];
+        let mut sink = [0u8; 4096];
         loop {
             // SAFETY: reads into a live stack buffer from an owned fd;
             // an empty non-blocking pipe returns -1/EAGAIN which ends the
@@ -272,6 +278,34 @@ mod tests {
             pipe.wake();
         }
         let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, Duration::from_secs(5)).unwrap(), 1);
+        pipe.drain();
+        fds[0].revents = 0;
+        assert_eq!(poll_fds(&mut fds, Duration::from_millis(10)).unwrap(), 0);
+    }
+
+    #[test]
+    fn a_flood_of_wakes_drains_in_one_readiness_event() {
+        // Regression: 10 k completions each write one wake byte before the
+        // reactor gets scheduled.  One drain per readiness event must slurp
+        // the whole backlog — afterwards the pipe is empty (poll times out)
+        // and a single fresh wake still gets through.
+        let pipe = WakePipe::new().unwrap();
+        for _ in 0..10_000 {
+            pipe.wake();
+        }
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, Duration::from_secs(5)).unwrap(), 1);
+        assert!(fds[0].has(POLLIN));
+        pipe.drain();
+        fds[0].revents = 0;
+        assert_eq!(
+            poll_fds(&mut fds, Duration::from_millis(10)).unwrap(),
+            0,
+            "one drain call must consume the entire 10k-byte backlog"
+        );
+        // The pipe still works after the flood: wake, poll, drain, quiet.
+        pipe.wake();
         assert_eq!(poll_fds(&mut fds, Duration::from_secs(5)).unwrap(), 1);
         pipe.drain();
         fds[0].revents = 0;

@@ -253,6 +253,127 @@ fn expired_deadlines_shed_before_compute_with_a_typed_rejection() {
     assert_eq!(reply.logits, setup.expected[2]);
 }
 
+/// The replica-death schedule: a kill-pill input unwinds one replica's
+/// whole dispatcher mid-storm.  The pins: the storm never hangs — every
+/// request ends in bit-exact SCORES or a typed REPLICA_DOWN error frame;
+/// at least the pill's own request is stranded; afterwards the server is
+/// *healthy but degraded* (`replicas_healthy: 1`, `is_healthy()` true),
+/// fresh traffic is rerouted to the surviving replica and served exactly,
+/// and the final stats show exactly one dead replica with an empty queue.
+#[test]
+fn a_replica_kill_mid_storm_strands_only_its_requests_and_degrades_the_server() {
+    let setup = setup();
+    let _serial = chaos_lock();
+    // A dedicated two-replica server: killing a replica is permanent, so
+    // the shared singleton cannot be used.
+    let net = zoo::tiny_cnn();
+    let params = Parameters::he_init(&net, 11).unwrap();
+    let stats = CalibrationStats::collect(&net, &params, setup.inputs.iter()).unwrap();
+    let model = convert(
+        &net,
+        &params,
+        &stats,
+        ConversionConfig {
+            weight_bits: 3,
+            time_steps: 3,
+        },
+    )
+    .unwrap();
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        AcceleratorConfig::default(),
+        model,
+        NetOptions {
+            server: snn_accel::serve::ServerOptions {
+                replicas: 2,
+                ..snn_accel::serve::ServerOptions::default()
+            },
+            ..NetOptions::default()
+        },
+    )
+    .unwrap();
+    let oracle: Vec<Vec<i64>> = setup.expected.clone();
+
+    // The storm: a pipelined burst with the kill pill in the middle, so
+    // requests are in flight on both replicas when one dies.
+    let mut killer = setup.inputs[0].clone();
+    killer.as_mut_slice()[0] = poison::kill_pill();
+    let picks: Vec<usize> = (0..10).map(|i| i % setup.inputs.len()).collect();
+    let mut batch: Vec<Tensor<f32>> = picks.iter().map(|&p| setup.inputs[p].clone()).collect();
+    batch.insert(5, killer);
+
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let replies = client.infer_many(&batch).unwrap();
+    assert_eq!(replies.len(), batch.len(), "every request must settle");
+    let mut stranded = 0usize;
+    for (slot, reply) in replies.iter().enumerate() {
+        match reply {
+            Ok(scores) => {
+                let pick = if slot < 5 {
+                    picks[slot]
+                } else {
+                    picks[slot - 1]
+                };
+                assert_eq!(
+                    scores.logits, oracle[pick],
+                    "request {slot}: a served reply must stay bit-exact through the kill"
+                );
+                assert!(slot != 5, "the kill pill itself can never be served");
+            }
+            Err(NetError::Remote { code, message }) => {
+                assert_eq!(
+                    *code,
+                    error_code::REPLICA_DOWN,
+                    "request {slot}: the only admissible failure is a typed \
+                     REPLICA_DOWN, got {message:?}"
+                );
+                assert!(
+                    message.contains("replica") && message.contains("down"),
+                    "the frame names the dead replica: {message}"
+                );
+                stranded += 1;
+            }
+            Err(other) => panic!("request {slot}: unexpected error class: {other}"),
+        }
+    }
+    assert!(
+        stranded >= 1,
+        "at least the kill pill's own request is stranded"
+    );
+
+    // Healthy but degraded: the survivor serves, the scrape says so.
+    assert!(
+        server.is_healthy(),
+        "one dead replica must not fail the whole server"
+    );
+    let text = client.stats_text().unwrap();
+    assert_eq!(counter(&text, "replicas"), 2);
+    assert_eq!(counter(&text, "replicas_healthy"), 1);
+
+    // Rerouting: fresh traffic lands on the survivor and stays bit-exact.
+    let mut fresh = NetClient::connect(server.local_addr()).unwrap();
+    for (pick, expected) in oracle.iter().enumerate() {
+        let reply = fresh.infer(&setup.inputs[pick]).unwrap();
+        assert_eq!(reply.logits, *expected);
+    }
+
+    // The final snapshot: exactly one dead replica, drained to empty.
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.server.replicas, 2);
+    assert_eq!(final_stats.server.healthy_replicas, 1);
+    let dead: Vec<_> = final_stats
+        .server
+        .per_replica
+        .iter()
+        .filter(|r| !r.healthy)
+        .collect();
+    assert_eq!(dead.len(), 1, "exactly one replica died");
+    assert_eq!(
+        dead[0].queue.depth, 0,
+        "the dead replica's queue was drained, not leaked"
+    );
+}
+
 /// Connection resets are the destructive schedule: requests riding a reset
 /// connection may fail with transport errors (typed, never hangs), but the
 /// server itself must shrug them off — once the plan is disarmed, a fresh

@@ -87,7 +87,7 @@ static BYTE_TABLE: ByteTable = {
 };
 
 /// Word-batched bitmask expansion: each non-zero byte of each word is
-/// expanded through [`BYTE_TABLE`] (no per-bit branches), appending
+/// expanded through `BYTE_TABLE` (no per-bit branches), appending
 /// ascending positions `base + bit_index` to `out`.  Its fixed
 /// 8-bytes-per-word walk only pays off on near-saturated rows — which the
 /// engine gathers densely instead — so [`collect_set_bits`] dispatches

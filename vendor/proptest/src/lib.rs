@@ -2,8 +2,8 @@
 //!
 //! The build container has no registry access, so this crate implements the
 //! API subset the workspace's property tests use: the [`proptest!`] macro,
-//! `prop_assert*` macros, range and `prop::collection::vec` strategies, and
-//! [`test_runner::ProptestConfig`].  Cases are generated from a
+//! `prop_assert*` macros, range, tuple, `prop::collection::vec` and
+//! `option::of` strategies, and [`test_runner::ProptestConfig`].  Cases are generated from a
 //! deterministic per-test seed; failures report the case number but do not
 //! shrink.  Swapping in the real proptest is a one-line manifest change.
 
@@ -83,6 +83,24 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> S::Value {
             (**self).generate(rng)
         }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (S0 s0, S1 s1)
+        (S0 s0, S1 s1, S2 s2)
+        (S0 s0, S1 s1, S2 s2, S3 s3)
     }
 }
 
@@ -250,6 +268,37 @@ pub mod collection {
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.usize_in(self.size.min, self.size.max_inclusive);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies (`proptest::option::of`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option`s of an inner strategy's values.
+    #[derive(Debug, Clone, Copy)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` of the inner strategy's value or `None`, with equal
+    /// probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
         }
     }
 }
@@ -425,6 +474,9 @@ mod tests {
             g in 0.0f32..=1.0,
             flag in crate::bool::ANY,
             xs in prop::collection::vec(0u32..10, 1..6),
+            pair in (0u8..4, 10u8..14),
+            maybe in crate::option::of(0u32..7),
+            pairs in prop::collection::vec((0u64..3, 5i32..8), 2..4),
         ) {
             prop_assert!((1..5).contains(&a));
             prop_assert!((-3..3).contains(&b));
@@ -433,6 +485,9 @@ mod tests {
             let _ = flag;
             prop_assert!(!xs.is_empty() && xs.len() < 6);
             prop_assert!(xs.iter().all(|&x| x < 10));
+            prop_assert!(pair.0 < 4 && (10..14).contains(&pair.1));
+            prop_assert!(maybe.is_none() || maybe.unwrap() < 7);
+            prop_assert!(pairs.iter().all(|&(x, y)| x < 3 && (5..8).contains(&y)));
         }
     }
 
