@@ -22,11 +22,13 @@
 
 use snn_accel::config::AcceleratorConfig;
 use snn_accel::serve::ServerOptions;
+use snn_bench::phases::{any_phase, phase_latency_json};
 use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
 use snn_model::params::Parameters;
 use snn_model::snn::SnnModel;
 use snn_model::zoo;
-use snn_net::{NetClient, NetError, NetOptions, NetServer};
+use snn_net::{scrape_traces, NetClient, NetError, NetOptions, NetServer};
+use snn_telemetry::{Phase, RequestTrace};
 use snn_tensor::Tensor;
 use std::time::Instant;
 
@@ -85,8 +87,17 @@ fn main() {
     let (model, inputs) = lenet_model(8);
     let config = AcceleratorConfig::lenet_table3();
 
-    let server = NetServer::bind("127.0.0.1:0", config, model.clone(), NetOptions::default())
-        .expect("bind server");
+    // The summary embeds per-phase trace percentiles, so tracing is
+    // pinned on regardless of the SNN_TRACE environment.
+    let options = NetOptions {
+        server: ServerOptions {
+            trace: true,
+            ..ServerOptions::default()
+        },
+        ..NetOptions::default()
+    };
+    let server =
+        NetServer::bind("127.0.0.1:0", config, model.clone(), options).expect("bind server");
     let addr = server.local_addr();
     // Warm up the pool, the compiled program and the connection path.
     let mut warm = NetClient::connect(addr).expect("warmup connect");
@@ -134,6 +145,38 @@ fn main() {
     }
     let elapsed = started.elapsed().as_secs_f64();
     let ips = total_requests as f64 / elapsed;
+
+    // Drain the per-request traces the run produced (tracing is on by
+    // default) and summarise per-phase latency percentiles for the trend.
+    let trace_dump = scrape_traces(addr).expect("trace scrape");
+    let traces: Vec<RequestTrace> = trace_dump
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| RequestTrace::from_json_line(l).expect("parse trace line"))
+        .collect();
+    let expected_traces = total_requests + PROBE_REQUESTS + 1;
+    assert!(
+        !traces.is_empty() && traces.len() <= expected_traces,
+        "trace drain must return at most one trace per request"
+    );
+    // With the default connection count the ring never evicts, so the
+    // correlation is exact; an oversized SNN_BENCH_CONNECTIONS run may
+    // legitimately evict old traces.
+    if expected_traces <= snn_telemetry::DEFAULT_TRACE_CAPACITY {
+        assert_eq!(
+            traces.len(),
+            expected_traces,
+            "every request (plus probe and warmup) must leave exactly one trace"
+        );
+    }
+    for phase in [Phase::QueueWait, Phase::Compute, Phase::WriteStall] {
+        assert!(
+            any_phase(&traces, phase),
+            "the loopback run must record {phase:?} spans"
+        );
+    }
+    let phase_latency = phase_latency_json(&traces);
+
     let stats = server.shutdown();
     println!(
         "net: {total_requests} LeNet inferences pipelined over {connections} TCP connections \
@@ -237,6 +280,7 @@ fn main() {
          \"inferences_per_sec\": {{\"tcp_loopback\": {ips:.2}}},\n\
          \"latency\": {{\"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}, \
          \"mean_us\": {mean_us:.1}}},\n\
+         \"trace_phase_latency\": {phase_latency},\n\
          \"backpressure\": {{\"burst_requests\": {}, \"rejections\": {rejections}, \
          \"retry_hint_sample\": {hint_ms}}},\n\
          \"unit_utilisation\": {{{}}}\n\

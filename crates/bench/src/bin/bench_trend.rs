@@ -12,7 +12,9 @@
 //! noise, prints a `::error::` annotation and exits non-zero.  A missing
 //! baseline (first run of a new summary) is reported and skipped.
 
-use snn_bench::trend::{compare, parse_metrics, DEFAULT_THRESHOLD, FAIL_THRESHOLD};
+use snn_bench::trend::{
+    compare, parse_metrics, parse_metrics_with_skipped, DEFAULT_THRESHOLD, FAIL_THRESHOLD,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -39,13 +41,26 @@ fn main() {
             return;
         }
     };
-    let (baseline, current) = match (parse_metrics(&baseline_text), parse_metrics(&current_text)) {
-        (Ok(b), Ok(c)) => (b, c),
+    let (baseline, current, skipped) = match (
+        parse_metrics(&baseline_text),
+        parse_metrics_with_skipped(&current_text),
+    ) {
+        (Ok(b), Ok((c, s))) => (b, c, s),
         (Err(e), _) | (_, Err(e)) => {
             println!("::warning::bench-trend: malformed summary: {e}");
             return;
         }
     };
+    // Keys the classifier does not compare are logged, not silently
+    // dropped — a typo'd unit suffix on a new metric shows up here.
+    if !skipped.is_empty() {
+        println!(
+            "bench-trend: {} numeric key(s) in {} are informational (not compared): {}",
+            skipped.len(),
+            args[2],
+            skipped.join(", ")
+        );
+    }
 
     let regressions = compare(&baseline, &current, threshold);
     if regressions.is_empty() {

@@ -109,6 +109,7 @@ pub fn sweep_body() -> String {
     // the modelled per-unit numbers stay comparable with earlier PRs.
     let mut swept: Vec<(usize, f64)> = Vec::new();
     let mut single_stats = None;
+    let mut phase_latency = String::from("{}");
     for replicas in REPLICA_COUNTS {
         let server = StreamServer::start_with(
             config,
@@ -116,6 +117,9 @@ pub fn sweep_body() -> String {
             ServerOptions {
                 max_batch: MICRO_BATCH,
                 replicas,
+                // The summary embeds per-phase trace percentiles, so
+                // tracing is pinned on regardless of SNN_TRACE.
+                trace: true,
                 ..ServerOptions::default()
             },
         )
@@ -128,6 +132,15 @@ pub fn sweep_body() -> String {
             best = best.min(start.elapsed().as_secs_f64());
         }
         let ips = BATCH as f64 / best;
+        if replicas == 1 {
+            // Per-phase latency percentiles from the single-replica run's
+            // span recorder (tracing is on by default), summarised for
+            // the PR-over-PR trend like the throughput numbers.
+            let traces = server.recorder().drain();
+            if !traces.is_empty() {
+                phase_latency = crate::phases::phase_latency_json(&traces);
+            }
+        }
         let stats = server.shutdown();
         assert_eq!(stats.replicas, replicas, "sweep must run what it claims");
         assert_eq!(
@@ -188,6 +201,7 @@ pub fn sweep_body() -> String {
          \"speedup_server_vs_naive\": {speedup:.3},\n\
          \"replica_throughput_ips\": {{{}}},\n\
          \"replica_speedup\": {{{}}},\n\
+         \"trace_phase_latency\": {phase_latency},\n\
          \"unit_utilisation\": {{{}}}",
         stats.thread_budget,
         throughput.join(", "),

@@ -238,6 +238,19 @@ impl<'a> Reader<'a> {
 ///
 /// Returns a description of the first malformed construct.
 pub fn parse_metrics(text: &str) -> Result<Vec<Metric>, String> {
+    parse_metrics_with_skipped(text).map(|(metrics, _)| metrics)
+}
+
+/// Like [`parse_metrics`], but also returns the key paths of numeric
+/// fields that were **not** classified as comparable (informational
+/// counts, cycle totals, unknown keys).  `bench_trend` prints these so a
+/// metric silently dropped from the comparison is visible in the log
+/// rather than disappearing.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn parse_metrics_with_skipped(text: &str) -> Result<(Vec<Metric>, Vec<String>), String> {
     // First pass: flatten every numeric field.
     let mut raw = Vec::new();
     let mut reader = Reader::new(text);
@@ -249,6 +262,7 @@ pub fn parse_metrics(text: &str) -> Result<Vec<Metric>, String> {
     // `results/<id>/...` so reordering rows does not break comparisons.
     let ids = result_ids(text);
     let mut metrics = Vec::new();
+    let mut skipped = Vec::new();
     for (mut id, value) in raw {
         if let Some(rest) = id.strip_prefix("results/") {
             if let Some((index, field)) = rest.split_once('/') {
@@ -269,16 +283,23 @@ pub fn parse_metrics(text: &str) -> Result<Vec<Metric>, String> {
             || id.contains("per_sec")
             || id.split('/').any(|segment| segment.ends_with("_ips"))
             || leaf == "utilisation";
-        let lower = id.ends_with("_ns") || id.ends_with("_us") || id.ends_with("_ms");
+        // Durations are lower-is-better; like `_ips`, the unit suffix may
+        // sit on a parent segment (`phase_p99_us/compute`) rather than the
+        // leaf, so every segment is checked.
+        let lower = id.split('/').any(|segment| {
+            segment.ends_with("_ns") || segment.ends_with("_us") || segment.ends_with("_ms")
+        });
         if higher || lower {
             metrics.push(Metric {
                 id,
                 value,
                 higher_is_better: higher,
             });
+        } else {
+            skipped.push(id);
         }
     }
-    Ok(metrics)
+    Ok((metrics, skipped))
 }
 
 /// The `"id"` strings of the `results` array, in order.
@@ -497,6 +518,42 @@ mod tests {
             assert!(!metric.higher_is_better, "{id} must be lower-is-better");
         }
         assert!(metrics.iter().all(|m| m.id != "samples"));
+    }
+
+    #[test]
+    fn duration_suffixes_on_parent_segments_are_lower_is_better() {
+        // The unit suffix may name a parent group rather than the leaf —
+        // `phase_p99_us/compute` must classify exactly like `p99_us`.
+        let metrics = parse_metrics(
+            r#"{"phase_p99_us": {"queue_wait": 120.0, "compute": 900.0},
+                "trace_phase_latency": {"compute": {"p999_us": 1800.0}}}"#,
+        )
+        .unwrap();
+        for id in [
+            "phase_p99_us/queue_wait",
+            "phase_p99_us/compute",
+            "trace_phase_latency/compute/p999_us",
+        ] {
+            let metric = metrics
+                .iter()
+                .find(|m| m.id == id)
+                .unwrap_or_else(|| panic!("missing {id}: {metrics:?}"));
+            assert!(!metric.higher_is_better, "{id} must be lower-is-better");
+        }
+    }
+
+    #[test]
+    fn unclassified_numeric_keys_are_reported_not_dropped() {
+        let (metrics, skipped) = parse_metrics_with_skipped(
+            r#"{"latency": {"p50_us": 900.0}, "batch": 32, "samples": 64,
+                "mystery_metric": 7.0}"#,
+        )
+        .unwrap();
+        assert_eq!(metrics.len(), 1);
+        assert!(skipped.contains(&"batch".to_string()));
+        assert!(skipped.contains(&"samples".to_string()));
+        assert!(skipped.contains(&"mystery_metric".to_string()));
+        assert!(!skipped.contains(&"latency/p50_us".to_string()));
     }
 
     #[test]

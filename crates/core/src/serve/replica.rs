@@ -25,6 +25,7 @@ use crate::report::RunReport;
 use crate::sim::Accelerator;
 use crate::{AccelError, Result};
 use snn_model::snn::SnnModel;
+use snn_telemetry::{Outcome, Phase, TraceBuilder};
 use snn_tensor::Tensor;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -64,6 +65,37 @@ pub(crate) struct Submission {
     /// deadline and [`ServerOptions::max_queue_wait`], resolved at
     /// admission.  `None` never expires.
     pub(crate) deadline: Option<Duration>,
+    /// The request's span trace, carried with the submission through the
+    /// pipeline (builder-owned state: recording a phase boundary takes no
+    /// locks).  Finished in [`Submission::settle`]; dropping an unsettled
+    /// submission publishes an `abandoned` trace instead of leaking an
+    /// open span.
+    pub(crate) trace: TraceBuilder,
+}
+
+/// Maps an inference result onto the trace's terminal outcome.
+fn outcome_of(result: &Result<RunReport>) -> Outcome {
+    match result {
+        Ok(report) => Outcome::Scores {
+            total_cycles: report.total_cycles(),
+        },
+        Err(AccelError::DeadlineExceeded { .. }) => Outcome::Rejected {
+            scope: "deadline".to_string(),
+        },
+        Err(AccelError::QueueFull { .. }) => Outcome::Rejected {
+            scope: "queue".to_string(),
+        },
+        Err(AccelError::EnginePanic { .. }) => Outcome::Error {
+            code: "engine_panic".to_string(),
+        },
+        Err(AccelError::ReplicaDown { .. }) => Outcome::ReplicaDown,
+        Err(AccelError::Serving { .. }) => Outcome::Error {
+            code: "serving".to_string(),
+        },
+        Err(_) => Outcome::Error {
+            code: "bad_request".to_string(),
+        },
+    }
 }
 
 impl Submission {
@@ -80,7 +112,10 @@ impl Submission {
     /// Delivers `result` to whichever completion path this submission
     /// uses (dropped tickets and closed sinks just mean the client
     /// stopped listening; the waker fires strictly after the send).
-    pub(crate) fn settle(self, result: Result<RunReport>) {
+    pub(crate) fn settle(mut self, result: Result<RunReport>) {
+        // Publish the trace before delivery: a client holding its result
+        // is guaranteed to find the completed trace in the recorder.
+        self.trace.finish(outcome_of(&result));
         match self.reply {
             ReplyTo::Ticket(reply) => {
                 let _ = reply.send(result);
@@ -262,8 +297,14 @@ fn dispatch_loop(shared: &ReplicaShared) {
         // already given up on is answered with a typed error at queue
         // cost, not computed late at full cost.
         let now = Instant::now();
-        let (batch, expired): (Vec<Submission>, Vec<Submission>) =
+        let (mut batch, expired): (Vec<Submission>, Vec<Submission>) =
             batch.into_iter().partition(|s| !s.expired_at(now));
+        // Kept submissions leave the queue here: queue_wait ends, batch
+        // assembly begins.  (Expired ones finish inside `settle` below —
+        // their whole post-admission life was queue wait.)
+        for submission in batch.iter_mut() {
+            submission.trace.advance(Phase::BatchAssembly);
+        }
         if !expired.is_empty() {
             relock(&shared.stats).deadline_sheds += expired.len() as u64;
             for submission in expired {
@@ -294,6 +335,12 @@ fn dispatch_loop(shared: &ReplicaShared) {
         #[cfg(feature = "fault-injection")]
         for submission in in_flight.iter() {
             super::poison::check_kill(&submission.input);
+        }
+
+        // Compute starts now.  Marked while the in-flight guard is still
+        // mutable — `par_map` below borrows the batch immutably.
+        for submission in in_flight.iter_mut() {
+            submission.trace.advance(Phase::Compute);
         }
 
         // Execute the micro-batch over this replica's slice of the worker

@@ -26,6 +26,7 @@
 
 use super::replica::{relock, EnqueueRejection, ReplicaShared, Submission};
 use crate::{AccelError, Result};
+use snn_telemetry::{Outcome, Phase};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -172,6 +173,11 @@ impl Router {
         let mut views = self.observe(&mut state);
         let order = preference_order(&views, state.last_choice);
         for index in order {
+            // Record where the placement is going (landing replica wins
+            // on spill) and hand the trace over to queue wait — a bounced
+            // attempt re-enters routing, accumulating into the same span.
+            submission.trace.note_route(index, views[index].depth);
+            submission.trace.advance(Phase::QueueWait);
             match self.replicas[index].try_enqueue(submission) {
                 Ok(()) => {
                     state.cached_depth[index] += 1;
@@ -180,16 +186,21 @@ impl Router {
                 }
                 Err((returned, EnqueueRejection::Full { queued })) => {
                     submission = returned;
+                    submission.trace.advance(Phase::Route);
                     state.cached_depth[index] = queued;
                     views[index].depth = queued;
                 }
                 Err((returned, EnqueueRejection::Down)) => {
                     submission = returned;
+                    submission.trace.advance(Phase::Route);
                     views[index].healthy = false;
                 }
             }
         }
         if !views.iter().any(|v| v.healthy) {
+            submission.trace.finish(Outcome::Error {
+                code: "serving".to_string(),
+            });
             return Err(AccelError::Serving {
                 context: "all replica engines are down; the server cannot serve until it is \
                           restarted"
@@ -199,6 +210,9 @@ impl Router {
         self.rejected.fetch_add(1, Ordering::SeqCst);
         let queued = views.iter().filter(|v| v.healthy).map(|v| v.depth).sum();
         let capacity = views.iter().filter(|v| v.healthy).map(|v| v.capacity).sum();
+        submission.trace.finish(Outcome::Rejected {
+            scope: "queue".to_string(),
+        });
         Err(AccelError::QueueFull { queued, capacity })
     }
 }

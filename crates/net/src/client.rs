@@ -21,7 +21,9 @@
 //! dependency-free scraper (or `nc`) would.
 
 use crate::error::NetError;
-use crate::protocol::{stats_format, Frame, InferRequest, ScoreReply, NO_REQUEST_ID, STATS_LINE};
+use crate::protocol::{
+    stats_format, Frame, InferRequest, ScoreReply, NO_REQUEST_ID, STATS_LINE, TRACES_LINE,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use snn_tensor::Tensor;
@@ -405,6 +407,20 @@ impl NetClient {
         self.stats(stats_format::PROMETHEUS)
     }
 
+    /// Drains the server's completed per-request traces as JSONL (one
+    /// trace object per line; parse with
+    /// `snn_telemetry::RequestTrace::from_json_line`).  The drain is
+    /// destructive: each trace is returned exactly once across all
+    /// scrapers.  An empty string means no requests completed since the
+    /// last drain (or tracing is disabled).
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::stats_text`].
+    pub fn stats_traces(&mut self) -> Result<String, NetError> {
+        self.stats(stats_format::TRACES)
+    }
+
     fn stats(&mut self, format: u8) -> Result<String, NetError> {
         match self.roundtrip(&Frame::StatsRequest { format })? {
             Frame::StatsText(text) => Ok(text),
@@ -639,6 +655,40 @@ pub fn scrape_stats<A: ToSocketAddrs>(addr: A) -> Result<String, NetError> {
     String::from_utf8(reply).map_err(|_| {
         NetError::Protocol(crate::protocol::ProtocolError::Malformed(
             "stats reply is not UTF-8".to_string(),
+        ))
+    })
+}
+
+/// One-shot plaintext trace drain: connects, sends the ASCII `TRACES`
+/// line and reads the JSONL dump until the server closes — the `nc`
+/// spelling of [`NetClient::stats_traces`].  Destructive like the framed
+/// form: each completed trace is returned exactly once.
+///
+/// # Errors
+///
+/// See [`scrape_stats`].
+pub fn scrape_traces<A: ToSocketAddrs>(addr: A) -> Result<String, NetError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(REPLY_TIMEOUT))?;
+    let mut line = TRACES_LINE.to_vec();
+    line.push(b'\n');
+    stream.write_all(&line)?;
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply)?;
+    if reply.starts_with(&crate::protocol::MAGIC) {
+        return match Frame::decode(&reply)? {
+            Some((Frame::Rejected(rejected), _)) => Err(NetError::Rejected(rejected)),
+            _ => Err(NetError::Protocol(
+                crate::protocol::ProtocolError::Malformed(
+                    "framed reply to a plaintext traces request".to_string(),
+                ),
+            )),
+        };
+    }
+    String::from_utf8(reply).map_err(|_| {
+        NetError::Protocol(crate::protocol::ProtocolError::Malformed(
+            "traces reply is not UTF-8".to_string(),
         ))
     })
 }

@@ -29,8 +29,15 @@
 //!   hint computed from the live queue depth and drain rate.
 //! * [`client`] — [`client::NetClient`] (pipelined `infer_many`, jittered
 //!   [`client::BackoffPolicy`] retries), [`client::NetPool`] connection
-//!   pooling, plus [`client::scrape_stats`] for the plaintext `STATS`
-//!   line.
+//!   pooling, plus [`client::scrape_stats`] / [`client::scrape_traces`]
+//!   for the plaintext `STATS` and `TRACES` lines.
+//!
+//! The front-end also exports the per-request tracing pipeline end to
+//! end: STATS format byte `2` (or the plaintext `TRACES` line) drains
+//! the server's completed `snn_telemetry::RequestTrace` ring as JSONL,
+//! and the Prometheus exposition carries per-phase latency histograms
+//! (`snn_request_queue_wait_seconds`, `snn_request_compute_seconds`,
+//! `snn_request_duration_seconds`, `snn_reactor_write_stall_seconds`).
 //!
 //! Scores received over TCP are **bit-identical** to the matching
 //! in-process `StreamServer::submit` call — the loopback test suite pins
@@ -55,7 +62,7 @@ pub mod protocol;
 pub mod server;
 pub mod sys;
 
-pub use client::{scrape_stats, BackoffPolicy, NetClient, NetPool};
+pub use client::{scrape_stats, scrape_traces, BackoffPolicy, NetClient, NetPool};
 pub use error::NetError;
 pub use protocol::{Frame, ProtocolError};
 pub use server::{NetOptions, NetServer, NetStats};

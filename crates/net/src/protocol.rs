@@ -73,6 +73,11 @@ pub const MAX_RANK: usize = 8;
 /// [`Frame::StatsRequest`].
 pub const STATS_LINE: &[u8] = b"STATS";
 
+/// The plaintext request line that drains the per-request trace ring as
+/// JSONL — the `nc`-friendly spelling of a framed
+/// [`Frame::StatsRequest`] with [`stats_format::TRACES`].
+pub const TRACES_LINE: &[u8] = b"TRACES";
+
 /// A malformed or hostile byte stream, detected by the codec.
 ///
 /// Protocol errors are terminal for a connection but must never panic or
@@ -149,6 +154,9 @@ pub mod stats_format {
     /// Prometheus exposition format: `# TYPE` lines plus `snn_`-prefixed
     /// metric names, ready for a Prometheus scrape endpoint.
     pub const PROMETHEUS: u8 = 1;
+    /// JSONL trace export: one completed `RequestTrace` object per line,
+    /// drained (destructively) from the server's span recorder ring.
+    pub const TRACES: u8 = 2;
 }
 
 /// Error codes carried by an [`ErrorReply`].
@@ -620,7 +628,7 @@ fn parse_payload(kind: u16, payload: &[u8]) -> Result<Frame, ProtocolError> {
         },
         KIND_STATS_REQUEST => {
             let format = r.array::<1>()?[0];
-            if format > stats_format::PROMETHEUS {
+            if format > stats_format::TRACES {
                 return Err(ProtocolError::Malformed(format!(
                     "unknown stats format {format}"
                 )));
@@ -700,19 +708,47 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Result of probing a connection's first bytes for the plaintext
-/// [`STATS_LINE`] request.
+/// Result of probing a connection's first bytes for a plaintext request
+/// line ([`STATS_LINE`] or [`TRACES_LINE`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlaintextProbe {
-    /// Not a plaintext stats request — decode as frames.
+    /// Not a plaintext request — decode as frames.
     NotStats,
-    /// Could still become `STATS\n`; read more bytes first.
+    /// Could still become a plaintext line; read more bytes first.
     NeedMore,
     /// A complete plaintext stats line, `consumed` bytes long.
     Stats {
         /// Bytes of the request line, including the terminator.
         consumed: usize,
     },
+    /// A complete plaintext traces line, `consumed` bytes long.
+    Traces {
+        /// Bytes of the request line, including the terminator.
+        consumed: usize,
+    },
+}
+
+/// Matches `buf` against one plaintext request line (`\n` or `\r\n`
+/// terminated), reporting how many bytes the line consumed.
+fn probe_line(buf: &[u8], line: &[u8]) -> Option<PlaintextProbe> {
+    let probe = buf.len().min(line.len());
+    if buf[..probe] != line[..probe] {
+        return None;
+    }
+    let rest = &buf[probe..];
+    if probe < line.len() {
+        return Some(PlaintextProbe::NeedMore);
+    }
+    match rest {
+        [] | [b'\r'] => Some(PlaintextProbe::NeedMore),
+        [b'\n', ..] => Some(PlaintextProbe::Stats {
+            consumed: line.len() + 1,
+        }),
+        [b'\r', b'\n', ..] => Some(PlaintextProbe::Stats {
+            consumed: line.len() + 2,
+        }),
+        _ => None,
+    }
 }
 
 /// Checks whether `buf` starts with the plaintext `STATS` line
@@ -721,23 +757,24 @@ pub enum PlaintextProbe {
 /// Because [`MAGIC`] is `SNNF`, the prefixes diverge at the second byte,
 /// so framed traffic never lingers in [`PlaintextProbe::NeedMore`].
 pub fn probe_plaintext_stats(buf: &[u8]) -> PlaintextProbe {
-    let probe = buf.len().min(STATS_LINE.len());
-    if buf[..probe] != STATS_LINE[..probe] {
-        return PlaintextProbe::NotStats;
+    probe_line(buf, STATS_LINE).unwrap_or(PlaintextProbe::NotStats)
+}
+
+/// Checks whether `buf` starts with the plaintext `STATS` *or* `TRACES`
+/// line (`\n` or `\r\n` terminated).
+///
+/// `STATS` and [`MAGIC`] (`SNNF`) diverge at the second byte and
+/// `TRACES` diverges from both at the first, so at most one line can be
+/// pending and framed traffic never lingers in
+/// [`PlaintextProbe::NeedMore`].
+pub fn probe_plaintext(buf: &[u8]) -> PlaintextProbe {
+    if let Some(result) = probe_line(buf, STATS_LINE) {
+        return result;
     }
-    let rest = &buf[probe..];
-    if probe < STATS_LINE.len() {
-        return PlaintextProbe::NeedMore;
-    }
-    match rest {
-        [] | [b'\r'] => PlaintextProbe::NeedMore,
-        [b'\n', ..] => PlaintextProbe::Stats {
-            consumed: STATS_LINE.len() + 1,
-        },
-        [b'\r', b'\n', ..] => PlaintextProbe::Stats {
-            consumed: STATS_LINE.len() + 2,
-        },
-        _ => PlaintextProbe::NotStats,
+    match probe_line(buf, TRACES_LINE) {
+        Some(PlaintextProbe::Stats { consumed }) => PlaintextProbe::Traces { consumed },
+        Some(other) => other,
+        None => PlaintextProbe::NotStats,
     }
 }
 
@@ -787,6 +824,9 @@ mod tests {
         });
         roundtrip(Frame::StatsRequest {
             format: stats_format::PROMETHEUS,
+        });
+        roundtrip(Frame::StatsRequest {
+            format: stats_format::TRACES,
         });
         roundtrip(Frame::StatsText("completed: 7\n".to_string()));
     }
@@ -962,6 +1002,31 @@ mod tests {
         assert_eq!(probe_plaintext_stats(b"STATUS\n"), PlaintextProbe::NotStats);
         // Framed traffic diverges from "STATS" at the third byte.
         assert_eq!(probe_plaintext_stats(&MAGIC), PlaintextProbe::NotStats);
+    }
+
+    #[test]
+    fn plaintext_traces_probe_handles_all_shapes() {
+        // The combined probe still recognises STATS...
+        assert_eq!(
+            probe_plaintext(b"STATS\n"),
+            PlaintextProbe::Stats { consumed: 6 }
+        );
+        // ...and resolves TRACES, which diverges from both STATS and the
+        // frame magic at the very first byte.
+        assert_eq!(probe_plaintext(b""), PlaintextProbe::NeedMore);
+        assert_eq!(probe_plaintext(b"TRA"), PlaintextProbe::NeedMore);
+        assert_eq!(probe_plaintext(b"TRACES"), PlaintextProbe::NeedMore);
+        assert_eq!(probe_plaintext(b"TRACES\r"), PlaintextProbe::NeedMore);
+        assert_eq!(
+            probe_plaintext(b"TRACES\n"),
+            PlaintextProbe::Traces { consumed: 7 }
+        );
+        assert_eq!(
+            probe_plaintext(b"TRACES\r\njunk"),
+            PlaintextProbe::Traces { consumed: 8 }
+        );
+        assert_eq!(probe_plaintext(b"TRACER\n"), PlaintextProbe::NotStats);
+        assert_eq!(probe_plaintext(&MAGIC), PlaintextProbe::NotStats);
     }
 
     #[test]

@@ -56,8 +56,8 @@
 
 use crate::error::NetError;
 use crate::protocol::{
-    error_code, probe_plaintext_stats, reject_scope, stats_format, ErrorReply, Frame,
-    PlaintextProbe, RejectReply, ScoreReply, NO_REQUEST_ID,
+    error_code, probe_plaintext, reject_scope, stats_format, ErrorReply, Frame, PlaintextProbe,
+    RejectReply, ScoreReply, NO_REQUEST_ID,
 };
 use crate::sys::{poll_fds, PollFd, WakePipe, POLLIN, POLLOUT};
 use snn_accel::config::AcceleratorConfig;
@@ -66,7 +66,7 @@ use snn_accel::serve::{
 };
 use snn_accel::AccelError;
 use snn_model::snn::SnnModel;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
@@ -393,6 +393,17 @@ struct Conn {
     /// Since when the write queue has been non-empty with the kernel
     /// accepting nothing (see [`WRITE_STALL_TIMEOUT`]).
     stalled_since: Option<Instant>,
+    /// Total bytes this connection has ever handed to the kernel — the
+    /// offset coordinate of `reply_marks`.
+    flushed_total: u64,
+    /// Write-stall telemetry marks, one per queued SCORES reply: `(byte
+    /// offset at which the reply is fully flushed, when it was queued,
+    /// trace request id)`.  Appended in completion order, so offsets are
+    /// monotone and `flush_step` pops from the front.
+    reply_marks: VecDeque<(u64, Instant, u64)>,
+    /// Write-queue residencies measured by `flush_step`, waiting for the
+    /// reactor to forward them to the span recorder.
+    stall_samples: Vec<(u64, f64)>,
 }
 
 impl Conn {
@@ -407,6 +418,9 @@ impl Conn {
             last_activity: Instant::now(),
             deadline: None,
             stalled_since: None,
+            flushed_total: 0,
+            reply_marks: VecDeque::new(),
+            stall_samples: Vec::new(),
         }
     }
 
@@ -511,11 +525,23 @@ impl Conn {
                 Ok(n) => {
                     self.wbuf.drain(..n);
                     wrote += n;
+                    self.flushed_total += n as u64;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(_) => return true,
             }
+        }
+        // Write-stall telemetry: a reply whose last byte the kernel has now
+        // accepted spent its whole queue residency in this buffer — sample
+        // it for the recorder (the reactor forwards after each flush).
+        while let Some(&(target, queued_at, request_id)) = self.reply_marks.front() {
+            if target > self.flushed_total {
+                break;
+            }
+            self.reply_marks.pop_front();
+            self.stall_samples
+                .push((request_id, queued_at.elapsed().as_secs_f64()));
         }
         // Write-stall clock: runs while bytes are queued and the kernel
         // accepts none of them, restarts on any progress.
@@ -794,7 +820,7 @@ impl<'a> Reactor<'a> {
             return;
         };
         while conn.state == ConnState::Open {
-            match probe_plaintext_stats(&conn.rbuf) {
+            match probe_plaintext(&conn.rbuf) {
                 PlaintextProbe::Stats { consumed } => {
                     conn.rbuf.drain(..consumed);
                     shared
@@ -805,6 +831,19 @@ impl<'a> Reactor<'a> {
                     // then close.
                     conn.wbuf
                         .extend_from_slice(render_stats(shared, stats_format::TEXT).as_bytes());
+                    conn.begin_drain();
+                    break;
+                }
+                PlaintextProbe::Traces { consumed } => {
+                    conn.rbuf.drain(..consumed);
+                    shared
+                        .counters
+                        .stats_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    // One-shot JSONL trace dump, also `nc`-style; draining
+                    // is destructive, so each scrape returns fresh traces.
+                    conn.wbuf
+                        .extend_from_slice(render_stats(shared, stats_format::TRACES).as_bytes());
                     conn.begin_drain();
                     break;
                 }
@@ -877,16 +916,36 @@ impl<'a> Reactor<'a> {
                 Err(err) => error_reply(origin.request_id, &err),
             };
             conn.queue_frame(&frame);
+            // Mark where this reply's last byte sits in the write queue so
+            // flush_step can measure its residency — the WriteStall span of
+            // the trace keyed by the submission tag.
+            if self.shared.server.recorder().enabled() {
+                conn.reply_marks.push_back((
+                    conn.flushed_total + conn.wbuf.len() as u64,
+                    Instant::now(),
+                    completion.tag,
+                ));
+            }
             self.flush(origin.token);
         }
     }
 
-    /// Writes as much queued reply data as the kernel accepts.
+    /// Writes as much queued reply data as the kernel accepts, then
+    /// forwards any write-stall samples the flush produced to the span
+    /// recorder (amending the already-published traces).
     fn flush(&mut self, token: u64) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        if conn.flush_step() {
+        let dead = conn.flush_step();
+        if !conn.stall_samples.is_empty() {
+            let samples = std::mem::take(&mut conn.stall_samples);
+            let recorder = self.shared.server.recorder();
+            for (request_id, seconds) in samples {
+                recorder.record_write_stall(request_id, seconds);
+            }
+        }
+        if dead {
             self.close(token);
         }
     }
@@ -1052,12 +1111,14 @@ fn error_reply(request_id: u64, err: &AccelError) -> Frame {
 
 /// Renders the serving counters in the negotiated [`stats_format`] — the
 /// body of the framed STATS reply; the plaintext form also answers the
-/// `nc`-style `STATS` line.
+/// `nc`-style `STATS` line and the traces form the `TRACES` line.
 fn render_stats(shared: &NetShared, format: u8) -> String {
-    if format == stats_format::PROMETHEUS {
-        render_stats_prometheus(shared)
-    } else {
-        render_stats_text(shared)
+    match format {
+        stats_format::PROMETHEUS => render_stats_prometheus(shared),
+        // Destructive drain of the completed-trace ring, one JSON object
+        // per line.
+        stats_format::TRACES => shared.server.recorder().render_jsonl(),
+        _ => render_stats_text(shared),
     }
 }
 
@@ -1118,15 +1179,33 @@ fn render_stats_text(shared: &NetShared) -> String {
         "stats_requests: {}\n",
         c.stats_requests.load(Ordering::Relaxed)
     ));
+    let recorder = shared.server.recorder();
+    out.push_str(&format!("trace_open_spans: {}\n", recorder.open_spans()));
+    for (key, histogram) in [
+        (
+            "request_queue_wait_seconds",
+            recorder.queue_wait_histogram(),
+        ),
+        ("request_compute_seconds", recorder.compute_histogram()),
+        ("request_duration_seconds", recorder.duration_histogram()),
+        (
+            "reactor_write_stall_seconds",
+            recorder.write_stall_histogram(),
+        ),
+    ] {
+        out.push_str(&format!("{key}_count: {}\n", histogram.count()));
+        out.push_str(&format!("{key}_sum: {}\n", histogram.sum()));
+    }
     for replica in &server.per_replica {
         out.push_str(&format!(
-            "replica[{}]: healthy={} completed={} errors={} batches={} panics={} \
-             deadline_sheds={} queue_depth={} drain_rate_ips={:.3}\n",
+            "replica[{}]: healthy={} completed={} errors={} batches={} largest_batch={} \
+             panics={} deadline_sheds={} queue_depth={} drain_rate_ips={:.3}\n",
             replica.index,
             u8::from(replica.healthy),
             replica.completed,
             replica.errors,
             replica.batches,
+            replica.largest_batch,
             replica.panics,
             replica.deadline_sheds,
             replica.queue.depth,
@@ -1246,6 +1325,11 @@ fn render_stats_prometheus(shared: &NetShared) -> String {
         "counter",
         c.stats_requests.load(Ordering::Relaxed).to_string(),
     );
+    metric(
+        "snn_trace_open_spans",
+        "gauge",
+        shared.server.recorder().open_spans().to_string(),
+    );
     for (name, kind, pick) in [
         (
             "snn_replica_healthy",
@@ -1267,6 +1351,11 @@ fn render_stats_prometheus(shared: &NetShared) -> String {
             "snn_replica_batches_total",
             "counter",
             Box::new(|r| r.batches.to_string()),
+        ),
+        (
+            "snn_replica_largest_batch",
+            "gauge",
+            Box::new(|r| r.largest_batch.to_string()),
         ),
         (
             "snn_replica_panics_total",
@@ -1330,5 +1419,8 @@ fn render_stats_prometheus(shared: &NetShared) -> String {
             ));
         }
     }
+    // Per-request latency histograms (queue wait, compute, end-to-end
+    // duration, reactor write-stall) from the span recorder.
+    shared.server.recorder().render_prometheus_into(&mut out);
     out
 }

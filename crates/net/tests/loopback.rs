@@ -182,7 +182,9 @@ fn replicated_scores_over_tcp_match_single_replica_bit_exactly() {
     );
     for line in prom.lines() {
         assert!(
-            line.starts_with("# TYPE snn_") || line.starts_with("snn_"),
+            line.starts_with("# TYPE snn_")
+                || line.starts_with("# HELP snn_")
+                || line.starts_with("snn_"),
             "stray exposition line: {line}"
         );
     }
@@ -585,7 +587,9 @@ fn stats_negotiation_serves_prometheus_exposition() {
     // Every sample line belongs to a snn_-prefixed metric.
     for line in prom.lines() {
         assert!(
-            line.starts_with("# TYPE snn_") || line.starts_with("snn_"),
+            line.starts_with("# TYPE snn_")
+                || line.starts_with("# HELP snn_")
+                || line.starts_with("snn_"),
             "stray exposition line: {line}"
         );
     }
