@@ -6,31 +6,44 @@
 //! trajectory is tracked PR over PR alongside `BENCH_conv.json` and
 //! `BENCH_serve.json`.
 //!
-//! Three phases:
+//! Five phases:
 //!
 //! 1. **Latency probe** — one connection streams sequential LeNet
 //!    inferences; per-request wall-clock latencies give p50/p99 (the
 //!    figure a lone interactive client sees).
-//! 2. **Throughput** — `SNN_BENCH_CONNECTIONS` concurrent connections
-//!    (default 64 — far past the old thread-per-connection IO-lease cap;
-//!    the reactor holds them all on one thread) each **pipeline**
-//!    `REQUESTS_PER_CONNECTION` inferences over `NetClient::infer_many`.
-//! 3. **Backpressure** — a burst against a one-slot queue forces the
+//! 2. **Closed-loop throughput** — `SNN_BENCH_CONNECTIONS` concurrent
+//!    connections (default 64) each **pipeline** `REQUESTS_PER_CONNECTION`
+//!    inferences over `NetClient::infer_many`.  This measures capacity,
+//!    but its latency is coordinated-omission biased: each connection
+//!    waits for replies before offering more load, so the summary labels
+//!    the number as capacity and leaves latency-at-rate to phase 3.
+//! 3. **Open-loop latency** — Poisson arrivals at **controlled
+//!    utilisation points** (50 % and 90 % of the phase-2 capacity) over
+//!    `SNN_BENCH_OPENLOOP_CONNECTIONS` pipelined connections: offered vs
+//!    achieved rate, latency from each request's *scheduled* arrival,
+//!    and the generator's own send-lag/jitter so scheduling noise is
+//!    separable from server saturation.  Each point drains the trace ring
+//!    for its own per-phase percentiles.
+//! 4. **Backend comparison** — the same closed-loop load at 256
+//!    connections against a fresh epoll server and a fresh `poll(2)`
+//!    fallback server; the summary records both rates side by side.
+//! 5. **Backpressure** — a burst against a one-slot queue forces the
 //!    admission policy to shed load; the summary records how many REJECTED
 //!    frames came back and a sample retry-after hint, proving the hint
 //!    path end to end.
 
 use snn_accel::config::AcceleratorConfig;
 use snn_accel::serve::ServerOptions;
+use snn_bench::openloop::{self, OpenLoopConfig, Schedule};
 use snn_bench::phases::{any_phase, phase_latency_json};
 use snn_model::convert::{convert, CalibrationStats, ConversionConfig};
 use snn_model::params::Parameters;
 use snn_model::snn::SnnModel;
 use snn_model::zoo;
-use snn_net::{scrape_traces, NetClient, NetError, NetOptions, NetServer};
+use snn_net::{scrape_traces, NetClient, NetError, NetOptions, NetServer, ReactorBackend};
 use snn_telemetry::{Phase, RequestTrace};
 use snn_tensor::Tensor;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Concurrent connections of the throughput phase; override with the
 /// `SNN_BENCH_CONNECTIONS` environment variable (CI runs the default).
@@ -39,6 +52,12 @@ const REQUESTS_PER_CONNECTION: usize = 4;
 const PROBE_REQUESTS: usize = 24;
 const BURST_CONNECTIONS: usize = 4;
 const BURST_REQUESTS: usize = 25;
+/// Connections of the open-loop utilisation points (override with
+/// `SNN_BENCH_OPENLOOP_CONNECTIONS`) — "hundreds of pipelined
+/// connections", per the scale-out acceptance bar.
+const OPENLOOP_CONNECTIONS: usize = 256;
+/// Duration of each open-loop point (override with `SNN_BENCH_OPENLOOP_MS`).
+const OPENLOOP_DURATION_MS: u64 = 3000;
 
 fn connections() -> usize {
     std::env::var("SNN_BENCH_CONNECTIONS")
@@ -72,6 +91,42 @@ fn lenet_model(inputs_wanted: usize) -> (SnnModel, Vec<Tensor<f32>>) {
     )
     .expect("conversion");
     (model, inputs)
+}
+
+/// Closed-loop pipelined load: every connection keeps `depth` requests in
+/// flight until its share is served.  Returns `(requests, achieved_ips)`.
+/// The achieved rate doubles as the offered rate — a closed loop offers
+/// exactly what the server absorbs, which is why latency-at-rate comes
+/// from the open-loop phase instead.
+fn closed_loop_ips(
+    addr: std::net::SocketAddr,
+    connections: usize,
+    depth: usize,
+    inputs: &[Tensor<f32>],
+) -> (usize, f64) {
+    let started = Instant::now();
+    let workers: Vec<_> = (0..connections)
+        .map(|c| {
+            let batch: Vec<Tensor<f32>> = (0..depth)
+                .map(|r| inputs[(c + r) % inputs.len()].clone())
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let replies = client.infer_many(&batch).expect("pipelined batch");
+                let mut served = 0usize;
+                for reply in replies {
+                    reply.expect("inference succeeds");
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+    let mut total = 0usize;
+    for worker in workers {
+        total += worker.join().expect("load thread");
+    }
+    (total, total as f64 / started.elapsed().as_secs_f64())
 }
 
 fn percentile_us(sorted_ns: &[u64], pct: usize) -> f64 {
@@ -120,31 +175,9 @@ fn main() {
     let mean_us =
         latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len().max(1) as f64 / 1000.0;
 
-    // Phase 2: pipelined throughput across many concurrent connections.
-    let started = Instant::now();
-    let workers: Vec<_> = (0..connections)
-        .map(|c| {
-            let batch: Vec<Tensor<f32>> = (0..REQUESTS_PER_CONNECTION)
-                .map(|r| inputs[(c + r) % inputs.len()].clone())
-                .collect();
-            std::thread::spawn(move || {
-                let mut client = NetClient::connect(addr).expect("connect");
-                let replies = client.infer_many(&batch).expect("pipelined batch");
-                let mut served = 0usize;
-                for reply in replies {
-                    reply.expect("inference succeeds");
-                    served += 1;
-                }
-                served
-            })
-        })
-        .collect();
-    let mut total_requests = 0usize;
-    for worker in workers {
-        total_requests += worker.join().expect("load thread");
-    }
-    let elapsed = started.elapsed().as_secs_f64();
-    let ips = total_requests as f64 / elapsed;
+    // Phase 2: closed-loop pipelined throughput — the capacity number.
+    let (total_requests, ips) =
+        closed_loop_ips(addr, connections, REQUESTS_PER_CONNECTION, &inputs);
 
     // Drain the per-request traces the run produced (tracing is on by
     // default) and summarise per-phase latency percentiles for the trend.
@@ -176,25 +209,111 @@ fn main() {
         );
     }
     let phase_latency = phase_latency_json(&traces);
-
-    let stats = server.shutdown();
     println!(
         "net: {total_requests} LeNet inferences pipelined over {connections} TCP connections \
-         (depth {REQUESTS_PER_CONNECTION}): {ips:.1} inf/s; sequential probe p50 {p50_us:.0} us, \
-         p99 {p99_us:.0} us (thread budget {})",
-        stats.server.thread_budget
+         (depth {REQUESTS_PER_CONNECTION}, closed loop): {ips:.1} inf/s; sequential probe \
+         p50 {p50_us:.0} us, p99 {p99_us:.0} us"
     );
+
+    // Phase 3: open-loop arrivals at controlled utilisation points.  The
+    // trace ring was just drained, so each point's scrape attributes only
+    // its own requests.
+    let openloop_connections = std::env::var("SNN_BENCH_OPENLOOP_CONNECTIONS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(OPENLOOP_CONNECTIONS);
+    let openloop_ms = std::env::var("SNN_BENCH_OPENLOOP_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&m| m > 0)
+        .unwrap_or(OPENLOOP_DURATION_MS);
+    let mut open_loop_sections = Vec::new();
+    let mut open_loop_completed = 0u64;
+    for (label, utilisation) in [("u50", 0.5), ("u90", 0.9)] {
+        let open_config = OpenLoopConfig {
+            connections: openloop_connections,
+            rate_ips: ips * utilisation,
+            duration: Duration::from_millis(openloop_ms),
+            schedule: Schedule::Poisson { seed: 0x5eed },
+        };
+        let report = openloop::run(addr, &inputs[0], &open_config);
+        let point_traces: Vec<RequestTrace> = scrape_traces(addr)
+            .expect("open-loop trace scrape")
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(RequestTrace::from_json_line)
+            .collect();
+        println!(
+            "open-loop {label}: offered {:.1}/s achieved {:.1}/s over {} connections, \
+             latency p50 {:.0} us p99 {:.0} us (jitter p99 {:.0} us, {} rejected)",
+            report.offered_rate_ips,
+            report.achieved_rate_ips,
+            openloop_connections,
+            report.latency.p50_us,
+            report.latency.p99_us,
+            report.jitter.p99_us,
+            report.rejected,
+        );
+        assert!(
+            report.completed > 0,
+            "the {label} open-loop point must serve at least one request"
+        );
+        assert_eq!(report.errors, 0, "open-loop requests must not error");
+        open_loop_completed += report.completed;
+        open_loop_sections.push(format!(
+            "\"{label}\": {{\"utilisation_target\": {utilisation}, \"report\": {}, \
+             \"trace_phase_latency\": {}}}",
+            report.to_json(),
+            phase_latency_json(&point_traces)
+        ));
+    }
+
+    let stats = server.shutdown();
     assert_eq!(
         stats.server.completed,
-        (total_requests + PROBE_REQUESTS + 1) as u64,
-        "every request (plus probe and warmup) must complete"
+        (total_requests + PROBE_REQUESTS + 1) as u64 + open_loop_completed,
+        "every request (probe, warmup, closed- and open-loop) must resolve"
     );
     assert_eq!(
         stats.turned_away, 0,
         "the reactor must hold {connections} concurrent connections without shedding"
     );
 
-    // Phase 3: forced backpressure against a one-slot queue.
+    // Phase 4: the same closed-loop load at 256 connections on both
+    // readiness backends — the headline epoll-vs-poll comparison.  Fresh
+    // servers so neither inherits the other's warmup.
+    let comparison_connections = 256usize.min(
+        std::env::var("SNN_BENCH_COMPARE_CONNECTIONS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(256),
+    );
+    let mut backend_ips = Vec::new();
+    for backend in [ReactorBackend::Epoll, ReactorBackend::Poll] {
+        let compare = NetServer::bind(
+            "127.0.0.1:0",
+            config,
+            model.clone(),
+            NetOptions {
+                backend,
+                max_connections: comparison_connections.max(256),
+                ..NetOptions::default()
+            },
+        )
+        .expect("bind comparison server");
+        let compare_addr = compare.local_addr();
+        let mut warm = NetClient::connect(compare_addr).expect("comparison warmup");
+        warm.infer(&inputs[0]).expect("comparison warmup inference");
+        drop(warm);
+        let (_, rate) = closed_loop_ips(compare_addr, comparison_connections, 2, &inputs);
+        let name = compare.stats().per_reactor[0].backend;
+        compare.shutdown();
+        println!("backend comparison: {name} serves {rate:.1} inf/s at {comparison_connections} connections");
+        backend_ips.push((name, rate));
+    }
+
+    // Phase 5: forced backpressure against a one-slot queue.
     let tight = NetServer::bind(
         "127.0.0.1:0",
         config,
@@ -270,6 +389,10 @@ fn main() {
             )
         })
         .collect();
+    let backend_throughput: Vec<String> = backend_ips
+        .iter()
+        .map(|(name, rate)| format!("\"{name}_ips\": {rate:.2}"))
+        .collect();
     let json = format!(
         "{{\n\
          \"workload\": \"lenet5_T4_tcp_loopback\",\n\
@@ -277,15 +400,27 @@ fn main() {
          \"pipeline_depth\": {REQUESTS_PER_CONNECTION},\n\
          \"requests\": {total_requests},\n\
          \"thread_budget\": {},\n\
+         \"reactors\": {},\n\
+         \"reactor_backend\": \"{}\",\n\
          \"inferences_per_sec\": {{\"tcp_loopback\": {ips:.2}}},\n\
          \"latency\": {{\"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}, \
          \"mean_us\": {mean_us:.1}}},\n\
          \"trace_phase_latency\": {phase_latency},\n\
+         \"open_loop\": {{\"connections\": {openloop_connections}, {}}},\n\
+         \"backend_throughput_256conn\": {{{}}},\n\
          \"backpressure\": {{\"burst_requests\": {}, \"rejections\": {rejections}, \
          \"retry_hint_sample\": {hint_ms}}},\n\
          \"unit_utilisation\": {{{}}}\n\
          }}\n",
         stats.server.thread_budget,
+        stats.reactors,
+        stats
+            .per_reactor
+            .first()
+            .map(|r| r.backend)
+            .unwrap_or("unknown"),
+        open_loop_sections.join(", "),
+        backend_throughput.join(", "),
         BURST_CONNECTIONS * BURST_REQUESTS,
         utilisation.join(", ")
     );

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod openloop;
 pub mod phases;
 pub mod serve_sweep;
 pub mod trend;

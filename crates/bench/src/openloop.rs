@@ -1,0 +1,512 @@
+//! Open-loop load generation against a running `snn-net` front-end.
+//!
+//! The closed-loop harness (`bench_net`'s pipelined phase) suffers
+//! **coordinated omission**: each connection only issues its next request
+//! after the previous reply arrives, so a saturated server silently slows
+//! the offered load down and the measured latency describes the survivor
+//! requests, not the intended arrival process.  The open-loop generator
+//! fixes both biases:
+//!
+//! * Arrivals follow a **pre-computed schedule** (Poisson or fixed-rate)
+//!   that does not react to the server: the offered rate is a controlled
+//!   input, and the report states offered *and* achieved rate so
+//!   saturation is visible as the gap between them.
+//! * Every latency sample is measured **from the scheduled arrival
+//!   time**, not the actual send time: a request the generator itself
+//!   sent late (because an earlier write blocked) still charges the
+//!   server for the delay, exactly as a real user would experience it.
+//! * The generator records its own **scheduling noise** — the lag between
+//!   scheduled and actual send, and the inter-arrival jitter (deviation
+//!   of realised gaps from scheduled gaps) — so a latency regression can
+//!   be attributed to the server or to the load machine.
+//!
+//! Each connection runs a writer thread (paced sends, then a half-close)
+//! and a reader thread (decodes replies until EOF); requests are
+//! correlated by wire request id, so pipelining depth is whatever the
+//! schedule produces.  The whole engine speaks the raw
+//! [`snn_net::protocol::Frame`] codec — no client-side retry or pooling
+//! layer between the schedule and the socket.
+
+use snn_net::protocol::{Frame, InferRequest};
+use snn_tensor::Tensor;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Arrival process of the open-loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Exponentially distributed inter-arrival gaps (a Poisson process)
+    /// seeded per connection from this base seed — the memoryless arrival
+    /// pattern of independent users.
+    Poisson {
+        /// Base RNG seed; connection `i` derives its own stream from it.
+        seed: u64,
+    },
+    /// Deterministic equal gaps, with each connection phase-shifted so
+    /// the aggregate arrival stream is evenly spaced rather than a
+    /// per-interval thundering herd.
+    Fixed,
+}
+
+impl Schedule {
+    /// Parses the CLI/env spelling (`poisson` / `fixed`).
+    pub fn parse(text: &str) -> Option<Schedule> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "poisson" => Some(Schedule::Poisson { seed: 0x5eed }),
+            "fixed" => Some(Schedule::Fixed),
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Schedule::Poisson { .. } => "poisson",
+            Schedule::Fixed => "fixed",
+        }
+    }
+}
+
+/// Parameters of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Concurrent connections; the aggregate rate is split evenly over
+    /// them and requests pipeline freely within each connection.
+    pub connections: usize,
+    /// Aggregate offered arrival rate, inferences per second.
+    pub rate_ips: f64,
+    /// How long the schedule runs (the drain of in-flight replies after
+    /// the last arrival is not counted against the schedule).
+    pub duration: Duration,
+    /// Arrival process.
+    pub schedule: Schedule,
+}
+
+/// Latency percentile summary in microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// 99.9th percentile.
+    pub p999_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut samples_us: Vec<f64>) -> Self {
+        if samples_us.is_empty() {
+            return LatencySummary::default();
+        }
+        samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pick = |num: usize, den: usize| crate::phases::percentile(&samples_us, num, den);
+        LatencySummary {
+            p50_us: pick(50, 100),
+            p99_us: pick(99, 100),
+            p999_us: pick(999, 1000),
+            mean_us: samples_us.iter().sum::<f64>() / samples_us.len() as f64,
+        }
+    }
+
+    /// Renders the `{"p50_us": ..}` JSON object body.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"mean_us\": {:.1}}}",
+            self.p50_us, self.p99_us, self.p999_us, self.mean_us
+        )
+    }
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Requests the schedule offered (arrivals generated).
+    pub offered: u64,
+    /// Requests actually written to a socket (a dead connection stops its
+    /// writer early; the gap is part of the measurement, not an error).
+    pub sent: u64,
+    /// SCORES replies received.
+    pub completed: u64,
+    /// Typed REJECTED replies received (queue backpressure under
+    /// overload — the server refusing politely, not failing).
+    pub rejected: u64,
+    /// Error replies, transport errors and reader timeouts.
+    pub errors: u64,
+    /// The controlled input: `offered / duration`.
+    pub offered_rate_ips: f64,
+    /// `completed / wall`, where wall runs from the first scheduled
+    /// arrival to the last observed reply (drain included).
+    pub achieved_rate_ips: f64,
+    /// Wall-clock of the whole run, drain included, seconds.
+    pub wall_seconds: f64,
+    /// Reply latency measured from the **scheduled** arrival instant
+    /// (coordinated-omission resistant), successful replies only.
+    pub latency: LatencySummary,
+    /// How late each request actually left relative to its schedule —
+    /// load-machine noise, not server latency.
+    pub send_lag: LatencySummary,
+    /// |realised gap − scheduled gap| between consecutive sends on the
+    /// same connection: the generator's inter-arrival jitter.  High
+    /// latency with low jitter implicates the server; high jitter means
+    /// the load machine could not hold the schedule.
+    pub jitter: LatencySummary,
+    /// Echo of the run's configuration for the report.
+    pub config: OpenLoopConfig,
+}
+
+impl OpenLoopReport {
+    /// Renders the report as a JSON object body for embedding in
+    /// `BENCH_net.json` or the load-harness output.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schedule\": \"{}\", \"connections\": {}, \"duration_secs\": {:.2}, \
+             \"offered\": {}, \"sent\": {}, \"completed\": {}, \"rejected\": {}, \
+             \"errors\": {}, \"offered_rate_ips\": {:.2}, \"achieved_rate_ips\": {:.2}, \
+             \"latency\": {}, \"send_lag\": {}, \"interarrival_jitter\": {}}}",
+            self.config.schedule.name(),
+            self.config.connections,
+            self.config.duration.as_secs_f64(),
+            self.offered,
+            self.sent,
+            self.completed,
+            self.rejected,
+            self.errors,
+            self.offered_rate_ips,
+            self.achieved_rate_ips,
+            self.latency.to_json(),
+            self.send_lag.to_json(),
+            self.jitter.to_json(),
+        )
+    }
+}
+
+/// splitmix64: tiny, seedable, statistically fine for schedule jitter
+/// (the workspace has no RNG dependency).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `(0, 1]` — open at zero so `ln` stays finite.
+fn uniform_01(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// One connection's arrival offsets from the run origin, ascending.
+fn connection_schedule(config: &OpenLoopConfig, index: usize) -> Vec<Duration> {
+    let per_conn_rate = config.rate_ips / config.connections as f64;
+    if per_conn_rate <= 0.0 {
+        return Vec::new();
+    }
+    let horizon = config.duration.as_secs_f64();
+    let mut offsets = Vec::new();
+    match config.schedule {
+        Schedule::Poisson { seed } => {
+            let mut state = seed ^ (index as u64).wrapping_mul(0x2545f4914f6cdd1d);
+            let mut t = 0.0f64;
+            loop {
+                // Exponential gap via inverse transform sampling.
+                t += -uniform_01(&mut state).ln() / per_conn_rate;
+                if t >= horizon {
+                    break;
+                }
+                offsets.push(Duration::from_secs_f64(t));
+            }
+        }
+        Schedule::Fixed => {
+            let gap = 1.0 / per_conn_rate;
+            // Phase-shift each connection so aggregate arrivals interleave.
+            let phase = gap * (index as f64) / (config.connections as f64);
+            let mut t = phase;
+            while t < horizon {
+                offsets.push(Duration::from_secs_f64(t));
+                t += gap;
+            }
+        }
+    }
+    offsets
+}
+
+/// Per-connection worker result.
+#[derive(Default)]
+struct ConnOutcome {
+    offered: u64,
+    sent: u64,
+    completed: u64,
+    rejected: u64,
+    errors: u64,
+    latency_us: Vec<f64>,
+    send_lag_us: Vec<f64>,
+    jitter_us: Vec<f64>,
+    last_reply: Option<Instant>,
+}
+
+/// Reader half: decodes reply frames until EOF, recording latency from
+/// each request's scheduled arrival.
+fn read_replies(
+    mut stream: TcpStream,
+    scheduled: Arc<Mutex<HashMap<u64, Instant>>>,
+    outcome: &mut ConnOutcome,
+) {
+    // A reply that takes this long is not latency, it is a hang; bail out
+    // and count the remainder as errors rather than wedging the harness.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 16384];
+    loop {
+        loop {
+            match Frame::decode(&buf) {
+                Ok(Some((frame, used))) => {
+                    buf.drain(..used);
+                    let now = Instant::now();
+                    let (request_id, kind) = match &frame {
+                        Frame::Scores(reply) => (reply.request_id, 0u8),
+                        Frame::Rejected(reply) => (reply.request_id, 1),
+                        Frame::Error(reply) => (reply.request_id, 2),
+                        _ => continue,
+                    };
+                    let sched = scheduled.lock().expect("schedule map").remove(&request_id);
+                    match kind {
+                        0 => {
+                            outcome.completed += 1;
+                            outcome.last_reply = Some(now);
+                            if let Some(at) = sched {
+                                outcome
+                                    .latency_us
+                                    .push(now.duration_since(at).as_secs_f64() * 1e6);
+                            }
+                        }
+                        1 => outcome.rejected += 1,
+                        _ => outcome.errors += 1,
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    outcome.errors += 1;
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Timeout or reset with requests possibly outstanding.
+                outcome.errors += 1;
+                return;
+            }
+        }
+    }
+}
+
+/// Runs one open-loop load generation against `addr`, sending `input`
+/// for every request.  Blocks until every connection has drained.
+pub fn run(addr: SocketAddr, input: &Tensor<f32>, config: &OpenLoopConfig) -> OpenLoopReport {
+    // One frame, encoded once: every request reuses the byte image with
+    // only the request id patched in by re-encoding per send (cheap next
+    // to the syscall).
+    let origin = Instant::now() + Duration::from_millis(50);
+    let workers: Vec<thread::JoinHandle<ConnOutcome>> = (0..config.connections)
+        .map(|index| {
+            let offsets = connection_schedule(config, index);
+            let input = input.clone();
+            thread::spawn(move || {
+                let mut outcome = ConnOutcome {
+                    offered: offsets.len() as u64,
+                    ..ConnOutcome::default()
+                };
+                let Ok(stream) = TcpStream::connect(addr) else {
+                    outcome.errors += offsets.len() as u64;
+                    return outcome;
+                };
+                let _ = stream.set_nodelay(true);
+                let Ok(reader_stream) = stream.try_clone() else {
+                    outcome.errors += offsets.len() as u64;
+                    return outcome;
+                };
+                let scheduled: Arc<Mutex<HashMap<u64, Instant>>> =
+                    Arc::new(Mutex::new(HashMap::new()));
+                let reader_map = Arc::clone(&scheduled);
+                let reader = thread::spawn(move || {
+                    let mut outcome = ConnOutcome::default();
+                    read_replies(reader_stream, reader_map, &mut outcome);
+                    outcome
+                });
+
+                // Writer: paced sends from the precomputed schedule.
+                let mut writer = stream;
+                let mut prev: Option<(Instant, Instant)> = None; // (target, actual)
+                for (k, offset) in offsets.iter().enumerate() {
+                    let target = origin + *offset;
+                    let now = Instant::now();
+                    if target > now {
+                        thread::sleep(target - now);
+                    }
+                    let actual = Instant::now();
+                    outcome
+                        .send_lag_us
+                        .push(actual.duration_since(target).as_secs_f64() * 1e6);
+                    if let Some((prev_target, prev_actual)) = prev {
+                        let planned = target.duration_since(prev_target).as_secs_f64();
+                        let realised = actual.duration_since(prev_actual).as_secs_f64();
+                        outcome.jitter_us.push((realised - planned).abs() * 1e6);
+                    }
+                    prev = Some((target, actual));
+                    let request_id = k as u64;
+                    // Latency is charged from the *scheduled* arrival: a
+                    // late send is the generator's delay, and the server
+                    // owns it the way a queue owns a waiting customer.
+                    scheduled
+                        .lock()
+                        .expect("schedule map")
+                        .insert(request_id, target);
+                    let frame = Frame::Infer(InferRequest::from_tensor(request_id, &input));
+                    if writer.write_all(&frame.encode()).is_err() {
+                        // The server closed on us (shed or died): every
+                        // remaining arrival is unservable.
+                        scheduled.lock().expect("schedule map").remove(&request_id);
+                        break;
+                    }
+                    outcome.sent += 1;
+                }
+                // Half-close: the server serves what is in flight, flushes
+                // and closes, which lands the reader on a clean EOF.
+                let _ = writer.shutdown(Shutdown::Write);
+                drop(writer);
+                let reader_outcome = reader.join().expect("reader thread");
+                outcome.completed = reader_outcome.completed;
+                outcome.rejected = reader_outcome.rejected;
+                outcome.errors += reader_outcome.errors;
+                outcome.latency_us = reader_outcome.latency_us;
+                outcome.last_reply = reader_outcome.last_reply;
+                outcome
+            })
+        })
+        .collect();
+
+    let mut offered = 0u64;
+    let mut sent = 0u64;
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    let mut errors = 0u64;
+    let mut latency_us = Vec::new();
+    let mut send_lag_us = Vec::new();
+    let mut jitter_us = Vec::new();
+    let mut last_reply: Option<Instant> = None;
+    for worker in workers {
+        let outcome = worker.join().expect("connection worker");
+        offered += outcome.offered;
+        sent += outcome.sent;
+        completed += outcome.completed;
+        rejected += outcome.rejected;
+        errors += outcome.errors;
+        latency_us.extend(outcome.latency_us);
+        send_lag_us.extend(outcome.send_lag_us);
+        jitter_us.extend(outcome.jitter_us);
+        last_reply = match (last_reply, outcome.last_reply) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+    let wall_seconds = last_reply
+        .map(|t| t.duration_since(origin).as_secs_f64())
+        .unwrap_or_else(|| config.duration.as_secs_f64())
+        .max(1e-9);
+    OpenLoopReport {
+        offered,
+        sent,
+        completed,
+        rejected,
+        errors,
+        offered_rate_ips: offered as f64 / config.duration.as_secs_f64().max(1e-9),
+        achieved_rate_ips: completed as f64 / wall_seconds,
+        wall_seconds,
+        latency: LatencySummary::from_samples(latency_us),
+        send_lag: LatencySummary::from_samples(send_lag_us),
+        jitter: LatencySummary::from_samples(jitter_us),
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(schedule: Schedule, rate: f64, connections: usize, ms: u64) -> OpenLoopConfig {
+        OpenLoopConfig {
+            connections,
+            rate_ips: rate,
+            duration: Duration::from_millis(ms),
+            schedule,
+        }
+    }
+
+    #[test]
+    fn fixed_schedule_offers_the_requested_rate() {
+        let cfg = config(Schedule::Fixed, 100.0, 4, 1000);
+        let total: usize = (0..4).map(|i| connection_schedule(&cfg, i).len()).sum();
+        // 100/s over 1s split across 4 connections = 25 each, exactly.
+        assert_eq!(total, 100);
+        for i in 0..4 {
+            let offsets = connection_schedule(&cfg, i);
+            assert!(offsets.windows(2).all(|w| w[0] < w[1]), "ascending");
+            assert!(offsets.iter().all(|o| *o < Duration::from_secs(1)));
+        }
+    }
+
+    #[test]
+    fn fixed_connections_are_phase_shifted_not_synchronised() {
+        let cfg = config(Schedule::Fixed, 50.0, 5, 1000);
+        let firsts: Vec<Duration> = (0..5).map(|i| connection_schedule(&cfg, i)[0]).collect();
+        let distinct: std::collections::HashSet<Duration> = firsts.iter().copied().collect();
+        assert_eq!(distinct.len(), firsts.len(), "no thundering herd");
+    }
+
+    #[test]
+    fn poisson_schedule_approximates_the_requested_rate_and_is_seeded() {
+        let cfg = config(Schedule::Poisson { seed: 42 }, 1000.0, 8, 2000);
+        let total: usize = (0..8).map(|i| connection_schedule(&cfg, i).len()).sum();
+        // 2000 expected arrivals; a Poisson total 5 sigma out is ~±224.
+        assert!(
+            (1776..=2224).contains(&total),
+            "poisson arrival count {total} is implausible for mean 2000"
+        );
+        // Determinism: the same seed regenerates the same schedule.
+        assert_eq!(
+            connection_schedule(&cfg, 3),
+            connection_schedule(&cfg, 3),
+            "schedules must be reproducible"
+        );
+        // Independence: different connections see different streams.
+        assert_ne!(connection_schedule(&cfg, 0), connection_schedule(&cfg, 1));
+    }
+
+    #[test]
+    fn schedule_parse_covers_the_cli_spellings() {
+        assert_eq!(Schedule::parse("fixed"), Some(Schedule::Fixed));
+        assert!(matches!(
+            Schedule::parse("Poisson"),
+            Some(Schedule::Poisson { .. })
+        ));
+        assert_eq!(Schedule::parse("bursty"), None);
+    }
+
+    #[test]
+    fn latency_summary_reports_nearest_rank_percentiles() {
+        let samples: Vec<f64> = (1..=1000).map(|v| v as f64).collect();
+        let summary = LatencySummary::from_samples(samples);
+        assert_eq!(summary.p50_us, 500.0);
+        assert_eq!(summary.p99_us, 990.0);
+        assert_eq!(summary.p999_us, 999.0);
+        assert!((summary.mean_us - 500.5).abs() < 1e-9);
+    }
+}

@@ -5,7 +5,7 @@
 //! `std::net` plus a handful of hand-bound syscalls (the workspace has no
 //! registry access).
 //!
-//! Four pieces:
+//! Five pieces:
 //!
 //! * [`protocol`] — a length-prefixed, versioned binary frame codec
 //!   (inference request = request id + encoded input tensor; response =
@@ -16,15 +16,25 @@
 //!   (request-id correlation, completion-order replies) and a
 //!   content-negotiation byte on STATS (plaintext or Prometheus).
 //! * [`sys`] — the only `unsafe` in the crate: minimal `extern "C"`
-//!   bindings for `poll(2)`, `fcntl(2)` and a self-pipe (Linux), behind
-//!   safe wrappers.
-//! * [`server`] — [`server::NetServer`]: a **single-reactor** event loop
-//!   that owns every connection on non-blocking sockets — incremental
-//!   decode from per-connection read buffers, write queues flushed on
-//!   writability, inference completions delivered through
+//!   bindings for `epoll(7)`, `poll(2)`, `fcntl(2)` and a self-pipe
+//!   (Linux), behind safe wrappers.
+//! * [`poller`] — [`poller::Poller`]: one safe readiness API over both
+//!   backends — edge-triggered `epoll` (the default) and a portable
+//!   level-triggered `poll(2)` fallback, selected by
+//!   [`ReactorBackend`] / the `SNN_REACTOR` environment variable, or
+//!   automatically when `epoll_create1` is unavailable.
+//! * [`server`] — [`server::NetServer`]: a **sharded reactor** front-end
+//!   — one reactor thread per core (`NetOptions::reactors` /
+//!   `SNN_REACTORS`), shard 0 accepting and dealing connections
+//!   round-robin to its siblings, each shard owning its connections
+//!   outright on non-blocking sockets: incremental decode from
+//!   per-connection read buffers (burst-bounded under edge triggering),
+//!   write queues flushed on writability, inference completions
+//!   delivered through
 //!   [`snn_accel::serve::StreamServer::submit_tagged`]'s completion queue
-//!   and a wake pipe.  No thread per connection, no blocked waits, and
-//!   **first-class backpressure**: queue-full and connection-cap
+//!   and a per-shard wake pipe.  No thread per connection, no blocked
+//!   waits, no cross-shard locks on the data path, and **first-class
+//!   backpressure**: queue-full and (globally capped) connection-table
 //!   conditions answer with typed REJECTED frames carrying a retry-after
 //!   hint computed from the live queue depth and drain rate.
 //! * [`client`] — [`client::NetClient`] (pipelined `infer_many`, jittered
@@ -58,11 +68,13 @@ pub mod client;
 pub mod error;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
+pub mod poller;
 pub mod protocol;
 pub mod server;
 pub mod sys;
 
 pub use client::{scrape_stats, scrape_traces, BackoffPolicy, NetClient, NetPool};
 pub use error::NetError;
+pub use poller::ReactorBackend;
 pub use protocol::{Frame, ProtocolError};
 pub use server::{NetOptions, NetServer, NetStats};

@@ -1,0 +1,442 @@
+//! The backend-neutral readiness wrapper the reactor drives: one
+//! [`Poller`] per reactor shard, backed by either **epoll with
+//! edge-triggered delivery** (the default — O(ready) waits, descriptors
+//! registered once) or the scalar **`poll(2)`** fallback (O(registered)
+//! waits, interest rebuilt per call).
+//!
+//! Backend selection ([`ReactorBackend`]):
+//!
+//! * `SNN_REACTOR=poll` forces the scalar fallback; `SNN_REACTOR=epoll`
+//!   requests epoll explicitly (still falling back if `epoll_create1`
+//!   fails — an exotic kernel should degrade, not crash the bind).
+//! * Unset, the default is epoll with the same graceful fallback.
+//!
+//! The two backends deliberately expose *identical* event semantics to
+//! the reactor ([`Event`]: readable / writable / error, token-keyed), but
+//! different **delivery** semantics, which the reactor must respect:
+//! [`Poller::edge_triggered`] backends report a readiness transition
+//! exactly once, so a consumer that stops reading early (the read-burst
+//! fairness cap) must remember the descriptor is still hot — see the
+//! reactor's hot-list.  For the level-triggered backend,
+//! [`Poller::set_interest`] prunes uninteresting descriptors per wait;
+//! for epoll it is a no-op because every descriptor is registered once
+//! with the full mask and spurious writability edges are simply cheap.
+
+use crate::sys::{
+    poll_fds, Epoll, EpollEvent, PollFd, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT,
+    EPOLLRDHUP, POLLHUP, POLLIN, POLLOUT,
+};
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Which readiness backend a reactor shard runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReactorBackend {
+    /// Consult `SNN_REACTOR` (`poll` / `epoll`), default to epoll, and
+    /// fall back to `poll` when `epoll_create1` fails.
+    #[default]
+    Auto,
+    /// Edge-triggered `epoll(7)` (still degrades to `poll` if the kernel
+    /// refuses an instance).
+    Epoll,
+    /// Scalar level-triggered `poll(2)`.
+    Poll,
+}
+
+impl ReactorBackend {
+    /// Parses an `SNN_REACTOR` value; unknown strings mean [`Auto`].
+    ///
+    /// [`Auto`]: ReactorBackend::Auto
+    pub fn from_env_str(value: &str) -> ReactorBackend {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "poll" => ReactorBackend::Poll,
+            "epoll" => ReactorBackend::Epoll,
+            _ => ReactorBackend::Auto,
+        }
+    }
+
+    fn resolve(self) -> ReactorBackend {
+        match self {
+            ReactorBackend::Auto => match std::env::var("SNN_REACTOR") {
+                Ok(value) => match ReactorBackend::from_env_str(&value) {
+                    // An unknown env value keeps the default rather than
+                    // recursing.
+                    ReactorBackend::Auto => ReactorBackend::Epoll,
+                    chosen => chosen,
+                },
+                Err(_) => ReactorBackend::Epoll,
+            },
+            chosen => chosen,
+        }
+    }
+}
+
+/// What a descriptor's owner wants to hear about.  The epoll backend
+/// registers the full mask once and ignores later changes; the poll
+/// backend rebuilds its interest set from these per wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Report when reading would not block (or the peer hung up).
+    pub readable: bool,
+    /// Report when writing would not block.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest (listener, wake pipe).
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest (connections).
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// No interest: the descriptor stays registered but silent (poll
+    /// backend only; epoll ignores it).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness report, token-keyed.  A peer hang-up surfaces as both
+/// readable and writable (match the historical `poll` reactor dispatch:
+/// HUP flushes what it can, then reads the EOF); `error` means the
+/// descriptor should be torn down.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The cookie the descriptor was registered under.
+    pub token: u64,
+    /// Reading would not block (includes hang-ups: the EOF is readable).
+    pub readable: bool,
+    /// Writing would not block (includes hang-ups: the flush will fail
+    /// fast and report the death).
+    pub writable: bool,
+    /// Error condition — tear the descriptor down.
+    pub error: bool,
+}
+
+enum Inner {
+    Poll {
+        /// token → (fd, current interest); rebuilt into a `pollfd` array
+        /// on every wait, exactly what the single-reactor loop used to do
+        /// inline.
+        slots: HashMap<u64, (RawFd, Interest)>,
+    },
+    Epoll {
+        ep: Epoll,
+        /// `epoll_wait` output buffer, reused across waits.  Sized well
+        /// above the per-shard connection budget; a full buffer is not
+        /// lossy anyway (undelivered entries re-report next wait).
+        buf: Vec<EpollEvent>,
+    },
+}
+
+/// A unified readiness selector: register/deregister descriptors under
+/// `u64` tokens, wait, iterate [`Event`]s.  See the module docs for the
+/// backend contract.
+pub struct Poller {
+    inner: Inner,
+    events: Vec<Event>,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend_name())
+            .finish_non_exhaustive()
+    }
+}
+
+const EPOLL_WAIT_CAPACITY: usize = 1024;
+
+impl Poller {
+    /// Creates a poller on the requested backend, applying the
+    /// `SNN_REACTOR` override and the epoll→poll fallback described in
+    /// the module docs.  Infallible: the poll backend needs no kernel
+    /// resources at construction.
+    pub fn new(backend: ReactorBackend) -> Poller {
+        let inner = match backend.resolve() {
+            ReactorBackend::Poll => Inner::Poll {
+                slots: HashMap::new(),
+            },
+            // Auto has been resolved away; Epoll degrades on failure.
+            _ => match Epoll::new() {
+                Ok(ep) => Inner::Epoll {
+                    ep,
+                    buf: vec![EpollEvent::zeroed(); EPOLL_WAIT_CAPACITY],
+                },
+                Err(_) => Inner::Poll {
+                    slots: HashMap::new(),
+                },
+            },
+        };
+        Poller {
+            inner,
+            events: Vec::new(),
+        }
+    }
+
+    /// The backend actually in use (after fallback): `"epoll"` or
+    /// `"poll"` — exposed in STATS so operators can see what a shard
+    /// ended up on.
+    pub fn backend_name(&self) -> &'static str {
+        match self.inner {
+            Inner::Poll { .. } => "poll",
+            Inner::Epoll { .. } => "epoll",
+        }
+    }
+
+    /// Whether readiness is delivered edge-triggered (see module docs for
+    /// the consumer obligations).
+    pub fn edge_triggered(&self) -> bool {
+        matches!(self.inner, Inner::Epoll { .. })
+    }
+
+    /// Registers `fd` under `token`.  The epoll backend registers the
+    /// full edge-triggered mask regardless of `interest` growing later;
+    /// the poll backend stores `interest` as the initial per-wait mask.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures (watch exhaustion, closed fd) —
+    /// the caller sheds the connection instead of serving it blind.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.inner {
+            Inner::Poll { slots } => {
+                slots.insert(token, (fd, interest));
+                Ok(())
+            }
+            Inner::Epoll { ep, .. } => {
+                let mut mask = EPOLLET | EPOLLRDHUP;
+                if interest.readable {
+                    mask |= EPOLLIN;
+                }
+                if interest.writable {
+                    mask |= EPOLLOUT;
+                }
+                ep.add(fd, mask, token)
+            }
+        }
+    }
+
+    /// Updates what the level-triggered backend asks for on the next
+    /// wait.  A no-op on epoll (registered-once, edge-triggered — a
+    /// spurious writable edge is cheaper than an `epoll_ctl` per state
+    /// flip).
+    pub fn set_interest(&mut self, token: u64, interest: Interest) {
+        if let Inner::Poll { slots } = &mut self.inner {
+            if let Some(slot) = slots.get_mut(&token) {
+                slot.1 = interest;
+            }
+        }
+    }
+
+    /// Unregisters `token`/`fd`.  Errors are deliberately swallowed: the
+    /// only caller is connection teardown, where the fd is about to be
+    /// closed (which unregisters implicitly on epoll anyway).
+    pub fn deregister(&mut self, token: u64, fd: RawFd) {
+        match &mut self.inner {
+            Inner::Poll { slots } => {
+                slots.remove(&token);
+            }
+            Inner::Epoll { ep, .. } => {
+                let _ = ep.delete(fd);
+            }
+        }
+    }
+
+    /// Blocks until readiness, timeout, or a (spurious-wake) interrupt,
+    /// then returns the events.  Timeout semantics match [`poll_fds`]:
+    /// sub-millisecond nonzero timeouts round up to 1 ms, `EINTR` is an
+    /// empty return, and with the `fault-injection` feature armed the
+    /// spurious-wake hook fires on both backends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-`EINTR` `poll(2)` / `epoll_wait(2)` failures; the
+    /// reactor backs off and retries.
+    pub fn wait(&mut self, timeout: Duration) -> io::Result<&[Event]> {
+        self.events.clear();
+        match &mut self.inner {
+            Inner::Poll { slots } => {
+                let mut fds = Vec::with_capacity(slots.len());
+                let mut order = Vec::with_capacity(slots.len());
+                for (&token, &(fd, interest)) in slots.iter() {
+                    let mut mask = 0i16;
+                    if interest.readable {
+                        mask |= POLLIN;
+                    }
+                    if interest.writable {
+                        mask |= POLLOUT;
+                    }
+                    // Zero-interest slots poll a negative fd: the kernel
+                    // ignores them but the registration survives.
+                    fds.push(PollFd::new(if mask == 0 { -1 } else { fd }, mask));
+                    order.push(token);
+                }
+                poll_fds(&mut fds, timeout)?;
+                for (slot, token) in fds.iter().zip(order) {
+                    let readable = slot.has(POLLIN | POLLHUP);
+                    let writable = slot.has(POLLOUT | POLLHUP);
+                    let error = slot.is_error();
+                    if readable || writable || error {
+                        self.events.push(Event {
+                            token,
+                            readable,
+                            writable,
+                            error,
+                        });
+                    }
+                }
+            }
+            Inner::Epoll { ep, buf } => {
+                let n = ep.wait(buf, timeout)?;
+                for record in &buf[..n] {
+                    // Copy out of the (packed) record before testing bits.
+                    let mask = { record.events };
+                    let token = { record.data };
+                    let readable = mask & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0;
+                    let writable = mask & (EPOLLOUT | EPOLLHUP) != 0;
+                    let error = mask & EPOLLERR != 0;
+                    if readable || writable || error {
+                        self.events.push(Event {
+                            token,
+                            readable,
+                            writable,
+                            error,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(&self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sys::WakePipe;
+
+    fn backends() -> Vec<Poller> {
+        vec![
+            Poller::new(ReactorBackend::Poll),
+            Poller::new(ReactorBackend::Epoll),
+        ]
+    }
+
+    #[test]
+    fn explicit_backends_resolve_as_requested() {
+        assert_eq!(Poller::new(ReactorBackend::Poll).backend_name(), "poll");
+        assert_eq!(Poller::new(ReactorBackend::Epoll).backend_name(), "epoll");
+        assert!(Poller::new(ReactorBackend::Epoll).edge_triggered());
+        assert!(!Poller::new(ReactorBackend::Poll).edge_triggered());
+    }
+
+    #[test]
+    fn env_strings_parse_with_auto_fallback() {
+        assert_eq!(ReactorBackend::from_env_str("poll"), ReactorBackend::Poll);
+        assert_eq!(
+            ReactorBackend::from_env_str(" EPOLL "),
+            ReactorBackend::Epoll
+        );
+        assert_eq!(ReactorBackend::from_env_str("kqueue"), ReactorBackend::Auto);
+        assert_eq!(ReactorBackend::from_env_str(""), ReactorBackend::Auto);
+    }
+
+    /// Both backends: wake → one readable event with the right token;
+    /// drain → quiet.  The Poller twin of the sys-level wake tests.
+    #[test]
+    fn wake_pipe_round_trip_on_both_backends() {
+        for mut poller in backends() {
+            let pipe = WakePipe::new().unwrap();
+            poller.register(pipe.read_fd(), 42, Interest::READ).unwrap();
+            assert!(
+                poller.wait(Duration::from_millis(10)).unwrap().is_empty(),
+                "[{}] idle wait must time out",
+                poller.backend_name()
+            );
+            pipe.wake();
+            let events = poller.wait(Duration::from_secs(5)).unwrap();
+            assert_eq!(events.len(), 1, "[{}]", poller.backend_name());
+            assert_eq!(events[0].token, 42);
+            assert!(events[0].readable);
+            assert!(!events[0].error);
+            pipe.drain();
+            assert!(
+                poller.wait(Duration::from_millis(10)).unwrap().is_empty(),
+                "[{}] drained pipe must be quiet",
+                poller.backend_name()
+            );
+        }
+    }
+
+    /// The delivery-semantics divergence, pinned where the reactor can
+    /// see it: un-drained readiness re-reports on poll (level) and goes
+    /// silent on epoll (edge).
+    #[test]
+    fn undrained_readiness_rereports_only_on_the_level_backend() {
+        for mut poller in backends() {
+            let pipe = WakePipe::new().unwrap();
+            poller.register(pipe.read_fd(), 1, Interest::READ).unwrap();
+            pipe.wake();
+            assert_eq!(poller.wait(Duration::from_secs(5)).unwrap().len(), 1);
+            let again = poller.wait(Duration::from_millis(20)).unwrap().len();
+            if poller.edge_triggered() {
+                assert_eq!(again, 0, "edge backend re-reported a consumed edge");
+            } else {
+                assert_eq!(again, 1, "level backend must re-report pending bytes");
+            }
+        }
+    }
+
+    /// `set_interest` mutes a level-triggered descriptor without
+    /// deregistering it; restoring interest restores delivery.  (On epoll
+    /// this is specified as a no-op and not exercised.)
+    #[test]
+    fn set_interest_mutes_and_unmutes_the_poll_backend() {
+        let mut poller = Poller::new(ReactorBackend::Poll);
+        let pipe = WakePipe::new().unwrap();
+        poller.register(pipe.read_fd(), 5, Interest::READ).unwrap();
+        pipe.wake();
+        poller.set_interest(5, Interest::NONE);
+        assert!(
+            poller.wait(Duration::from_millis(10)).unwrap().is_empty(),
+            "a muted slot must not report"
+        );
+        poller.set_interest(5, Interest::READ);
+        assert_eq!(poller.wait(Duration::from_secs(5)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn deregister_silences_both_backends() {
+        for mut poller in backends() {
+            let pipe = WakePipe::new().unwrap();
+            poller.register(pipe.read_fd(), 3, Interest::READ).unwrap();
+            pipe.wake();
+            poller.deregister(3, pipe.read_fd());
+            assert!(
+                poller.wait(Duration::from_millis(10)).unwrap().is_empty(),
+                "[{}] deregistered fd still reported",
+                poller.backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn registering_a_closed_fd_fails_only_where_the_kernel_is_consulted() {
+        // epoll validates at registration (EBADF); poll only sees fds at
+        // wait time, where a negative fd is a kernel-ignored masked slot —
+        // mirroring how the two syscalls actually behave.
+        let mut epoll = Poller::new(ReactorBackend::Epoll);
+        assert!(epoll.register(-1, 0, Interest::READ).is_err());
+        let mut poll = Poller::new(ReactorBackend::Poll);
+        poll.register(-1, 0, Interest::READ).unwrap();
+        assert!(poll.wait(Duration::from_millis(5)).unwrap().is_empty());
+    }
+}

@@ -1,27 +1,56 @@
-//! The TCP front-end: a single readiness-driven **reactor** thread over
+//! The TCP front-end: **sharded readiness-driven reactors** over
 //! [`StreamServer`]'s non-blocking completion queue.
 //!
 //! [`NetServer::bind`] compiles the model once (via
-//! [`StreamServer::start_with`]), binds a listener and spawns one reactor
-//! thread that owns *every* connection.  The reactor parks in `poll(2)`
-//! ([`crate::sys`]) watching the listener, a wake pipe and all connection
-//! sockets; nothing in the front-end ever blocks on a peer:
+//! [`StreamServer::start_with`]), binds a listener and spawns
+//! [`NetOptions::reactors`] reactor threads (one per core by default).
+//! Each shard owns a **private** connection table, write queues, wake pipe
+//! and completion channel, and parks in its own
+//! [`crate::poller::Poller`] — epoll with edge-triggered readiness by
+//! default, the scalar `poll(2)` fallback under `SNN_REACTOR=poll` (or
+//! when `epoll_create1` fails).  Nothing in the front-end ever blocks on
+//! a peer:
 //!
+//! * **Accepts** happen on shard 0, which owns the listener and hands
+//!   admitted sockets to its siblings **round-robin** over a per-shard
+//!   channel plus a wake (`SO_REUSEPORT` without the setsockopt
+//!   plumbing); the global [`NetOptions::max_connections`] cap is a
+//!   shared atomic reserved at accept time, so admission control stays
+//!   exact under sharding.  Connections **never migrate** between
+//!   shards, so every per-connection invariant (incremental decode,
+//!   completion-order replies, slow-reader isolation) is untouched.
 //! * **Reads** are non-blocking into a per-connection buffer; complete
 //!   frames are decoded incrementally and INFER requests are submitted
 //!   through [`StreamServer::submit_tagged`] — so one connection can have
-//!   any number of requests in flight (pipelining).
-//! * **Completions** come back over an mpsc channel; the dispatcher wakes
-//!   the reactor through the pipe, and replies are written in **completion
-//!   order**, each echoing its request id for client-side correlation.
+//!   any number of requests in flight (pipelining).  Submission tags are
+//!   **shard-strided** (shard `i` uses `i, i+N, i+2N, ...`), keeping them
+//!   globally unique for the telemetry recorder.
+//! * **Completions** come back over each shard's mpsc channel; the
+//!   dispatcher wakes the owning shard through its pipe, and replies are
+//!   written in **completion order**, each echoing its request id for
+//!   client-side correlation.
 //! * **Writes** go through a per-connection write queue flushed on
 //!   writability, so a stalled reader delays only its own replies — every
 //!   other connection keeps flowing.  A reader that outgrows the
 //!   write-buffer cap, or whose kernel buffer accepts nothing for the
 //!   whole [`WRITE_STALL_TIMEOUT`], is disconnected.
 //!
+//! # Edge-triggered correctness
+//!
+//! The epoll backend reports a readiness transition exactly once, which
+//! interacts with the [`NetOptions::read_burst`] fairness cap: a firehose
+//! socket whose burst is cut short still has kernel bytes but will never
+//! re-report readable.  Each reactor therefore keeps a **hot list** of
+//! burst-truncated connections and re-reads them on the next iteration
+//! (with a zero wait timeout while the list is non-empty) — fairness
+//! between sockets is preserved *and* no byte is stranded.  Writes need
+//! no such list: the reactor always flushes immediately after queueing,
+//! so a non-empty write buffer implies a genuine `EWOULDBLOCK`, and the
+//! kernel will edge on the next writable transition.
+//!
 //! Scores on the wire remain bit-identical to the matching in-process
-//! [`StreamServer::submit`] (loopback suite), pipelined or not.
+//! [`StreamServer::submit`] (loopback suite), pipelined or not, on both
+//! backends and any shard count.
 //!
 //! # Backpressure, end to end
 //!
@@ -34,39 +63,50 @@
 //!   the observed depth, the capacity, and how long the dispatcher needs
 //!   to drain the backlog at its recent rate.  Other pipelined requests on
 //!   the same connection are untouched.
-//! * **Connection cap reached** — the reactor owns at most
-//!   [`NetOptions::max_connections`] sockets; a connection past the cap is
-//!   shed with a REJECTED frame (`scope = connections`) queued on its
-//!   write buffer and closed once flushed — no thread is spawned, the
-//!   acceptor never blocks.
+//! * **Connection cap reached** — the shards collectively own at most
+//!   [`NetOptions::max_connections`] sockets (the shared reservation
+//!   counter); a connection past the cap is shed by the accepting shard
+//!   with a REJECTED frame (`scope = connections`) queued on its write
+//!   buffer and closed once flushed — no thread is spawned, the acceptor
+//!   never blocks.
 //!
-//! The IO story of `snn_parallel` shrank accordingly: instead of one
-//! [`snn_parallel::IoLease`] per connection, the front-end holds exactly
-//! **one** lease for the reactor thread (the dispatcher inside
-//! [`StreamServer`] is the other IO-adjacent thread); connection scaling
-//! is bounded by `max_connections`, not by threads.
+//! Each reactor thread draws one [`snn_parallel::IoLease`]; it blocks in
+//! the poller, not on a core (the `StreamServer` dispatcher is accounted
+//! the same way).  Connection scaling is bounded by `max_connections`,
+//! not by threads.
+//!
+//! # Failure isolation
+//!
+//! A panic in one reactor shard kills only that shard: its connections
+//! die, its siblings keep serving, and the acceptor skips it for new
+//! admissions.  [`NetServer::is_healthy`] turns `false` (any dead shard
+//! means lost capacity and, for shard 0, a dead listener), which is the
+//! supervision signal to rebuild the front-end; [`NetStats::per_reactor`]
+//! says which shard died.
 //!
 //! # Shutdown
 //!
-//! [`NetServer::shutdown`] wakes the reactor, which stops accepting and
-//! reading, submits any complete frames already buffered, waits for every
-//! in-flight inference to complete, flushes all write queues (bounded by
-//! [`SHUTDOWN_DRAIN_GRACE`]) and exits; only then is the inner server torn
-//! down — a clean shutdown never drops a request it has already read.
+//! [`NetServer::shutdown`] wakes every shard; each stops accepting and
+//! reading, submits any complete frames already buffered, waits for its
+//! in-flight inferences to complete, flushes its write queues (bounded by
+//! [`SHUTDOWN_DRAIN_GRACE`]) and exits; only then is the inner server
+//! torn down — a clean shutdown never drops a request it has already
+//! read.
 
 use crate::error::NetError;
+use crate::poller::{Interest, Poller, ReactorBackend};
 use crate::protocol::{
     error_code, probe_plaintext, reject_scope, stats_format, ErrorReply, Frame, PlaintextProbe,
     RejectReply, ScoreReply, NO_REQUEST_ID,
 };
-use crate::sys::{poll_fds, PollFd, WakePipe, POLLIN, POLLOUT};
+use crate::sys::WakePipe;
 use snn_accel::config::AcceleratorConfig;
 use snn_accel::serve::{
     Completion, CompletionSink, QueueSnapshot, ServerOptions, ServerStats, StreamServer,
 };
 use snn_accel::AccelError;
 use snn_model::snn::SnnModel;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
@@ -81,21 +121,36 @@ pub struct NetOptions {
     /// Options of the inner [`StreamServer`] (micro-batching, queue
     /// capacity, execution mode) — validated by its constructor.
     pub server: ServerOptions,
-    /// Upper bound of one `poll(2)` sleep: the granularity of idle-timeout
+    /// Upper bound of one poller sleep: the granularity of idle-timeout
     /// sweeps and the latency ceiling of noticing a shutdown — not of
-    /// requests, which wake the reactor through the pipe.
+    /// requests, which wake their shard through its pipe.
     pub poll_interval: Duration,
     /// A connection that has sent no complete request (and has none in
     /// flight) for this long is closed and its slot reclaimed.  Without
     /// the deadline, `max_connections` silent sockets would pin every slot
     /// forever and starve new connections while the server sits idle.
     pub idle_timeout: Duration,
-    /// Most connections the reactor owns at once.  Past the cap a new
-    /// connection is shed with a typed REJECTED frame (`scope =
+    /// Most connections the shards collectively own at once.  Past the
+    /// cap a new connection is shed with a typed REJECTED frame (`scope =
     /// connections`).  Must be at least 1 ([`NetServer::bind`] rejects 0
     /// with a typed error).  Connections are state, not threads, so this
     /// can comfortably sit far above the old per-connection worker cap.
     pub max_connections: usize,
+    /// Reactor shards.  `0` (the default) resolves to the `SNN_REACTORS`
+    /// environment variable if set, else one shard per available core.
+    /// Shard 0 owns the listener and distributes admitted connections
+    /// round-robin; a connection lives on one shard for its whole life.
+    pub reactors: usize,
+    /// Readiness backend.  [`ReactorBackend::Auto`] (the default) honours
+    /// the `SNN_REACTOR` environment variable (`poll` / `epoll`) and
+    /// otherwise picks epoll, falling back to `poll(2)` when the kernel
+    /// refuses an epoll instance.
+    pub backend: ReactorBackend,
+    /// Most bytes one readiness round reads from one socket — the
+    /// fairness bound (see [`READ_BURST`], the default).  Tests shrink it
+    /// to exercise the edge-trigger hot-list with small payloads.  Must
+    /// be at least 1.
+    pub read_burst: usize,
 }
 
 impl Default for NetOptions {
@@ -105,6 +160,9 @@ impl Default for NetOptions {
             poll_interval: Duration::from_millis(20),
             idle_timeout: Duration::from_secs(60),
             max_connections: 256,
+            reactors: 0,
+            backend: ReactorBackend::Auto,
+            read_burst: READ_BURST,
         }
     }
 }
@@ -125,10 +183,11 @@ pub const MAX_WRITE_BUFFER: usize = 4 << 20;
 /// Any write progress restarts the window.
 pub const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Most bytes the reactor reads from one socket in one readiness round —
-/// a fairness bound so a firehose peer cannot starve its neighbours
-/// between polls.  The remainder stays in the kernel buffer and the
-/// socket simply polls readable again.
+/// Default of [`NetOptions::read_burst`]: most bytes a reactor reads from
+/// one socket in one readiness round — a fairness bound so a firehose
+/// peer cannot starve its shard neighbours between polls.  The remainder
+/// stays in the kernel buffer; the level backend simply polls readable
+/// again, the edge backend re-reads via the hot list.
 pub const READ_BURST: usize = 256 << 10;
 
 /// How long a reactor-wide draining shutdown may keep waiting on
@@ -144,11 +203,12 @@ pub const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_secs(10);
 /// RST, which could destroy the reply before the peer reads it.
 pub const CLOSE_LINGER: Duration = Duration::from_millis(250);
 
-/// Cap on connections in the shed/close pipeline (REJECTED queued, write
-/// flushing, linger) beyond [`NetOptions::max_connections`].  Past it,
-/// surplus connections are dropped without a frame — under that much flood
-/// typed rejection inevitably degrades to kernel-level drops anyway, but
-/// the reactor itself never blocks and its memory stays bounded.
+/// Per-shard cap on connections in the shed/close pipeline (REJECTED
+/// queued, write flushing, linger) beyond the admitted population.  Past
+/// it, surplus connections are dropped without a frame — under that much
+/// flood typed rejection inevitably degrades to kernel-level drops
+/// anyway, but the reactor itself never blocks and its memory stays
+/// bounded.
 pub const MAX_SHED_CONNECTIONS: usize = 64;
 
 /// Floor of the retry-after hint on connection-scope rejections
@@ -157,22 +217,77 @@ pub const MAX_SHED_CONNECTIONS: usize = 64;
 /// a polite back-off floor rather than a measurement.
 pub const CONNECTIONS_RETRY_AFTER_MS: u64 = 100;
 
-#[derive(Default)]
-struct Counters {
+/// Poller token of a shard's wake pipe (connection tokens count up from
+/// zero and never reach the reserved range).
+const TOKEN_WAKE: u64 = u64::MAX;
+/// Poller token of the listener (shard 0 only).
+const TOKEN_LISTENER: u64 = u64::MAX - 1;
+
+/// One shard's counters — each written only by its owning reactor
+/// thread, read by anyone.
+struct ShardCounters {
+    alive: AtomicBool,
     accepted: AtomicU64,
     turned_away: AtomicU64,
+    handoffs: AtomicU64,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
     stats_requests: AtomicU64,
     open_connections: AtomicUsize,
 }
 
+impl ShardCounters {
+    fn new() -> Self {
+        ShardCounters {
+            alive: AtomicBool::new(true),
+            accepted: AtomicU64::new(0),
+            turned_away: AtomicU64::new(0),
+            handoffs: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            stats_requests: AtomicU64::new(0),
+            open_connections: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Per-shard slice of [`NetStats`]: which reactor did what — a hot
+/// accept shard, a dead shard, or an unbalanced handoff is visible here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Shard index (`0` owns the listener).
+    pub index: usize,
+    /// `false` once this shard's thread has exited (shutdown or panic).
+    pub alive: bool,
+    /// The readiness backend the shard actually runs on (after the
+    /// epoll→poll fallback): `"epoll"` or `"poll"`.
+    pub backend: &'static str,
+    /// Connections admitted to this shard (the accept share).
+    pub accepted: u64,
+    /// Connections this shard shed at the cap (sheds land on the accept
+    /// shard, which owns the admission decision).
+    pub turned_away: u64,
+    /// Admitted connections that arrived via listener handoff rather
+    /// than locally (always 0 for shard 0).
+    pub handoffs: u64,
+    /// Connections this shard currently owns.
+    pub open_connections: u64,
+    /// Inference requests decoded by this shard.
+    pub requests: u64,
+    /// Protocol violations observed by this shard.
+    pub protocol_errors: u64,
+    /// STATS requests served by this shard.
+    pub stats_requests: u64,
+}
+
 /// Snapshot of a [`NetServer`]'s counters plus the inner serving stats.
+/// The flat counters aggregate over every reactor shard;
+/// [`NetStats::per_reactor`] has the breakdown.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetStats {
-    /// TCP connections accepted (admitted or shed).
+    /// TCP connections accepted (admitted or shed), summed over shards.
     pub accepted: u64,
-    /// Connections shed because the reactor was at `max_connections`.
+    /// Connections shed because the front-end was at `max_connections`.
     pub turned_away: u64,
     /// Inference requests received over the wire.
     pub requests: u64,
@@ -180,13 +295,21 @@ pub struct NetStats {
     pub protocol_errors: u64,
     /// STATS requests served (framed or plaintext).
     pub stats_requests: u64,
-    /// Connections the reactor currently owns.
+    /// Connections the shards currently own.
     pub open_connections: u64,
-    /// `false` once the reactor thread has exited — normally (shutdown) or
-    /// abnormally (a reactor panic).  A supervisor that sees this `false`
-    /// on a server it has not shut down knows the front-end is dead even
-    /// though the process is alive; see [`NetServer::is_healthy`].
+    /// `false` once **any** reactor shard has exited — normally
+    /// (shutdown) or abnormally (a shard panic).  A supervisor that sees
+    /// this `false` on a server it has not shut down knows part of the
+    /// front-end is dead even though the process is alive; see
+    /// [`NetServer::is_healthy`] and the per-shard `alive` flags in
+    /// [`NetStats::per_reactor`].
     pub reactor_alive: bool,
+    /// Reactor shards the server was built with.
+    pub reactors: u64,
+    /// Shards whose threads are still running.
+    pub reactors_alive: u64,
+    /// Per-shard breakdown (accept share, handoffs, liveness, backend).
+    pub per_reactor: Vec<ReactorStats>,
     /// The inner [`StreamServer`] statistics (completed, rejected, queue
     /// snapshot, per-unit utilisation, ...).
     pub server: ServerStats,
@@ -195,23 +318,35 @@ pub struct NetStats {
 struct NetShared {
     server: StreamServer,
     options: NetOptions,
+    /// Resolved shard count (≥ 1); `options.reactors` keeps the raw
+    /// request (possibly 0 = auto).
+    reactors: usize,
+    /// Backend each shard's poller actually landed on, fixed at bind.
+    backend_names: Vec<&'static str>,
     shutdown: AtomicBool,
-    /// Cleared by the reactor thread's drop guard on *any* exit path —
-    /// clean shutdown or panic — so health checks never dangle on a dead
-    /// event loop.
-    reactor_alive: AtomicBool,
-    counters: Counters,
-    wake: Arc<WakePipe>,
+    /// Global admission reservation: incremented by the accepting shard
+    /// **before** a connection is admitted or handed off, decremented by
+    /// the owning shard when an admitted connection stops being served
+    /// (drain or close).  Only the acceptor admits, so the cap check
+    /// against this counter is exact.
+    open_total: AtomicUsize,
+    shards: Vec<ShardCounters>,
+    wakes: Vec<Arc<WakePipe>>,
 }
 
-/// Flips [`NetShared::reactor_alive`] when the reactor thread exits, even
-/// by unwinding: the guard lives on the reactor's stack, so a panic
-/// anywhere in the event loop still reports the death.
-struct ReactorAliveGuard(Arc<NetShared>);
+/// Flips a shard's `alive` flag when its reactor thread exits, even by
+/// unwinding: the guard lives on the reactor's stack, so a panic anywhere
+/// in the event loop still reports the death.
+struct ReactorAliveGuard {
+    shared: Arc<NetShared>,
+    shard: usize,
+}
 
 impl Drop for ReactorAliveGuard {
     fn drop(&mut self) {
-        self.0.reactor_alive.store(false, Ordering::Release);
+        self.shared.shards[self.shard]
+            .alive
+            .store(false, Ordering::Release);
     }
 }
 
@@ -219,7 +354,7 @@ impl Drop for ReactorAliveGuard {
 #[derive(Debug)]
 pub struct NetServer {
     shared: Arc<NetShared>,
-    reactor: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
     local_addr: SocketAddr,
 }
 
@@ -227,18 +362,40 @@ impl std::fmt::Debug for NetShared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetShared")
             .field("options", &self.options)
+            .field("reactors", &self.reactors)
             .finish_non_exhaustive()
     }
 }
 
+/// Resolves `NetOptions::reactors`: explicit > `SNN_REACTORS` env > one
+/// per available core; clamped to at least 1 and at most the connection
+/// cap (a shard with no possible connection is pure overhead).
+fn resolve_reactors(options: &NetOptions) -> usize {
+    let requested = if options.reactors > 0 {
+        options.reactors
+    } else {
+        std::env::var("SNN_REACTORS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    };
+    requested.clamp(1, options.max_connections)
+}
+
 impl NetServer {
     /// Compiles `model`, binds `addr` (use port `0` for an ephemeral port)
-    /// and starts the reactor.
+    /// and starts the reactor shards.
     ///
     /// # Errors
     ///
     /// Propagates [`StreamServer::start_with`] errors (invalid options,
-    /// unmappable model), rejects `max_connections == 0` with a typed
+    /// unmappable model), rejects `max_connections == 0` and
+    /// `read_burst == 0` with a typed
     /// [`snn_accel::AccelError::InvalidConfig`], and propagates socket /
     /// pipe errors.
     pub fn bind<A: ToSocketAddrs>(
@@ -253,39 +410,100 @@ impl NetServer {
                     .to_string(),
             }));
         }
+        if options.read_burst == 0 {
+            return Err(NetError::Accel(AccelError::InvalidConfig {
+                context: "NetOptions::read_burst is 0: no socket could ever be read".to_string(),
+            }));
+        }
+        let reactors = resolve_reactors(&options);
         let server = StreamServer::start_with(config, model, options.server)?;
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let wake = Arc::new(WakePipe::new()?);
+
+        let mut wakes = Vec::with_capacity(reactors);
+        for _ in 0..reactors {
+            wakes.push(Arc::new(WakePipe::new()?));
+        }
+        // Pollers are built before the threads spawn so the backend each
+        // shard landed on (epoll, or the poll fallback) is known — and
+        // reportable — from the moment `bind` returns.
+        let mut pollers: Vec<Option<Poller>> = (0..reactors)
+            .map(|_| Some(Poller::new(options.backend)))
+            .collect();
+        let backend_names: Vec<&'static str> = pollers
+            .iter()
+            .map(|p| p.as_ref().expect("just built").backend_name())
+            .collect();
         let shared = Arc::new(NetShared {
             server,
             options,
+            reactors,
+            backend_names,
             shutdown: AtomicBool::new(false),
-            reactor_alive: AtomicBool::new(true),
-            counters: Counters::default(),
-            wake: Arc::clone(&wake),
+            open_total: AtomicUsize::new(0),
+            shards: (0..reactors).map(|_| ShardCounters::new()).collect(),
+            wakes,
         });
-        let completion_wake = Arc::clone(&wake);
-        let (sink, completions) = CompletionSink::new(Arc::new(move || completion_wake.wake()));
-        // The reactor is the front-end's only thread; it blocks in poll(2),
-        // not on a core, so it draws an IO lease rather than compute budget
-        // (the StreamServer dispatcher is accounted the same way).
-        let lease = snn_parallel::budget().try_lease_io_threads(1);
-        let reactor_shared = Arc::clone(&shared);
-        let reactor = thread::Builder::new()
-            .name("snn-net-reactor".to_string())
-            .spawn(move || {
-                // The lease (when the budget had one left) lives exactly as
-                // long as the reactor thread; the alive guard reports the
-                // thread's death on every exit path, panics included.
-                let _lease = lease;
-                let _alive = ReactorAliveGuard(Arc::clone(&reactor_shared));
-                Reactor::new(&reactor_shared, listener, completions, sink).run();
-            })?;
+
+        // The round-robin handoff fabric: shard 0 sends admitted sockets
+        // to any sibling's channel and wakes it.  (Shard 0's own channel
+        // exists for uniformity but the acceptor admits locally instead.)
+        let mut txs = Vec::with_capacity(reactors);
+        let mut rxs: Vec<Option<mpsc::Receiver<TcpStream>>> = Vec::with_capacity(reactors);
+        for _ in 0..reactors {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+
+        let mut handles = Vec::with_capacity(reactors);
+        let mut listener_slot = Some(listener);
+        for shard in 0..reactors {
+            let poller = pollers[shard].take().expect("one poller per shard");
+            let handoff_rx = rxs[shard].take().expect("one receiver per shard");
+            let handoff_txs = if shard == 0 { txs.clone() } else { Vec::new() };
+            let listener = if shard == 0 {
+                listener_slot.take()
+            } else {
+                None
+            };
+            let completion_wake = Arc::clone(&shared.wakes[shard]);
+            let (sink, completions) = CompletionSink::new(Arc::new(move || completion_wake.wake()));
+            // Each shard blocks in its poller, not on a core, so it draws
+            // an IO lease rather than compute budget (the StreamServer
+            // dispatcher is accounted the same way).
+            let lease = snn_parallel::budget().try_lease_io_threads(1);
+            let reactor_shared = Arc::clone(&shared);
+            let handle = thread::Builder::new()
+                .name(format!("snn-net-reactor-{shard}"))
+                .spawn(move || {
+                    // The lease (when the budget had one left) lives
+                    // exactly as long as the shard; the alive guard
+                    // reports the thread's death on every exit path,
+                    // panics included.
+                    let _lease = lease;
+                    let _alive = ReactorAliveGuard {
+                        shared: Arc::clone(&reactor_shared),
+                        shard,
+                    };
+                    Reactor::new(
+                        &reactor_shared,
+                        shard,
+                        poller,
+                        listener,
+                        handoff_rx,
+                        handoff_txs,
+                        completions,
+                        sink,
+                    )
+                    .run();
+                })?;
+            handles.push(handle);
+        }
         Ok(NetServer {
             shared,
-            reactor: Some(reactor),
+            reactors: handles,
             local_addr,
         })
     }
@@ -295,42 +513,51 @@ impl NetServer {
         self.local_addr
     }
 
-    /// Snapshot of the front-end counters and the inner serving stats.
+    /// Snapshot of the front-end counters (aggregated and per shard) and
+    /// the inner serving stats.
     pub fn stats(&self) -> NetStats {
-        let c = &self.shared.counters;
+        let per_reactor = per_reactor_stats(&self.shared);
+        let alive = per_reactor.iter().filter(|r| r.alive).count() as u64;
         NetStats {
-            accepted: c.accepted.load(Ordering::Relaxed),
-            turned_away: c.turned_away.load(Ordering::Relaxed),
-            requests: c.requests.load(Ordering::Relaxed),
-            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
-            stats_requests: c.stats_requests.load(Ordering::Relaxed),
-            open_connections: c.open_connections.load(Ordering::Relaxed) as u64,
-            reactor_alive: self.shared.reactor_alive.load(Ordering::Acquire),
+            accepted: per_reactor.iter().map(|r| r.accepted).sum(),
+            turned_away: per_reactor.iter().map(|r| r.turned_away).sum(),
+            requests: per_reactor.iter().map(|r| r.requests).sum(),
+            protocol_errors: per_reactor.iter().map(|r| r.protocol_errors).sum(),
+            stats_requests: per_reactor.iter().map(|r| r.stats_requests).sum(),
+            open_connections: per_reactor.iter().map(|r| r.open_connections).sum(),
+            reactor_alive: alive == self.shared.reactors as u64,
+            reactors: self.shared.reactors as u64,
+            reactors_alive: alive,
+            per_reactor,
             server: self.shared.server.stats(),
         }
     }
 
-    /// `true` while the reactor thread is alive, at least one replica
+    /// `true` while every reactor shard is alive, at least one replica
     /// engine is healthy, and the server has not been told to shut down.
     ///
-    /// The reactor is the front-end's only thread; if it dies (a panic in
-    /// the event loop — inference panics never reach it, they are isolated
-    /// inside the dispatcher), no connection will ever be served again
-    /// while the process looks healthy from the outside.  Likewise, a
-    /// reactor with zero healthy replicas behind it can only reject.  A
-    /// *degraded* server — some but not all replicas down — still reports
-    /// healthy (the survivors serve); the per-replica stats expose the
+    /// A dead shard (a panic in its event loop — inference panics never
+    /// reach the reactors, they are isolated inside the dispatcher) means
+    /// its connections are gone and, for shard 0, that nothing accepts;
+    /// the survivors keep serving *their* connections, but the front-end
+    /// has silently lost capacity.  Likewise, a front-end with zero
+    /// healthy replicas behind it can only reject.  A *degraded* inner
+    /// server — some but not all replicas down — still reports healthy
+    /// (the survivors serve); the per-replica stats expose the
     /// degradation.  This is the supervision signal: a monitor that sees
     /// `is_healthy() == false` on a server it did not shut down should
     /// rebuild the front-end.
     pub fn is_healthy(&self) -> bool {
-        self.shared.reactor_alive.load(Ordering::Acquire)
+        self.shared
+            .shards
+            .iter()
+            .all(|s| s.alive.load(Ordering::Acquire))
             && self.shared.server.healthy_replicas() > 0
             && !self.shared.shutdown.load(Ordering::Acquire)
     }
 
     /// Gracefully shuts down: stop accepting, drain in-flight requests,
-    /// flush replies, join the reactor, and return the final statistics.
+    /// flush replies, join every shard, and return the final statistics.
     pub fn shutdown(mut self) -> NetStats {
         self.stop();
         self.stats()
@@ -338,11 +565,13 @@ impl NetServer {
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.wake.wake();
-        // A panicked reactor must not turn shutdown into a panic of its
+        for wake in &self.shared.wakes {
+            wake.wake();
+        }
+        // A panicked shard must not turn shutdown into a panic of its
         // own (or a double-panic abort when this runs from Drop during
-        // unwinding): the join error is swallowed and teardown continues.
-        if let Some(handle) = self.reactor.take() {
+        // unwinding): join errors are swallowed and teardown continues.
+        for handle in self.reactors.drain(..) {
             let _ = handle.join();
         }
     }
@@ -351,6 +580,37 @@ impl NetServer {
 impl Drop for NetServer {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+fn per_reactor_stats(shared: &NetShared) -> Vec<ReactorStats> {
+    shared
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(index, c)| ReactorStats {
+            index,
+            alive: c.alive.load(Ordering::Acquire),
+            backend: shared.backend_names[index],
+            accepted: c.accepted.load(Ordering::Relaxed),
+            turned_away: c.turned_away.load(Ordering::Relaxed),
+            handoffs: c.handoffs.load(Ordering::Relaxed),
+            open_connections: c.open_connections.load(Ordering::Relaxed) as u64,
+            requests: c.requests.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            stats_requests: c.stats_requests.load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// The backend name shared by all shards, or `"mixed"` in the
+/// (theoretical) case of a per-shard fallback divergence.
+fn aggregate_backend(shared: &NetShared) -> &'static str {
+    let first = shared.backend_names[0];
+    if shared.backend_names.iter().all(|name| *name == first) {
+        first
+    } else {
+        "mixed"
     }
 }
 
@@ -371,9 +631,23 @@ enum ConnState {
     Linger,
 }
 
+/// What [`Conn::read_step`] observed about the socket.
+struct ReadOutcome {
+    /// The connection is dead and must be closed.
+    dead: bool,
+    /// The burst cap ended the read with bytes (possibly) still in the
+    /// kernel buffer — on an edge-triggered backend the reactor must
+    /// remember to come back (hot list), because no new edge will fire
+    /// for bytes that already arrived.
+    truncated: bool,
+}
+
 struct Conn {
     stream: TcpStream,
     state: ConnState,
+    /// `false` for shed connections, which never held a reservation in
+    /// the global admission counter.
+    admitted: bool,
     /// Bytes read but not yet decoded (at most a partial frame after each
     /// processing pass).
     rbuf: Vec<u8>,
@@ -404,6 +678,11 @@ struct Conn {
     /// Write-queue residencies measured by `flush_step`, waiting for the
     /// reactor to forward them to the span recorder.
     stall_samples: Vec<(u64, f64)>,
+    /// Set when the fault injector faked an `EWOULDBLOCK` on this
+    /// connection: the kernel state did not change, so an edge-triggered
+    /// backend will never re-report — the reactor must treat the socket
+    /// as hot.  Never set outside the `fault-injection` feature.
+    fault_blocked: bool,
 }
 
 impl Conn {
@@ -411,6 +690,7 @@ impl Conn {
         Conn {
             stream,
             state: ConnState::Open,
+            admitted: true,
             rbuf: Vec::new(),
             wbuf: Vec::new(),
             in_flight: 0,
@@ -421,6 +701,7 @@ impl Conn {
             flushed_total: 0,
             reply_marks: VecDeque::new(),
             stall_samples: Vec::new(),
+            fault_blocked: false,
         }
     }
 
@@ -432,12 +713,18 @@ impl Conn {
     /// Marks the connection terminally answered: finish in-flight work,
     /// flush, half-close, linger, close.  The drain phase gets the full
     /// flush grace (in-flight completions are still landing); the linger
-    /// after the half-close is short.
+    /// after the half-close is short.  Callers that may hold an admission
+    /// reservation go through [`retire_and_drain`] instead.
     fn begin_drain(&mut self) {
         if self.state == ConnState::Open {
             self.state = ConnState::Draining;
             self.deadline = Some(Instant::now() + SHUTDOWN_DRAIN_GRACE);
         }
+    }
+
+    /// Takes (and clears) the injected-`EWOULDBLOCK` marker.
+    fn take_fault_blocked(&mut self) -> bool {
+        std::mem::take(&mut self.fault_blocked)
     }
 
     /// One socket read, routed through the fault injector when the
@@ -451,7 +738,12 @@ impl Conn {
             match crate::fault::read_fault() {
                 IoFault::None => self.stream.read(scratch),
                 IoFault::Short => self.stream.read(&mut scratch[..1]),
-                IoFault::WouldBlock => Err(io::Error::from(ErrorKind::WouldBlock)),
+                IoFault::WouldBlock => {
+                    // The socket was not consulted: real bytes may remain,
+                    // and an edge-triggered poller will not re-report them.
+                    self.fault_blocked = true;
+                    Err(io::Error::from(ErrorKind::WouldBlock))
+                }
                 IoFault::Interrupted => Err(io::Error::from(ErrorKind::Interrupted)),
                 IoFault::Reset => Err(io::Error::from(ErrorKind::ConnectionReset)),
             }
@@ -469,7 +761,12 @@ impl Conn {
             match crate::fault::write_fault() {
                 IoFault::None => self.stream.write(bytes),
                 IoFault::Short => self.stream.write(&bytes[..1]),
-                IoFault::WouldBlock => Err(io::Error::from(ErrorKind::WouldBlock)),
+                IoFault::WouldBlock => {
+                    // As with reads: the kernel buffer may be writable, so
+                    // no writable edge is coming — flag for the hot list.
+                    self.fault_blocked = true;
+                    Err(io::Error::from(ErrorKind::WouldBlock))
+                }
                 IoFault::Interrupted => Err(io::Error::from(ErrorKind::Interrupted)),
                 IoFault::Reset => Err(io::Error::from(ErrorKind::ConnectionReset)),
             }
@@ -479,14 +776,18 @@ impl Conn {
     }
 
     /// Non-blocking read burst into the read buffer (discarded on non-Open
-    /// states, where only EOF matters).  Returns `true` when the
-    /// connection is dead and must be closed.
-    fn read_step(&mut self) -> bool {
+    /// states, where only EOF matters).
+    fn read_step(&mut self, burst: usize) -> ReadOutcome {
         let discard = self.state != ConnState::Open;
         let mut scratch = [0u8; 8192];
         let mut total = 0usize;
+        let mut truncated = false;
         loop {
-            match self.socket_read(&mut scratch) {
+            // The burst is a byte cap, not a round count: never ask the
+            // kernel for more than the remaining allowance, so small test
+            // bursts behave exactly like the production one.
+            let want = scratch.len().min(burst - total);
+            match self.socket_read(&mut scratch[..want]) {
                 Ok(0) => {
                     self.peer_eof = true;
                     break;
@@ -496,20 +797,30 @@ impl Conn {
                         self.rbuf.extend_from_slice(&scratch[..n]);
                     }
                     total += n;
-                    // Fairness: leave the rest in the kernel buffer and
-                    // let the socket poll readable again next round.
-                    if total >= READ_BURST {
+                    // Fairness: leave the rest in the kernel buffer.  The
+                    // level backend will re-report readable; the edge
+                    // backend relies on the caller honouring `truncated`.
+                    if total >= burst {
+                        truncated = true;
                         break;
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => return true,
+                Err(_) => {
+                    return ReadOutcome {
+                        dead: true,
+                        truncated: false,
+                    }
+                }
             }
         }
-        // EOF during a linger means the peer has nothing more in flight
-        // that a close could RST away.
-        self.peer_eof && self.state != ConnState::Open
+        ReadOutcome {
+            // EOF during a linger means the peer has nothing more in
+            // flight that a close could RST away.
+            dead: self.peer_eof && self.state != ConnState::Open,
+            truncated: truncated && !self.peer_eof,
+        }
     }
 
     /// Writes as much queued reply data as the kernel accepts.  Returns
@@ -569,19 +880,29 @@ impl Conn {
         false
     }
 
-    /// Which poll events this connection currently needs.
-    fn events(&self) -> i16 {
-        let mut events = 0;
-        // Reads stay registered on non-Open states too: draining the
-        // peer's backlog prevents an RST from destroying the queued reply.
-        if !self.peer_eof {
-            events |= POLLIN;
+    /// Which poller interest this connection currently needs (the level
+    /// backend's per-wait mask; the edge backend registered everything
+    /// once).
+    fn interest(&self) -> Interest {
+        Interest {
+            // Reads stay registered on non-Open states too: draining the
+            // peer's backlog prevents an RST from destroying the queued
+            // reply.
+            readable: !self.peer_eof,
+            writable: !self.wbuf.is_empty(),
         }
-        if !self.wbuf.is_empty() {
-            events |= POLLOUT;
-        }
-        events
     }
+}
+
+/// Ends an admitted connection's claim on the global admission counter
+/// and starts its terminal drain.  Every `begin_drain` on a possibly
+/// admitted connection must go through here — a reservation that leaks
+/// would shrink the connection cap forever.
+fn retire_and_drain(shared: &NetShared, conn: &mut Conn) {
+    if conn.state == ConnState::Open && conn.admitted {
+        shared.open_total.fetch_sub(1, Ordering::AcqRel);
+    }
+    conn.begin_drain();
 }
 
 /// A submitted-but-uncompleted inference: which connection asked, under
@@ -593,13 +914,31 @@ struct Pending {
 
 struct Reactor<'a> {
     shared: &'a Arc<NetShared>,
-    listener: TcpListener,
+    shard: usize,
+    poller: Poller,
+    /// Shard 0 owns the listener; every other shard receives its accept
+    /// share over the handoff channel.
+    listener: Option<TcpListener>,
+    handoff_rx: mpsc::Receiver<TcpStream>,
+    /// Round-robin handoff senders, one per shard (non-empty only on the
+    /// accepting shard).
+    handoff_txs: Vec<mpsc::Sender<TcpStream>>,
+    /// Round-robin cursor over shards (accepting shard only).
+    next_target: usize,
     completions: mpsc::Receiver<Completion>,
     sink: CompletionSink,
     conns: HashMap<u64, Conn>,
     /// Tag of every in-flight tagged submission → its origin.
     pending: HashMap<u64, Pending>,
+    /// Connections whose last read was cut short by the burst cap (or an
+    /// injected `EWOULDBLOCK`): on an edge-triggered backend no new event
+    /// will fire for the bytes left behind, so the reactor re-reads these
+    /// on the next iteration with a zero wait timeout.
+    hot: HashSet<u64>,
     next_token: u64,
+    /// Next submission tag: starts at the shard index, strides by the
+    /// shard count — globally unique without cross-shard coordination
+    /// (the telemetry recorder keys traces by tag).
     next_tag: u64,
     /// Set once when a shutdown is observed: already-buffered complete
     /// frames are submitted one final time, then reads stop.
@@ -607,26 +946,63 @@ struct Reactor<'a> {
 }
 
 impl<'a> Reactor<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         shared: &'a Arc<NetShared>,
-        listener: TcpListener,
+        shard: usize,
+        poller: Poller,
+        listener: Option<TcpListener>,
+        handoff_rx: mpsc::Receiver<TcpStream>,
+        handoff_txs: Vec<mpsc::Sender<TcpStream>>,
         completions: mpsc::Receiver<Completion>,
         sink: CompletionSink,
     ) -> Self {
         Reactor {
             shared,
+            shard,
+            poller,
             listener,
+            handoff_rx,
+            handoff_txs,
+            next_target: 0,
             completions,
             sink,
             conns: HashMap::new(),
             pending: HashMap::new(),
+            hot: HashSet::new(),
             next_token: 0,
-            next_tag: 0,
+            next_tag: shard as u64,
             drain_started: false,
         }
     }
 
+    fn counters(&self) -> &ShardCounters {
+        &self.shared.shards[self.shard]
+    }
+
     fn run(mut self) {
+        if self
+            .poller
+            .register(
+                self.shared.wakes[self.shard].read_fd(),
+                TOKEN_WAKE,
+                Interest::READ,
+            )
+            .is_err()
+        {
+            // A shard that cannot hear wakes cannot serve; die loudly
+            // (the alive guard reports it).
+            return;
+        }
+        if let Some(listener) = &self.listener {
+            if self
+                .poller
+                .register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+                .is_err()
+            {
+                return;
+            }
+        }
         let mut drain_deadline: Option<Instant> = None;
         loop {
             let draining = self.shared.shutdown.load(Ordering::Acquire);
@@ -641,6 +1017,7 @@ impl<'a> Reactor<'a> {
                     for token in tokens {
                         self.process_rbuf(token);
                     }
+                    self.hot.clear();
                 }
                 let flushed = self.conns.values().all(|conn| conn.wbuf.is_empty());
                 if (self.pending.is_empty() && flushed)
@@ -650,61 +1027,92 @@ impl<'a> Reactor<'a> {
                 }
             }
 
-            // --- build the poll set ----------------------------------
-            let mut fds = Vec::with_capacity(2 + self.conns.len());
-            fds.push(PollFd::new(self.shared.wake.read_fd(), POLLIN));
-            let listener_slot = if draining {
-                None
-            } else {
-                fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
-                Some(fds.len() - 1)
-            };
-            let base = fds.len();
-            let mut order: Vec<u64> = Vec::with_capacity(self.conns.len());
-            for (&token, conn) in &self.conns {
-                let events = if draining {
-                    // During shutdown only flushes matter.
-                    if conn.wbuf.is_empty() {
-                        0
+            // The level backend rebuilds its interest set per wait (the
+            // edge backend registered everything once and ignores this).
+            if !self.poller.edge_triggered() {
+                if self.listener.is_some() {
+                    self.poller.set_interest(
+                        TOKEN_LISTENER,
+                        if draining {
+                            Interest::NONE
+                        } else {
+                            Interest::READ
+                        },
+                    );
+                }
+                for (&token, conn) in &self.conns {
+                    let interest = if draining {
+                        // During shutdown only flushes matter.
+                        Interest {
+                            readable: false,
+                            writable: !conn.wbuf.is_empty(),
+                        }
                     } else {
-                        POLLOUT
-                    }
-                } else {
-                    conn.events()
-                };
-                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
-                order.push(token);
-            }
-
-            if poll_fds(&mut fds, self.shared.options.poll_interval).is_err() {
-                // EINVAL/ENOMEM are not per-connection conditions; back off
-                // instead of spinning and try again.
-                thread::sleep(self.shared.options.poll_interval);
-                continue;
-            }
-
-            // --- dispatch readiness ----------------------------------
-            if fds[0].has(POLLIN) {
-                self.shared.wake.drain();
-            }
-            // Completions are drained unconditionally: try_recv is cheap
-            // and wake coalescing means byte counts carry no information.
-            self.drain_completions();
-            if let Some(slot) = listener_slot {
-                if fds[slot].has(POLLIN) {
-                    self.accept_ready();
+                        conn.interest()
+                    };
+                    self.poller.set_interest(token, interest);
                 }
             }
-            for (offset, &token) in order.iter().enumerate() {
-                let slot = &fds[base + offset];
-                if slot.is_error() {
-                    self.close(token);
+
+            // Hot connections have bytes we deliberately left behind: do
+            // not park while any are pending.
+            let prev_hot: Vec<u64> = self.hot.drain().collect();
+            let timeout = if prev_hot.is_empty() {
+                self.shared.options.poll_interval
+            } else {
+                Duration::ZERO
+            };
+            let events = match self.poller.wait(timeout) {
+                Ok(events) => events.to_vec(),
+                Err(_) => {
+                    // EINVAL/ENOMEM are not per-connection conditions; back
+                    // off instead of spinning and try again.
+                    for token in prev_hot {
+                        self.hot.insert(token);
+                    }
+                    thread::sleep(self.shared.options.poll_interval);
                     continue;
                 }
-                if slot.has(POLLOUT) || slot.has(crate::sys::POLLHUP) {
-                    self.flush(token);
+            };
+
+            // --- dispatch readiness ----------------------------------
+            let mut accept = false;
+            for event in &events {
+                match event.token {
+                    TOKEN_WAKE => self.shared.wakes[self.shard].drain(),
+                    TOKEN_LISTENER => accept = true,
+                    token => {
+                        if event.error {
+                            self.close(token);
+                            continue;
+                        }
+                        if event.writable {
+                            self.flush(token);
+                        }
+                        if event.readable && !draining {
+                            self.read_ready(token);
+                        }
+                    }
                 }
-                if slot.has(POLLIN | crate::sys::POLLHUP) && !draining {
+            }
+            // Handoffs and completions are drained unconditionally:
+            // try_recv is cheap and wake coalescing means byte counts
+            // carry no information.
+            self.drain_handoffs(draining);
+            self.drain_completions();
+            if accept && !draining {
+                self.accept_ready();
+            }
+            // Re-serve the hot list from *before* this wait.  A token that
+            // re-entered `hot` during dispatch already consumed its burst
+            // this round — skip it for fairness; it keeps the next round
+            // non-blocking instead.
+            if !draining {
+                for token in prev_hot {
+                    if self.hot.contains(&token) {
+                        continue;
+                    }
+                    self.flush(token);
                     self.read_ready(token);
                 }
             }
@@ -712,17 +1120,15 @@ impl<'a> Reactor<'a> {
         }
     }
 
-    /// Accepts every connection the listener has queued.
+    /// Accepts every connection the listener has queued and places each
+    /// on a shard (round-robin over the living).
     fn accept_ready(&mut self) {
         loop {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    self.shared
-                        .counters
-                        .accepted
-                        .fetch_add(1, Ordering::Relaxed);
-                    self.admit(stream);
-                }
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => self.place_accepted(stream),
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return,
                 // Transient accept errors (ECONNABORTED etc.): the next
                 // readiness round retries.
@@ -731,57 +1137,139 @@ impl<'a> Reactor<'a> {
         }
     }
 
-    fn admit(&mut self, stream: TcpStream) {
+    /// Admission control and shard placement for one accepted socket.
+    fn place_accepted(&mut self, stream: TcpStream) {
         if stream.set_nonblocking(true).is_err() {
             return;
         }
-        let open = self.open_count();
-        let admitted = open < self.shared.options.max_connections;
-        if !admitted {
-            self.shared
-                .counters
-                .turned_away
-                .fetch_add(1, Ordering::Relaxed);
-            // Sheds occupy close-pipeline slots (flush + linger), bounded
-            // separately from serving slots; past that bound the stream is
-            // simply dropped.
-            let draining = self.conns.len() - open;
-            if draining >= MAX_SHED_CONNECTIONS {
+        let max = self.shared.options.max_connections;
+        let open = self.shared.open_total.load(Ordering::Acquire);
+        if open >= max {
+            self.counters().accepted.fetch_add(1, Ordering::Relaxed);
+            self.counters().turned_away.fetch_add(1, Ordering::Relaxed);
+            self.shed(stream, open as u64);
+            return;
+        }
+        // Reserve the slot before the connection is reachable by any
+        // shard: only the acceptor admits, so the check above is exact
+        // and the counter can only lag on the release side (closes), never
+        // overshoot the cap.
+        self.shared.open_total.fetch_add(1, Ordering::AcqRel);
+        let shards = self.shared.reactors;
+        let mut stream = Some(stream);
+        for _ in 0..shards {
+            let target = self.next_target % shards;
+            self.next_target = (self.next_target + 1) % shards;
+            if target == self.shard {
+                self.shared.shards[target]
+                    .accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                self.admit(stream.take().expect("placed once"));
                 return;
             }
+            if !self.shared.shards[target].alive.load(Ordering::Acquire) {
+                continue;
+            }
+            match self.handoff_txs[target].send(stream.take().expect("placed once")) {
+                Ok(()) => {
+                    self.shared.shards[target]
+                        .accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.shards[target]
+                        .handoffs
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.wakes[target].wake();
+                    return;
+                }
+                // The shard died between the liveness check and the send:
+                // take the socket back and try the next target.
+                Err(mpsc::SendError(returned)) => stream = Some(returned),
+            }
+        }
+        // Unreachable in practice — the accepting shard itself is always
+        // a valid target — but never leak the reservation.
+        self.shared.open_total.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Sheds one over-cap connection with a typed REJECTED frame, owned
+    /// locally by the accepting shard (bounded by
+    /// [`MAX_SHED_CONNECTIONS`]).
+    fn shed(&mut self, stream: TcpStream, open: u64) {
+        // Sheds occupy close-pipeline slots (flush + linger), bounded
+        // separately from serving slots; past that bound the stream is
+        // simply dropped.
+        let draining = self.conns.len() - self.open_count();
+        if draining >= MAX_SHED_CONNECTIONS {
+            return;
         }
         let _ = stream.set_nodelay(true);
         let mut conn = Conn::new(stream);
-        if !admitted {
-            // Shed without a thread: queue the typed REJECTED frame on the
-            // ordinary write path and close once it flushes.
-            let snapshot = self.shared.server.queue_snapshot();
-            conn.queue_frame(&Frame::Rejected(RejectReply {
-                request_id: NO_REQUEST_ID,
-                scope: reject_scope::CONNECTIONS,
-                queued: open as u64,
-                capacity: self.shared.options.max_connections as u64,
-                // Slot availability is not predicted by the queue drain
-                // rate, so the hint is floored at a polite back-off rather
-                // than the near-zero an empty queue would suggest.
-                retry_after_ms: snapshot.retry_after_ms().max(CONNECTIONS_RETRY_AFTER_MS),
-                drain_rate_mips: drain_rate_mips(&snapshot),
-            }));
-            conn.begin_drain();
-        }
-        let token = self.next_token;
-        self.next_token += 1;
-        self.conns.insert(token, conn);
-        if admitted {
-            self.shared
-                .counters
-                .open_connections
-                .store(self.open_count(), Ordering::Relaxed);
-        }
-        self.flush(token);
+        conn.admitted = false;
+        let snapshot = self.shared.server.queue_snapshot();
+        conn.queue_frame(&Frame::Rejected(RejectReply {
+            request_id: NO_REQUEST_ID,
+            scope: reject_scope::CONNECTIONS,
+            queued: open,
+            capacity: self.shared.options.max_connections as u64,
+            // Slot availability is not predicted by the queue drain
+            // rate, so the hint is floored at a polite back-off rather
+            // than the near-zero an empty queue would suggest.
+            retry_after_ms: snapshot.retry_after_ms().max(CONNECTIONS_RETRY_AFTER_MS),
+            drain_rate_mips: drain_rate_mips(&snapshot),
+        }));
+        conn.begin_drain();
+        self.install(conn);
     }
 
-    /// Admitted (non-shed) connections currently owned.
+    /// Installs an admitted (reservation-holding) connection on this
+    /// shard.
+    fn admit(&mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let conn = Conn::new(stream);
+        if self.install(conn) {
+            self.counters()
+                .open_connections
+                .store(self.open_count(), Ordering::Relaxed);
+        } else {
+            // The poller refused the descriptor: the connection was
+            // dropped, release its reservation.
+            self.shared.open_total.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Registers a connection with the poller and the table; returns
+    /// `false` (dropping the connection) if the poller refuses it.
+    fn install(&mut self, conn: Conn) -> bool {
+        let token = self.next_token;
+        self.next_token += 1;
+        let fd = conn.stream.as_raw_fd();
+        if self
+            .poller
+            .register(fd, token, Interest::READ_WRITE)
+            .is_err()
+        {
+            return false;
+        }
+        self.conns.insert(token, conn);
+        self.flush(token);
+        true
+    }
+
+    /// Admits connections handed over by the accepting shard.  During a
+    /// shutdown the handoff is refused and the acceptor-made reservation
+    /// released (the acceptor itself has already stopped accepting; this
+    /// only catches sockets in flight at the instant of shutdown).
+    fn drain_handoffs(&mut self, draining: bool) {
+        while let Ok(stream) = self.handoff_rx.try_recv() {
+            if draining {
+                self.shared.open_total.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            self.admit(stream);
+        }
+    }
+
+    /// Admitted (non-shed) connections currently owned by this shard.
     fn open_count(&self) -> usize {
         self.conns
             .values()
@@ -795,9 +1283,14 @@ impl<'a> Reactor<'a> {
             return;
         };
         let was_open = conn.state == ConnState::Open;
-        if conn.read_step() {
+        let outcome = conn.read_step(self.shared.options.read_burst);
+        let refire = outcome.truncated || conn.take_fault_blocked();
+        if outcome.dead {
             self.close(token);
             return;
+        }
+        if refire && self.poller.edge_triggered() {
+            self.hot.insert(token);
         }
         if was_open {
             self.process_rbuf(token);
@@ -810,12 +1303,14 @@ impl<'a> Reactor<'a> {
         // are used simultaneously below.
         let Reactor {
             shared,
+            shard,
             conns,
             pending,
             next_tag,
             sink,
             ..
         } = self;
+        let counters = &shared.shards[*shard];
         let Some(conn) = conns.get_mut(&token) else {
             return;
         };
@@ -823,28 +1318,22 @@ impl<'a> Reactor<'a> {
             match probe_plaintext(&conn.rbuf) {
                 PlaintextProbe::Stats { consumed } => {
                     conn.rbuf.drain(..consumed);
-                    shared
-                        .counters
-                        .stats_requests
-                        .fetch_add(1, Ordering::Relaxed);
+                    counters.stats_requests.fetch_add(1, Ordering::Relaxed);
                     // One-shot scrape, `nc`-style: raw text (no framing),
                     // then close.
                     conn.wbuf
                         .extend_from_slice(render_stats(shared, stats_format::TEXT).as_bytes());
-                    conn.begin_drain();
+                    retire_and_drain(shared, conn);
                     break;
                 }
                 PlaintextProbe::Traces { consumed } => {
                     conn.rbuf.drain(..consumed);
-                    shared
-                        .counters
-                        .stats_requests
-                        .fetch_add(1, Ordering::Relaxed);
+                    counters.stats_requests.fetch_add(1, Ordering::Relaxed);
                     // One-shot JSONL trace dump, also `nc`-style; draining
                     // is destructive, so each scrape returns fresh traces.
                     conn.wbuf
                         .extend_from_slice(render_stats(shared, stats_format::TRACES).as_bytes());
-                    conn.begin_drain();
+                    retire_and_drain(shared, conn);
                     break;
                 }
                 PlaintextProbe::NeedMore => break,
@@ -853,22 +1342,21 @@ impl<'a> Reactor<'a> {
             match Frame::decode(&conn.rbuf) {
                 Ok(Some((frame, used))) => {
                     conn.rbuf.drain(..used);
-                    handle_frame(shared, conn, pending, next_tag, sink, token, frame);
+                    handle_frame(
+                        shared, counters, conn, pending, next_tag, sink, token, frame,
+                    );
                     conn.last_activity = Instant::now();
                 }
                 Ok(None) => break,
                 Err(err) => {
-                    shared
-                        .counters
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     conn.queue_frame(&Frame::Error(ErrorReply {
                         request_id: NO_REQUEST_ID,
                         code: error_code::PROTOCOL,
                         message: err.to_string(),
                     }));
                     conn.rbuf.clear();
-                    conn.begin_drain();
+                    retire_and_drain(shared, conn);
                     break;
                 }
             }
@@ -938,8 +1426,12 @@ impl<'a> Reactor<'a> {
             return;
         };
         let dead = conn.flush_step();
-        if !conn.stall_samples.is_empty() {
-            let samples = std::mem::take(&mut conn.stall_samples);
+        // An injected EWOULDBLOCK left flushable bytes with no writable
+        // edge coming: treat the connection as hot so the next iteration
+        // retries the flush.
+        let refire = conn.take_fault_blocked() && !conn.wbuf.is_empty();
+        let samples = std::mem::take(&mut conn.stall_samples);
+        if !samples.is_empty() {
             let recorder = self.shared.server.recorder();
             for (request_id, seconds) in samples {
                 recorder.record_write_stall(request_id, seconds);
@@ -947,6 +1439,10 @@ impl<'a> Reactor<'a> {
         }
         if dead {
             self.close(token);
+            return;
+        }
+        if refire && self.poller.edge_triggered() {
+            self.hot.insert(token);
         }
     }
 
@@ -989,9 +1485,16 @@ impl<'a> Reactor<'a> {
     }
 
     fn close(&mut self, token: u64) {
-        if self.conns.remove(&token).is_some() {
-            self.shared
-                .counters
+        if let Some(conn) = self.conns.remove(&token) {
+            // A connection closed while still serving releases its
+            // admission reservation here (drained ones released it in
+            // `retire_and_drain`).
+            if conn.state == ConnState::Open && conn.admitted {
+                self.shared.open_total.fetch_sub(1, Ordering::AcqRel);
+            }
+            self.poller.deregister(token, conn.stream.as_raw_fd());
+            self.hot.remove(&token);
+            self.counters()
                 .open_connections
                 .store(self.open_count(), Ordering::Relaxed);
         }
@@ -1001,8 +1504,10 @@ impl<'a> Reactor<'a> {
 }
 
 /// Serves one decoded client frame (reads already done, writes queued).
+#[allow(clippy::too_many_arguments)]
 fn handle_frame(
     shared: &NetShared,
+    counters: &ShardCounters,
     conn: &mut Conn,
     pending: &mut HashMap<u64, Pending>,
     next_tag: &mut u64,
@@ -1012,7 +1517,7 @@ fn handle_frame(
 ) {
     match frame {
         Frame::Infer(request) => {
-            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+            counters.requests.fetch_add(1, Ordering::Relaxed);
             let request_id = request.request_id;
             let deadline = request
                 .deadline_ms
@@ -1029,7 +1534,8 @@ fn handle_frame(
                 }
             };
             let tag = *next_tag;
-            *next_tag += 1;
+            // Shard-strided: tags stay globally unique across shards.
+            *next_tag += shared.reactors as u64;
             match shared
                 .server
                 .submit_tagged_within(tensor, tag, sink, deadline)
@@ -1057,30 +1563,24 @@ fn handle_frame(
                     );
                     conn.queue_frame(&reply);
                     if shutting_down {
-                        conn.begin_drain();
+                        retire_and_drain(shared, conn);
                     }
                 }
             }
         }
         Frame::StatsRequest { format } => {
-            shared
-                .counters
-                .stats_requests
-                .fetch_add(1, Ordering::Relaxed);
+            counters.stats_requests.fetch_add(1, Ordering::Relaxed);
             conn.queue_frame(&Frame::StatsText(render_stats(shared, format)));
         }
         // Server-bound traffic may only be requests.
         Frame::Scores(_) | Frame::Rejected(_) | Frame::Error(_) | Frame::StatsText(_) => {
-            shared
-                .counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
             conn.queue_frame(&Frame::Error(ErrorReply {
                 request_id: NO_REQUEST_ID,
                 code: error_code::PROTOCOL,
                 message: "unexpected server-bound frame".to_string(),
             }));
-            conn.begin_drain();
+            retire_and_drain(shared, conn);
         }
     }
 }
@@ -1124,7 +1624,8 @@ fn render_stats(shared: &NetShared, format: u8) -> String {
 
 fn render_stats_text(shared: &NetShared) -> String {
     let server = shared.server.stats();
-    let c = &shared.counters;
+    let per_reactor = per_reactor_stats(shared);
+    let reactors_alive = per_reactor.iter().filter(|r| r.alive).count();
     let mut out = String::new();
     out.push_str(&format!(
         "snn_net_protocol_version: {}\n",
@@ -1137,8 +1638,11 @@ fn render_stats_text(shared: &NetShared) -> String {
     out.push_str(&format!("deadline_sheds: {}\n", server.deadline_sheds));
     out.push_str(&format!(
         "reactor_alive: {}\n",
-        u8::from(shared.reactor_alive.load(Ordering::Acquire))
+        u8::from(reactors_alive == shared.reactors)
     ));
+    out.push_str(&format!("reactors: {}\n", shared.reactors));
+    out.push_str(&format!("reactors_alive: {reactors_alive}\n"));
+    out.push_str(&format!("reactor_backend: {}\n", aggregate_backend(shared)));
     out.push_str(&format!("replicas: {}\n", server.replicas));
     out.push_str(&format!("replicas_healthy: {}\n", server.healthy_replicas));
     out.push_str(&format!("batches: {}\n", server.batches));
@@ -1153,15 +1657,15 @@ fn render_stats_text(shared: &NetShared) -> String {
     out.push_str(&format!("thread_budget: {}\n", server.thread_budget));
     out.push_str(&format!(
         "connections_accepted: {}\n",
-        c.accepted.load(Ordering::Relaxed)
+        per_reactor.iter().map(|r| r.accepted).sum::<u64>()
     ));
     out.push_str(&format!(
         "connections_turned_away: {}\n",
-        c.turned_away.load(Ordering::Relaxed)
+        per_reactor.iter().map(|r| r.turned_away).sum::<u64>()
     ));
     out.push_str(&format!(
         "connections_open: {}\n",
-        c.open_connections.load(Ordering::Relaxed)
+        per_reactor.iter().map(|r| r.open_connections).sum::<u64>()
     ));
     out.push_str(&format!(
         "connections_max: {}\n",
@@ -1169,15 +1673,15 @@ fn render_stats_text(shared: &NetShared) -> String {
     ));
     out.push_str(&format!(
         "requests: {}\n",
-        c.requests.load(Ordering::Relaxed)
+        per_reactor.iter().map(|r| r.requests).sum::<u64>()
     ));
     out.push_str(&format!(
         "protocol_errors: {}\n",
-        c.protocol_errors.load(Ordering::Relaxed)
+        per_reactor.iter().map(|r| r.protocol_errors).sum::<u64>()
     ));
     out.push_str(&format!(
         "stats_requests: {}\n",
-        c.stats_requests.load(Ordering::Relaxed)
+        per_reactor.iter().map(|r| r.stats_requests).sum::<u64>()
     ));
     let recorder = shared.server.recorder();
     out.push_str(&format!("trace_open_spans: {}\n", recorder.open_spans()));
@@ -1195,6 +1699,22 @@ fn render_stats_text(shared: &NetShared) -> String {
     ] {
         out.push_str(&format!("{key}_count: {}\n", histogram.count()));
         out.push_str(&format!("{key}_sum: {}\n", histogram.sum()));
+    }
+    for reactor in &per_reactor {
+        out.push_str(&format!(
+            "reactor[{}]: shard_alive={} backend={} connections={} accepted={} \
+             turned_away={} handoffs={} requests={} protocol_errors={} stats_requests={}\n",
+            reactor.index,
+            u8::from(reactor.alive),
+            reactor.backend,
+            reactor.open_connections,
+            reactor.accepted,
+            reactor.turned_away,
+            reactor.handoffs,
+            reactor.requests,
+            reactor.protocol_errors,
+            reactor.stats_requests,
+        ));
     }
     for replica in &server.per_replica {
         out.push_str(&format!(
@@ -1229,7 +1749,8 @@ fn render_stats_text(shared: &NetShared) -> String {
 /// names, one sample per line — directly scrapeable.
 fn render_stats_prometheus(shared: &NetShared) -> String {
     let server = shared.server.stats();
-    let c = &shared.counters;
+    let per_reactor = per_reactor_stats(shared);
+    let reactors_alive = per_reactor.iter().filter(|r| r.alive).count();
     let mut out = String::new();
     let mut metric = |name: &str, kind: &str, value: String| {
         out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
@@ -1255,8 +1776,10 @@ fn render_stats_prometheus(shared: &NetShared) -> String {
     metric(
         "snn_reactor_alive",
         "gauge",
-        u8::from(shared.reactor_alive.load(Ordering::Acquire)).to_string(),
+        u8::from(reactors_alive == shared.reactors).to_string(),
     );
+    metric("snn_reactors", "gauge", shared.reactors.to_string());
+    metric("snn_reactors_alive", "gauge", reactors_alive.to_string());
     metric("snn_replicas", "gauge", server.replicas.to_string());
     metric(
         "snn_replicas_healthy",
@@ -1293,17 +1816,29 @@ fn render_stats_prometheus(shared: &NetShared) -> String {
     metric(
         "snn_connections_accepted_total",
         "counter",
-        c.accepted.load(Ordering::Relaxed).to_string(),
+        per_reactor
+            .iter()
+            .map(|r| r.accepted)
+            .sum::<u64>()
+            .to_string(),
     );
     metric(
         "snn_connections_turned_away_total",
         "counter",
-        c.turned_away.load(Ordering::Relaxed).to_string(),
+        per_reactor
+            .iter()
+            .map(|r| r.turned_away)
+            .sum::<u64>()
+            .to_string(),
     );
     metric(
         "snn_connections_open",
         "gauge",
-        c.open_connections.load(Ordering::Relaxed).to_string(),
+        per_reactor
+            .iter()
+            .map(|r| r.open_connections)
+            .sum::<u64>()
+            .to_string(),
     );
     metric(
         "snn_connections_max",
@@ -1313,23 +1848,95 @@ fn render_stats_prometheus(shared: &NetShared) -> String {
     metric(
         "snn_requests_total",
         "counter",
-        c.requests.load(Ordering::Relaxed).to_string(),
+        per_reactor
+            .iter()
+            .map(|r| r.requests)
+            .sum::<u64>()
+            .to_string(),
     );
     metric(
         "snn_protocol_errors_total",
         "counter",
-        c.protocol_errors.load(Ordering::Relaxed).to_string(),
+        per_reactor
+            .iter()
+            .map(|r| r.protocol_errors)
+            .sum::<u64>()
+            .to_string(),
     );
     metric(
         "snn_stats_requests_total",
         "counter",
-        c.stats_requests.load(Ordering::Relaxed).to_string(),
+        per_reactor
+            .iter()
+            .map(|r| r.stats_requests)
+            .sum::<u64>()
+            .to_string(),
     );
     metric(
         "snn_trace_open_spans",
         "gauge",
         shared.server.recorder().open_spans().to_string(),
     );
+    // Per-reactor shard series: which shard is hot, dead, or unbalanced.
+    out.push_str("# TYPE snn_reactor_backend gauge\n");
+    for reactor in &per_reactor {
+        out.push_str(&format!(
+            "snn_reactor_backend{{reactor=\"{}\",backend=\"{}\"}} 1\n",
+            reactor.index, reactor.backend
+        ));
+    }
+    for (name, kind, pick) in [
+        (
+            "snn_reactor_shard_alive",
+            "gauge",
+            Box::new(|r: &ReactorStats| u8::from(r.alive).to_string())
+                as Box<dyn Fn(&ReactorStats) -> String>,
+        ),
+        (
+            "snn_reactor_connections",
+            "gauge",
+            Box::new(|r| r.open_connections.to_string()),
+        ),
+        (
+            "snn_reactor_accepted_total",
+            "counter",
+            Box::new(|r| r.accepted.to_string()),
+        ),
+        (
+            "snn_reactor_turned_away_total",
+            "counter",
+            Box::new(|r| r.turned_away.to_string()),
+        ),
+        (
+            "snn_reactor_handoffs_total",
+            "counter",
+            Box::new(|r| r.handoffs.to_string()),
+        ),
+        (
+            "snn_reactor_requests_total",
+            "counter",
+            Box::new(|r| r.requests.to_string()),
+        ),
+        (
+            "snn_reactor_protocol_errors_total",
+            "counter",
+            Box::new(|r| r.protocol_errors.to_string()),
+        ),
+        (
+            "snn_reactor_stats_requests_total",
+            "counter",
+            Box::new(|r| r.stats_requests.to_string()),
+        ),
+    ] {
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        for reactor in &per_reactor {
+            out.push_str(&format!(
+                "{name}{{reactor=\"{}\"}} {}\n",
+                reactor.index,
+                pick(reactor)
+            ));
+        }
+    }
     for (name, kind, pick) in [
         (
             "snn_replica_healthy",

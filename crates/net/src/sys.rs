@@ -1,17 +1,23 @@
 //! Minimal `extern "C"` bindings for the readiness syscalls the reactor
-//! needs: `poll(2)`, `fcntl(2)` and `pipe(2)` — Linux only, no external
-//! crate (the workspace has no registry access, and vendoring all of libc
-//! for three syscalls would be absurd).
+//! needs: `poll(2)`, `epoll(7)`, `fcntl(2)` and `pipe(2)` — Linux only, no
+//! external crate (the workspace has no registry access, and vendoring all
+//! of libc for a handful of syscalls would be absurd).
 //!
 //! Everything `unsafe` in `snn-net` lives in this module, behind safe
 //! wrappers:
 //!
 //! * [`poll_fds`] — block until any registered descriptor is ready (or a
-//!   timeout), the reactor's one blocking call.
+//!   timeout); the scalar O(n) readiness call, kept as the portable
+//!   fallback backend.
+//! * [`Epoll`] — an `epoll(7)` instance for **edge-triggered** readiness:
+//!   descriptors are registered once ([`Epoll::add`]) and only *changes*
+//!   of readiness are reported, so a reactor wait is O(ready), not
+//!   O(registered).  The scale-out backend; see [`crate::poller::Poller`]
+//!   for the backend-neutral wrapper the reactor actually drives.
 //! * [`WakePipe`] — a non-blocking self-pipe: any thread calls
-//!   [`WakePipe::wake`] to make a `poll` that watches the read end return
-//!   immediately.  This is how the serving dispatcher hands completions to
-//!   a reactor parked in `poll(2)`.
+//!   [`WakePipe::wake`] to make a `poll`/`epoll_wait` that watches the
+//!   read end return immediately.  This is how the serving dispatcher
+//!   hands completions to a parked reactor.
 //! * [`set_nonblocking`] — `fcntl(F_SETFL, O_NONBLOCK)` on a raw fd
 //!   (std covers sockets; the pipe ends need it done by hand).
 //!
@@ -85,6 +91,178 @@ extern "C" {
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
     fn close(fd: c_int) -> c_int;
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+}
+
+// --------------------------------------------------------------------------
+// epoll(7)
+// --------------------------------------------------------------------------
+
+/// `epoll` event: readable (or a peer hang-up made `read` return 0).
+pub const EPOLLIN: u32 = 0x001;
+/// `epoll` event: writable without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// `epoll` revent: error condition on the descriptor.
+pub const EPOLLERR: u32 = 0x008;
+/// `epoll` revent: peer hung up (both directions).
+pub const EPOLLHUP: u32 = 0x010;
+/// `epoll` event: the peer half-closed its sending side (stream sockets).
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// `epoll` flag: **edge-triggered** delivery — a readiness transition is
+/// reported exactly once; the consumer must drain to `EWOULDBLOCK` (or
+/// remember that it stopped early) before the next event will fire.
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+/// One `epoll` event record — ABI-identical to the kernel's
+/// `struct epoll_event`, which is packed on x86-64 (12 bytes) and
+/// naturally aligned everywhere else.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Requested/returned event mask (bitwise OR of `EPOLL*`).
+    pub events: u32,
+    /// Caller-chosen cookie echoed back verbatim — the reactor stores its
+    /// connection token here.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// An empty (zeroed) record, for `epoll_wait` output buffers.
+    pub fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+/// An `epoll(7)` instance: the edge-triggered readiness backend.
+///
+/// Descriptors are registered **once** with their full event mask
+/// ([`EPOLLET`] included); unlike [`poll_fds`] there is no per-wait
+/// interest rebuild — [`Epoll::wait`] returns only descriptors whose
+/// readiness *changed*, in O(ready) time.  The owner must respect the
+/// edge-triggered contract: on a reported edge, consume until
+/// `EWOULDBLOCK` or remember that bytes were deliberately left behind
+/// (the reactor's hot-list does the latter for read-burst fairness).
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates the instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1(2)` failures (descriptor exhaustion,
+    /// or a kernel without epoll — the caller falls back to `poll`).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes no pointers; a failure is -1/errno.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `event` is a live, exclusively borrowed repr(C) record;
+        // the kernel reads it for ADD/MOD and ignores it for DEL.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut event) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with the given `EPOLL*` event mask and cookie.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl(2)` failures (`EBADF` closed fd, `EEXIST`
+    /// double registration, `ENOSPC` watch limit).
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Rewrites the event mask/cookie of an already registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl(2)` failures (`ENOENT` unregistered fd).
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Unregisters `fd`.  Closing a descriptor unregisters it implicitly;
+    /// this exists for symmetry and for descriptors that outlive their
+    /// registration (the listener during shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl(2)` failures (`ENOENT` unregistered fd).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until a registered descriptor reports an edge, the timeout
+    /// elapses, or a signal interrupts.  Fills `events` from the front and
+    /// returns how many records were written (`0` for timeout; `EINTR` is
+    /// reported as `0` so callers treat it as a spurious wake and
+    /// re-loop, exactly like [`poll_fds`]).  A full buffer is not lossy:
+    /// undelivered ready-list entries are reported by the next wait.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait(2)` failures other than `EINTR`.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout: Duration) -> io::Result<usize> {
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::poll_spurious_wake() {
+            // Injected delayed readiness / EINTR: report a spurious
+            // timeout without consulting the kernel; callers re-loop.
+            return Ok(0);
+        }
+        if events.is_empty() {
+            return Ok(0);
+        }
+        // Same rounding contract as `poll_fds`: a nonzero sub-millisecond
+        // timeout must sleep ~1 ms, not busy-spin.
+        let mut millis = timeout.as_millis().min(i32::MAX as u128) as c_int;
+        if millis == 0 && !timeout.is_zero() {
+            millis = 1;
+        }
+        // SAFETY: `events` is a valid, exclusively borrowed slice of
+        // repr(C) records; the kernel writes at most `events.len()` of
+        // them.
+        let rc = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), events.len() as c_int, millis) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() == Some(EINTR) {
+            return Ok(0);
+        }
+        Err(err)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: closes the fd this struct exclusively owns, once.
+        unsafe {
+            close(self.fd);
+        }
+    }
 }
 
 /// Blocks until at least one slot in `fds` has a ready event, the timeout
@@ -327,6 +505,135 @@ mod tests {
     fn set_nonblocking_rejects_a_closed_fd() {
         // fd -1 is never valid.
         assert!(set_nonblocking(-1).is_err());
+    }
+
+    // ---- epoll wrapper: mirrors of the poll_fds suite ------------------
+
+    fn wait_one(ep: &Epoll, timeout: Duration) -> Vec<EpollEvent> {
+        let mut buf = [EpollEvent::zeroed(); 8];
+        let n = ep.wait(&mut buf, timeout).unwrap();
+        buf[..n].to_vec()
+    }
+
+    #[test]
+    fn epoll_wake_pipe_wakes_a_wait_and_drains() {
+        let pipe = WakePipe::new().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(pipe.read_fd(), EPOLLIN | EPOLLET, 7).unwrap();
+        // Nothing pending: a short wait times out.
+        assert!(wait_one(&ep, Duration::from_millis(10)).is_empty());
+        pipe.wake();
+        let events = wait_one(&ep, Duration::from_secs(5));
+        assert_eq!(events.len(), 1);
+        assert_eq!({ events[0].data }, 7, "the cookie round-trips");
+        assert_ne!({ events[0].events } & EPOLLIN, 0);
+        pipe.drain();
+        assert!(wait_one(&ep, Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn epoll_wake_from_another_thread_unblocks_wait() {
+        let pipe = std::sync::Arc::new(WakePipe::new().unwrap());
+        let ep = Epoll::new().unwrap();
+        ep.add(pipe.read_fd(), EPOLLIN | EPOLLET, 1).unwrap();
+        let waker = std::sync::Arc::clone(&pipe);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let events = wait_one(&ep, Duration::from_secs(10));
+        assert_eq!(events.len(), 1, "the cross-thread wake must end the wait");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn epoll_flood_of_wakes_drains_in_one_readiness_event() {
+        let pipe = WakePipe::new().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(pipe.read_fd(), EPOLLIN | EPOLLET, 1).unwrap();
+        for _ in 0..10_000 {
+            pipe.wake();
+        }
+        assert_eq!(wait_one(&ep, Duration::from_secs(5)).len(), 1);
+        pipe.drain();
+        assert!(wait_one(&ep, Duration::from_millis(10)).is_empty());
+        // The pipe still works after the flood: wake, wait, drain, quiet.
+        pipe.wake();
+        assert_eq!(wait_one(&ep, Duration::from_secs(5)).len(), 1);
+        pipe.drain();
+        assert!(wait_one(&ep, Duration::from_millis(10)).is_empty());
+    }
+
+    /// The edge-triggered contract, pinned: readiness that was already
+    /// reported is **not** reported again until the descriptor is drained
+    /// and becomes readable anew.  This is the failure mode the reactor's
+    /// hot-list exists for.
+    #[test]
+    fn epoll_edge_trigger_reports_a_transition_exactly_once() {
+        let pipe = WakePipe::new().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(pipe.read_fd(), EPOLLIN | EPOLLET, 9).unwrap();
+        pipe.wake();
+        assert_eq!(wait_one(&ep, Duration::from_secs(5)).len(), 1);
+        // The byte is still in the pipe, but the edge was consumed: an
+        // edge-triggered wait must now time out where poll(2) would have
+        // re-reported level readiness forever.
+        assert!(
+            wait_one(&ep, Duration::from_millis(20)).is_empty(),
+            "EPOLLET re-reported un-drained readiness"
+        );
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(
+            poll_fds(&mut fds, Duration::from_millis(10)).unwrap(),
+            1,
+            "level-triggered poll still sees the pending byte"
+        );
+        // A *new* byte is a new edge.
+        pipe.wake();
+        assert_eq!(wait_one(&ep, Duration::from_secs(5)).len(), 1);
+    }
+
+    #[test]
+    fn epoll_rejects_a_closed_fd_and_double_registration() {
+        let ep = Epoll::new().unwrap();
+        assert!(ep.add(-1, EPOLLIN, 0).is_err(), "EBADF surfaces");
+        let pipe = WakePipe::new().unwrap();
+        ep.add(pipe.read_fd(), EPOLLIN | EPOLLET, 1).unwrap();
+        assert!(
+            ep.add(pipe.read_fd(), EPOLLIN | EPOLLET, 2).is_err(),
+            "EEXIST surfaces"
+        );
+        ep.delete(pipe.read_fd()).unwrap();
+        assert!(ep.delete(pipe.read_fd()).is_err(), "ENOENT surfaces");
+        // Re-registration after delete works, and modify rewrites the
+        // cookie.
+        ep.add(pipe.read_fd(), EPOLLIN | EPOLLET, 3).unwrap();
+        ep.modify(pipe.read_fd(), EPOLLIN | EPOLLET, 4).unwrap();
+        pipe.wake();
+        let events = wait_one(&ep, Duration::from_secs(5));
+        assert_eq!({ events[0].data }, 4);
+    }
+
+    #[test]
+    fn epoll_submillisecond_timeouts_round_up_instead_of_busy_spinning() {
+        let pipe = WakePipe::new().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(pipe.read_fd(), EPOLLIN | EPOLLET, 1).unwrap();
+        let start = std::time::Instant::now();
+        for _ in 0..20 {
+            assert!(wait_one(&ep, Duration::from_micros(100)).is_empty());
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(10),
+            "20 sub-ms waits finished in {:?}: the timeout truncated to 0",
+            start.elapsed()
+        );
+        // A genuinely zero timeout still returns immediately.
+        let start = std::time::Instant::now();
+        for _ in 0..100 {
+            wait_one(&ep, Duration::ZERO);
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
     }
 
     #[test]

@@ -240,7 +240,13 @@ fn text_key_set(text: &str) -> BTreeSet<String> {
         if line.is_empty() {
             continue;
         }
-        if let Some(rest) = line.strip_prefix("replica[") {
+        if let Some(rest) = line.strip_prefix("reactor[") {
+            let fields = rest.split_once("]: ").expect("reactor line").1;
+            for field in fields.split_whitespace() {
+                let key = field.split_once('=').expect("field=value").0;
+                keys.insert(format!("reactor_{key}"));
+            }
+        } else if let Some(rest) = line.strip_prefix("replica[") {
             let fields = rest.split_once("]: ").expect("replica line").1;
             for field in fields.split_whitespace() {
                 let key = field.split_once('=').expect("field=value").0;
@@ -281,11 +287,16 @@ fn prometheus_key_set(prom: &str) -> BTreeSet<String> {
 #[test]
 fn stats_text_and_prometheus_enumerate_the_same_key_set() {
     let (model, inputs) = tiny_setup(2);
+    // Two reactor shards so the per-shard `reactor[i]` lines and their
+    // Prometheus label series are both multi-entry.
     let server = NetServer::bind(
         "127.0.0.1:0",
         AcceleratorConfig::default(),
         model,
-        traced_net_options(2, true),
+        NetOptions {
+            reactors: 2,
+            ..traced_net_options(2, true)
+        },
     )
     .unwrap();
     let mut client = NetClient::connect(server.local_addr()).unwrap();
